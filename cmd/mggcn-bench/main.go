@@ -1,0 +1,57 @@
+// Command mggcn-bench regenerates the paper's tables and figures. With no
+// flags it runs every registered experiment and prints each report; use
+// -exp to select a comma-separated subset and -list to enumerate them.
+//
+//	mggcn-bench                  # run everything (several minutes)
+//	mggcn-bench -exp fig6,fig8   # just the timeline figures
+//	mggcn-bench -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"mggcn"
+)
+
+func main() {
+	var (
+		exp  = flag.String("exp", "", "comma-separated experiment IDs (default: all)")
+		list = flag.Bool("list", false, "list experiment IDs and exit")
+	)
+	flag.Parse()
+
+	all := mggcn.Experiments()
+	if *list {
+		for _, e := range all {
+			fmt.Printf("%-9s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+	selected := map[string]bool{}
+	if *exp != "" {
+		for _, id := range strings.Split(*exp, ",") {
+			selected[strings.TrimSpace(id)] = true
+		}
+	}
+	failed := 0
+	for _, e := range all {
+		if len(selected) > 0 && !selected[e.ID] {
+			continue
+		}
+		start := time.Now()
+		res, err := e.Run()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "[%s] FAILED: %v\n", e.ID, err)
+			failed++
+			continue
+		}
+		fmt.Printf("=== %s — %s (ran in %s) ===\n%s\n", e.ID, e.Title, time.Since(start).Round(time.Millisecond), res.Text)
+	}
+	if failed > 0 {
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,161 @@
+// Command mggcn-train trains a GCN on a catalog dataset with MG-GCN across
+// the simulated GPUs of a DGX-class machine, printing per-epoch loss,
+// accuracy, and the simulated epoch time.
+//
+//	mggcn-train -dataset cora -gpus 4 -epochs 50
+//	mggcn-train -dataset products -gpus 8 -machine a100 -phantom
+//	mggcn-train -synthetic -n 2000 -degree 16 -classes 8 -features 32
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+
+	"mggcn"
+)
+
+func main() {
+	var (
+		dataset   = flag.String("dataset", "cora", "catalog dataset: "+strings.Join(mggcn.DatasetNames(), ", "))
+		machine   = flag.String("machine", "a100", "machine: v100 or a100")
+		gpus      = flag.Int("gpus", 1, "number of GPUs (1-8)")
+		epochs    = flag.Int("epochs", 20, "training epochs")
+		hidden    = flag.Int("hidden", 512, "hidden layer width")
+		layers    = flag.Int("layers", 2, "layer count")
+		lr        = flag.Float64("lr", 0.01, "Adam learning rate")
+		phantom   = flag.Bool("phantom", false, "structure-only run: timing and memory, no real math")
+		noPermute = flag.Bool("no-permute", false, "disable §5.2 random permutation")
+		noOverlap = flag.Bool("no-overlap", false, "disable §4.3 comm/compute overlap")
+		strategy  = flag.String("strategy", "1d-row", "partitioning strategy: 1d-row, 1d-col, 1.5d")
+		ordering  = flag.String("ordering", "default", "vertex ordering: default, natural, random, degree, bfs, cyclic")
+		balanced  = flag.Bool("balanced-cuts", false, "cut partitions at equal degree instead of equal vertices")
+		saveCkpt  = flag.String("save-checkpoint", "", "write model+optimizer state here after training")
+		loadCkpt  = flag.String("load-checkpoint", "", "restore model+optimizer state before training")
+		saveData  = flag.String("save-dataset", "", "write the dataset in binary form and exit")
+		synthetic = flag.Bool("synthetic", false, "train on a synthetic BTER graph instead of the catalog")
+		n         = flag.Int("n", 2000, "synthetic: vertex count")
+		degree    = flag.Float64("degree", 16, "synthetic: average degree")
+		features  = flag.Int("features", 32, "synthetic: feature width")
+		classes   = flag.Int("classes", 8, "synthetic: class count")
+		seed      = flag.Uint64("seed", 42, "synthetic: generator seed")
+	)
+	flag.Parse()
+
+	var spec mggcn.MachineSpec
+	switch strings.ToLower(*machine) {
+	case "v100", "dgx-1", "dgx-v100":
+		spec = mggcn.DGXV100()
+	case "a100", "dgx-a100":
+		spec = mggcn.DGXA100()
+	default:
+		log.Fatalf("unknown machine %q (want v100 or a100)", *machine)
+	}
+
+	var ds *mggcn.Dataset
+	var err error
+	if *synthetic {
+		ds = mggcn.SynthesizeDataset("synthetic", *n, *degree, *features, *classes, *seed, *phantom)
+	} else {
+		ds, err = mggcn.LoadDataset(*dataset, *phantom)
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
+	fmt.Printf("dataset %s: n=%d m=%d k=%.1f features=%d classes=%d scale=1/%d\n",
+		ds.Name(), ds.N(), ds.M(), ds.AvgDegree(), ds.FeatDim(), ds.Classes(), ds.Scale())
+
+	if *saveData != "" {
+		f, err := os.Create(*saveData)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := ds.WriteBinary(f); err != nil {
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("wrote dataset to %s\n", *saveData)
+		return
+	}
+
+	o := mggcn.DefaultOptions(spec, *gpus)
+	o.Hidden, o.Layers, o.LR = *hidden, *layers, *lr
+	o.Permute = !*noPermute
+	o.Overlap = !*noOverlap
+	switch strings.ToLower(*strategy) {
+	case "1d-row", "row":
+		o.Strategy = mggcn.Strategy1DRow
+	case "1d-col", "col":
+		o.Strategy = mggcn.Strategy1DCol
+	case "1.5d", "15d":
+		o.Strategy = mggcn.Strategy15D
+	default:
+		log.Fatalf("unknown strategy %q", *strategy)
+	}
+	switch strings.ToLower(*ordering) {
+	case "default":
+		o.Ordering = mggcn.OrderingDefault
+	case "natural":
+		o.Ordering = mggcn.OrderingNatural
+	case "random":
+		o.Ordering = mggcn.OrderingRandom
+	case "degree":
+		o.Ordering = mggcn.OrderingDegreeSorted
+	case "bfs":
+		o.Ordering = mggcn.OrderingBFS
+	case "cyclic":
+		o.Ordering = mggcn.OrderingBlockCyclic
+	default:
+		log.Fatalf("unknown ordering %q", *ordering)
+	}
+	o.BalancedPartition = *balanced
+	tr, err := mggcn.NewTrainer(ds, o)
+	if err != nil {
+		if mggcn.IsOOM(err) {
+			log.Fatalf("out of memory on %s with %d GPUs: %v", spec.Name, *gpus, err)
+		}
+		log.Fatal(err)
+	}
+	fmt.Printf("training %d layers (hidden %d) on %d GPUs of %s (%s); %d buffers/device, peak %d MiB/device\n",
+		o.Layers, o.Hidden, *gpus, spec.Name, *strategy, tr.BufferCount(), tr.PeakMemoryBytes()>>20)
+	if *loadCkpt != "" {
+		f, err := os.Open(*loadCkpt)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := tr.LoadCheckpoint(f); err != nil {
+			log.Fatal(err)
+		}
+		f.Close()
+		fmt.Printf("restored checkpoint from %s\n", *loadCkpt)
+	}
+
+	var total float64
+	for e, s := range tr.Train(*epochs) {
+		total += s.EpochSeconds
+		if ds.IsPhantom() {
+			fmt.Printf("epoch %3d: sim %.4fs\n", e+1, s.EpochSeconds)
+		} else {
+			fmt.Printf("epoch %3d: loss %.4f train-acc %.4f test-acc %.4f sim %.4fs\n",
+				e+1, s.Loss, s.TrainAcc, s.TestAcc, s.EpochSeconds)
+		}
+	}
+	fmt.Printf("total simulated training time: %.3fs (%.4fs/epoch)\n", total, total/float64(*epochs))
+	if *saveCkpt != "" {
+		f, err := os.Create(*saveCkpt)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := tr.SaveCheckpoint(f); err != nil {
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("saved checkpoint to %s\n", *saveCkpt)
+	}
+}

@@ -1,0 +1,38 @@
+// Degree sweep: Fig 9's experiment — the BTER-scaled Arxiv family (average
+// degree x1 to x128 at fixed vertex count) trained on 1-8 GPUs, showing
+// how speedup grows with density and turns super-linear once each GPU's
+// broadcast tile becomes cache resident.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"mggcn"
+)
+
+func main() {
+	fmt.Println("speedup w.r.t. 1 GPU (DGX-V100, 2 layers x 512)")
+	fmt.Printf("%6s  %10s  %7s %7s %7s\n", "scale", "k(gen)", "2 GPUs", "4 GPUs", "8 GPUs")
+	for _, factor := range []int{1, 2, 4, 8, 16, 32, 64, 128} {
+		ds := mggcn.DegreeScaledDataset(factor, true)
+		var base float64
+		speeds := []float64{}
+		for _, p := range []int{1, 2, 4, 8} {
+			tr, err := mggcn.NewTrainer(ds, mggcn.DefaultOptions(mggcn.DGXV100(), p))
+			if err != nil {
+				log.Fatal(err)
+			}
+			sec := tr.RunEpoch().EpochSeconds
+			if p == 1 {
+				base = sec
+			} else {
+				speeds = append(speeds, base/sec)
+			}
+		}
+		fmt.Printf("%5dx  %10.1f  %6.2fx %6.2fx %6.2fx\n",
+			factor, ds.AvgDegree(), speeds[0], speeds[1], speeds[2])
+	}
+	fmt.Println("\nsuper-linear entries (>P) appear at high average degree: smaller")
+	fmt.Println("broadcast tiles fit the L2 cache, the paper's §6.4 blocking effect.")
+}

@@ -1,0 +1,3 @@
+module mggcn
+
+go 1.22

@@ -1,0 +1,149 @@
+// Package comm implements the NCCL-style collectives MG-GCN uses:
+// broadcast (the per-stage H-tile exchange of §4.1) and all-reduce (the
+// per-step weight-gradient reduction). Each collective does two things:
+// moves real data between the per-device buffers, and appends a timed comm
+// task spanning the whole group to the simulation task graph, priced by the
+// machine's topology model.
+package comm
+
+import (
+	"fmt"
+
+	"mggcn/internal/sim"
+	"mggcn/internal/tensor"
+)
+
+// Group is a communicator over a task graph — all P devices by default, or
+// an explicit subset (replica groups, device pairs) via Sub.
+//
+// BytesScale multiplies the payload size used to *price* Broadcast and
+// ReduceSum calls, which carry feature-matrix blocks (not AllReduceSum,
+// which carries unscaled weight gradients): a trainer running a 1/S-scaled
+// dataset sets BytesScale = S so the simulated communication times are
+// those of the full-scale problem (DESIGN.md §2).
+type Group struct {
+	Graph      *sim.Graph
+	BytesScale int64
+	// devices are the group members; nil means all of Graph's devices.
+	devices []int
+}
+
+// New creates a communicator over all devices with BytesScale 1.
+func New(g *sim.Graph) *Group { return &Group{Graph: g, BytesScale: 1} }
+
+// Sub returns a communicator over the given device subset, inheriting the
+// byte scale. Collective costs use the subset's link topology (§5.1: a
+// 4-GPU group of a DGX-1 sees 4 links; a cross-group pair sees 2).
+func (c *Group) Sub(devices []int) *Group {
+	ds := make([]int, len(devices))
+	copy(ds, devices)
+	return &Group{Graph: c.Graph, BytesScale: c.BytesScale, devices: ds}
+}
+
+// P returns the group size.
+func (c *Group) P() int { return len(c.members()) }
+
+// members returns the group's device list (all of the graph's by default).
+func (c *Group) members() []int {
+	if c.devices != nil {
+		return c.devices
+	}
+	ds := make([]int, c.Graph.P)
+	for i := range ds {
+		ds[i] = i
+	}
+	return ds
+}
+
+// checkBufs validates a per-device buffer set: one buffer per device, all
+// the same shape.
+func (c *Group) checkBufs(op string, bufs []*tensor.Dense) {
+	if len(bufs) != c.P() {
+		panic(fmt.Sprintf("comm: %s with %d buffers for %d devices", op, len(bufs), c.P()))
+	}
+	for i, b := range bufs {
+		if b.Rows != bufs[0].Rows || b.Cols != bufs[0].Cols {
+			panic(fmt.Sprintf("comm: %s buffer %d shape %dx%d != %dx%d", op, i, b.Rows, b.Cols, bufs[0].Rows, bufs[0].Cols))
+		}
+	}
+}
+
+// Broadcast copies src (resident on device root) into dst[i] on every other
+// device and emits one collective comm task. dst[root] is left untouched
+// (the paper's implementation reads the root's own tile from its resident
+// buffer). Returns the task ID to depend on.
+func (c *Group) Broadcast(root int, src *tensor.Dense, dst []*tensor.Dense, label string, stage int, deps ...int) int {
+	if len(dst) != c.P() {
+		panic(fmt.Sprintf("comm: broadcast with %d destinations for %d devices", len(dst), c.P()))
+	}
+	if root < 0 || root >= c.P() {
+		panic(fmt.Sprintf("comm: broadcast root %d outside group of %d", root, c.P()))
+	}
+	for i, d := range dst {
+		if i == root {
+			continue
+		}
+		if d.Rows != src.Rows || d.Cols != src.Cols {
+			panic(fmt.Sprintf("comm: broadcast dst %d shape %dx%d != src %dx%d", i, d.Rows, d.Cols, src.Rows, src.Cols))
+		}
+		if !src.IsPhantom() && !d.IsPhantom() {
+			d.CopyFrom(src)
+		}
+	}
+	seconds := c.Graph.Spec.BroadcastCost(src.Bytes()*c.BytesScale, c.P())
+	return c.Graph.AddComm(c.members(), label, stage, seconds, deps...)
+}
+
+// AllReduceSum sums the per-device buffers elementwise and writes the total
+// back into every buffer (ring all-reduce semantics), emitting one comm
+// task. Returns the task ID.
+func (c *Group) AllReduceSum(bufs []*tensor.Dense, label string, deps ...int) int {
+	c.checkBufs("allreduce", bufs)
+	if !bufs[0].IsPhantom() {
+		total := bufs[0].Clone()
+		for i := 1; i < len(bufs); i++ {
+			tensor.AddInPlace(total, bufs[i])
+		}
+		for _, b := range bufs {
+			b.CopyFrom(total)
+		}
+	}
+	seconds := c.Graph.Spec.AllReduceCost(bufs[0].Bytes(), c.P())
+	return c.Graph.AddComm(c.members(), label, -1, seconds, deps...)
+}
+
+// AllReduceSumScaled is AllReduceSum for feature-sized payloads: the
+// collective cost scales with BytesScale (the 1.5D strategy's cross-group
+// partial-result reduction).
+func (c *Group) AllReduceSumScaled(bufs []*tensor.Dense, label string, deps ...int) int {
+	c.checkBufs("allreduce", bufs)
+	if !bufs[0].IsPhantom() {
+		total := bufs[0].Clone()
+		for i := 1; i < len(bufs); i++ {
+			tensor.AddInPlace(total, bufs[i])
+		}
+		for _, b := range bufs {
+			b.CopyFrom(total)
+		}
+	}
+	seconds := c.Graph.Spec.AllReduceCost(bufs[0].Bytes()*c.BytesScale, c.P())
+	return c.Graph.AddComm(c.members(), label, -1, seconds, deps...)
+}
+
+// ReduceSum sums the per-device buffers into bufs[root] only, emitting one
+// comm task. Other buffers keep their contributions. root and the buffer
+// order are group-member positions. Feature-sized: cost scales with
+// BytesScale.
+func (c *Group) ReduceSum(root int, bufs []*tensor.Dense, label string, deps ...int) int {
+	c.checkBufs("reduce", bufs)
+	if !bufs[0].IsPhantom() {
+		for i, b := range bufs {
+			if i == root {
+				continue
+			}
+			tensor.AddInPlace(bufs[root], b)
+		}
+	}
+	seconds := c.Graph.Spec.ReduceCost(bufs[0].Bytes()*c.BytesScale, c.P())
+	return c.Graph.AddComm(c.members(), label, -1, seconds, deps...)
+}

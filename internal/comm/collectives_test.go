@@ -1,0 +1,153 @@
+package comm
+
+import (
+	"math/rand"
+	"testing"
+
+	"mggcn/internal/sim"
+	"mggcn/internal/tensor"
+)
+
+func newGroup(p int) *Group {
+	return New(sim.NewGraph(sim.DGXV100(), p))
+}
+
+func fillRand(d *tensor.Dense, seed int64) {
+	rng := rand.New(rand.NewSource(seed))
+	for i := range d.Data {
+		d.Data[i] = float32(rng.NormFloat64())
+	}
+}
+
+func TestBroadcastCopiesData(t *testing.T) {
+	c := newGroup(4)
+	src := tensor.NewDense(6, 3)
+	fillRand(src, 1)
+	dst := make([]*tensor.Dense, 4)
+	for i := range dst {
+		dst[i] = tensor.NewDense(6, 3)
+	}
+	id := c.Broadcast(2, src, dst, "bcast", 0)
+	for i := range dst {
+		if i == 2 {
+			continue
+		}
+		if !tensor.Equal(dst[i], src, 0) {
+			t.Fatalf("device %d did not receive the broadcast", i)
+		}
+	}
+	if id < 0 || len(c.Graph.Tasks) != 1 {
+		t.Fatalf("expected exactly one comm task")
+	}
+	task := c.Graph.Tasks[id]
+	if task.Kind != sim.KindComm || len(task.Devices) != 4 {
+		t.Fatalf("task wrong: %+v", task)
+	}
+	if task.Seconds <= 0 {
+		t.Fatalf("broadcast task has no duration")
+	}
+}
+
+func TestBroadcastLeavesRootUntouched(t *testing.T) {
+	c := newGroup(2)
+	src := tensor.NewDense(2, 2)
+	src.Fill(5)
+	rootBuf := tensor.NewDense(2, 2)
+	rootBuf.Fill(-1)
+	other := tensor.NewDense(2, 2)
+	c.Broadcast(0, src, []*tensor.Dense{rootBuf, other}, "b", 0)
+	if rootBuf.At(0, 0) != -1 {
+		t.Fatalf("root destination was overwritten")
+	}
+	if other.At(0, 0) != 5 {
+		t.Fatalf("non-root did not receive data")
+	}
+}
+
+func TestBroadcastPhantomSkipsCopy(t *testing.T) {
+	c := newGroup(2)
+	src := tensor.NewPhantom(4, 4)
+	dst := []*tensor.Dense{tensor.NewPhantom(4, 4), tensor.NewPhantom(4, 4)}
+	id := c.Broadcast(0, src, dst, "b", 0)
+	if c.Graph.Tasks[id].Seconds <= 0 {
+		t.Fatalf("phantom broadcast must still be timed")
+	}
+}
+
+func TestBroadcastShapeMismatchPanics(t *testing.T) {
+	c := newGroup(2)
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("expected panic")
+		}
+	}()
+	c.Broadcast(0, tensor.NewDense(2, 2), []*tensor.Dense{tensor.NewDense(2, 2), tensor.NewDense(3, 2)}, "b", 0)
+}
+
+func TestAllReduceSums(t *testing.T) {
+	c := newGroup(3)
+	bufs := make([]*tensor.Dense, 3)
+	for i := range bufs {
+		bufs[i] = tensor.NewDense(2, 2)
+		bufs[i].Fill(float32(i + 1))
+	}
+	c.AllReduceSum(bufs, "ar")
+	for i, b := range bufs {
+		for _, v := range b.Data {
+			if v != 6 {
+				t.Fatalf("device %d value %v, want 6", i, v)
+			}
+		}
+	}
+}
+
+func TestAllReduceSingleDeviceIsFreeButValid(t *testing.T) {
+	c := newGroup(1)
+	bufs := []*tensor.Dense{tensor.NewDense(2, 2)}
+	bufs[0].Fill(3)
+	id := c.AllReduceSum(bufs, "ar")
+	if bufs[0].At(0, 0) != 3 {
+		t.Fatalf("single-device allreduce changed data")
+	}
+	if c.Graph.Tasks[id].Seconds != 0 {
+		t.Fatalf("single-device allreduce should cost nothing")
+	}
+}
+
+func TestReduceSumOnlyRoot(t *testing.T) {
+	c := newGroup(3)
+	bufs := make([]*tensor.Dense, 3)
+	for i := range bufs {
+		bufs[i] = tensor.NewDense(1, 2)
+		bufs[i].Fill(float32(i + 1))
+	}
+	c.ReduceSum(1, bufs, "red")
+	if bufs[1].At(0, 0) != 6 {
+		t.Fatalf("root sum %v, want 6", bufs[1].At(0, 0))
+	}
+	if bufs[0].At(0, 0) != 1 || bufs[2].At(0, 0) != 3 {
+		t.Fatalf("non-root buffers modified")
+	}
+}
+
+func TestCollectiveDependencyWiring(t *testing.T) {
+	c := newGroup(2)
+	k := c.Graph.AddCompute(0, sim.KindGeMM, "k", -1, 1.0, false)
+	src := tensor.NewDense(1, 1)
+	dst := []*tensor.Dense{tensor.NewDense(1, 1), tensor.NewDense(1, 1)}
+	id := c.Broadcast(0, src, dst, "b", 0, k)
+	sched := c.Graph.Run()
+	if sched.Start[id] < sched.End[k] {
+		t.Fatalf("broadcast started before its dependency finished")
+	}
+}
+
+func TestBufferCountMismatchPanics(t *testing.T) {
+	c := newGroup(3)
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("expected panic")
+		}
+	}()
+	c.AllReduceSum([]*tensor.Dense{tensor.NewDense(1, 1)}, "ar")
+}

@@ -1,0 +1,121 @@
+// Package core implements MG-GCN: 1D row-partitioned full-batch GCN
+// training across simulated GPUs with the paper's three optimizations —
+// shared memory buffers (§4.2, L+3 buffers total), communication/
+// computation overlap via double-buffered broadcasts (§4.3), and the
+// GeMM/SpMM order switch plus saved first-layer backward SpMM (§4.4).
+package core
+
+import (
+	"fmt"
+
+	"mggcn/internal/sim"
+	"mggcn/internal/tensor"
+)
+
+// Buffer is a device-resident slab of float32 storage that can be viewed as
+// matrices of varying shapes — the mechanism behind §4.2's buffer reuse. A
+// phantom Buffer carries capacity for memory accounting but no storage.
+type Buffer struct {
+	label    string
+	capElems int64
+	data     []float32 // nil in phantom mode
+}
+
+// newBuffer allocates a buffer of capElems float32s from pool, failing with
+// the pool's OOM error when over capacity.
+func newBuffer(pool *sim.Pool, label string, capElems int64, phantom bool) (*Buffer, error) {
+	if err := pool.Alloc(label, capElems*4); err != nil {
+		return nil, err
+	}
+	b := &Buffer{label: label, capElems: capElems}
+	if !phantom {
+		b.data = make([]float32, capElems)
+	}
+	return b, nil
+}
+
+// View returns a rows x cols matrix over the buffer's prefix. Views of the
+// same buffer alias each other — exactly the reuse the paper exploits.
+func (b *Buffer) View(rows, cols int) *tensor.Dense {
+	need := int64(rows) * int64(cols)
+	if need > b.capElems {
+		panic(fmt.Sprintf("core: view %dx%d needs %d elems, buffer %q holds %d", rows, cols, need, b.label, b.capElems))
+	}
+	d := &tensor.Dense{Rows: rows, Cols: cols, Stride: cols}
+	if b.data != nil {
+		d.Data = b.data[:need]
+	}
+	return d
+}
+
+// Bytes returns the buffer's accounted size.
+func (b *Buffer) Bytes() int64 { return b.capElems * 4 }
+
+// DeviceBuffers is one device's §4.2 buffer set: the three shared buffers
+// (HW for GeMM/SpMM intermediates, BC1/BC2 for broadcast double-buffering)
+// plus one private output buffer per layer. Total L+3 large buffers.
+type DeviceBuffers struct {
+	HW  *Buffer   // shared: H·W / AH / HW_G intermediate, rows x maxDim
+	BC1 *Buffer   // shared: broadcast receive buffer, maxTileRows x maxDim
+	BC2 *Buffer   // shared: second broadcast buffer for overlap (§4.3)
+	AHW []*Buffer // private per layer: layer output / AHW_G / H_G
+}
+
+// NewDeviceBuffers allocates the L+3 buffer set on pool for a device owning
+// rows vertices, where dims are the model's layer widths (len L+1) and
+// maxTileRows is the largest row-block any broadcast can carry.
+func NewDeviceBuffers(pool *sim.Pool, rows, maxTileRows int, dims []int, phantom bool) (*DeviceBuffers, error) {
+	maxDim := 0
+	for _, d := range dims {
+		if d > maxDim {
+			maxDim = d
+		}
+	}
+	b := &DeviceBuffers{}
+	var err error
+	if b.HW, err = newBuffer(pool, "buf/HW", int64(rows)*int64(maxDim), phantom); err != nil {
+		return nil, err
+	}
+	if b.BC1, err = newBuffer(pool, "buf/BC1", int64(maxTileRows)*int64(maxDim), phantom); err != nil {
+		return nil, err
+	}
+	if b.BC2, err = newBuffer(pool, "buf/BC2", int64(maxTileRows)*int64(maxDim), phantom); err != nil {
+		return nil, err
+	}
+	for l := 0; l+1 < len(dims); l++ {
+		// Layer l's buffer holds its output (width dims[l+1]) in the
+		// forward pass and H_G (width dims[l]) at the end of its backward
+		// pass (eq. 21), so it is sized for the larger of the two.
+		w := dims[l+1]
+		if dims[l] > w {
+			w = dims[l]
+		}
+		buf, err := newBuffer(pool, fmt.Sprintf("buf/AHW%d", l), int64(rows)*int64(w), phantom)
+		if err != nil {
+			return nil, err
+		}
+		b.AHW = append(b.AHW, buf)
+	}
+	return b, nil
+}
+
+// Count returns the number of large buffers held (the paper's L+3).
+func (b *DeviceBuffers) Count() int { return 3 + len(b.AHW) }
+
+// TotalBytes returns the summed buffer footprint.
+func (b *DeviceBuffers) TotalBytes() int64 {
+	t := b.HW.Bytes() + b.BC1.Bytes() + b.BC2.Bytes()
+	for _, a := range b.AHW {
+		t += a.Bytes()
+	}
+	return t
+}
+
+// BC returns the broadcast buffer for stage (BC1 for even stages, BC2 for
+// odd) when overlap double-buffering is on; BC1 always when off.
+func (b *DeviceBuffers) BC(stage int, overlap bool) *Buffer {
+	if overlap && stage%2 == 1 {
+		return b.BC2
+	}
+	return b.BC1
+}

@@ -1,0 +1,111 @@
+package core
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"mggcn/internal/tensor"
+)
+
+// Checkpoint format: magic, version, layer dims, then per layer the
+// weights and the Adam first/second moments (device 0's copy — replicas
+// are identical), plus the optimizer step count. Restoring copies the
+// state onto every device so the replicated invariant holds.
+const (
+	ckptMagic   = 0x4d474b50 // "MGKP"
+	ckptVersion = 1
+)
+
+// SaveCheckpoint writes the model and optimizer state to w. Phantom-mode
+// trainers have no state to save and return an error.
+func (tr *Trainer) SaveCheckpoint(w io.Writer) error {
+	if tr.phantom {
+		return fmt.Errorf("core: cannot checkpoint a phantom-mode trainer")
+	}
+	bw := bufio.NewWriter(w)
+	le := binary.LittleEndian
+	for _, v := range []uint32{ckptMagic, ckptVersion, uint32(len(tr.Dims))} {
+		if err := binary.Write(bw, le, v); err != nil {
+			return err
+		}
+	}
+	for _, d := range tr.Dims {
+		if err := binary.Write(bw, le, uint32(d)); err != nil {
+			return err
+		}
+	}
+	step, m, v := tr.opts[0].State()
+	if err := binary.Write(bw, le, uint64(step)); err != nil {
+		return err
+	}
+	for l := range tr.weights[0] {
+		for _, mat := range []*tensor.Dense{tr.weights[0][l], m[l], v[l]} {
+			if err := binary.Write(bw, le, mat.Data); err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// LoadCheckpoint restores model and optimizer state saved by
+// SaveCheckpoint into every device replica. The trainer's layer dims must
+// match the checkpoint's.
+func (tr *Trainer) LoadCheckpoint(r io.Reader) error {
+	if tr.phantom {
+		return fmt.Errorf("core: cannot restore into a phantom-mode trainer")
+	}
+	br := bufio.NewReader(r)
+	le := binary.LittleEndian
+	var magic, version, nDims uint32
+	for _, dst := range []*uint32{&magic, &version, &nDims} {
+		if err := binary.Read(br, le, dst); err != nil {
+			return fmt.Errorf("core: reading checkpoint header: %w", err)
+		}
+	}
+	if magic != ckptMagic {
+		return fmt.Errorf("core: not a checkpoint (magic %#x)", magic)
+	}
+	if version != ckptVersion {
+		return fmt.Errorf("core: unsupported checkpoint version %d", version)
+	}
+	if int(nDims) != len(tr.Dims) {
+		return fmt.Errorf("core: checkpoint has %d dims, trainer has %d", nDims, len(tr.Dims))
+	}
+	for i := range tr.Dims {
+		var d uint32
+		if err := binary.Read(br, le, &d); err != nil {
+			return err
+		}
+		if int(d) != tr.Dims[i] {
+			return fmt.Errorf("core: checkpoint dim[%d]=%d, trainer has %d", i, d, tr.Dims[i])
+		}
+	}
+	var step uint64
+	if err := binary.Read(br, le, &step); err != nil {
+		return err
+	}
+	L := len(tr.weights[0])
+	ws := make([]*tensor.Dense, L)
+	ms := make([]*tensor.Dense, L)
+	vs := make([]*tensor.Dense, L)
+	for l := 0; l < L; l++ {
+		shape := tr.weights[0][l]
+		for _, dst := range []**tensor.Dense{&ws[l], &ms[l], &vs[l]} {
+			mat := tensor.NewDense(shape.Rows, shape.Cols)
+			if err := binary.Read(br, le, mat.Data); err != nil {
+				return fmt.Errorf("core: reading checkpoint tensors: %w", err)
+			}
+			*dst = mat
+		}
+	}
+	for d := 0; d < tr.Machine.P; d++ {
+		for l := 0; l < L; l++ {
+			tr.weights[d][l].CopyFrom(ws[l])
+		}
+		tr.opts[d].SetState(int(step), ms, vs)
+	}
+	return nil
+}

@@ -1,0 +1,127 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+
+	"mggcn/internal/gen"
+	"mggcn/internal/graph"
+	"mggcn/internal/tensor"
+)
+
+func TestCheckpointResumeMatchesUninterrupted(t *testing.T) {
+	g := testGraph(t)
+	// Uninterrupted run: 10 epochs.
+	cfgA := testConfig(4)
+	trA, err := NewTrainer(g, cfgA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wantLoss float64
+	for e := 0; e < 10; e++ {
+		wantLoss = trA.RunEpoch().Loss
+	}
+
+	// Interrupted run: 5 epochs, checkpoint, restore into a fresh trainer
+	// with a different seed, 5 more epochs.
+	trB, err := NewTrainer(g, cfgA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for e := 0; e < 5; e++ {
+		trB.RunEpoch()
+	}
+	var buf bytes.Buffer
+	if err := trB.SaveCheckpoint(&buf); err != nil {
+		t.Fatal(err)
+	}
+	cfgC := cfgA
+	cfgC.Seed = 999 // restore must override the fresh initialization
+	trC, err := NewTrainer(g, cfgC)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := trC.LoadCheckpoint(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var gotLoss float64
+	for e := 0; e < 5; e++ {
+		gotLoss = trC.RunEpoch().Loss
+	}
+	if diff := gotLoss - wantLoss; diff > 1e-6 || diff < -1e-6 {
+		t.Fatalf("resumed loss %v != uninterrupted %v", gotLoss, wantLoss)
+	}
+	// Weights must match on every device.
+	for d := 0; d < 4; d++ {
+		for l := range trA.weights[d] {
+			if !tensor.Equal(trA.weights[d][l], trC.weights[d][l], 1e-7) {
+				t.Fatalf("device %d layer %d weights diverged after resume", d, l)
+			}
+		}
+	}
+}
+
+func TestCheckpointRejectsMismatchedModel(t *testing.T) {
+	g := testGraph(t)
+	tr, err := NewTrainer(g, testConfig(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := tr.SaveCheckpoint(&buf); err != nil {
+		t.Fatal(err)
+	}
+	other := testConfig(2)
+	other.Hidden = 32 // different model shape
+	tr2, err := NewTrainer(g, other)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr2.LoadCheckpoint(&buf); err == nil {
+		t.Fatalf("mismatched model accepted")
+	}
+}
+
+func TestCheckpointRejectsGarbage(t *testing.T) {
+	g := testGraph(t)
+	tr, err := NewTrainer(g, testConfig(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.LoadCheckpoint(bytes.NewReader([]byte("junk"))); err == nil {
+		t.Fatalf("garbage accepted")
+	}
+	var buf bytes.Buffer
+	if err := tr.SaveCheckpoint(&buf); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	if err := tr.LoadCheckpoint(bytes.NewReader(full[:len(full)/2])); err == nil {
+		t.Fatalf("truncated checkpoint accepted")
+	}
+}
+
+func TestCheckpointPhantomRefused(t *testing.T) {
+	g, err := loadPhantomProducts()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig(testConfig(1).Spec, 1, 64)
+	tr, err := NewTrainer(g, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := tr.SaveCheckpoint(&buf); err == nil {
+		t.Fatalf("phantom save accepted")
+	}
+	if err := tr.LoadCheckpoint(&buf); err == nil {
+		t.Fatalf("phantom load accepted")
+	}
+}
+
+// loadPhantomProducts is a tiny helper for the phantom-refusal test.
+func loadPhantomProducts() (*graph.Graph, error) {
+	g, _, err := gen.Load("products", true)
+	return g, err
+}

@@ -1,0 +1,296 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"mggcn/internal/comm"
+	"mggcn/internal/graph"
+	"mggcn/internal/nn"
+	"mggcn/internal/sim"
+	"mggcn/internal/sparse"
+	"mggcn/internal/tensor"
+)
+
+// GATDist runs the forward pass of a Graph Attention Network distributed
+// with MG-GCN's 1D row partitioning — the §7 future-work extension. The
+// attention scores use the decomposed form e(v,u) = LeakyReLU(s1_u + s2_v),
+// so one cheap all-gather of the per-vertex scalars s1 lets every device
+// compute and softmax-normalize its whole tile row of attention locally;
+// the aggregation then runs as the standard staged-broadcast SpMM over the
+// same L+3 buffers (§4.2 generalizes unchanged).
+type GATDist struct {
+	Cfg     Config
+	Machine *sim.Machine
+	Model   *nn.GAT
+
+	part    *partitioned
+	phantom bool
+	graph   *graph.Graph
+}
+
+// NewGATDist partitions the graph and replicates the GAT parameters.
+// Only Strategy1DRow is supported (the paper's choice).
+func NewGATDist(g *graph.Graph, model *nn.GAT, cfg Config) (*GATDist, error) {
+	if cfg.Strategy != Strategy1DRow {
+		return nil, fmt.Errorf("core: distributed GAT supports only the 1D-row strategy")
+	}
+	machine := sim.NewMachine(cfg.Spec, cfg.P, cfg.MemScale)
+	p, err := partitionGraph(g, machine, cfg.Strategy, cfg.Ordering, cfg.Permute, cfg.BalancedPartition, cfg.PermSeed)
+	if err != nil {
+		return nil, err
+	}
+	d := &GATDist{Cfg: cfg, Machine: machine, Model: model, part: p, phantom: g.IsPhantom(), graph: g}
+	maxTile := p.maxTileRows()
+	var params int64
+	for _, w := range model.Params() {
+		params += int64(w.Rows) * int64(w.Cols)
+	}
+	for dev := 0; dev < machine.P; dev++ {
+		bufs, err := NewDeviceBuffers(machine.Pools[dev], p.devs[dev].rows, maxTile, model.Dims, d.phantom)
+		if err != nil {
+			return nil, err
+		}
+		p.devs[dev].bufs = bufs
+		if err := machine.Pools[dev].Alloc("gat-model", params*4); err != nil {
+			return nil, err
+		}
+		// Per-edge attention values for this device's tile row (raw
+		// scores kept through the row-softmax normalization).
+		if err := machine.Pools[dev].Alloc("gat-attn", p.devs[dev].adjBytes/2); err != nil {
+			return nil, err
+		}
+	}
+	return d, nil
+}
+
+// Forward runs the distributed forward pass, returning the logits in
+// original vertex order (nil in phantom mode) and the epoch statistics.
+func (d *GATDist) Forward() (*tensor.Dense, *EpochStats) {
+	p := d.Machine.P
+	spec := d.Machine.Spec
+	tg := sim.NewGraph(spec, p)
+	cg := comm.New(tg)
+	cg.BytesScale = int64(d.Cfg.MemScale)
+	scale := func(x int) int { return x * d.Cfg.MemScale }
+
+	L := d.Model.Layers()
+	dims := d.Model.Dims
+	hReady := make([]int, p)
+	for i := range hReady {
+		hReady[i] = -1
+	}
+	inputView := func(dev, l int) *tensor.Dense {
+		ds := d.part.devs[dev]
+		if l == 0 {
+			if ds.x != nil {
+				return ds.x
+			}
+			return tensor.NewPhantom(ds.rows, dims[0])
+		}
+		return ds.bufs.AHW[l-1].View(ds.rows, dims[l])
+	}
+
+	for l := 0; l < L; l++ {
+		dIn, dOut := dims[l], dims[l+1]
+		// Z_i = H_i W, s1_i = Z_i a1, s2_i = Z_i a2 on every device.
+		zID := make([]int, p)
+		zViews := make([]*tensor.Dense, p)
+		s1Local := make([]*tensor.Dense, p)
+		s2Local := make([]*tensor.Dense, p)
+		for i := 0; i < p; i++ {
+			ds := d.part.devs[i]
+			z := ds.bufs.HW.View(ds.rows, dOut)
+			zViews[i] = z
+			s1 := tensor.NewDense(ds.rows, 1)
+			s2 := tensor.NewDense(ds.rows, 1)
+			if d.phantom {
+				s1, s2 = tensor.NewPhantom(ds.rows, 1), tensor.NewPhantom(ds.rows, 1)
+			} else {
+				tensor.ParallelGemm(1, inputView(i, l), d.Model.Weights[l], 0, z, d.Cfg.Workers)
+				tensor.Gemm(1, z, d.Model.AttnSrc[l], 0, s1)
+				tensor.Gemm(1, z, d.Model.AttnDst[l], 0, s2)
+			}
+			s1Local[i], s2Local[i] = s1, s2
+			var deps []int
+			if hReady[i] >= 0 {
+				deps = append(deps, hReady[i])
+			}
+			id := tg.AddCompute(i, sim.KindGeMM, fmt.Sprintf("gat%d/gemm", l), -1,
+				spec.GemmCost(scale(d.part.devs[i].rows), dIn, dOut), false, deps...)
+			id = tg.AddCompute(i, sim.KindGeMM, fmt.Sprintf("gat%d/attnvec", l), -1,
+				2*spec.GemmCost(scale(d.part.devs[i].rows), dOut, 1), false, id)
+			zID[i] = id
+		}
+		// All-gather the per-vertex source scores s1 (n scalars).
+		s1Full := tensor.NewDense(d.graph.N(), 1)
+		if d.phantom {
+			s1Full = tensor.NewPhantom(d.graph.N(), 1)
+		} else {
+			for i := 0; i < p; i++ {
+				ds := d.part.devs[i]
+				for r := 0; r < ds.rows; r++ {
+					s1Full.Set(ds.lo+r, 0, s1Local[i].At(r, 0))
+				}
+			}
+		}
+		gatherSecs := spec.AllReduceCost(int64(scale(d.graph.N()))*4, p)
+		allDevs := make([]int, p)
+		for i := range allDevs {
+			allDevs[i] = i
+		}
+		gatherID := tg.AddComm(allDevs, fmt.Sprintf("gat%d/allgather-s1", l), -1, gatherSecs, zID...)
+
+		// Each device scores and softmax-normalizes its whole tile row of
+		// attention locally (it has every column's s1 and its own s2).
+		alphaTiles := make([][]*sparse.CSR, p)
+		scoreID := make([]int, p)
+		for i := 0; i < p; i++ {
+			ds := d.part.devs[i]
+			if !d.phantom {
+				alphaTiles[i] = attentionRow(ds, s1Full, s2Local[i], d.part.vec, d.Model.LeakySlope)
+			} else {
+				alphaTiles[i] = ds.atTiles
+			}
+			var nnzRow int64
+			for _, t := range ds.atTiles {
+				nnzRow += t.NNZ()
+			}
+			scoreID[i] = tg.AddCompute(i, sim.KindSpMM, fmt.Sprintf("gat%d/attn-softmax", l), -1,
+				spec.ElementwiseCost(nnzRow*int64(d.Cfg.MemScale), 3), true, gatherID)
+		}
+
+		// Aggregation: the standard staged-broadcast SpMM with the
+		// attention-valued tiles.
+		last := make([]int, p)
+		var prevStage, prevPrevStage []int
+		for j := 0; j < p; j++ {
+			rootRows := d.part.devs[j].rows
+			var bcastID = -1
+			if p > 1 {
+				deps := []int{zID[j]}
+				if d.Cfg.Overlap {
+					deps = append(deps, prevPrevStage...)
+				} else {
+					deps = append(deps, prevStage...)
+				}
+				bcDst := make([]*tensor.Dense, p)
+				for i := 0; i < p; i++ {
+					bcDst[i] = d.part.devs[i].bufs.BC(j, d.Cfg.Overlap).View(rootRows, dOut)
+				}
+				bcastID = cg.Broadcast(j, zViews[j], bcDst, fmt.Sprintf("gat%d/bcast", l), j, deps...)
+			}
+			stage := make([]int, 0, p)
+			for i := 0; i < p; i++ {
+				ds := d.part.devs[i]
+				var xin *tensor.Dense
+				deps := []int{scoreID[i]}
+				if i == j {
+					xin = zViews[j]
+				} else {
+					xin = ds.bufs.BC(j, d.Cfg.Overlap).View(rootRows, dOut)
+					deps = append(deps, bcastID)
+				}
+				var beta float32
+				if j > 0 {
+					beta = 1
+				}
+				out := ds.bufs.AHW[l].View(ds.rows, dOut)
+				if !d.phantom {
+					sparse.ParallelSpMM(alphaTiles[i][j], xin, beta, out, d.Cfg.Workers)
+				}
+				cost := spec.SpMMCost(ds.atTiles[j].NNZ()*int64(d.Cfg.MemScale), scale(ds.rows), scale(rootRows), dOut)
+				id := tg.AddCompute(i, sim.KindSpMM, fmt.Sprintf("gat%d/spmm", l), j, cost, true, deps...)
+				stage = append(stage, id)
+				last[i] = id
+			}
+			prevPrevStage = prevStage
+			prevStage = stage
+		}
+		if l < L-1 {
+			for i := 0; i < p; i++ {
+				ds := d.part.devs[i]
+				act := ds.bufs.AHW[l].View(ds.rows, dOut)
+				if !d.phantom {
+					tensor.ReLU(act, act)
+				}
+				last[i] = tg.AddCompute(i, sim.KindActivation, fmt.Sprintf("gat%d/relu", l), -1,
+					spec.ElementwiseCost(int64(scale(ds.rows))*int64(dOut), 1), true, last[i])
+			}
+		}
+		copy(hReady, last)
+	}
+
+	sched := tg.Run()
+	stats := &EpochStats{
+		EpochSeconds: sched.Makespan,
+		KindBusy:     sched.KindBusy,
+		Tasks:        tg.Tasks,
+		Sched:        sched,
+	}
+	if d.phantom {
+		return nil, stats
+	}
+	classes := dims[L]
+	full := tensor.NewDense(d.graph.N(), classes)
+	for _, ds := range d.part.devs {
+		view := ds.bufs.AHW[L-1].View(ds.rows, classes)
+		for r := 0; r < ds.rows; r++ {
+			copy(full.Row(ds.lo+r), view.Row(r))
+		}
+	}
+	return unpermuteRows(full, d.part.perm), stats
+}
+
+// attentionRow computes device ds's attention-valued tiles: raw scores
+// e(v,u) = LeakyReLU(s1_u + s2_v) over its tile row, normalized by a
+// row-softmax spanning all of the row's tiles.
+func attentionRow(ds *deviceState, s1Full, s2 *tensor.Dense, vec interface{ Bounds(int) (int, int) }, slope float32) []*sparse.CSR {
+	tiles := make([]*sparse.CSR, len(ds.atTiles))
+	// First pass: raw scores and per-row max across the whole tile row.
+	rowMax := make([]float32, ds.rows)
+	for r := range rowMax {
+		rowMax[r] = float32(math.Inf(-1))
+	}
+	for j, t := range ds.atTiles {
+		c0, _ := vec.Bounds(j)
+		vals := make([]float32, t.NNZ())
+		for v := 0; v < t.Rows; v++ {
+			dst := s2.At(v, 0)
+			for k := t.RowPtr[v]; k < t.RowPtr[v+1]; k++ {
+				e := s1Full.At(c0+int(t.ColIdx[k]), 0) + dst
+				if e < 0 {
+					e *= slope
+				}
+				vals[k] = e
+				if e > rowMax[v] {
+					rowMax[v] = e
+				}
+			}
+		}
+		tiles[j] = &sparse.CSR{Rows: t.Rows, Cols: t.Cols, RowPtr: t.RowPtr, ColIdx: t.ColIdx, Vals: vals}
+	}
+	// Second pass: exp and row sums across tiles, then normalize.
+	rowSum := make([]float64, ds.rows)
+	for _, t := range tiles {
+		for v := 0; v < t.Rows; v++ {
+			for k := t.RowPtr[v]; k < t.RowPtr[v+1]; k++ {
+				e := math.Exp(float64(t.Vals[k] - rowMax[v]))
+				t.Vals[k] = float32(e)
+				rowSum[v] += e
+			}
+		}
+	}
+	for _, t := range tiles {
+		for v := 0; v < t.Rows; v++ {
+			if rowSum[v] == 0 {
+				continue
+			}
+			inv := float32(1 / rowSum[v])
+			for k := t.RowPtr[v]; k < t.RowPtr[v+1]; k++ {
+				t.Vals[k] *= inv
+			}
+		}
+	}
+	return tiles
+}

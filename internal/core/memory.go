@@ -1,0 +1,61 @@
+package core
+
+import (
+	"mggcn/internal/graph"
+	"mggcn/internal/nn"
+)
+
+// EstimateMemoryBytesPerDevice predicts the per-device memory footprint of
+// a trainer for the dataset at full scale (generated size x MemScale),
+// without building one: adjacency tiles in both orientations, the feature
+// shard, the §4.2 L+3 buffer set, and replicated model state. It assumes
+// balanced (permuted) nonzeros; the true per-device peak differs only by
+// the nnz imbalance of the heaviest tile row.
+func EstimateMemoryBytesPerDevice(g *graph.Graph, cfg Config) int64 {
+	S := int64(cfg.MemScale)
+	n := int64(g.N()) * S
+	m := g.M() * S
+	p := int64(cfg.P)
+	rows := (n + p - 1) / p
+	dims := nn.LayerDims(g.FeatDim, cfg.Hidden, cfg.Layers, g.Classes)
+	maxD := int64(0)
+	for _, d := range dims {
+		if int64(d) > maxD {
+			maxD = int64(d)
+		}
+	}
+	// Two orientations (Âᵀ and Â), each split into P tiles per device:
+	// P row-pointer arrays plus this device's share of the nonzeros, with
+	// values stored (4B) alongside 4B column indices.
+	adj := 2 * (p*(rows+1)*8 + (m/p)*8)
+	feats := rows * int64(g.FeatDim) * 4
+	bufs := 3 * rows * maxD * 4 // HW + BC1 + BC2
+	for l := 0; l < cfg.Layers; l++ {
+		w := dims[l+1]
+		if dims[l] > w {
+			w = dims[l]
+		}
+		bufs += rows * int64(w) * 4
+	}
+	var params int64
+	for l := 0; l < cfg.Layers; l++ {
+		params += int64(dims[l]) * int64(dims[l+1])
+	}
+	return adj + feats + bufs + params*4*4
+}
+
+// MaxLayersWithin returns the largest layer count whose estimated
+// per-device footprint fits the byte budget (0 if none does) — the MG-GCN
+// line of Fig 12.
+func MaxLayersWithin(g *graph.Graph, cfg Config, budget int64) int {
+	best := 0
+	for l := 1; l <= 4096; l++ {
+		trial := cfg
+		trial.Layers = l
+		if EstimateMemoryBytesPerDevice(g, trial) > budget {
+			break
+		}
+		best = l
+	}
+	return best
+}

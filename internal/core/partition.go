@@ -1,0 +1,223 @@
+package core
+
+import (
+	"fmt"
+
+	"mggcn/internal/graph"
+	"mggcn/internal/part"
+	"mggcn/internal/sim"
+	"mggcn/internal/sparse"
+	"mggcn/internal/tensor"
+)
+
+// deviceState is everything resident on one simulated GPU: its tile row of
+// the (optionally permuted) normalized adjacency in both orientations, its
+// feature/label block, and its buffer set.
+type deviceState struct {
+	id     int
+	block  int // owned block index in the partition vector
+	group  int // replica group (always 0 except for the 1.5D strategy)
+	lo, hi int // owned vertex range [lo, hi)
+	rows   int
+	// Tile semantics depend on the strategy:
+	//   1D-row / 1.5D: atTiles[j] = Âᵀ[lo:hi, p(j):p(j+1)] — my tile row
+	//     (1.5D stores only the stages of my replica group; others nil).
+	//   1D-col:        atTiles[i] = Âᵀ[p(i):p(i+1), lo:hi] — my tile column.
+	atTiles  []*sparse.CSR
+	aTiles   []*sparse.CSR // same layout for Â (backward pass)
+	x        *tensor.Dense // local input features (nil in phantom mode)
+	labels   []int32
+	mask     []bool // training mask shard
+	testMask []bool // held-out mask shard for generalization metrics
+	bufs     *DeviceBuffers
+	adjBytes int64
+}
+
+// partitioned holds the distributed dataset: partition vector, permutation
+// (nil when disabled), and per-device states.
+type partitioned struct {
+	vec    part.Vector
+	blocks int // partition parts: P for the 1D strategies, P/2 for 1.5D
+	perm   []int32
+	devs   []*deviceState
+}
+
+// partitionGraph normalizes, optionally permutes, and partitions the graph
+// across machine's devices per the strategy (§4.1), charging adjacency and
+// feature storage to each device's memory pool. For 1.5D, device d owns
+// block d mod (P/2) in replica group d div (P/2) — every block is stored
+// twice, the strategy's 2x feature memory.
+func partitionGraph(g *graph.Graph, machine *sim.Machine, strategy Strategy, ordering Ordering, permute, balanced bool, permSeed uint64) (*partitioned, error) {
+	n := g.N()
+	blocks := machine.P / strategy.replicationFactor()
+	p := &partitioned{blocks: blocks}
+
+	norm := g.NormalizedAdj()
+	labels := g.Labels
+	var feats *tensor.Dense
+	if !g.IsPhantom() {
+		feats = g.Features
+	}
+	p.perm = orderingPerm(g, norm, ordering, permute, permSeed, blocks)
+	if p.perm != nil {
+		norm = sparse.PermuteSymmetric(norm, p.perm)
+		if labels != nil {
+			labels = permuteLabels(g.Labels, p.perm)
+		}
+		if feats != nil {
+			feats = permuteRows(g.Features, p.perm)
+		}
+	}
+	at := norm.Transpose()
+
+	if balanced {
+		// Cut the (possibly reordered) vertex sequence at near-equal total
+		// degree instead of near-equal vertex counts: the per-device SpMM
+		// work is the nonzeros of its tile row in both orientations.
+		weights := make([]int64, n)
+		for v := 0; v < n; v++ {
+			weights[v] = norm.RowNNZ(v) + at.RowNNZ(v)
+		}
+		p.vec = part.BalancedVector(weights, blocks)
+	} else {
+		p.vec = part.Uniform(n, blocks)
+	}
+
+	for d := 0; d < machine.P; d++ {
+		block := d % blocks
+		lo, hi := p.vec.Bounds(block)
+		ds := &deviceState{id: d, block: block, group: d / blocks, lo: lo, hi: hi, rows: hi - lo}
+		for j := 0; j < blocks; j++ {
+			b0, b1 := p.vec.Bounds(j)
+			switch strategy {
+			case Strategy1DRow:
+				ds.atTiles = append(ds.atTiles, at.SubMatrix(lo, hi, b0, b1))
+				ds.aTiles = append(ds.aTiles, norm.SubMatrix(lo, hi, b0, b1))
+			case Strategy1DCol:
+				ds.atTiles = append(ds.atTiles, at.SubMatrix(b0, b1, lo, hi))
+				ds.aTiles = append(ds.aTiles, norm.SubMatrix(b0, b1, lo, hi))
+			case Strategy15D:
+				// Each replica group stores only its own stages.
+				if j%strategy.replicationFactor() == ds.group {
+					ds.atTiles = append(ds.atTiles, at.SubMatrix(lo, hi, b0, b1))
+					ds.aTiles = append(ds.aTiles, norm.SubMatrix(lo, hi, b0, b1))
+				} else {
+					ds.atTiles = append(ds.atTiles, nil)
+					ds.aTiles = append(ds.aTiles, nil)
+				}
+			}
+		}
+		for _, t := range ds.atTiles {
+			if t != nil {
+				ds.adjBytes += t.Bytes()
+			}
+		}
+		for _, t := range ds.aTiles {
+			if t != nil {
+				ds.adjBytes += t.Bytes()
+			}
+		}
+		pool := machine.Pools[d]
+		if err := pool.Alloc("adjacency", ds.adjBytes); err != nil {
+			return nil, fmt.Errorf("core: adjacency does not fit: %w", err)
+		}
+		if err := pool.Alloc("features", int64(ds.rows)*int64(g.FeatDim)*4); err != nil {
+			return nil, fmt.Errorf("core: features do not fit: %w", err)
+		}
+		if feats != nil {
+			ds.x = feats.RowSlice(lo, hi)
+		}
+		if labels != nil {
+			ds.labels = labels[lo:hi]
+			if g.TrainMask != nil {
+				mask := g.TrainMask
+				if p.perm != nil {
+					mask = permuteMask(g.TrainMask, p.perm)
+				}
+				ds.mask = mask[lo:hi]
+			}
+			if g.TestMask != nil {
+				mask := g.TestMask
+				if p.perm != nil {
+					mask = permuteMask(g.TestMask, p.perm)
+				}
+				ds.testMask = mask[lo:hi]
+			}
+		}
+		p.devs = append(p.devs, ds)
+	}
+	return p, nil
+}
+
+// orderingPerm resolves the configured vertex ordering to a permutation
+// (nil = keep the natural order).
+func orderingPerm(g *graph.Graph, norm *sparse.CSR, ordering Ordering, permute bool, seed uint64, blocks int) []int32 {
+	switch ordering {
+	case OrderingDefault:
+		if permute {
+			return part.RandomPerm(g.N(), seed)
+		}
+		return nil
+	case OrderingNatural:
+		return nil
+	case OrderingRandom:
+		return part.RandomPerm(g.N(), seed)
+	case OrderingDegreeSorted:
+		return part.DegreeSortPerm(norm)
+	case OrderingBFS:
+		return part.BFSPerm(norm, int(seed)%g.N())
+	case OrderingBlockCyclic:
+		return part.BlockCyclicPerm(g.N(), blocks)
+	default:
+		panic(fmt.Sprintf("core: unknown ordering %d", int(ordering)))
+	}
+}
+
+func permuteLabels(labels []int32, perm []int32) []int32 {
+	out := make([]int32, len(labels))
+	for old, l := range labels {
+		out[perm[old]] = l
+	}
+	return out
+}
+
+func permuteMask(mask []bool, perm []int32) []bool {
+	out := make([]bool, len(mask))
+	for old, m := range mask {
+		out[perm[old]] = m
+	}
+	return out
+}
+
+func permuteRows(x *tensor.Dense, perm []int32) *tensor.Dense {
+	out := tensor.NewDense(x.Rows, x.Cols)
+	for old := 0; old < x.Rows; old++ {
+		copy(out.Row(int(perm[old])), x.Row(old))
+	}
+	return out
+}
+
+// maxTileRows returns the largest part size of the partition vector — the
+// broadcast buffer extent.
+func (p *partitioned) maxTileRows() int {
+	m := 0
+	for i := 0; i < p.vec.Parts(); i++ {
+		if s := p.vec.Size(i); s > m {
+			m = s
+		}
+	}
+	return m
+}
+
+// unpermuteRows maps a vector indexed by (possibly permuted) vertex back to
+// original vertex order; with a nil permutation it copies.
+func unpermuteRows(x *tensor.Dense, perm []int32) *tensor.Dense {
+	if perm == nil {
+		return x.Clone()
+	}
+	out := tensor.NewDense(x.Rows, x.Cols)
+	for old := 0; old < x.Rows; old++ {
+		copy(out.Row(old), x.Row(int(perm[old])))
+	}
+	return out
+}

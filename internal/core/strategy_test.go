@@ -1,0 +1,222 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"mggcn/internal/gen"
+	"mggcn/internal/nn"
+	"mggcn/internal/sim"
+	"mggcn/internal/tensor"
+)
+
+func TestStrategyValidate(t *testing.T) {
+	if Strategy1DRow.validate(3) != nil || Strategy1DCol.validate(5) != nil {
+		t.Fatalf("1D strategies must accept any GPU count")
+	}
+	if Strategy15D.validate(3) == nil {
+		t.Fatalf("1.5D must reject odd GPU counts")
+	}
+	if Strategy15D.validate(8) != nil {
+		t.Fatalf("1.5D must accept 8 GPUs")
+	}
+	if Strategy(99).validate(2) == nil {
+		t.Fatalf("unknown strategy accepted")
+	}
+}
+
+func TestStrategyString(t *testing.T) {
+	for s, want := range map[Strategy]string{
+		Strategy1DRow: "1D-row", Strategy1DCol: "1D-col", Strategy15D: "1.5D",
+	} {
+		if s.String() != want {
+			t.Fatalf("%d stringifies to %q", int(s), s.String())
+		}
+	}
+}
+
+func TestReplicationFactor(t *testing.T) {
+	if Strategy1DRow.replicationFactor() != 1 || Strategy15D.replicationFactor() != 2 {
+		t.Fatalf("replication factors wrong")
+	}
+}
+
+// TestAllStrategiesMatchReference is the cross-strategy oracle: every
+// distributed SpMM algorithm must produce the same logits as the
+// sequential reference for every GPU count it supports.
+func TestAllStrategiesMatchReference(t *testing.T) {
+	g := testGraph(t)
+	ref := nn.NewReferenceGCN(g, nn.LayerDims(g.FeatDim, 16, 2, g.Classes), 7)
+	want := ref.Forward(g.Features)
+	cases := []struct {
+		strategy Strategy
+		gpus     []int
+	}{
+		{Strategy1DRow, []int{1, 2, 5, 8}},
+		{Strategy1DCol, []int{1, 2, 5, 8}},
+		{Strategy15D, []int{2, 4, 6, 8}},
+	}
+	for _, c := range cases {
+		for _, p := range c.gpus {
+			for _, overlap := range []bool{false, true} {
+				cfg := testConfig(p)
+				cfg.Strategy = c.strategy
+				cfg.Overlap = overlap
+				cfg.Permute = true
+				tr, err := NewTrainer(g, cfg)
+				if err != nil {
+					t.Fatalf("%v P=%d: %v", c.strategy, p, err)
+				}
+				got := tr.ForwardOnly()
+				if d := tensor.MaxAbsDiff(got, want); d > 1e-3 {
+					t.Fatalf("%v P=%d overlap=%t: logits diverge by %g", c.strategy, p, overlap, d)
+				}
+			}
+		}
+	}
+}
+
+// TestStrategiesTrainIdentically verifies full training parity: the loss
+// curve of each strategy matches the 1D-row single-GPU curve.
+func TestStrategiesTrainIdentically(t *testing.T) {
+	g := testGraph(t)
+	curve := func(strategy Strategy, p int) []float64 {
+		cfg := testConfig(p)
+		cfg.Strategy = strategy
+		tr, err := NewTrainer(g, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var out []float64
+		for e := 0; e < 6; e++ {
+			out = append(out, tr.RunEpoch().Loss)
+		}
+		return out
+	}
+	base := curve(Strategy1DRow, 1)
+	for _, c := range []struct {
+		s Strategy
+		p int
+	}{
+		{Strategy1DCol, 4}, {Strategy15D, 4}, {Strategy15D, 8},
+	} {
+		got := curve(c.s, c.p)
+		for e := range base {
+			if math.Abs(got[e]-base[e]) > 2e-2*(1+math.Abs(base[e])) {
+				t.Fatalf("%v P=%d epoch %d: loss %v vs %v", c.s, c.p, e, got[e], base[e])
+			}
+		}
+	}
+}
+
+func Test15DUsesMoreFeatureMemory(t *testing.T) {
+	// The §5.1 trade: 1.5D halves broadcast volume but doubles the
+	// feature/buffer footprint per device (each block held by 2 devices).
+	g, _, err := gen.Load("products", true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mem := func(s Strategy) int64 {
+		cfg := DefaultConfig(sim.DGXA100(), 8, 64)
+		cfg.Strategy = s
+		tr, err := NewTrainer(g, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return tr.PeakMemoryBytes()
+	}
+	row, d15 := mem(Strategy1DRow), mem(Strategy15D)
+	if d15 < int64(float64(row)*1.5) {
+		t.Fatalf("1.5D should use ~2x memory: row=%d 1.5D=%d", row, d15)
+	}
+}
+
+func Test15DCrossoverMatchesSection51(t *testing.T) {
+	// Fully-executed schedules must reproduce the §5.1 conclusion on
+	// communication: 1.5D moves less broadcast volume but pays the DGX-1
+	// inter-group penalty. Compare total comm task time per epoch on a
+	// comm-heavy configuration.
+	g, _, err := gen.Load("products", true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	commTime := func(spec sim.MachineSpec, s Strategy) float64 {
+		cfg := DefaultConfig(spec, 8, 64)
+		cfg.Strategy = s
+		tr, err := NewTrainer(g, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return tr.RunEpoch().KindBusy[sim.KindComm]
+	}
+	// On the NVSwitch A100 the 1.5D comm budget must be smaller.
+	rowA := commTime(sim.DGXA100(), Strategy1DRow)
+	d15A := commTime(sim.DGXA100(), Strategy15D)
+	if d15A >= rowA {
+		t.Fatalf("DGX-A100: 1.5D comm %g not below 1D %g", d15A, rowA)
+	}
+	// On the DGX-1, the 2-link inter-group reduction must erase (most of)
+	// the advantage: 1.5D/1D comm ratio must be much worse than on A100.
+	rowV := commTime(sim.DGXV100(), Strategy1DRow)
+	d15V := commTime(sim.DGXV100(), Strategy15D)
+	if d15V/rowV <= d15A/rowA {
+		t.Fatalf("DGX-1 should punish 1.5D: V100 ratio %.3f, A100 ratio %.3f",
+			d15V/rowV, d15A/rowA)
+	}
+}
+
+func TestColStrategyTradesBroadcastsForReduces(t *testing.T) {
+	g := testGraph(t)
+	countComm := func(s Strategy, substr string) int {
+		cfg := testConfig(4)
+		cfg.Strategy = s
+		tr, err := NewTrainer(g, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		stats := tr.RunEpoch()
+		n := 0
+		for _, task := range stats.Tasks {
+			if task.Kind == sim.KindComm && containsSub(task.Label, substr) {
+				n++
+			}
+		}
+		return n
+	}
+	if countComm(Strategy1DCol, "/reduce") == 0 {
+		t.Fatalf("1D-col emitted no reductions")
+	}
+	if countComm(Strategy1DCol, "/bcast") != 0 {
+		t.Fatalf("1D-col emitted broadcasts")
+	}
+	if countComm(Strategy1DRow, "/bcast") == 0 {
+		t.Fatalf("1D-row emitted no broadcasts")
+	}
+}
+
+func containsSub(s, sub string) bool {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return true
+		}
+	}
+	return false
+}
+
+func Test15DMinimalGPUCount(t *testing.T) {
+	// P=2 means one block and replica group 1 runs zero stages; the
+	// zero-partial path must still produce correct results.
+	g := testGraph(t)
+	ref := nn.NewReferenceGCN(g, nn.LayerDims(g.FeatDim, 16, 2, g.Classes), 7)
+	want := ref.Forward(g.Features)
+	cfg := testConfig(2)
+	cfg.Strategy = Strategy15D
+	tr, err := NewTrainer(g, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := tr.ForwardOnly()
+	if d := tensor.MaxAbsDiff(got, want); d > 1e-3 {
+		t.Fatalf("P=2 1.5D diverges by %g", d)
+	}
+}

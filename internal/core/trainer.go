@@ -1,0 +1,491 @@
+package core
+
+import (
+	"fmt"
+
+	"mggcn/internal/comm"
+	"mggcn/internal/graph"
+	"mggcn/internal/nn"
+	"mggcn/internal/sim"
+	"mggcn/internal/tensor"
+)
+
+// Config selects the machine, parallelism and the paper's optimizations.
+type Config struct {
+	Spec     sim.MachineSpec
+	P        int // number of GPUs
+	MemScale int // memory divisor matching the dataset scale
+
+	Hidden int // hidden layer width
+	Layers int // layer count L
+	LR     float64
+
+	// Strategy selects the distributed SpMM algorithm (§4.1/§5.1):
+	// 1D-row broadcast (the paper's choice, default), 1D-col reduce, or
+	// CAGNET-style 1.5D with replication factor 2.
+	Strategy Strategy
+
+	Permute  bool   // §5.2 random vertex permutation
+	PermSeed uint64 //
+	// Ordering overrides Permute with a specific vertex ordering when set
+	// (the §5.2 design-choice ablation).
+	Ordering Ordering
+	// BalancedPartition cuts the partition vector at near-equal total
+	// degree instead of equal vertex counts — an alternative load balancer
+	// to permutation (combinable with any ordering).
+	BalancedPartition bool
+	Overlap           bool // §4.3 comm/compute overlap
+	OrderSwitch       bool // §4.4 GeMM/SpMM order selection
+	SkipFirstBackward bool // §4.4 saved first-layer backward SpMM
+
+	Seed    int64 // weight initialization seed
+	Workers int   // CPU workers for the real kernels (<=0: GOMAXPROCS)
+}
+
+// DefaultConfig returns the full MG-GCN configuration (all optimizations
+// on) for the given machine, GPU count and memory scale.
+func DefaultConfig(spec sim.MachineSpec, p, memScale int) Config {
+	return Config{
+		Spec: spec, P: p, MemScale: memScale,
+		Hidden: 512, Layers: 2, LR: 0.01,
+		Permute: true, PermSeed: 1, Overlap: true,
+		OrderSwitch: true, SkipFirstBackward: true,
+		Seed: 1,
+	}
+}
+
+// Trainer is a distributed MG-GCN training run bound to one dataset and
+// machine. Create with NewTrainer; each RunEpoch performs one full-batch
+// step and returns its statistics (simulated time, breakdown, accuracy).
+type Trainer struct {
+	Cfg     Config
+	Graph   *graph.Graph
+	Machine *sim.Machine
+	Dims    []int
+
+	part    *partitioned
+	weights [][]*tensor.Dense // [device][layer]: replicated weights
+	grads   [][]*tensor.Dense
+	opts    []*nn.Adam
+	phantom bool
+	// trainCount is the global number of training vertices (the loss
+	// normalizer shared by every device); testCount the held-out count.
+	trainCount int
+	testCount  int
+	paramCount int64
+}
+
+// NewTrainer partitions the dataset, allocates the §4.2 buffer set, and
+// replicates the model. It returns the pool's *sim.OOMError (wrapped) when
+// the configuration does not fit — the paper's out-of-memory outcomes.
+func NewTrainer(g *graph.Graph, cfg Config) (*Trainer, error) {
+	if cfg.Layers < 1 {
+		return nil, fmt.Errorf("core: need at least 1 layer")
+	}
+	if err := cfg.Strategy.validate(cfg.P); err != nil {
+		return nil, err
+	}
+	machine := sim.NewMachine(cfg.Spec, cfg.P, cfg.MemScale)
+	p, err := partitionGraph(g, machine, cfg.Strategy, cfg.Ordering, cfg.Permute, cfg.BalancedPartition, cfg.PermSeed)
+	if err != nil {
+		return nil, err
+	}
+	tr := &Trainer{
+		Cfg: cfg, Graph: g, Machine: machine, part: p,
+		Dims:    nn.LayerDims(g.FeatDim, cfg.Hidden, cfg.Layers, g.Classes),
+		phantom: g.IsPhantom(),
+	}
+	maxTile := p.maxTileRows()
+	init := nn.InitWeights(tr.Dims, cfg.Seed)
+	for _, w := range init {
+		tr.paramCount += int64(w.Rows) * int64(w.Cols)
+	}
+	for d := 0; d < machine.P; d++ {
+		bufs, err := NewDeviceBuffers(machine.Pools[d], p.devs[d].rows, maxTile, tr.Dims, tr.phantom)
+		if err != nil {
+			return nil, err
+		}
+		p.devs[d].bufs = bufs
+		// Weights, gradients and the two Adam moments are replicated on
+		// every device (§4.1: "only the model weights are replicated").
+		if err := machine.Pools[d].Alloc("model", tr.paramCount*4*4); err != nil {
+			return nil, err
+		}
+		var ws, gs []*tensor.Dense
+		for _, w := range init {
+			if tr.phantom {
+				ws = append(ws, tensor.NewPhantom(w.Rows, w.Cols))
+				gs = append(gs, tensor.NewPhantom(w.Rows, w.Cols))
+			} else {
+				ws = append(ws, w.Clone())
+				gs = append(gs, tensor.NewDense(w.Rows, w.Cols))
+			}
+		}
+		tr.weights = append(tr.weights, ws)
+		tr.grads = append(tr.grads, gs)
+		tr.opts = append(tr.opts, nn.NewAdam(cfg.LR, ws))
+	}
+	if !tr.phantom {
+		for _, ds := range p.devs {
+			tr.trainCount += nn.MaskCount(ds.mask, ds.rows)
+			if ds.testMask != nil {
+				tr.testCount += nn.MaskCount(ds.testMask, 0)
+			}
+		}
+	}
+	return tr, nil
+}
+
+// s maps an actual (scaled-down) row/element count to its full-scale
+// equivalent: all task costs are priced at paper scale so that simulated
+// epoch times are comparable with the paper's tables (DESIGN.md §2).
+func (tr *Trainer) s(x int) int { return x * tr.Cfg.MemScale }
+
+// inputView returns device dev's resident input block of layer l: its
+// feature shard for layer 0 (a phantom view in phantom mode) or the
+// previous layer's output buffer.
+func (tr *Trainer) inputView(dev, l int) *tensor.Dense {
+	ds := tr.part.devs[dev]
+	if l == 0 {
+		if ds.x != nil {
+			return ds.x
+		}
+		return tensor.NewPhantom(ds.rows, tr.Dims[0])
+	}
+	return ds.bufs.AHW[l-1].View(ds.rows, tr.Dims[l])
+}
+
+// EpochStats reports one epoch.
+type EpochStats struct {
+	// EpochSeconds is the simulated wall-clock of the whole step.
+	EpochSeconds float64
+	// KindBusy is per-kind busy time summed over devices (Fig 5's bars).
+	KindBusy map[sim.Kind]float64
+	Loss     float64
+	TrainAcc float64
+	// TestAcc is the held-out accuracy (0 when the dataset has no test
+	// mask or in phantom mode).
+	TestAcc float64
+	// Tasks and Sched expose the raw timeline for the Gantt figures.
+	Tasks []*sim.Task
+	Sched *sim.Schedule
+}
+
+// BreakdownPercent returns KindBusy normalized to percentages.
+func (s *EpochStats) BreakdownPercent() map[sim.Kind]float64 {
+	var total float64
+	for _, v := range s.KindBusy {
+		total += v
+	}
+	out := make(map[sim.Kind]float64, len(s.KindBusy))
+	for k, v := range s.KindBusy {
+		if total > 0 {
+			out[k] = 100 * v / total
+		}
+	}
+	return out
+}
+
+// RunEpoch performs one full-batch training step: L forward layers, the
+// loss, L backward layers with per-layer gradient all-reduce, and the Adam
+// update, recording every kernel and collective into a task graph whose
+// schedule yields the simulated epoch time.
+func (tr *Trainer) RunEpoch() *EpochStats {
+	p := tr.Machine.P
+	spec := tr.Machine.Spec
+	L := tr.Cfg.Layers
+	tg := sim.NewGraph(spec, p)
+	cg := comm.New(tg)
+	cg.BytesScale = int64(tr.Cfg.MemScale)
+
+	hReady := make([]int, p)
+	for i := range hReady {
+		hReady[i] = -1
+	}
+
+	// --- Forward ---
+	for l := 0; l < L; l++ {
+		dIn, dOut := tr.Dims[l], tr.Dims[l+1]
+		spmmFirst := tr.Cfg.OrderSwitch && dIn < dOut
+		next := make([]int, p)
+		if spmmFirst {
+			// §4.4: aggregate in the narrower dimension first:
+			// AH = Âᵀ H (width dIn), then AHW = (AH) W.
+			last := tr.distSpMM(tg, cg, spmmArgs{
+				label: fmt.Sprintf("fwd%d/spmm", l),
+				src:   func(j int) *tensor.Dense { return tr.inputView(j, l) },
+				dst: func(i int) *tensor.Dense {
+					return tr.part.devs[i].bufs.HW.View(tr.part.devs[i].rows, dIn)
+				},
+				width: dIn, srcReady: hReady, overlap: tr.Cfg.Overlap,
+			}.withAT(tr))
+			for i := 0; i < p; i++ {
+				ds := tr.part.devs[i]
+				ah := ds.bufs.HW.View(ds.rows, dIn)
+				out := ds.bufs.AHW[l].View(ds.rows, dOut)
+				if !tr.phantom {
+					tensor.ParallelGemm(1, ah, tr.weights[i][l], 0, out, tr.Cfg.Workers)
+				}
+				next[i] = tg.AddCompute(i, sim.KindGeMM, fmt.Sprintf("fwd%d/gemm", l), -1,
+					spec.GemmCost(tr.s(ds.rows), dIn, dOut), false, last[i])
+			}
+		} else {
+			gemmID := make([]int, p)
+			for i := 0; i < p; i++ {
+				ds := tr.part.devs[i]
+				hw := ds.bufs.HW.View(ds.rows, dOut)
+				if !tr.phantom {
+					tensor.ParallelGemm(1, tr.inputView(i, l), tr.weights[i][l], 0, hw, tr.Cfg.Workers)
+				}
+				var deps []int
+				if hReady[i] >= 0 {
+					deps = append(deps, hReady[i])
+				}
+				gemmID[i] = tg.AddCompute(i, sim.KindGeMM, fmt.Sprintf("fwd%d/gemm", l), -1,
+					spec.GemmCost(tr.s(ds.rows), dIn, dOut), false, deps...)
+			}
+			last := tr.distSpMM(tg, cg, spmmArgs{
+				label: fmt.Sprintf("fwd%d/spmm", l),
+				src: func(j int) *tensor.Dense {
+					return tr.part.devs[j].bufs.HW.View(tr.part.devs[j].rows, dOut)
+				},
+				dst: func(i int) *tensor.Dense {
+					return tr.part.devs[i].bufs.AHW[l].View(tr.part.devs[i].rows, dOut)
+				},
+				width: dOut, srcReady: gemmID, overlap: tr.Cfg.Overlap,
+			}.withAT(tr))
+			copy(next, last)
+		}
+		if l < L-1 {
+			for i := 0; i < p; i++ {
+				ds := tr.part.devs[i]
+				act := ds.bufs.AHW[l].View(ds.rows, dOut)
+				if !tr.phantom {
+					tensor.ReLU(act, act)
+				}
+				next[i] = tg.AddCompute(i, sim.KindActivation, fmt.Sprintf("fwd%d/relu", l), -1,
+					spec.ElementwiseCost(int64(tr.s(ds.rows))*int64(dOut), 1), true, next[i])
+			}
+		}
+		copy(hReady, next)
+	}
+
+	// --- Loss ---
+	stats := &EpochStats{}
+	classes := tr.Dims[L]
+	lossID := make([]int, p)
+	var correct, testCorrect int
+	for i := 0; i < p; i++ {
+		ds := tr.part.devs[i]
+		logits := ds.bufs.AHW[L-1].View(ds.rows, classes)
+		if !tr.phantom && tr.trainCount > 0 {
+			c, _ := nn.CorrectCount(logits, ds.labels, ds.mask)
+			correct += c
+			if ds.testMask != nil {
+				tc, _ := nn.CorrectCount(logits, ds.labels, ds.testMask)
+				testCorrect += tc
+			}
+			stats.Loss += nn.SoftmaxCrossEntropySum(logits, ds.labels, ds.mask, logits, tr.trainCount)
+		}
+		lossID[i] = tg.AddCompute(i, sim.KindLoss, "loss", -1,
+			spec.LossCost(tr.s(ds.rows), classes), true, hReady[i])
+	}
+	if tr.trainCount > 0 {
+		stats.Loss /= float64(tr.trainCount)
+		stats.TrainAcc = float64(correct) / float64(tr.trainCount)
+	}
+	if tr.testCount > 0 {
+		stats.TestAcc = float64(testCorrect) / float64(tr.testCount)
+	}
+
+	// --- Backward ---
+	gReady := lossID
+	var lastAllReduce = -1
+	for l := L - 1; l >= 0; l-- {
+		dIn, dOut := tr.Dims[l], tr.Dims[l+1]
+		// eq. (8): mask the incoming gradient by the forward activation.
+		if l < L-1 {
+			next := make([]int, p)
+			for i := 0; i < p; i++ {
+				ds := tr.part.devs[i]
+				gIn := ds.bufs.AHW[l+1].View(ds.rows, dOut)
+				act := ds.bufs.AHW[l].View(ds.rows, dOut)
+				if !tr.phantom {
+					tensor.ReLUBackward(act, gIn, act)
+				}
+				next[i] = tg.AddCompute(i, sim.KindActivation, fmt.Sprintf("bwd%d/relu", l), -1,
+					spec.ElementwiseCost(int64(tr.s(ds.rows))*int64(dOut), 2), true, gReady[i])
+			}
+			gReady = next
+		}
+		// eq. (9): HW_G = Â AHW_G — skipped for layer 0 when the §4.4
+		// identity-scaling argument applies (input gradients not needed).
+		hwgReady := gReady
+		hwg := func(i int) *tensor.Dense {
+			ds := tr.part.devs[i]
+			return ds.bufs.HW.View(ds.rows, dOut)
+		}
+		if l == 0 && tr.Cfg.SkipFirstBackward {
+			hwg = func(i int) *tensor.Dense {
+				ds := tr.part.devs[i]
+				return ds.bufs.AHW[0].View(ds.rows, dOut)
+			}
+		} else {
+			hwgReady = tr.distSpMM(tg, cg, spmmArgs{
+				label: fmt.Sprintf("bwd%d/spmm", l),
+				src: func(j int) *tensor.Dense {
+					return tr.part.devs[j].bufs.AHW[l].View(tr.part.devs[j].rows, dOut)
+				},
+				dst:   hwg,
+				width: dOut, srcReady: gReady, overlap: tr.Cfg.Overlap,
+			}.withA(tr))
+		}
+		// eq. (10): per-device partial W_G = Hᵀ HW_G, then all-reduce.
+		wgID := make([]int, p)
+		for i := 0; i < p; i++ {
+			ds := tr.part.devs[i]
+			if !tr.phantom {
+				tensor.GemmTA(1, tr.inputView(i, l), hwg(i), 0, tr.grads[i][l])
+			}
+			wgID[i] = tg.AddCompute(i, sim.KindGeMM, fmt.Sprintf("bwd%d/wgrad", l), -1,
+				spec.GemmCost(dIn, tr.s(ds.rows), dOut), false, hwgReady[i])
+		}
+		perDev := make([]*tensor.Dense, p)
+		for i := range perDev {
+			perDev[i] = tr.grads[i][l]
+		}
+		lastAllReduce = cg.AllReduceSum(perDev, fmt.Sprintf("bwd%d/allreduce", l), wgID...)
+		// eq. (11): H_G = HW_G Wᵀ for the next (lower) layer.
+		if l > 0 {
+			next := make([]int, p)
+			for i := 0; i < p; i++ {
+				ds := tr.part.devs[i]
+				hgOut := ds.bufs.AHW[l].View(ds.rows, dIn)
+				if !tr.phantom {
+					tensor.ParallelGemmTB(1, hwg(i), tr.weights[i][l], 0, hgOut, tr.Cfg.Workers)
+				}
+				next[i] = tg.AddCompute(i, sim.KindGeMM, fmt.Sprintf("bwd%d/hgrad", l), -1,
+					spec.GemmCost(tr.s(ds.rows), dOut, dIn), false, hwgReady[i])
+			}
+			gReady = next
+		}
+	}
+
+	// --- Optimizer (replicated, identical on every device) ---
+	for i := 0; i < p; i++ {
+		if !tr.phantom {
+			tr.opts[i].Step(tr.weights[i], tr.grads[i])
+		}
+		deps := []int{}
+		if lastAllReduce >= 0 {
+			deps = append(deps, lastAllReduce)
+		}
+		tg.AddCompute(i, sim.KindAdam, "adam", -1, spec.AdamCost(tr.paramCount), true, deps...)
+	}
+
+	sched := tg.Run()
+	stats.EpochSeconds = sched.Makespan
+	stats.KindBusy = sched.KindBusy
+	stats.Tasks = tg.Tasks
+	stats.Sched = sched
+	return stats
+}
+
+// Train runs epochs full-batch steps and returns per-epoch stats (without
+// the heavyweight task/schedule payload except on the final epoch).
+func (tr *Trainer) Train(epochs int) []*EpochStats {
+	out := make([]*EpochStats, 0, epochs)
+	for e := 0; e < epochs; e++ {
+		s := tr.RunEpoch()
+		if e < epochs-1 {
+			s.Tasks, s.Sched = nil, nil
+		}
+		out = append(out, s)
+	}
+	return out
+}
+
+// Logits gathers the current output-layer activations into one matrix in
+// original vertex order (undoing the permutation). Only valid right after
+// a Forward-containing call in non-phantom mode and before the loss pass
+// overwrites the logits; used by tests via ForwardOnly.
+func (tr *Trainer) gatherLogits() *tensor.Dense {
+	classes := tr.Dims[len(tr.Dims)-1]
+	full := tensor.NewDense(tr.Graph.N(), classes)
+	seen := make([]bool, tr.part.blocks)
+	for _, ds := range tr.part.devs {
+		if seen[ds.block] { // replicated blocks (1.5D) are identical
+			continue
+		}
+		seen[ds.block] = true
+		view := ds.bufs.AHW[len(tr.Dims)-2].View(ds.rows, classes)
+		for r := 0; r < ds.rows; r++ {
+			copy(full.Row(ds.lo+r), view.Row(r))
+		}
+	}
+	return unpermuteRows(full, tr.part.perm)
+}
+
+// ForwardOnly runs just the forward pass with real math and returns the
+// logits in original vertex order — the hook the correctness tests use to
+// compare against the sequential reference.
+func (tr *Trainer) ForwardOnly() *tensor.Dense {
+	if tr.phantom {
+		panic("core: ForwardOnly in phantom mode")
+	}
+	p := tr.Machine.P
+	tg := sim.NewGraph(tr.Machine.Spec, p)
+	cg := comm.New(tg)
+	hReady := make([]int, p)
+	for i := range hReady {
+		hReady[i] = -1
+	}
+	L := tr.Cfg.Layers
+	for l := 0; l < L; l++ {
+		dOut := tr.Dims[l+1]
+		gemmID := make([]int, p)
+		for i := 0; i < p; i++ {
+			ds := tr.part.devs[i]
+			hw := ds.bufs.HW.View(ds.rows, dOut)
+			tensor.ParallelGemm(1, tr.inputView(i, l), tr.weights[i][l], 0, hw, tr.Cfg.Workers)
+			gemmID[i] = tg.AddCompute(i, sim.KindGeMM, "f/gemm", -1, 1e-6, false)
+		}
+		last := tr.distSpMM(tg, cg, spmmArgs{
+			label: "f/spmm",
+			src: func(j int) *tensor.Dense {
+				return tr.part.devs[j].bufs.HW.View(tr.part.devs[j].rows, dOut)
+			},
+			dst: func(i int) *tensor.Dense {
+				return tr.part.devs[i].bufs.AHW[l].View(tr.part.devs[i].rows, dOut)
+			},
+			width: dOut, srcReady: gemmID, overlap: tr.Cfg.Overlap,
+		}.withAT(tr))
+		_ = last
+		if l < L-1 {
+			for i := 0; i < p; i++ {
+				ds := tr.part.devs[i]
+				act := ds.bufs.AHW[l].View(ds.rows, dOut)
+				tensor.ReLU(act, act)
+			}
+		}
+	}
+	return tr.gatherLogits()
+}
+
+// Weights returns device 0's weight stack (replicas are identical).
+func (tr *Trainer) Weights() []*tensor.Dense { return tr.weights[0] }
+
+// PeakMemoryBytes returns the maximum per-device peak pool usage.
+func (tr *Trainer) PeakMemoryBytes() int64 {
+	var m int64
+	for _, p := range tr.Machine.Pools {
+		if p.Peak() > m {
+			m = p.Peak()
+		}
+	}
+	return m
+}
+
+// BufferCount returns the number of large shared/private buffers per
+// device — the paper's L+3.
+func (tr *Trainer) BufferCount() int { return tr.part.devs[0].bufs.Count() }

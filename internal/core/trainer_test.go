@@ -1,0 +1,383 @@
+package core
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"mggcn/internal/gen"
+	"mggcn/internal/graph"
+	"mggcn/internal/nn"
+	"mggcn/internal/sim"
+	"mggcn/internal/tensor"
+)
+
+// testGraph returns a small real (non-phantom) dataset shared by the
+// correctness tests.
+func testGraph(t *testing.T) *graph.Graph {
+	t.Helper()
+	return gen.Generate("core-test", gen.DefaultBTER(160, 8, 99), 12, 4, false)
+}
+
+func testConfig(p int) Config {
+	cfg := DefaultConfig(sim.DGXA100(), p, 1<<20) // huge memScale irrelevant: tiny data
+	cfg.MemScale = 1
+	cfg.Hidden = 16
+	cfg.Layers = 2
+	cfg.LR = 0.01
+	cfg.Seed = 7
+	cfg.SkipFirstBackward = false
+	return cfg
+}
+
+func TestForwardMatchesReference(t *testing.T) {
+	g := testGraph(t)
+	ref := nn.NewReferenceGCN(g, nn.LayerDims(g.FeatDim, 16, 2, g.Classes), 7)
+	want := ref.Forward(g.Features)
+	for _, p := range []int{1, 2, 3, 8} {
+		for _, permute := range []bool{false, true} {
+			cfg := testConfig(p)
+			cfg.Permute = permute
+			tr, err := NewTrainer(g, cfg)
+			if err != nil {
+				t.Fatalf("P=%d permute=%t: %v", p, permute, err)
+			}
+			got := tr.ForwardOnly()
+			if d := tensor.MaxAbsDiff(got, want); d > 1e-3 {
+				t.Fatalf("P=%d permute=%t: logits diverge from reference by %g", p, permute, d)
+			}
+		}
+	}
+}
+
+func TestForwardOrderSwitchEquivalence(t *testing.T) {
+	// §4.4: the order switch must not change the result, only the cost.
+	g := testGraph(t)
+	for _, order := range []bool{false, true} {
+		cfg := testConfig(4)
+		cfg.OrderSwitch = order
+		cfg.Hidden = 20 // > featDim 12, so layer 0 triggers SpMM-first
+		tr, err := NewTrainer(g, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s := tr.RunEpoch()
+		ref := nn.NewReferenceGCN(g, nn.LayerDims(g.FeatDim, 20, 2, g.Classes), 7)
+		opt := nn.NewAdam(cfg.LR, ref.Weights)
+		r := ref.TrainEpoch(g, opt)
+		if math.Abs(s.Loss-r.Loss) > 1e-3 {
+			t.Fatalf("order=%t: loss %v vs reference %v", order, s.Loss, r.Loss)
+		}
+	}
+}
+
+func TestFirstEpochGradientsMatchReference(t *testing.T) {
+	g := testGraph(t)
+	cfg := testConfig(4)
+	tr, err := NewTrainer(g, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr.RunEpoch()
+
+	dims := nn.LayerDims(g.FeatDim, cfg.Hidden, cfg.Layers, g.Classes)
+	ref := nn.NewReferenceGCN(g, dims, cfg.Seed)
+	logits := ref.Forward(g.Features)
+	gl := tensor.NewDense(logits.Rows, logits.Cols)
+	nn.SoftmaxCrossEntropy(logits, g.Labels, g.TrainMask, gl)
+	refGrads := ref.Backward(gl)
+	for l := range refGrads {
+		if d := tensor.MaxAbsDiff(tr.grads[0][l], refGrads[l]); d > 1e-3 {
+			t.Fatalf("layer %d gradient differs from reference by %g", l, d)
+		}
+	}
+}
+
+func TestAccuracyParityAcrossGPUCounts(t *testing.T) {
+	// The paper's own correctness check: the multi-GPU accuracy/loss curve
+	// must match the single-device baseline.
+	g := testGraph(t)
+	curve := func(p int, overlap, permute bool) []float64 {
+		cfg := testConfig(p)
+		cfg.Overlap = overlap
+		cfg.Permute = permute
+		tr, err := NewTrainer(g, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var losses []float64
+		for e := 0; e < 8; e++ {
+			losses = append(losses, tr.RunEpoch().Loss)
+		}
+		return losses
+	}
+	base := curve(1, false, false)
+	for _, p := range []int{2, 4, 8} {
+		got := curve(p, true, true)
+		for e := range base {
+			if math.Abs(got[e]-base[e]) > 2e-2*(1+math.Abs(base[e])) {
+				t.Fatalf("P=%d epoch %d: loss %v vs single-GPU %v", p, e, got[e], base[e])
+			}
+		}
+	}
+}
+
+func TestTrainingConvergesDistributed(t *testing.T) {
+	g := testGraph(t)
+	cfg := testConfig(4)
+	cfg.Layers = 2
+	cfg.Hidden = 24
+	tr, err := NewTrainer(g, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats := tr.Train(50)
+	if stats[len(stats)-1].Loss >= stats[0].Loss {
+		t.Fatalf("loss did not decrease: %v -> %v", stats[0].Loss, stats[len(stats)-1].Loss)
+	}
+	if stats[len(stats)-1].TrainAcc < 0.7 {
+		t.Fatalf("final train accuracy %v too low", stats[len(stats)-1].TrainAcc)
+	}
+}
+
+func TestSkipFirstBackwardStillLearns(t *testing.T) {
+	g := testGraph(t)
+	cfg := testConfig(4)
+	cfg.SkipFirstBackward = true
+	tr, err := NewTrainer(g, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats := tr.Train(50)
+	last := stats[len(stats)-1]
+	if last.TrainAcc < 0.7 {
+		t.Fatalf("accuracy with saved SpMM %v too low", last.TrainAcc)
+	}
+	// And it must actually save SpMM tasks: count them vs the exact run.
+	cfg2 := testConfig(4)
+	cfg2.SkipFirstBackward = false
+	tr2, err := NewTrainer(g, cfg2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s1, s2 := tr.RunEpoch(), tr2.RunEpoch()
+	if countKind(s1, sim.KindSpMM) >= countKind(s2, sim.KindSpMM) {
+		t.Fatalf("skip did not reduce SpMM count: %d vs %d",
+			countKind(s1, sim.KindSpMM), countKind(s2, sim.KindSpMM))
+	}
+}
+
+func countKind(s *EpochStats, k sim.Kind) int {
+	n := 0
+	for _, t := range s.Tasks {
+		if t.Kind == k {
+			n++
+		}
+	}
+	return n
+}
+
+func TestBufferCountIsLPlus3(t *testing.T) {
+	g := testGraph(t)
+	for _, layers := range []int{1, 2, 3, 5} {
+		cfg := testConfig(2)
+		cfg.Layers = layers
+		tr, err := NewTrainer(g, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if tr.BufferCount() != layers+3 {
+			t.Fatalf("layers=%d: %d buffers, want L+3=%d", layers, tr.BufferCount(), layers+3)
+		}
+	}
+}
+
+func TestOOMOnTinyMemory(t *testing.T) {
+	g := testGraph(t)
+	cfg := testConfig(1)
+	cfg.MemScale = 1 << 30 // capacity ~0: everything OOMs
+	_, err := NewTrainer(g, cfg)
+	var oom *sim.OOMError
+	if !errors.As(err, &oom) {
+		t.Fatalf("want OOM error, got %v", err)
+	}
+}
+
+func TestEpochTimeDecreasesWithGPUs(t *testing.T) {
+	// Phantom Products-scale run: simulated epoch time must shrink as GPUs
+	// are added (the Fig 10/13 scaling behaviour).
+	g, _, err := gen.Load("products", true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var prev float64 = math.Inf(1)
+	for _, p := range []int{1, 2, 4, 8} {
+		cfg := DefaultConfig(sim.DGXA100(), p, 64)
+		tr, err := NewTrainer(g, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sec := tr.RunEpoch().EpochSeconds
+		if sec <= 0 {
+			t.Fatalf("P=%d: non-positive epoch time", p)
+		}
+		if sec >= prev {
+			t.Fatalf("P=%d: epoch %gs did not improve on %gs", p, sec, prev)
+		}
+		prev = sec
+	}
+}
+
+func TestOverlapImprovesEpochTime(t *testing.T) {
+	g, _, err := gen.Load("products", true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func(overlap bool) float64 {
+		cfg := DefaultConfig(sim.DGXV100(), 4, 64)
+		cfg.Overlap = overlap
+		tr, err := NewTrainer(g, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return tr.RunEpoch().EpochSeconds
+	}
+	with, without := run(true), run(false)
+	if with >= without {
+		t.Fatalf("overlap did not help: %g vs %g", with, without)
+	}
+}
+
+func TestPermuteImprovesEpochTime(t *testing.T) {
+	g, _, err := gen.Load("products", true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func(permute bool) float64 {
+		cfg := DefaultConfig(sim.DGXV100(), 8, 64)
+		cfg.Permute = permute
+		cfg.Overlap = false
+		tr, err := NewTrainer(g, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return tr.RunEpoch().EpochSeconds
+	}
+	perm, orig := run(true), run(false)
+	if perm >= orig {
+		t.Fatalf("permutation did not help on 8 GPUs: %g vs %g", perm, orig)
+	}
+}
+
+func TestBreakdownSpMMDominatesDenseGraph(t *testing.T) {
+	// Fig 5: for high-average-degree graphs SpMM takes the majority of the
+	// epoch; for tiny graphs GeMM-side work dominates.
+	g, _, err := gen.Load("reddit", true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig(sim.DGXV100(), 1, 32)
+	tr, err := NewTrainer(g, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pct := tr.RunEpoch().BreakdownPercent()
+	if pct[sim.KindSpMM] < 50 {
+		t.Fatalf("SpMM only %.1f%% on reddit; expected dominance", pct[sim.KindSpMM])
+	}
+	var total float64
+	for _, v := range pct {
+		total += v
+	}
+	if math.Abs(total-100) > 1e-6 {
+		t.Fatalf("breakdown sums to %v", total)
+	}
+}
+
+func TestPhantomAndRealTaskGraphsAgree(t *testing.T) {
+	// Phantom mode must produce the identical schedule as a real run of a
+	// structurally identical dataset.
+	gReal := gen.Generate("agree", gen.DefaultBTER(200, 10, 5), 8, 3, false)
+	gPhantom := gen.Generate("agree", gen.DefaultBTER(200, 10, 5), 8, 3, true)
+	cfg := testConfig(4)
+	trR, err := NewTrainer(gReal, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	trP, err := NewTrainer(gPhantom, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sR, sP := trR.RunEpoch(), trP.RunEpoch()
+	if math.Abs(sR.EpochSeconds-sP.EpochSeconds) > 1e-12 {
+		t.Fatalf("phantom epoch %g != real epoch %g", sP.EpochSeconds, sR.EpochSeconds)
+	}
+	if len(sR.Tasks) != len(sP.Tasks) {
+		t.Fatalf("task counts differ: %d vs %d", len(sR.Tasks), len(sP.Tasks))
+	}
+}
+
+func TestSingleLayerModel(t *testing.T) {
+	g := testGraph(t)
+	cfg := testConfig(2)
+	cfg.Layers = 1
+	tr, err := NewTrainer(g, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := tr.RunEpoch()
+	if s.EpochSeconds <= 0 || math.IsNaN(s.Loss) {
+		t.Fatalf("bad single-layer epoch: %+v", s)
+	}
+}
+
+func TestThreeLayerModelConverges(t *testing.T) {
+	g := testGraph(t)
+	cfg := testConfig(4)
+	cfg.Layers = 3
+	cfg.Hidden = 24
+	tr, err := NewTrainer(g, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats := tr.Train(60)
+	if stats[len(stats)-1].TrainAcc < 0.65 {
+		t.Fatalf("3-layer accuracy %v", stats[len(stats)-1].TrainAcc)
+	}
+}
+
+func TestWeightsStayReplicated(t *testing.T) {
+	g := testGraph(t)
+	cfg := testConfig(4)
+	tr, err := NewTrainer(g, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for e := 0; e < 3; e++ {
+		tr.RunEpoch()
+	}
+	for d := 1; d < 4; d++ {
+		for l := range tr.weights[0] {
+			if !tensor.Equal(tr.weights[0][l], tr.weights[d][l], 0) {
+				t.Fatalf("device %d layer %d weights diverged from device 0", d, l)
+			}
+		}
+	}
+}
+
+func TestMemoryAccountedPerDevice(t *testing.T) {
+	g := testGraph(t)
+	cfg := testConfig(2)
+	tr, err := NewTrainer(g, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.PeakMemoryBytes() <= 0 {
+		t.Fatalf("no memory accounted")
+	}
+	for _, pool := range tr.Machine.Pools {
+		if pool.Used() == 0 {
+			t.Fatalf("pool %s has no allocations", pool.Name())
+		}
+	}
+}

@@ -1,0 +1,144 @@
+package graph
+
+import (
+	"math"
+	"testing"
+
+	"mggcn/internal/sparse"
+	"mggcn/internal/tensor"
+)
+
+func tinyGraph() *Graph {
+	adj := sparse.FromCoo(4, 4, []sparse.Coo{
+		{Row: 0, Col: 1}, {Row: 1, Col: 0}, {Row: 1, Col: 2},
+		{Row: 2, Col: 3}, {Row: 3, Col: 2},
+	}, false)
+	feats := tensor.NewDense(4, 2)
+	return &Graph{
+		Name: "tiny", Adj: adj, Features: feats,
+		Labels: []int32{0, 1, 0, 1}, Classes: 2, FeatDim: 2,
+	}
+}
+
+func TestGraphBasics(t *testing.T) {
+	g := tinyGraph()
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if g.N() != 4 || g.M() != 5 {
+		t.Fatalf("N=%d M=%d", g.N(), g.M())
+	}
+	if math.Abs(g.AvgDegree()-1.25) > 1e-12 {
+		t.Fatalf("AvgDegree=%v", g.AvgDegree())
+	}
+	if g.IsPhantom() {
+		t.Fatalf("graph with features reported phantom")
+	}
+}
+
+func TestValidateCatchesBadLabel(t *testing.T) {
+	g := tinyGraph()
+	g.Labels[2] = 9
+	if g.Validate() == nil {
+		t.Fatalf("Validate missed out-of-range label")
+	}
+}
+
+func TestValidateCatchesFeatureMismatch(t *testing.T) {
+	g := tinyGraph()
+	g.Features = tensor.NewDense(3, 2)
+	if g.Validate() == nil {
+		t.Fatalf("Validate missed feature row mismatch")
+	}
+	g = tinyGraph()
+	g.FeatDim = 5
+	if g.Validate() == nil {
+		t.Fatalf("Validate missed FeatDim mismatch")
+	}
+}
+
+func TestDegrees(t *testing.T) {
+	g := tinyGraph()
+	out := g.OutDegrees()
+	if out[1] != 2 || out[0] != 1 {
+		t.Fatalf("out degrees %v", out)
+	}
+	in := g.InDegrees()
+	if in[2] != 2 || in[1] != 1 || in[0] != 1 || in[3] != 1 {
+		t.Fatalf("in degrees %v", in)
+	}
+}
+
+func TestNormalizedAdjColumnsAverage(t *testing.T) {
+	g := tinyGraph()
+	norm := g.NormalizedAdj()
+	// Column 2 has in-degree 2; both entries must be 1/2.
+	d := norm.ToDenseRows()
+	if d[1][2] != 0.5 || d[3][2] != 0.5 {
+		t.Fatalf("normalization wrong: %v", d)
+	}
+}
+
+func TestDegreeStats(t *testing.T) {
+	st := ComputeDegreeStats([]int64{1, 1, 1, 1})
+	if st.Gini != 0 || st.Mean != 1 || st.Min != 1 || st.Max != 1 {
+		t.Fatalf("uniform stats wrong: %+v", st)
+	}
+	skewed := ComputeDegreeStats([]int64{0, 0, 0, 100})
+	if skewed.Gini < 0.7 {
+		t.Fatalf("skewed distribution should have high Gini, got %v", skewed.Gini)
+	}
+	if skewed.Max != 100 || skewed.Mean != 25 {
+		t.Fatalf("skewed stats wrong: %+v", skewed)
+	}
+	if got := ComputeDegreeStats(nil); got != (DegreeStats{}) {
+		t.Fatalf("empty stats should be zero: %+v", got)
+	}
+}
+
+func TestSplitPartitionsVertices(t *testing.T) {
+	g := tinyGraph()
+	g.Split(0.5, 0.25, 42)
+	counts := [3]int{}
+	for v := 0; v < g.N(); v++ {
+		k := 0
+		if g.TrainMask[v] {
+			counts[0]++
+			k++
+		}
+		if g.ValMask[v] {
+			counts[1]++
+			k++
+		}
+		if g.TestMask[v] {
+			counts[2]++
+			k++
+		}
+		if k != 1 {
+			t.Fatalf("vertex %d in %d masks", v, k)
+		}
+	}
+	if counts[0] != 2 || counts[1] != 1 || counts[2] != 1 {
+		t.Fatalf("split counts %v", counts)
+	}
+}
+
+func TestSplitDeterministic(t *testing.T) {
+	g1, g2 := tinyGraph(), tinyGraph()
+	g1.Split(0.5, 0.25, 7)
+	g2.Split(0.5, 0.25, 7)
+	for v := 0; v < g1.N(); v++ {
+		if g1.TrainMask[v] != g2.TrainMask[v] {
+			t.Fatalf("split not deterministic at vertex %d", v)
+		}
+	}
+}
+
+func TestSplitBadFractionsPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("expected panic")
+		}
+	}()
+	tinyGraph().Split(0.9, 0.2, 1)
+}

@@ -1,0 +1,342 @@
+// Package graphio loads and stores graph datasets — this reproduction's
+// stand-in for PIGO, the parallel graph I/O library the paper uses. Two
+// formats are supported:
+//
+//   - a versioned binary format holding the full dataset (CSR adjacency,
+//     features, labels, masks) for fast reload of generated datasets;
+//   - whitespace-separated edge-list text ("u v" per line, '#' or '%'
+//     comments), parsed in parallel chunks the way PIGO does.
+package graphio
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"runtime"
+	"sync"
+
+	"mggcn/internal/graph"
+	"mggcn/internal/sparse"
+	"mggcn/internal/tensor"
+)
+
+// magic identifies the binary dataset format; version gates layout changes.
+const (
+	magic   = 0x4d474743 // "MGGC"
+	version = 1
+)
+
+// WriteBinary serializes the dataset to w. Phantom datasets store
+// structure only; the flag is preserved on load.
+func WriteBinary(w io.Writer, g *graph.Graph) error {
+	bw := bufio.NewWriter(w)
+	le := binary.LittleEndian
+	writeU32 := func(v uint32) error { return binary.Write(bw, le, v) }
+	if err := writeU32(magic); err != nil {
+		return err
+	}
+	if err := writeU32(version); err != nil {
+		return err
+	}
+	name := []byte(g.Name)
+	if err := writeU32(uint32(len(name))); err != nil {
+		return err
+	}
+	if _, err := bw.Write(name); err != nil {
+		return err
+	}
+	header := []uint32{uint32(g.N()), uint32(g.FeatDim), uint32(g.Classes)}
+	for _, h := range header {
+		if err := writeU32(h); err != nil {
+			return err
+		}
+	}
+	flags := uint32(0)
+	if g.Features != nil {
+		flags |= 1
+	}
+	if g.Labels != nil {
+		flags |= 2
+	}
+	if g.TrainMask != nil {
+		flags |= 4
+	}
+	if err := writeU32(flags); err != nil {
+		return err
+	}
+	// Adjacency (structure-only CSR; edge weights are derived on load).
+	if err := binary.Write(bw, le, int64(g.M())); err != nil {
+		return err
+	}
+	if err := binary.Write(bw, le, g.Adj.RowPtr); err != nil {
+		return err
+	}
+	if err := binary.Write(bw, le, g.Adj.ColIdx); err != nil {
+		return err
+	}
+	if g.Features != nil {
+		if err := binary.Write(bw, le, g.Features.Data); err != nil {
+			return err
+		}
+	}
+	if g.Labels != nil {
+		if err := binary.Write(bw, le, g.Labels); err != nil {
+			return err
+		}
+	}
+	if g.TrainMask != nil {
+		for _, m := range [][]bool{g.TrainMask, g.ValMask, g.TestMask} {
+			if err := binary.Write(bw, le, boolsToBytes(m)); err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadBinary deserializes a dataset written by WriteBinary.
+func ReadBinary(r io.Reader) (*graph.Graph, error) {
+	br := bufio.NewReader(r)
+	le := binary.LittleEndian
+	var m, v uint32
+	if err := binary.Read(br, le, &m); err != nil {
+		return nil, fmt.Errorf("graphio: reading magic: %w", err)
+	}
+	if m != magic {
+		return nil, fmt.Errorf("graphio: bad magic %#x", m)
+	}
+	if err := binary.Read(br, le, &v); err != nil {
+		return nil, err
+	}
+	if v != version {
+		return nil, fmt.Errorf("graphio: unsupported version %d", v)
+	}
+	var nameLen uint32
+	if err := binary.Read(br, le, &nameLen); err != nil {
+		return nil, err
+	}
+	if nameLen > 1<<20 {
+		return nil, fmt.Errorf("graphio: implausible name length %d", nameLen)
+	}
+	name := make([]byte, nameLen)
+	if _, err := io.ReadFull(br, name); err != nil {
+		return nil, err
+	}
+	var n, featDim, classes, flags uint32
+	for _, dst := range []*uint32{&n, &featDim, &classes, &flags} {
+		if err := binary.Read(br, le, dst); err != nil {
+			return nil, err
+		}
+	}
+	var nnz int64
+	if err := binary.Read(br, le, &nnz); err != nil {
+		return nil, err
+	}
+	// Plausibility limits before allocating: a corrupted header must fail
+	// with an error, not an out-of-memory crash.
+	const maxVertices = 1 << 28
+	const maxFeatDim = 1 << 20
+	const maxNNZ = int64(1) << 33
+	if n > maxVertices || featDim > maxFeatDim || classes > maxVertices {
+		return nil, fmt.Errorf("graphio: implausible header (n=%d, d=%d, classes=%d)", n, featDim, classes)
+	}
+	if nnz < 0 || nnz > maxNNZ || (n > 0 && nnz > int64(n)*int64(n)) {
+		return nil, fmt.Errorf("graphio: implausible edge count %d for %d vertices", nnz, n)
+	}
+	if int64(n)*int64(featDim) > 1<<31 {
+		return nil, fmt.Errorf("graphio: implausible feature payload %d x %d", n, featDim)
+	}
+	adj := &sparse.CSR{
+		Rows: int(n), Cols: int(n),
+		RowPtr: make([]int64, n+1),
+		ColIdx: make([]int32, nnz),
+	}
+	if err := binary.Read(br, le, adj.RowPtr); err != nil {
+		return nil, err
+	}
+	if err := binary.Read(br, le, adj.ColIdx); err != nil {
+		return nil, err
+	}
+	g := &graph.Graph{Name: string(name), Adj: adj, FeatDim: int(featDim), Classes: int(classes)}
+	if flags&1 != 0 {
+		g.Features = tensor.NewDense(int(n), int(featDim))
+		if err := binary.Read(br, le, g.Features.Data); err != nil {
+			return nil, err
+		}
+	}
+	if flags&2 != 0 {
+		g.Labels = make([]int32, n)
+		if err := binary.Read(br, le, g.Labels); err != nil {
+			return nil, err
+		}
+	}
+	if flags&4 != 0 {
+		masks := make([][]bool, 3)
+		for i := range masks {
+			buf := make([]byte, n)
+			if err := binary.Read(br, le, buf); err != nil {
+				return nil, err
+			}
+			masks[i] = bytesToBools(buf)
+		}
+		g.TrainMask, g.ValMask, g.TestMask = masks[0], masks[1], masks[2]
+	}
+	if err := g.Validate(); err != nil {
+		return nil, fmt.Errorf("graphio: corrupt dataset: %w", err)
+	}
+	return g, nil
+}
+
+func boolsToBytes(b []bool) []byte {
+	out := make([]byte, len(b))
+	for i, v := range b {
+		if v {
+			out[i] = 1
+		}
+	}
+	return out
+}
+
+func bytesToBools(b []byte) []bool {
+	out := make([]bool, len(b))
+	for i, v := range b {
+		out[i] = v != 0
+	}
+	return out
+}
+
+// ParseEdgeList parses "u v" pairs from text (comments start with '#' or
+// '%'), splitting the input into chunks parsed by parallel workers, PIGO
+// style. n is the vertex count; edges outside [0, n) are an error. The
+// returned CSR is structure-only with both edge directions if symmetrize
+// is set.
+func ParseEdgeList(data []byte, n int, symmetrize bool) (*sparse.CSR, error) {
+	workers := runtime.GOMAXPROCS(0)
+	if workers < 1 {
+		workers = 1
+	}
+	// Chunk boundaries snapped to line breaks.
+	bounds := make([]int, 0, workers+1)
+	bounds = append(bounds, 0)
+	for w := 1; w < workers; w++ {
+		pos := len(data) * w / workers
+		for pos < len(data) && data[pos] != '\n' {
+			pos++
+		}
+		if pos < len(data) {
+			pos++
+		}
+		if pos > bounds[len(bounds)-1] {
+			bounds = append(bounds, pos)
+		}
+	}
+	bounds = append(bounds, len(data))
+
+	chunks := make([][]sparse.Coo, len(bounds)-1)
+	errs := make([]error, len(bounds)-1)
+	var wg sync.WaitGroup
+	for c := 0; c+1 < len(bounds); c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			chunks[c], errs[c] = parseChunk(data[bounds[c]:bounds[c+1]], n, symmetrize)
+		}(c)
+	}
+	wg.Wait()
+	var entries []sparse.Coo
+	for c := range chunks {
+		if errs[c] != nil {
+			return nil, errs[c]
+		}
+		entries = append(entries, chunks[c]...)
+	}
+	return sparse.FromCoo(n, n, entries, false), nil
+}
+
+func parseChunk(data []byte, n int, symmetrize bool) ([]sparse.Coo, error) {
+	var out []sparse.Coo
+	pos := 0
+	for pos < len(data) {
+		end := pos
+		for end < len(data) && data[end] != '\n' {
+			end++
+		}
+		line := data[pos:end]
+		pos = end + 1
+		u, v, ok, err := parseEdgeLine(line, n)
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			continue
+		}
+		out = append(out, sparse.Coo{Row: u, Col: v})
+		if symmetrize && u != v {
+			out = append(out, sparse.Coo{Row: v, Col: u})
+		}
+	}
+	return out, nil
+}
+
+// parseEdgeLine extracts two vertex ids from a line; ok=false for blank or
+// comment lines.
+func parseEdgeLine(line []byte, n int) (u, v int32, ok bool, err error) {
+	i := skipSpace(line, 0)
+	if i >= len(line) || line[i] == '#' || line[i] == '%' {
+		return 0, 0, false, nil
+	}
+	a, i, err := parseInt(line, i)
+	if err != nil {
+		return 0, 0, false, err
+	}
+	i = skipSpace(line, i)
+	b, _, err := parseInt(line, i)
+	if err != nil {
+		return 0, 0, false, err
+	}
+	if a < 0 || a >= int64(n) || b < 0 || b >= int64(n) {
+		return 0, 0, false, fmt.Errorf("graphio: edge (%d,%d) outside [0,%d)", a, b, n)
+	}
+	return int32(a), int32(b), true, nil
+}
+
+func skipSpace(b []byte, i int) int {
+	for i < len(b) && (b[i] == ' ' || b[i] == '\t' || b[i] == '\r') {
+		i++
+	}
+	return i
+}
+
+func parseInt(b []byte, i int) (int64, int, error) {
+	start := i
+	var v int64
+	for i < len(b) && b[i] >= '0' && b[i] <= '9' {
+		v = v*10 + int64(b[i]-'0')
+		if v > 1<<40 {
+			return 0, i, fmt.Errorf("graphio: vertex id overflow")
+		}
+		i++
+	}
+	if i == start {
+		return 0, i, fmt.Errorf("graphio: expected integer at %q", string(b))
+	}
+	return v, i, nil
+}
+
+// WriteEdgeList writes the adjacency as "u v" lines (directed entries).
+func WriteEdgeList(w io.Writer, a *sparse.CSR) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "# %d vertices, %d directed edges\n", a.Rows, a.NNZ()); err != nil {
+		return err
+	}
+	for u := 0; u < a.Rows; u++ {
+		cols, _ := a.Row(u)
+		for _, v := range cols {
+			if _, err := fmt.Fprintf(bw, "%d %d\n", u, v); err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}

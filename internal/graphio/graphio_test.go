@@ -1,0 +1,225 @@
+package graphio
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"mggcn/internal/gen"
+	"mggcn/internal/sparse"
+	"mggcn/internal/tensor"
+)
+
+func TestBinaryRoundTripFull(t *testing.T) {
+	g := gen.Generate("rt", gen.DefaultBTER(300, 8, 5), 16, 4, false)
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadBinary(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Name != "rt" || got.N() != g.N() || got.M() != g.M() {
+		t.Fatalf("metadata lost: %s n=%d m=%d", got.Name, got.N(), got.M())
+	}
+	if !tensor.Equal(got.Features, g.Features, 0) {
+		t.Fatalf("features differ")
+	}
+	for v := range g.Labels {
+		if got.Labels[v] != g.Labels[v] {
+			t.Fatalf("label %d differs", v)
+		}
+		if got.TrainMask[v] != g.TrainMask[v] || got.TestMask[v] != g.TestMask[v] {
+			t.Fatalf("mask %d differs", v)
+		}
+	}
+	for i := range g.Adj.ColIdx {
+		if got.Adj.ColIdx[i] != g.Adj.ColIdx[i] {
+			t.Fatalf("adjacency differs at %d", i)
+		}
+	}
+}
+
+func TestBinaryRoundTripPhantom(t *testing.T) {
+	g := gen.Generate("ph", gen.DefaultBTER(200, 6, 7), 8, 3, true)
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadBinary(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.IsPhantom() {
+		t.Fatalf("phantom flag lost")
+	}
+	if got.FeatDim != 8 || got.Classes != 3 {
+		t.Fatalf("metadata lost")
+	}
+}
+
+func TestReadBinaryRejectsGarbage(t *testing.T) {
+	if _, err := ReadBinary(bytes.NewReader([]byte("not a dataset"))); err == nil {
+		t.Fatalf("garbage accepted")
+	}
+	if _, err := ReadBinary(bytes.NewReader(nil)); err == nil {
+		t.Fatalf("empty input accepted")
+	}
+}
+
+func TestReadBinaryRejectsTruncation(t *testing.T) {
+	g := gen.Generate("tr", gen.DefaultBTER(100, 4, 9), 4, 2, false)
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	for _, cut := range []int{10, len(full) / 2, len(full) - 3} {
+		if _, err := ReadBinary(bytes.NewReader(full[:cut])); err == nil {
+			t.Fatalf("truncation at %d accepted", cut)
+		}
+	}
+}
+
+func TestParseEdgeListBasic(t *testing.T) {
+	text := "# comment\n0 1\n1 2\n\n% another comment\n2 0\n"
+	a, err := ParseEdgeList([]byte(text), 3, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.NNZ() != 3 {
+		t.Fatalf("nnz=%d", a.NNZ())
+	}
+	d := a.ToDenseRows()
+	if d[0][1] != 1 || d[1][2] != 1 || d[2][0] != 1 {
+		t.Fatalf("edges wrong: %v", d)
+	}
+}
+
+func TestParseEdgeListSymmetrize(t *testing.T) {
+	a, err := ParseEdgeList([]byte("0 1\n"), 2, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.NNZ() != 2 {
+		t.Fatalf("nnz=%d, want both directions", a.NNZ())
+	}
+}
+
+func TestParseEdgeListErrors(t *testing.T) {
+	if _, err := ParseEdgeList([]byte("0 5\n"), 3, false); err == nil {
+		t.Fatalf("out-of-range vertex accepted")
+	}
+	if _, err := ParseEdgeList([]byte("0 x\n"), 3, false); err == nil {
+		t.Fatalf("non-numeric vertex accepted")
+	}
+	if _, err := ParseEdgeList([]byte("0\n"), 3, false); err == nil {
+		t.Fatalf("missing endpoint accepted")
+	}
+}
+
+func TestParseEdgeListParallelChunksMatchSequential(t *testing.T) {
+	// A large input exercises the chunk splitter; result must equal the
+	// direct COO build regardless of where chunk boundaries fall.
+	adj := gen.BTER(gen.DefaultBTER(800, 12, 13))
+	var sb strings.Builder
+	if err := WriteEdgeList(&sb, adj); err != nil {
+		t.Fatal(err)
+	}
+	parsed, err := ParseEdgeList([]byte(sb.String()), adj.Rows, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if parsed.NNZ() != adj.NNZ() {
+		t.Fatalf("nnz %d != %d", parsed.NNZ(), adj.NNZ())
+	}
+	for i := range adj.ColIdx {
+		if parsed.ColIdx[i] != adj.ColIdx[i] {
+			t.Fatalf("structure differs at %d", i)
+		}
+	}
+}
+
+func TestWriteEdgeListFormat(t *testing.T) {
+	a := sparse.FromCoo(2, 2, []sparse.Coo{{Row: 0, Col: 1}}, false)
+	var sb strings.Builder
+	if err := WriteEdgeList(&sb, a); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.HasPrefix(out, "#") || !strings.Contains(out, "0 1\n") {
+		t.Fatalf("format wrong: %q", out)
+	}
+}
+
+func TestEdgeListRoundTripStats(t *testing.T) {
+	for _, n := range []int{10, 100, 500} {
+		adj := gen.BTER(gen.DefaultBTER(n, 5, uint64(n)))
+		var sb strings.Builder
+		if err := WriteEdgeList(&sb, adj); err != nil {
+			t.Fatal(err)
+		}
+		back, err := ParseEdgeList([]byte(sb.String()), n, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if back.NNZ() != adj.NNZ() {
+			t.Fatalf("n=%d: nnz %d != %d", n, back.NNZ(), adj.NNZ())
+		}
+	}
+}
+
+func TestBinarySizeReasonable(t *testing.T) {
+	g := gen.Generate("sz", gen.DefaultBTER(1000, 10, 3), 8, 4, false)
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	// CSR + features + labels + masks; ballpark check against raw sizes.
+	raw := int(g.M())*4 + (g.N()+1)*8 + g.N()*8*4 + g.N()*4 + 3*g.N()
+	if buf.Len() < raw/2 || buf.Len() > raw*2 {
+		t.Fatalf("binary size %d far from raw %d", buf.Len(), raw)
+	}
+	_ = fmt.Sprintf("%d", raw)
+}
+
+func TestReadBinaryNeverPanicsOnRandomBytes(t *testing.T) {
+	// Failure injection: arbitrary byte soup must produce errors, not
+	// panics or hangs.
+	check := func(data []byte) bool {
+		_, err := ReadBinary(bytes.NewReader(data))
+		return err != nil
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReadBinaryRejectsBitFlips(t *testing.T) {
+	g := gen.Generate("flip", gen.DefaultBTER(80, 4, 17), 4, 2, false)
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	// Flip bytes in the header region: must never panic; most flips error,
+	// a benign flip may still parse — either way Validate guards us.
+	for pos := 0; pos < 32 && pos < len(full); pos++ {
+		mut := append([]byte(nil), full...)
+		mut[pos] ^= 0xff
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("panic on header flip at %d: %v", pos, r)
+				}
+			}()
+			g2, err := ReadBinary(bytes.NewReader(mut))
+			if err == nil && g2.Validate() != nil {
+				t.Fatalf("flip at %d produced invalid graph without error", pos)
+			}
+		}()
+	}
+}

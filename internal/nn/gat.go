@@ -1,0 +1,231 @@
+package nn
+
+import (
+	"fmt"
+	"math/rand"
+
+	"mggcn/internal/graph"
+	"mggcn/internal/sparse"
+	"mggcn/internal/tensor"
+)
+
+// GAT is a single-head Graph Attention Network — the model the paper names
+// as the target of its SDDMM future work (§7). One layer computes
+//
+//	Z = H W
+//	e(v,u)   = LeakyReLU(s1_u + s2_v),  s1 = Z a1, s2 = Z a2   (u -> v edges)
+//	alpha    = row-softmax of e over each destination v's in-edges
+//	out_v    = sum_u alpha(v,u) Z_u,    H' = ReLU(out) except the last layer
+//
+// using the decomposed attention (two dense mat-vecs + an SDDMM-patterned
+// edge score) that makes GAT tractable on sparse graphs.
+type GAT struct {
+	AT   *sparse.CSR // attention pattern: row v holds v's in-neighbors u
+	Dims []int
+
+	Weights []*tensor.Dense // W per layer
+	AttnSrc []*tensor.Dense // a1 per layer (d' x 1)
+	AttnDst []*tensor.Dense // a2 per layer (d' x 1)
+
+	// LeakySlope is the LeakyReLU negative slope of the attention scores.
+	LeakySlope float32
+
+	// forward caches for the backward pass
+	inputs []*tensor.Dense // H per layer
+	zs     []*tensor.Dense // Z per layer
+	pre    []*sparse.CSR   // pre-activation edge scores per layer
+	alphas []*sparse.CSR   // attention coefficients per layer
+	outs   []*tensor.Dense // aggregation output per layer (pre-ReLU)
+}
+
+// NewGAT builds a GAT for the graph with the given layer widths.
+func NewGAT(g *graph.Graph, dims []int, seed int64) *GAT {
+	if dims[0] != g.FeatDim {
+		panic(fmt.Sprintf("nn: dims[0]=%d, features=%d", dims[0], g.FeatDim))
+	}
+	if dims[len(dims)-1] != g.Classes {
+		panic(fmt.Sprintf("nn: dims[L]=%d, classes=%d", dims[len(dims)-1], g.Classes))
+	}
+	rng := rand.New(rand.NewSource(seed))
+	m := &GAT{AT: g.Adj.Transpose(), Dims: dims, LeakySlope: 0.2}
+	for l := 0; l+1 < len(dims); l++ {
+		m.Weights = append(m.Weights, GlorotUniform(dims[l], dims[l+1], rng))
+		m.AttnSrc = append(m.AttnSrc, GlorotUniform(dims[l+1], 1, rng))
+		m.AttnDst = append(m.AttnDst, GlorotUniform(dims[l+1], 1, rng))
+	}
+	return m
+}
+
+// Layers returns the layer count.
+func (m *GAT) Layers() int { return len(m.Weights) }
+
+// Params returns every trainable tensor in a fixed order (for Adam).
+func (m *GAT) Params() []*tensor.Dense {
+	var out []*tensor.Dense
+	for l := 0; l < m.Layers(); l++ {
+		out = append(out, m.Weights[l], m.AttnSrc[l], m.AttnDst[l])
+	}
+	return out
+}
+
+// Forward runs the model and returns the logits.
+func (m *GAT) Forward(x *tensor.Dense) *tensor.Dense {
+	L := m.Layers()
+	m.inputs = make([]*tensor.Dense, L)
+	m.zs = make([]*tensor.Dense, L)
+	m.pre = make([]*sparse.CSR, L)
+	m.alphas = make([]*sparse.CSR, L)
+	m.outs = make([]*tensor.Dense, L)
+	h := x
+	for l := 0; l < L; l++ {
+		m.inputs[l] = h
+		w := m.Weights[l]
+		z := tensor.NewDense(h.Rows, w.Cols)
+		tensor.Gemm(1, h, w, 0, z)
+		m.zs[l] = z
+		// Edge scores: e(v,u) = LeakyReLU(s1_u + s2_v) on the pattern.
+		s1 := tensor.NewDense(z.Rows, 1)
+		tensor.Gemm(1, z, m.AttnSrc[l], 0, s1)
+		s2 := tensor.NewDense(z.Rows, 1)
+		tensor.Gemm(1, z, m.AttnDst[l], 0, s2)
+		raw := edgeScores(m.AT, s1, s2)
+		m.pre[l] = raw
+		scored := sparse.LeakyReLUVals(raw, m.LeakySlope)
+		alpha := sparse.RowSoftmax(scored)
+		m.alphas[l] = alpha
+		out := tensor.NewDense(z.Rows, w.Cols)
+		sparse.SpMM(alpha, z, 0, out)
+		m.outs[l] = out
+		if l < L-1 {
+			next := tensor.NewDense(out.Rows, out.Cols)
+			tensor.ReLU(next, out)
+			h = next
+		} else {
+			h = out
+		}
+	}
+	return h
+}
+
+// edgeScores builds the CSR of raw attention logits: entry (v, u) of the
+// pattern gets s1[u] + s2[v].
+func edgeScores(pattern *sparse.CSR, s1, s2 *tensor.Dense) *sparse.CSR {
+	out := &sparse.CSR{
+		Rows: pattern.Rows, Cols: pattern.Cols,
+		RowPtr: pattern.RowPtr, ColIdx: pattern.ColIdx,
+		Vals: make([]float32, pattern.NNZ()),
+	}
+	for v := 0; v < pattern.Rows; v++ {
+		dst := s2.At(v, 0)
+		for k := pattern.RowPtr[v]; k < pattern.RowPtr[v+1]; k++ {
+			out.Vals[k] = s1.At(int(pattern.ColIdx[k]), 0) + dst
+		}
+	}
+	return out
+}
+
+// Backward takes dLoss/dLogits and returns gradients in Params() order.
+func (m *GAT) Backward(gradLogits *tensor.Dense) []*tensor.Dense {
+	if m.inputs == nil {
+		panic("nn: GAT Backward before Forward")
+	}
+	L := m.Layers()
+	grads := make([]*tensor.Dense, 3*L)
+	g := gradLogits
+	for l := L - 1; l >= 0; l-- {
+		if l < L-1 {
+			masked := tensor.NewDense(g.Rows, g.Cols)
+			relu := tensor.NewDense(g.Rows, g.Cols)
+			tensor.ReLU(relu, m.outs[l])
+			tensor.ReLUBackward(masked, g, relu)
+			g = masked
+		}
+		z, alpha := m.zs[l], m.alphas[l]
+		// out = alpha Z: dZ (aggregation path) and dAlpha.
+		dZ := tensor.NewDense(z.Rows, z.Cols)
+		sparse.SpMM(alpha.Transpose(), g, 0, dZ)
+		dAlpha := sparse.SDDMM(alpha, g, z)
+		// Softmax and LeakyReLU backward on the edge scores.
+		dScored := sparse.RowSoftmaxBackward(alpha, dAlpha)
+		dPre := leakyBackwardVals(m.pre[l], dScored, m.LeakySlope)
+		// e(v,u) = s1_u + s2_v: column sums feed s1, row sums feed s2.
+		ds1 := sparse.ColSums(dPre)
+		ds2 := sparse.RowSums(dPre)
+		// dZ += ds1 a1ᵀ + ds2 a2ᵀ (rank-1 updates per vertex).
+		addOuter(dZ, ds1, m.AttnSrc[l])
+		addOuter(dZ, ds2, m.AttnDst[l])
+		// da1 = Zᵀ ds1; da2 = Zᵀ ds2.
+		da1 := vecGemmTA(z, ds1)
+		da2 := vecGemmTA(z, ds2)
+		// dW = Hᵀ dZ; dH = dZ Wᵀ.
+		dW := tensor.NewDense(m.Weights[l].Rows, m.Weights[l].Cols)
+		tensor.GemmTA(1, m.inputs[l], dZ, 0, dW)
+		grads[3*l], grads[3*l+1], grads[3*l+2] = dW, da1, da2
+		if l > 0 {
+			dH := tensor.NewDense(dZ.Rows, m.Weights[l].Rows)
+			tensor.GemmTB(1, dZ, m.Weights[l], 0, dH)
+			g = dH
+		}
+	}
+	return grads
+}
+
+// leakyBackwardVals routes the gradient through the LeakyReLU on edge
+// values: dPre_k = dScored_k * (1 if pre_k > 0 else slope).
+func leakyBackwardVals(pre, dScored *sparse.CSR, slope float32) *sparse.CSR {
+	out := &sparse.CSR{
+		Rows: pre.Rows, Cols: pre.Cols,
+		RowPtr: pre.RowPtr, ColIdx: pre.ColIdx,
+		Vals: make([]float32, pre.NNZ()),
+	}
+	for k, v := range pre.Vals {
+		if v > 0 {
+			out.Vals[k] = dScored.Vals[k]
+		} else {
+			out.Vals[k] = slope * dScored.Vals[k]
+		}
+	}
+	return out
+}
+
+// addOuter computes dst += s * aᵀ where s is a per-row scalar vector and a
+// a column vector (d' x 1).
+func addOuter(dst *tensor.Dense, s []float32, a *tensor.Dense) {
+	for i := 0; i < dst.Rows; i++ {
+		si := s[i]
+		if si == 0 {
+			continue
+		}
+		row := dst.Row(i)
+		for j := range row {
+			row[j] += si * a.At(j, 0)
+		}
+	}
+}
+
+// vecGemmTA computes Zᵀ s as a (d' x 1) matrix for a per-row scalar s.
+func vecGemmTA(z *tensor.Dense, s []float32) *tensor.Dense {
+	out := tensor.NewDense(z.Cols, 1)
+	for i := 0; i < z.Rows; i++ {
+		si := s[i]
+		if si == 0 {
+			continue
+		}
+		row := z.Row(i)
+		for j, v := range row {
+			out.Data[j] += si * v
+		}
+	}
+	return out
+}
+
+// TrainEpoch runs one full-batch GAT epoch with Adam.
+func (m *GAT) TrainEpoch(g *graph.Graph, opt *Adam) EpochResult {
+	logits := m.Forward(g.Features)
+	acc := Accuracy(logits, g.Labels, g.TrainMask)
+	grad := tensor.NewDense(logits.Rows, logits.Cols)
+	loss, _ := SoftmaxCrossEntropy(logits, g.Labels, g.TrainMask, grad)
+	grads := m.Backward(grad)
+	opt.Step(m.Params(), grads)
+	return EpochResult{Loss: loss, TrainAcc: acc}
+}

@@ -1,0 +1,152 @@
+package nn
+
+import (
+	"math"
+	"testing"
+
+	"mggcn/internal/gen"
+	"mggcn/internal/graph"
+	"mggcn/internal/sparse"
+	"mggcn/internal/tensor"
+)
+
+func gatTestGraph() *graph.Graph {
+	adj := sparse.FromCoo(5, 5, []sparse.Coo{
+		{Row: 0, Col: 1}, {Row: 1, Col: 0}, {Row: 1, Col: 2}, {Row: 2, Col: 1},
+		{Row: 3, Col: 4}, {Row: 4, Col: 3}, {Row: 2, Col: 3}, {Row: 3, Col: 2},
+		{Row: 0, Col: 4}, {Row: 4, Col: 0},
+	}, false)
+	feats := tensor.NewDense(5, 3)
+	vals := []float32{0.2, -0.1, 0.5, 0.3, 0.9, -0.4, -0.7, 0.1, 0.6, 0.2, -0.3, 0.8, 0.4, 0.5, -0.2}
+	copy(feats.Data, vals)
+	return &graph.Graph{
+		Name: "gat", Adj: adj, Features: feats,
+		Labels: []int32{0, 1, 0, 1, 0}, Classes: 2, FeatDim: 3,
+	}
+}
+
+func TestGATForwardShapes(t *testing.T) {
+	g := gatTestGraph()
+	m := NewGAT(g, []int{3, 4, 2}, 1)
+	logits := m.Forward(g.Features)
+	if logits.Rows != 5 || logits.Cols != 2 {
+		t.Fatalf("logits %dx%d", logits.Rows, logits.Cols)
+	}
+	if m.Layers() != 2 || len(m.Params()) != 6 {
+		t.Fatalf("layers/params wrong")
+	}
+}
+
+func TestGATAttentionRowsSumToOne(t *testing.T) {
+	g := gatTestGraph()
+	m := NewGAT(g, []int{3, 4, 2}, 2)
+	m.Forward(g.Features)
+	for l, alpha := range m.alphas {
+		for v := 0; v < alpha.Rows; v++ {
+			_, vals := alpha.Row(v)
+			if len(vals) == 0 {
+				continue
+			}
+			var s float64
+			for _, a := range vals {
+				s += float64(a)
+			}
+			if math.Abs(s-1) > 1e-5 {
+				t.Fatalf("layer %d row %d attention sums to %v", l, v, s)
+			}
+		}
+	}
+}
+
+// TestGATGradientFiniteDifference validates the complete backward pass —
+// attention softmax, LeakyReLU edge scores, the two attention vectors, and
+// the weight path — against central differences.
+func TestGATGradientFiniteDifference(t *testing.T) {
+	g := gatTestGraph()
+	m := NewGAT(g, []int{3, 4, 2}, 3)
+	lossAt := func() float64 {
+		logits := m.Forward(g.Features)
+		tmp := tensor.NewDense(logits.Rows, logits.Cols)
+		loss, _ := SoftmaxCrossEntropy(logits, g.Labels, nil, tmp)
+		return loss
+	}
+	logits := m.Forward(g.Features)
+	gl := tensor.NewDense(logits.Rows, logits.Cols)
+	SoftmaxCrossEntropy(logits, g.Labels, nil, gl)
+	grads := m.Backward(gl)
+	params := m.Params()
+	const h = 5e-3
+	for pi, p := range params {
+		for idx := 0; idx < len(p.Data); idx += 2 {
+			orig := p.Data[idx]
+			p.Data[idx] = orig + h
+			up := lossAt()
+			p.Data[idx] = orig - h
+			down := lossAt()
+			p.Data[idx] = orig
+			fd := (up - down) / (2 * h)
+			got := float64(grads[pi].Data[idx])
+			if math.Abs(fd-got) > 1e-2*(1+math.Abs(fd)) {
+				t.Fatalf("param %d idx %d: analytic %v, fd %v", pi, idx, got, fd)
+			}
+		}
+	}
+}
+
+func TestGATTrainingLearns(t *testing.T) {
+	g := gen.Generate("gat-train", gen.DefaultBTER(150, 8, 31), 12, 3, false)
+	m := NewGAT(g, []int{12, 16, 3}, 4)
+	opt := NewAdam(0.01, m.Params())
+	first := m.TrainEpoch(g, opt)
+	var last EpochResult
+	for e := 0; e < 80; e++ {
+		last = m.TrainEpoch(g, opt)
+	}
+	if last.Loss >= first.Loss {
+		t.Fatalf("GAT loss did not decrease: %v -> %v", first.Loss, last.Loss)
+	}
+	if last.TrainAcc < 0.65 {
+		t.Fatalf("GAT accuracy %v", last.TrainAcc)
+	}
+}
+
+func TestGATDimChecks(t *testing.T) {
+	g := gatTestGraph()
+	for _, dims := range [][]int{{2, 4, 2}, {3, 4, 5}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("expected panic for dims %v", dims)
+				}
+			}()
+			NewGAT(g, dims, 1)
+		}()
+	}
+}
+
+func TestGATBackwardBeforeForwardPanics(t *testing.T) {
+	g := gatTestGraph()
+	m := NewGAT(g, []int{3, 2}, 1)
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("expected panic")
+		}
+	}()
+	m.Backward(tensor.NewDense(5, 2))
+}
+
+func TestGATDeterministic(t *testing.T) {
+	g := gatTestGraph()
+	run := func() float64 {
+		m := NewGAT(g, []int{3, 4, 2}, 9)
+		opt := NewAdam(0.01, m.Params())
+		var last EpochResult
+		for e := 0; e < 5; e++ {
+			last = m.TrainEpoch(g, opt)
+		}
+		return last.Loss
+	}
+	if a, b := run(), run(); a != b {
+		t.Fatalf("GAT training not deterministic: %v vs %v", a, b)
+	}
+}

@@ -1,0 +1,50 @@
+// Package nn holds the neural-network building blocks shared by the
+// distributed trainer and the baselines: Glorot initialization, the Adam
+// optimizer (§6's optimizer), softmax cross-entropy, accuracy metrics, and
+// a plain sequential GCN that serves as the correctness oracle for the
+// distributed implementation.
+package nn
+
+import (
+	"math"
+	"math/rand"
+
+	"mggcn/internal/tensor"
+)
+
+// GlorotUniform fills a fanIn x fanOut weight matrix with the Xavier/Glorot
+// uniform distribution U(-a, a), a = sqrt(6/(fanIn+fanOut)).
+func GlorotUniform(fanIn, fanOut int, rng *rand.Rand) *tensor.Dense {
+	w := tensor.NewDense(fanIn, fanOut)
+	a := math.Sqrt(6.0 / float64(fanIn+fanOut))
+	for i := range w.Data {
+		w.Data[i] = float32((rng.Float64()*2 - 1) * a)
+	}
+	return w
+}
+
+// InitWeights builds the weight stack for a GCN with the given layer widths
+// (dims[0] = input features, dims[L] = classes): W[l] is dims[l] x dims[l+1].
+func InitWeights(dims []int, seed int64) []*tensor.Dense {
+	rng := rand.New(rand.NewSource(seed))
+	ws := make([]*tensor.Dense, len(dims)-1)
+	for l := range ws {
+		ws[l] = GlorotUniform(dims[l], dims[l+1], rng)
+	}
+	return ws
+}
+
+// LayerDims expands a model config (input features, hidden width, layer
+// count, classes) into the dims vector used by InitWeights: layers-1 hidden
+// widths between the input and output dims.
+func LayerDims(features, hidden, layers, classes int) []int {
+	if layers < 1 {
+		panic("nn: need at least one layer")
+	}
+	dims := make([]int, 0, layers+1)
+	dims = append(dims, features)
+	for l := 0; l < layers-1; l++ {
+		dims = append(dims, hidden)
+	}
+	return append(dims, classes)
+}

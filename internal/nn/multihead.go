@@ -1,0 +1,214 @@
+package nn
+
+import (
+	"fmt"
+	"math/rand"
+
+	"mggcn/internal/graph"
+	"mggcn/internal/sparse"
+	"mggcn/internal/tensor"
+)
+
+// MultiHeadGAT is the K-head Graph Attention Network of Veličković et al.,
+// the full version of the §7 future-work model: each layer runs K
+// independent attention heads whose outputs are concatenated on hidden
+// layers and averaged on the output layer.
+type MultiHeadGAT struct {
+	AT    *sparse.CSR
+	Dims  []int // layer widths after concatenation; hidden dims divisible by Heads
+	Heads int
+	// LeakySlope is the attention-score LeakyReLU negative slope.
+	LeakySlope float32
+
+	// Per [layer][head] parameters.
+	Weights [][]*tensor.Dense
+	AttnSrc [][]*tensor.Dense
+	AttnDst [][]*tensor.Dense
+
+	// forward caches, per [layer][head]
+	inputs []*tensor.Dense
+	zs     [][]*tensor.Dense
+	pre    [][]*sparse.CSR
+	alphas [][]*sparse.CSR
+	outs   []*tensor.Dense // concatenated/averaged layer outputs, pre-ReLU
+}
+
+// headDim returns layer l's per-head output width.
+func (m *MultiHeadGAT) headDim(l int) int {
+	if l == m.Layers()-1 {
+		return m.Dims[l+1] // output heads are averaged, each full width
+	}
+	return m.Dims[l+1] / m.Heads
+}
+
+// NewMultiHeadGAT builds the model; every hidden width must be divisible
+// by heads.
+func NewMultiHeadGAT(g *graph.Graph, dims []int, heads int, seed int64) *MultiHeadGAT {
+	if heads < 1 {
+		panic("nn: need at least one head")
+	}
+	if dims[0] != g.FeatDim || dims[len(dims)-1] != g.Classes {
+		panic(fmt.Sprintf("nn: dims %v do not match graph (d0=%d, classes=%d)", dims, g.FeatDim, g.Classes))
+	}
+	for l := 1; l < len(dims)-1; l++ {
+		if dims[l]%heads != 0 {
+			panic(fmt.Sprintf("nn: hidden width %d not divisible by %d heads", dims[l], heads))
+		}
+	}
+	rng := rand.New(rand.NewSource(seed))
+	m := &MultiHeadGAT{AT: g.Adj.Transpose(), Dims: dims, Heads: heads, LeakySlope: 0.2}
+	for l := 0; l+1 < len(dims); l++ {
+		hd := dims[l+1]
+		if l < len(dims)-2 {
+			hd = dims[l+1] / heads
+		}
+		var ws, a1s, a2s []*tensor.Dense
+		for h := 0; h < heads; h++ {
+			ws = append(ws, GlorotUniform(dims[l], hd, rng))
+			a1s = append(a1s, GlorotUniform(hd, 1, rng))
+			a2s = append(a2s, GlorotUniform(hd, 1, rng))
+		}
+		m.Weights = append(m.Weights, ws)
+		m.AttnSrc = append(m.AttnSrc, a1s)
+		m.AttnDst = append(m.AttnDst, a2s)
+	}
+	return m
+}
+
+// Layers returns the layer count.
+func (m *MultiHeadGAT) Layers() int { return len(m.Weights) }
+
+// Params returns every trainable tensor in a fixed order.
+func (m *MultiHeadGAT) Params() []*tensor.Dense {
+	var out []*tensor.Dense
+	for l := 0; l < m.Layers(); l++ {
+		for h := 0; h < m.Heads; h++ {
+			out = append(out, m.Weights[l][h], m.AttnSrc[l][h], m.AttnDst[l][h])
+		}
+	}
+	return out
+}
+
+// Forward runs the model and returns the logits.
+func (m *MultiHeadGAT) Forward(x *tensor.Dense) *tensor.Dense {
+	L := m.Layers()
+	m.inputs = make([]*tensor.Dense, L)
+	m.zs = make([][]*tensor.Dense, L)
+	m.pre = make([][]*sparse.CSR, L)
+	m.alphas = make([][]*sparse.CSR, L)
+	m.outs = make([]*tensor.Dense, L)
+	h := x
+	for l := 0; l < L; l++ {
+		m.inputs[l] = h
+		hd := m.headDim(l)
+		last := l == L-1
+		var out *tensor.Dense
+		if last {
+			out = tensor.NewDense(h.Rows, m.Dims[l+1])
+		} else {
+			out = tensor.NewDense(h.Rows, hd*m.Heads)
+		}
+		m.zs[l] = make([]*tensor.Dense, m.Heads)
+		m.pre[l] = make([]*sparse.CSR, m.Heads)
+		m.alphas[l] = make([]*sparse.CSR, m.Heads)
+		for head := 0; head < m.Heads; head++ {
+			z := tensor.NewDense(h.Rows, hd)
+			tensor.Gemm(1, h, m.Weights[l][head], 0, z)
+			m.zs[l][head] = z
+			s1 := tensor.NewDense(z.Rows, 1)
+			tensor.Gemm(1, z, m.AttnSrc[l][head], 0, s1)
+			s2 := tensor.NewDense(z.Rows, 1)
+			tensor.Gemm(1, z, m.AttnDst[l][head], 0, s2)
+			raw := edgeScores(m.AT, s1, s2)
+			m.pre[l][head] = raw
+			alpha := sparse.RowSoftmax(sparse.LeakyReLUVals(raw, m.LeakySlope))
+			m.alphas[l][head] = alpha
+			headOut := tensor.NewDense(z.Rows, hd)
+			sparse.SpMM(alpha, z, 0, headOut)
+			if last {
+				// Average the output heads.
+				tensor.AxpyInPlace(out, 1/float32(m.Heads), headOut)
+			} else {
+				out.ColSlice(head*hd, (head+1)*hd).CopyFrom(headOut)
+			}
+		}
+		m.outs[l] = out
+		if !last {
+			next := tensor.NewDense(out.Rows, out.Cols)
+			tensor.ReLU(next, out)
+			h = next
+		} else {
+			h = out
+		}
+	}
+	return h
+}
+
+// Backward takes dLoss/dLogits and returns gradients in Params() order.
+func (m *MultiHeadGAT) Backward(gradLogits *tensor.Dense) []*tensor.Dense {
+	if m.inputs == nil {
+		panic("nn: MultiHeadGAT Backward before Forward")
+	}
+	L := m.Layers()
+	grads := make([]*tensor.Dense, 3*L*m.Heads)
+	g := gradLogits
+	for l := L - 1; l >= 0; l-- {
+		if l < L-1 {
+			masked := tensor.NewDense(g.Rows, g.Cols)
+			relu := tensor.NewDense(g.Rows, g.Cols)
+			tensor.ReLU(relu, m.outs[l])
+			tensor.ReLUBackward(masked, g, relu)
+			g = masked
+		}
+		hd := m.headDim(l)
+		last := l == L-1
+		var dH *tensor.Dense
+		if l > 0 {
+			dH = tensor.NewDense(m.inputs[l].Rows, m.Dims[l])
+		}
+		for head := 0; head < m.Heads; head++ {
+			// Slice (concat) or scale (average) the incoming gradient.
+			var gHead *tensor.Dense
+			if last {
+				gHead = g.Clone()
+				tensor.ScaleInPlace(gHead, 1/float32(m.Heads))
+			} else {
+				gHead = g.ColSlice(head*hd, (head+1)*hd)
+			}
+			z, alpha := m.zs[l][head], m.alphas[l][head]
+			dZ := tensor.NewDense(z.Rows, z.Cols)
+			sparse.SpMM(alpha.Transpose(), gHead, 0, dZ)
+			dAlpha := sparse.SDDMM(alpha, gHead, z)
+			dScored := sparse.RowSoftmaxBackward(alpha, dAlpha)
+			dPre := leakyBackwardVals(m.pre[l][head], dScored, m.LeakySlope)
+			ds1 := sparse.ColSums(dPre)
+			ds2 := sparse.RowSums(dPre)
+			addOuter(dZ, ds1, m.AttnSrc[l][head])
+			addOuter(dZ, ds2, m.AttnDst[l][head])
+			da1 := vecGemmTA(z, ds1)
+			da2 := vecGemmTA(z, ds2)
+			dW := tensor.NewDense(m.Weights[l][head].Rows, m.Weights[l][head].Cols)
+			tensor.GemmTA(1, m.inputs[l], dZ, 0, dW)
+			base := 3 * (l*m.Heads + head)
+			grads[base], grads[base+1], grads[base+2] = dW, da1, da2
+			if l > 0 {
+				tensor.GemmTB(1, dZ, m.Weights[l][head], 1, dH)
+			}
+		}
+		if l > 0 {
+			g = dH
+		}
+	}
+	return grads
+}
+
+// TrainEpoch runs one full-batch multi-head GAT epoch with Adam.
+func (m *MultiHeadGAT) TrainEpoch(g *graph.Graph, opt *Adam) EpochResult {
+	logits := m.Forward(g.Features)
+	acc := Accuracy(logits, g.Labels, g.TrainMask)
+	grad := tensor.NewDense(logits.Rows, logits.Cols)
+	loss, _ := SoftmaxCrossEntropy(logits, g.Labels, g.TrainMask, grad)
+	grads := m.Backward(grad)
+	opt.Step(m.Params(), grads)
+	return EpochResult{Loss: loss, TrainAcc: acc}
+}

@@ -1,0 +1,121 @@
+package nn
+
+import (
+	"math"
+	"testing"
+
+	"mggcn/internal/gen"
+	"mggcn/internal/tensor"
+)
+
+func TestMultiHeadShapes(t *testing.T) {
+	g := gatTestGraph()
+	m := NewMultiHeadGAT(g, []int{3, 8, 2}, 4, 1)
+	logits := m.Forward(g.Features)
+	if logits.Rows != 5 || logits.Cols != 2 {
+		t.Fatalf("logits %dx%d", logits.Rows, logits.Cols)
+	}
+	// 2 layers x 4 heads x 3 tensors.
+	if len(m.Params()) != 24 {
+		t.Fatalf("params %d", len(m.Params()))
+	}
+	// Hidden heads produce 8/4 = 2 columns each.
+	if m.headDim(0) != 2 || m.headDim(1) != 2 {
+		t.Fatalf("head dims %d/%d", m.headDim(0), m.headDim(1))
+	}
+}
+
+func TestMultiHeadOneHeadMatchesSingleHeadGAT(t *testing.T) {
+	// With Heads=1 and identical parameters, MultiHeadGAT must equal GAT.
+	g := gatTestGraph()
+	single := NewGAT(g, []int{3, 4, 2}, 9)
+	multi := NewMultiHeadGAT(g, []int{3, 4, 2}, 1, 9)
+	for l := 0; l < 2; l++ {
+		multi.Weights[l][0].CopyFrom(single.Weights[l])
+		multi.AttnSrc[l][0].CopyFrom(single.AttnSrc[l])
+		multi.AttnDst[l][0].CopyFrom(single.AttnDst[l])
+	}
+	a := single.Forward(g.Features)
+	b := multi.Forward(g.Features)
+	if d := tensor.MaxAbsDiff(a, b); d > 1e-6 {
+		t.Fatalf("one-head multi diverges from single by %g", d)
+	}
+}
+
+func TestMultiHeadValidation(t *testing.T) {
+	g := gatTestGraph()
+	for _, f := range []func(){
+		func() { NewMultiHeadGAT(g, []int{3, 7, 2}, 2, 1) }, // 7 % 2 != 0
+		func() { NewMultiHeadGAT(g, []int{3, 4, 2}, 0, 1) }, // no heads
+		func() { NewMultiHeadGAT(g, []int{4, 4, 2}, 2, 1) }, // wrong d0
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestMultiHeadGradientFiniteDifference(t *testing.T) {
+	g := gatTestGraph()
+	m := NewMultiHeadGAT(g, []int{3, 4, 2}, 2, 3)
+	lossAt := func() float64 {
+		logits := m.Forward(g.Features)
+		tmp := tensor.NewDense(logits.Rows, logits.Cols)
+		loss, _ := SoftmaxCrossEntropy(logits, g.Labels, nil, tmp)
+		return loss
+	}
+	logits := m.Forward(g.Features)
+	gl := tensor.NewDense(logits.Rows, logits.Cols)
+	SoftmaxCrossEntropy(logits, g.Labels, nil, gl)
+	grads := m.Backward(gl)
+	params := m.Params()
+	const h = 5e-3
+	for pi, p := range params {
+		for idx := 0; idx < len(p.Data); idx += 2 {
+			orig := p.Data[idx]
+			p.Data[idx] = orig + h
+			up := lossAt()
+			p.Data[idx] = orig - h
+			down := lossAt()
+			p.Data[idx] = orig
+			fd := (up - down) / (2 * h)
+			got := float64(grads[pi].Data[idx])
+			if math.Abs(fd-got) > 1e-2*(1+math.Abs(fd)) {
+				t.Fatalf("param %d idx %d: analytic %v, fd %v", pi, idx, got, fd)
+			}
+		}
+	}
+}
+
+func TestMultiHeadTrainingLearns(t *testing.T) {
+	g := gen.Generate("mh-train", gen.DefaultBTER(150, 8, 41), 12, 3, false)
+	m := NewMultiHeadGAT(g, []int{12, 16, 3}, 4, 4)
+	opt := NewAdam(0.01, m.Params())
+	first := m.TrainEpoch(g, opt)
+	var last EpochResult
+	for e := 0; e < 80; e++ {
+		last = m.TrainEpoch(g, opt)
+	}
+	if last.Loss >= first.Loss {
+		t.Fatalf("multi-head loss did not decrease: %v -> %v", first.Loss, last.Loss)
+	}
+	if last.TrainAcc < 0.65 {
+		t.Fatalf("multi-head accuracy %v", last.TrainAcc)
+	}
+}
+
+func TestMultiHeadBackwardBeforeForwardPanics(t *testing.T) {
+	g := gatTestGraph()
+	m := NewMultiHeadGAT(g, []int{3, 4, 2}, 2, 1)
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("expected panic")
+		}
+	}()
+	m.Backward(tensor.NewDense(5, 2))
+}

@@ -1,0 +1,129 @@
+package nn
+
+import (
+	"fmt"
+
+	"mggcn/internal/graph"
+	"mggcn/internal/sparse"
+	"mggcn/internal/tensor"
+)
+
+// ReferenceGCN is a plain sequential full-batch GCN with none of MG-GCN's
+// partitioning, buffer sharing, or scheduling tricks. It exists to be
+// obviously correct: the distributed implementation must reproduce its
+// outputs, gradients, and accuracy curve (the paper's own correctness
+// check against DGL).
+type ReferenceGCN struct {
+	AT      *sparse.CSR // Âᵀ: normalized adjacency, transposed (eq. 1-2)
+	A       *sparse.CSR // Â: normalized adjacency (backward pass, eq. 9)
+	Weights []*tensor.Dense
+	Dims    []int
+
+	// Forward activations kept for the backward pass.
+	inputs []*tensor.Dense // H^(l): input of layer l (inputs[0] = X)
+	preAct []*tensor.Dense // AHW of layer l (post-aggregation, pre-ReLU)
+}
+
+// NewReferenceGCN builds the oracle for the graph with the given layer
+// widths; dims[0] must equal the graph's feature dimension and dims[L] the
+// class count.
+func NewReferenceGCN(g *graph.Graph, dims []int, seed int64) *ReferenceGCN {
+	if dims[0] != g.FeatDim {
+		panic(fmt.Sprintf("nn: dims[0]=%d, features=%d", dims[0], g.FeatDim))
+	}
+	if dims[len(dims)-1] != g.Classes {
+		panic(fmt.Sprintf("nn: dims[L]=%d, classes=%d", dims[len(dims)-1], g.Classes))
+	}
+	norm := g.NormalizedAdj()
+	return &ReferenceGCN{
+		AT:      norm.Transpose(),
+		A:       norm,
+		Weights: InitWeights(dims, seed),
+		Dims:    dims,
+	}
+}
+
+// Layers returns the layer count L.
+func (r *ReferenceGCN) Layers() int { return len(r.Weights) }
+
+// Forward runs the full forward pass on features x and returns the logits.
+// Per layer: HW = H W; AHW = Âᵀ HW; H' = ReLU(AHW) except the final layer,
+// whose raw AHW feeds the softmax loss.
+func (r *ReferenceGCN) Forward(x *tensor.Dense) *tensor.Dense {
+	L := r.Layers()
+	r.inputs = make([]*tensor.Dense, L)
+	r.preAct = make([]*tensor.Dense, L)
+	h := x
+	for l := 0; l < L; l++ {
+		r.inputs[l] = h
+		w := r.Weights[l]
+		hw := tensor.NewDense(h.Rows, w.Cols)
+		tensor.Gemm(1, h, w, 0, hw)
+		ahw := tensor.NewDense(h.Rows, w.Cols)
+		sparse.SpMM(r.AT, hw, 0, ahw)
+		r.preAct[l] = ahw
+		if l < L-1 {
+			next := tensor.NewDense(ahw.Rows, ahw.Cols)
+			tensor.ReLU(next, ahw)
+			h = next
+		} else {
+			h = ahw
+		}
+	}
+	return h
+}
+
+// Backward takes dLoss/dLogits and returns per-layer weight gradients,
+// following eqs. (8)-(11). It must be called after Forward.
+func (r *ReferenceGCN) Backward(gradLogits *tensor.Dense) []*tensor.Dense {
+	L := r.Layers()
+	if r.inputs == nil {
+		panic("nn: Backward before Forward")
+	}
+	grads := make([]*tensor.Dense, L)
+	g := gradLogits
+	for l := L - 1; l >= 0; l-- {
+		// eq. (8): push the gradient through the activation (the last
+		// layer has no ReLU; its gradient arrives raw from the loss).
+		ahwG := g
+		if l < L-1 {
+			masked := tensor.NewDense(g.Rows, g.Cols)
+			relu := tensor.NewDense(g.Rows, g.Cols)
+			tensor.ReLU(relu, r.preAct[l])
+			tensor.ReLUBackward(masked, g, relu)
+			ahwG = masked
+		}
+		// eq. (9): HW_G = Â * AHW_G.
+		hwG := tensor.NewDense(ahwG.Rows, ahwG.Cols)
+		sparse.SpMM(r.A, ahwG, 0, hwG)
+		// eq. (10): W_G = Hᵀ * HW_G.
+		wg := tensor.NewDense(r.Weights[l].Rows, r.Weights[l].Cols)
+		tensor.GemmTA(1, r.inputs[l], hwG, 0, wg)
+		grads[l] = wg
+		// eq. (11): H_G = HW_G * Wᵀ (not needed below layer 0).
+		if l > 0 {
+			hg := tensor.NewDense(hwG.Rows, r.Weights[l].Rows)
+			tensor.GemmTB(1, hwG, r.Weights[l], 0, hg)
+			g = hg
+		}
+	}
+	return grads
+}
+
+// EpochResult reports one training epoch of the oracle.
+type EpochResult struct {
+	Loss     float64
+	TrainAcc float64
+}
+
+// TrainEpoch runs one full-batch epoch (forward, loss, backward, Adam) and
+// returns the loss and training accuracy before the update.
+func (r *ReferenceGCN) TrainEpoch(g *graph.Graph, opt *Adam) EpochResult {
+	logits := r.Forward(g.Features)
+	acc := Accuracy(logits, g.Labels, g.TrainMask)
+	grad := tensor.NewDense(logits.Rows, logits.Cols)
+	loss, _ := SoftmaxCrossEntropy(logits, g.Labels, g.TrainMask, grad)
+	grads := r.Backward(grad)
+	opt.Step(r.Weights, grads)
+	return EpochResult{Loss: loss, TrainAcc: acc}
+}

@@ -1,0 +1,144 @@
+package nn
+
+import (
+	"math"
+	"testing"
+
+	"mggcn/internal/gen"
+	"mggcn/internal/graph"
+	"mggcn/internal/sparse"
+	"mggcn/internal/tensor"
+)
+
+func smallDataset(t *testing.T) *graph.Graph {
+	t.Helper()
+	g := gen.Generate("ref-test", gen.DefaultBTER(120, 6, 77), 12, 3, false)
+	return g
+}
+
+func TestReferenceForwardShapes(t *testing.T) {
+	g := smallDataset(t)
+	ref := NewReferenceGCN(g, []int{12, 8, 3}, 1)
+	logits := ref.Forward(g.Features)
+	if logits.Rows != g.N() || logits.Cols != 3 {
+		t.Fatalf("logits %dx%d", logits.Rows, logits.Cols)
+	}
+	if ref.Layers() != 2 {
+		t.Fatalf("layers %d", ref.Layers())
+	}
+}
+
+func TestReferenceDimChecks(t *testing.T) {
+	g := smallDataset(t)
+	for _, dims := range [][]int{{11, 8, 3}, {12, 8, 4}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("expected panic for dims %v", dims)
+				}
+			}()
+			NewReferenceGCN(g, dims, 1)
+		}()
+	}
+}
+
+func TestReferenceBackwardBeforeForwardPanics(t *testing.T) {
+	g := smallDataset(t)
+	ref := NewReferenceGCN(g, []int{12, 8, 3}, 1)
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("expected panic")
+		}
+	}()
+	ref.Backward(tensor.NewDense(g.N(), 3))
+}
+
+// TestReferenceGradientFiniteDifference validates the full backward pass
+// (eqs. 8-11) against central differences of the loss on a tiny graph.
+func TestReferenceGradientFiniteDifference(t *testing.T) {
+	adj := sparse.FromCoo(5, 5, []sparse.Coo{
+		{Row: 0, Col: 1}, {Row: 1, Col: 0}, {Row: 1, Col: 2}, {Row: 2, Col: 1},
+		{Row: 3, Col: 4}, {Row: 4, Col: 3}, {Row: 2, Col: 3}, {Row: 3, Col: 2},
+	}, false)
+	feats := tensor.NewDense(5, 3)
+	vals := []float32{0.2, -0.1, 0.5, 0.3, 0.9, -0.4, -0.7, 0.1, 0.6, 0.2, -0.3, 0.8, 0.4, 0.5, -0.2}
+	copy(feats.Data, vals)
+	g := &graph.Graph{
+		Name: "grad", Adj: adj, Features: feats,
+		Labels: []int32{0, 1, 0, 1, 0}, Classes: 2, FeatDim: 3,
+	}
+	ref := NewReferenceGCN(g, []int{3, 4, 2}, 3)
+
+	lossAt := func() float64 {
+		logits := ref.Forward(g.Features)
+		tmp := tensor.NewDense(logits.Rows, logits.Cols)
+		loss, _ := SoftmaxCrossEntropy(logits, g.Labels, nil, tmp)
+		return loss
+	}
+	logits := ref.Forward(g.Features)
+	gradLogits := tensor.NewDense(logits.Rows, logits.Cols)
+	SoftmaxCrossEntropy(logits, g.Labels, nil, gradLogits)
+	grads := ref.Backward(gradLogits)
+
+	const h = 1e-2
+	for l, w := range ref.Weights {
+		for idx := 0; idx < len(w.Data); idx += 3 { // sample every third param
+			orig := w.Data[idx]
+			w.Data[idx] = orig + h
+			up := lossAt()
+			w.Data[idx] = orig - h
+			down := lossAt()
+			w.Data[idx] = orig
+			fd := (up - down) / (2 * h)
+			got := float64(grads[l].Data[idx])
+			if math.Abs(fd-got) > 5e-3*(1+math.Abs(fd)) {
+				t.Fatalf("layer %d param %d: analytic %v, fd %v", l, idx, got, fd)
+			}
+		}
+	}
+}
+
+func TestReferenceTrainingLearns(t *testing.T) {
+	g := smallDataset(t)
+	ref := NewReferenceGCN(g, []int{12, 16, 3}, 2)
+	opt := NewAdam(0.01, ref.Weights)
+	first := ref.TrainEpoch(g, opt)
+	var last EpochResult
+	for e := 0; e < 60; e++ {
+		last = ref.TrainEpoch(g, opt)
+	}
+	if last.Loss >= first.Loss {
+		t.Fatalf("loss did not decrease: %v -> %v", first.Loss, last.Loss)
+	}
+	if last.TrainAcc < 0.7 {
+		t.Fatalf("train accuracy %v too low after training", last.TrainAcc)
+	}
+}
+
+func TestReferenceDeterministicTraining(t *testing.T) {
+	g := smallDataset(t)
+	run := func() float64 {
+		ref := NewReferenceGCN(g, []int{12, 8, 3}, 4)
+		opt := NewAdam(0.01, ref.Weights)
+		var last EpochResult
+		for e := 0; e < 5; e++ {
+			last = ref.TrainEpoch(g, opt)
+		}
+		return last.Loss
+	}
+	if a, b := run(), run(); a != b {
+		t.Fatalf("training not deterministic: %v vs %v", a, b)
+	}
+}
+
+func TestReferenceSingleLayer(t *testing.T) {
+	g := smallDataset(t)
+	ref := NewReferenceGCN(g, []int{12, 3}, 5)
+	logits := ref.Forward(g.Features)
+	grad := tensor.NewDense(logits.Rows, logits.Cols)
+	SoftmaxCrossEntropy(logits, g.Labels, g.TrainMask, grad)
+	grads := ref.Backward(grad)
+	if len(grads) != 1 || grads[0].Rows != 12 || grads[0].Cols != 3 {
+		t.Fatalf("single-layer gradients wrong shape")
+	}
+}

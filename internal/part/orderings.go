@@ -1,0 +1,90 @@
+package part
+
+import (
+	"sort"
+
+	"mggcn/internal/sparse"
+)
+
+// This file implements alternative vertex orderings for the §5.2 ablation:
+// the paper picks random permutation for load balance; these competitors
+// let the benchmarks quantify that choice. Each returns perm[old] = new.
+
+// DegreeSortPerm orders vertices by descending out-degree — the worst case
+// for uniform tiling (all heavy vertices in the first block), and
+// approximately what the generator's natural order already is.
+func DegreeSortPerm(a *sparse.CSR) []int32 {
+	n := a.Rows
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(x, y int) bool {
+		return a.RowNNZ(order[x]) > a.RowNNZ(order[y])
+	})
+	perm := make([]int32, n)
+	for newPos, old := range order {
+		perm[old] = int32(newPos)
+	}
+	return perm
+}
+
+// BFSPerm orders vertices by breadth-first traversal from the given seed
+// vertex (RCM-style locality ordering without the reversal): neighbors
+// stay close, which concentrates nonzeros near the diagonal — good for
+// cache locality, bad for uniform-tile balance on skewed graphs.
+func BFSPerm(a *sparse.CSR, seed int) []int32 {
+	n := a.Rows
+	perm := make([]int32, n)
+	for i := range perm {
+		perm[i] = -1
+	}
+	next := int32(0)
+	queue := make([]int32, 0, n)
+	visit := func(v int32) {
+		if perm[v] < 0 {
+			perm[v] = next
+			next++
+			queue = append(queue, v)
+		}
+	}
+	if seed < 0 || seed >= n {
+		seed = 0
+	}
+	visit(int32(seed))
+	for head := 0; head < len(queue); head++ {
+		cols, _ := a.Row(int(queue[head]))
+		for _, c := range cols {
+			visit(c)
+		}
+		// When a component is exhausted, continue from the next
+		// unvisited vertex so the permutation covers the whole graph.
+		if head == len(queue)-1 && int(next) < n {
+			for v := int32(0); int(v) < n; v++ {
+				if perm[v] < 0 {
+					visit(v)
+					break
+				}
+			}
+		}
+	}
+	return perm
+}
+
+// BlockCyclicPerm deals vertices round-robin across parts: vertex v goes
+// to position (v mod parts)*partSize + v/parts. A deterministic balancer
+// that spreads the degree-sorted natural order evenly without randomness.
+func BlockCyclicPerm(n, parts int) []int32 {
+	if parts < 1 {
+		parts = 1
+	}
+	perm := make([]int32, n)
+	pos := 0
+	for r := 0; r < parts; r++ {
+		for v := r; v < n; v += parts {
+			perm[v] = int32(pos)
+			pos++
+		}
+	}
+	return perm
+}

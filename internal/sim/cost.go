@@ -1,0 +1,114 @@
+package sim
+
+// Cost model: analytic kernel durations on one device of a MachineSpec.
+// Every kernel is a roofline max(memory time, compute time) plus a fixed
+// launch overhead; collectives are bytes over the topology's aggregate
+// link bandwidth plus latency. These formulas are what stand in for
+// nvprof-measured kernel times (DESIGN.md §2).
+
+// SpMMCost returns the duration of C[rows x d] (+)= A_tile * X_tile where
+// the sparse tile has nnz entries and the dense operand X_tile has xRows
+// rows. The dense-operand read volume is scaled by an L2 residency factor:
+// when the broadcast tile fits in cache (more GPUs => smaller tiles) the
+// random row gathers stop paying HBM prices — the source of Fig 9's
+// super-linear region.
+func (s MachineSpec) SpMMCost(nnz int64, rows, xRows, d int) float64 {
+	if nnz == 0 {
+		return s.KernelLaunch
+	}
+	miss := s.l2Miss(int64(xRows) * int64(d) * 4)
+	bytes := float64(nnz)*8 + // CSR column indices + values
+		float64(rows)*8 + // row pointers
+		float64(nnz)*float64(d)*4*miss + // gathered dense rows
+		float64(rows)*float64(d)*4*2 // accumulate: read + write C
+	flops := float64(2*nnz) * float64(d)
+	return roofline(bytes/s.MemBW, flops/s.Flops) + s.KernelLaunch
+}
+
+// l2Miss maps a working-set size to the fraction of dense-operand reads
+// that go to HBM: ~0 when the set fits in L2, ~1 when far larger.
+func (s MachineSpec) l2Miss(workingSet int64) float64 {
+	ws := float64(workingSet)
+	l2 := float64(s.L2Bytes)
+	// Smooth saturating ratio; at ws == l2 half the accesses miss.
+	return ws / (ws + l2)
+}
+
+// GemmCost returns the duration of an m x k x n dense multiplication.
+func (s MachineSpec) GemmCost(m, k, n int) float64 {
+	if m == 0 || k == 0 || n == 0 {
+		return s.KernelLaunch
+	}
+	bytes := 4 * float64(int64(m)*int64(k)+int64(k)*int64(n)+2*int64(m)*int64(n))
+	flops := 2 * float64(m) * float64(k) * float64(n)
+	return roofline(bytes/s.MemBW, flops/s.Flops) + s.KernelLaunch
+}
+
+// ElementwiseCost returns the duration of an elementwise pass over elems
+// values reading readArrays arrays and writing one.
+func (s MachineSpec) ElementwiseCost(elems int64, readArrays int) float64 {
+	bytes := float64(elems) * 4 * float64(readArrays+1)
+	return bytes/s.MemBW + s.KernelLaunch
+}
+
+// LossCost returns the duration of a softmax cross-entropy (forward +
+// gradient) over rows x classes logits.
+func (s MachineSpec) LossCost(rows, classes int) float64 {
+	elems := float64(int64(rows) * int64(classes))
+	bytes := elems * 4 * 3 // read logits, write probs, write grad
+	flops := elems * 8     // exp + normalization arithmetic
+	return roofline(bytes/s.MemBW, flops/s.Flops) + s.KernelLaunch
+}
+
+// AdamCost returns the duration of an Adam update over nParams parameters
+// (param, grad, m, v read; param, m, v written).
+func (s MachineSpec) AdamCost(nParams int64) float64 {
+	bytes := float64(nParams) * 4 * 7
+	return bytes/s.MemBW + s.KernelLaunch
+}
+
+// BroadcastCost returns the duration of broadcasting bytes to a group of
+// groupSize GPUs.
+func (s MachineSpec) BroadcastCost(bytes int64, groupSize int) float64 {
+	if groupSize < 2 {
+		return 0
+	}
+	return float64(bytes)/s.CollectiveBW(groupSize) + s.CommLatency
+}
+
+// ReduceCost returns the duration of reducing bytes across a group.
+func (s MachineSpec) ReduceCost(bytes int64, groupSize int) float64 {
+	return s.BroadcastCost(bytes, groupSize)
+}
+
+// AllReduceCost returns the duration of a ring all-reduce of bytes across
+// groupSize GPUs: 2(P-1)/P traversals of the payload.
+func (s MachineSpec) AllReduceCost(bytes int64, groupSize int) float64 {
+	if groupSize < 2 {
+		return 0
+	}
+	vol := 2 * float64(groupSize-1) / float64(groupSize) * float64(bytes)
+	return vol/s.CollectiveBW(groupSize) + 2*s.CommLatency
+}
+
+func roofline(memTime, computeTime float64) float64 {
+	if memTime > computeTime {
+		return memTime
+	}
+	return computeTime
+}
+
+// SDDMMCost returns the duration of a sampled dense-dense multiplication
+// over nnz sampled positions with d-wide operands — the future-work kernel
+// of §7. Two dense rows are gathered per nonzero; one scalar is written.
+func (s MachineSpec) SDDMMCost(nnz int64, rows, d int) float64 {
+	if nnz == 0 {
+		return s.KernelLaunch
+	}
+	miss := s.l2Miss(int64(rows) * int64(d) * 4)
+	bytes := float64(nnz)*8 + // indices
+		2*float64(nnz)*float64(d)*4*miss + // two gathered rows
+		float64(nnz)*4 // scalar output
+	flops := float64(2*nnz) * float64(d)
+	return roofline(bytes/s.MemBW, flops/s.Flops) + s.KernelLaunch
+}

@@ -1,0 +1,141 @@
+package sim
+
+import (
+	"math"
+	"testing"
+)
+
+func TestSpMMCostScalesWithNNZ(t *testing.T) {
+	s := DGXV100()
+	c1 := s.SpMMCost(1_000_000, 10_000, 10_000, 128)
+	c2 := s.SpMMCost(2_000_000, 10_000, 10_000, 128)
+	if c2 <= c1 {
+		t.Fatalf("cost must grow with nnz: %g vs %g", c1, c2)
+	}
+	ratio := c2 / c1
+	if ratio < 1.3 || ratio > 2.2 {
+		t.Fatalf("nnz doubling gave ratio %v; expect near-linear growth", ratio)
+	}
+}
+
+func TestSpMMCostCacheEffect(t *testing.T) {
+	// Same nnz, same output rows, but a smaller dense operand (a broadcast
+	// tile from a larger GPU count) must be cheaper — Fig 9's mechanism.
+	s := DGXV100()
+	big := s.SpMMCost(5_000_000, 10_000, 200_000, 512)
+	small := s.SpMMCost(5_000_000, 10_000, 2_000, 512)
+	if small >= big {
+		t.Fatalf("cache-resident tile not cheaper: big=%g small=%g", big, small)
+	}
+	if big/small < 1.5 {
+		t.Fatalf("cache effect too weak: ratio %v", big/small)
+	}
+}
+
+func TestSpMMCostZeroNNZIsLaunchOnly(t *testing.T) {
+	s := DGXV100()
+	if got := s.SpMMCost(0, 100, 100, 64); got != s.KernelLaunch {
+		t.Fatalf("empty SpMM cost %g, want launch overhead %g", got, s.KernelLaunch)
+	}
+}
+
+func TestGemmCostComputeBound(t *testing.T) {
+	// A large square GeMM must be compute-bound: cost ~ 2mkn/Flops.
+	s := DGXV100()
+	m := 4096
+	got := s.GemmCost(m, m, m)
+	want := 2 * float64(m) * float64(m) * float64(m) / s.Flops
+	if math.Abs(got-want-s.KernelLaunch) > want*0.5 {
+		t.Fatalf("big GeMM should be compute bound: got %g, flop time %g", got, want)
+	}
+}
+
+func TestGemmCostDegenerateIsLaunchOnly(t *testing.T) {
+	s := DGXA100()
+	if got := s.GemmCost(0, 10, 10); got != s.KernelLaunch {
+		t.Fatalf("degenerate GeMM cost %g", got)
+	}
+}
+
+func TestElementwiseAndLossAndAdamPositive(t *testing.T) {
+	s := DGXV100()
+	for _, c := range []float64{
+		s.ElementwiseCost(1_000_000, 1),
+		s.LossCost(100_000, 41),
+		s.AdamCost(1_000_000),
+	} {
+		if c <= s.KernelLaunch {
+			t.Fatalf("cost %g not above launch overhead", c)
+		}
+	}
+	if s.ElementwiseCost(100, 2) <= s.ElementwiseCost(100, 1) {
+		t.Fatalf("extra read array must cost more")
+	}
+}
+
+func TestBroadcastCostMatchesLinkFormula(t *testing.T) {
+	// §5.1: broadcasting b bytes over a P-group takes b/(links*linkBW).
+	v := DGXV100()
+	b := int64(1 << 30)
+	got := v.BroadcastCost(b, 8)
+	want := float64(b)/(6*25e9) + v.CommLatency
+	if math.Abs(got-want) > 1e-12 {
+		t.Fatalf("broadcast cost %g, want %g", got, want)
+	}
+	if v.BroadcastCost(b, 1) != 0 {
+		t.Fatalf("single-GPU broadcast must be free")
+	}
+}
+
+func TestA100BroadcastFasterThanV100(t *testing.T) {
+	b := int64(1 << 30)
+	if DGXA100().BroadcastCost(b, 8) >= DGXV100().BroadcastCost(b, 8) {
+		t.Fatalf("A100 (12 links) must broadcast faster than V100 (6 links)")
+	}
+}
+
+func TestAllReduceCost(t *testing.T) {
+	s := DGXA100()
+	b := int64(1 << 20)
+	got := s.AllReduceCost(b, 8)
+	want := 2*7.0/8.0*float64(b)/s.CollectiveBW(8) + 2*s.CommLatency
+	if math.Abs(got-want) > 1e-12 {
+		t.Fatalf("allreduce cost %g, want %g", got, want)
+	}
+	if s.AllReduceCost(b, 1) != 0 {
+		t.Fatalf("single-GPU allreduce must be free")
+	}
+}
+
+func TestL2MissMonotone(t *testing.T) {
+	s := DGXV100()
+	prev := -1.0
+	for _, ws := range []int64{1 << 10, 1 << 20, 1 << 24, 1 << 30} {
+		m := s.l2Miss(ws)
+		if m < 0 || m > 1 {
+			t.Fatalf("miss factor %v out of [0,1]", m)
+		}
+		if m <= prev {
+			t.Fatalf("miss factor not increasing at ws=%d", ws)
+		}
+		prev = m
+	}
+}
+
+func TestSDDMMCost(t *testing.T) {
+	s := DGXV100()
+	if got := s.SDDMMCost(0, 10, 16); got != s.KernelLaunch {
+		t.Fatalf("empty SDDMM cost %g", got)
+	}
+	c1 := s.SDDMMCost(1_000_000, 100_000, 64)
+	c2 := s.SDDMMCost(2_000_000, 100_000, 64)
+	if c2 <= c1 {
+		t.Fatalf("SDDMM cost must grow with nnz")
+	}
+	// SDDMM gathers two dense rows per nonzero vs SpMM's one: for the same
+	// shape it must not be cheaper than half the SpMM gather bound.
+	spmm := s.SpMMCost(1_000_000, 100_000, 100_000, 64)
+	if c1 < spmm/4 {
+		t.Fatalf("SDDMM %g implausibly cheap vs SpMM %g", c1, spmm)
+	}
+}

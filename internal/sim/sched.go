@@ -1,0 +1,215 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+)
+
+// Schedule holds the scheduler's output: a start and end time for every
+// task plus aggregate statistics.
+type Schedule struct {
+	Start, End []float64
+	Makespan   float64
+	// KindBusy sums task durations by kind over all devices (a task
+	// spanning k devices contributes k times, matching how per-GPU
+	// profilers like nvprof attribute time in Fig 5).
+	KindBusy map[Kind]float64
+	// DeviceBusy[d][stream] sums the active time of each stream.
+	DeviceBusy [][2]float64
+}
+
+// epsilon guards float comparisons inside the event loop.
+const epsilon = 1e-15
+
+// Run executes the rate-sharing discrete-event simulation over the graph
+// and returns the schedule. Semantics:
+//
+//   - Tasks on the same (device, stream) run in issue (FIFO) order, like
+//     kernels launched on a CUDA stream.
+//   - A task starts when its dependencies have finished and it is at the
+//     head of its stream on every device it spans (collectives gate on the
+//     whole group, NCCL-style).
+//   - While a comm task is active on a device, mem-bound compute tasks on
+//     that device progress at Spec.ContentionComputeRate and comm tasks at
+//     Spec.ContentionCommRate (§6.3's shared-HBM effect).
+func (g *Graph) Run() *Schedule {
+	n := len(g.Tasks)
+	s := &Schedule{
+		Start:    make([]float64, n),
+		End:      make([]float64, n),
+		KindBusy: make(map[Kind]float64),
+	}
+	s.DeviceBusy = make([][2]float64, g.P)
+	if n == 0 {
+		return s
+	}
+
+	remaining := make([]float64, n)
+	depsLeft := make([]int, n)
+	dependents := make([][]int, n)
+	for i, t := range g.Tasks {
+		remaining[i] = t.Seconds
+		depsLeft[i] = len(t.Deps)
+		for _, d := range t.Deps {
+			dependents[d] = append(dependents[d], i)
+		}
+	}
+
+	// Per (device, stream) FIFO queues in issue order; head index advances
+	// as tasks finish.
+	queues := make([][2][]int, g.P)
+	heads := make([][2]int, g.P)
+	for i, t := range g.Tasks {
+		for _, dev := range t.Devices {
+			queues[dev][t.Stream] = append(queues[dev][t.Stream], i)
+		}
+	}
+
+	active := map[int]bool{}
+	done := make([]bool, n)
+	finished := 0
+	now := 0.0
+
+	atAllHeads := func(id int) bool {
+		t := g.Tasks[id]
+		for _, dev := range t.Devices {
+			q := queues[dev][t.Stream]
+			h := heads[dev][t.Stream]
+			if h >= len(q) || q[h] != id {
+				return false
+			}
+		}
+		return true
+	}
+	tryActivate := func(id int) {
+		if !done[id] && !active[id] && depsLeft[id] == 0 && atAllHeads(id) {
+			active[id] = true
+			s.Start[id] = now
+		}
+	}
+
+	for i := range g.Tasks {
+		tryActivate(i)
+	}
+
+	for finished < n {
+		if len(active) == 0 {
+			panic(fmt.Sprintf("sim: deadlock at t=%g with %d/%d tasks finished (cyclic deps or inconsistent stream order)", now, finished, n))
+		}
+		// Rates for this segment: a device is "comm-active"/"compute-
+		// active" if any active task of that class runs on it.
+		commActive := make([]bool, g.P)
+		memActive := make([]bool, g.P)
+		for id := range active {
+			t := g.Tasks[id]
+			for _, dev := range t.Devices {
+				if t.Stream == StreamComm {
+					commActive[dev] = true
+				} else if t.MemBound {
+					memActive[dev] = true
+				}
+			}
+		}
+		rate := func(id int) float64 {
+			t := g.Tasks[id]
+			r := 1.0
+			for _, dev := range t.Devices {
+				var rd float64 = 1
+				if t.Stream == StreamComm {
+					if memActive[dev] {
+						rd = g.Spec.ContentionCommRate
+					}
+				} else if t.MemBound && commActive[dev] {
+					rd = g.Spec.ContentionComputeRate
+				}
+				if rd < r {
+					r = rd // a collective moves at its slowest member
+				}
+			}
+			return r
+		}
+
+		// Advance to the earliest completion under current rates.
+		dt := math.Inf(1)
+		for id := range active {
+			r := rate(id)
+			var need float64
+			if r > 0 {
+				need = remaining[id] / r
+			} else {
+				need = math.Inf(1)
+			}
+			if need < dt {
+				dt = need
+			}
+		}
+		if math.IsInf(dt, 1) {
+			panic("sim: no active task can make progress")
+		}
+		if dt < 0 {
+			dt = 0
+		}
+		var completed []int
+		for id := range active {
+			r := rate(id)
+			remaining[id] -= r * dt
+			if remaining[id] <= epsilon {
+				completed = append(completed, id)
+			}
+		}
+		now += dt
+		for _, id := range completed {
+			delete(active, id)
+			done[id] = true
+			finished++
+			s.End[id] = now
+			t := g.Tasks[id]
+			for _, dev := range t.Devices {
+				heads[dev][t.Stream]++
+				s.DeviceBusy[dev][t.Stream] += s.End[id] - s.Start[id]
+			}
+			s.KindBusy[t.Kind] += (s.End[id] - s.Start[id]) * float64(len(t.Devices))
+			for _, dep := range dependents[id] {
+				depsLeft[dep]--
+			}
+		}
+		// Newly unblocked tasks: dependents of completed tasks and new
+		// stream heads.
+		for _, id := range completed {
+			for _, dep := range dependents[id] {
+				tryActivate(dep)
+			}
+			t := g.Tasks[id]
+			for _, dev := range t.Devices {
+				q := queues[dev][t.Stream]
+				h := heads[dev][t.Stream]
+				if h < len(q) {
+					tryActivate(q[h])
+				}
+			}
+		}
+	}
+	s.Makespan = now
+	return s
+}
+
+// CriticalPathLowerBound returns the dependency-only lower bound on the
+// makespan (ignoring stream serialization and contention); the scheduler's
+// makespan can never be below it.
+func (g *Graph) CriticalPathLowerBound() float64 {
+	finish := make([]float64, len(g.Tasks))
+	var best float64
+	for i, t := range g.Tasks { // tasks are in issue order; deps point backward
+		var start float64
+		for _, d := range t.Deps {
+			if finish[d] > start {
+				start = finish[d]
+			}
+		}
+		finish[i] = start + t.Seconds
+		if finish[i] > best {
+			best = finish[i]
+		}
+	}
+	return best
+}

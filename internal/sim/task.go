@@ -1,0 +1,120 @@
+package sim
+
+import "fmt"
+
+// StreamID selects one of the two per-device CUDA-style streams of §4.3.
+type StreamID int
+
+const (
+	StreamCompute StreamID = iota // stream 0: kernels
+	StreamComm                    // stream 1: collectives
+)
+
+func (s StreamID) String() string {
+	if s == StreamCompute {
+		return "compute"
+	}
+	return "comm"
+}
+
+// Kind classifies tasks for the Fig-5 runtime breakdown.
+type Kind int
+
+const (
+	KindSpMM Kind = iota
+	KindGeMM
+	KindActivation
+	KindLoss
+	KindAdam
+	KindComm
+	numKinds
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindSpMM:
+		return "SpMM"
+	case KindGeMM:
+		return "GeMM"
+	case KindActivation:
+		return "Activation"
+	case KindLoss:
+		return "Loss-Layer"
+	case KindAdam:
+		return "Adam"
+	case KindComm:
+		return "Comm"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Kinds lists every task kind in display order.
+func Kinds() []Kind {
+	return []Kind{KindSpMM, KindGeMM, KindActivation, KindLoss, KindAdam, KindComm}
+}
+
+// Task is one recorded operation in an epoch's task graph. A task occupies
+// the given stream on every device in Devices (collectives span the whole
+// group); Seconds is its duration at nominal (uncontended) rate.
+type Task struct {
+	ID      int
+	Kind    Kind
+	Label   string
+	Stage   int // SpMM stage index, -1 when not part of a staged SpMM
+	Devices []int
+	Stream  StreamID
+	Seconds float64
+	// MemBound compute tasks are slowed while communication is active on
+	// their device (§6.3); comm tasks are always contention-eligible.
+	MemBound bool
+	Deps     []int
+}
+
+// Graph accumulates the tasks of one training step/epoch in issue order.
+type Graph struct {
+	Spec  MachineSpec
+	P     int
+	Tasks []*Task
+}
+
+// NewGraph starts an empty task graph over p devices of spec.
+func NewGraph(spec MachineSpec, p int) *Graph {
+	return &Graph{Spec: spec, P: p}
+}
+
+// AddCompute appends a compute-stream task on one device and returns its ID.
+func (g *Graph) AddCompute(device int, kind Kind, label string, stage int, seconds float64, memBound bool, deps ...int) int {
+	return g.add(&Task{
+		Kind: kind, Label: label, Stage: stage,
+		Devices: []int{device}, Stream: StreamCompute,
+		Seconds: seconds, MemBound: memBound, Deps: deps,
+	})
+}
+
+// AddComm appends a comm-stream collective spanning devices.
+func (g *Graph) AddComm(devices []int, label string, stage int, seconds float64, deps ...int) int {
+	ds := make([]int, len(devices))
+	copy(ds, devices)
+	return g.add(&Task{
+		Kind: KindComm, Label: label, Stage: stage,
+		Devices: ds, Stream: StreamComm,
+		Seconds: seconds, MemBound: false, Deps: deps,
+	})
+}
+
+func (g *Graph) add(t *Task) int {
+	for _, dev := range t.Devices {
+		if dev < 0 || dev >= g.P {
+			panic(fmt.Sprintf("sim: task %q on device %d of %d", t.Label, dev, g.P))
+		}
+	}
+	for _, d := range t.Deps {
+		if d < 0 || d >= len(g.Tasks) {
+			panic(fmt.Sprintf("sim: task %q depends on unknown task %d", t.Label, d))
+		}
+	}
+	t.ID = len(g.Tasks)
+	g.Tasks = append(g.Tasks, t)
+	return t.ID
+}

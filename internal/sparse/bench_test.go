@@ -1,0 +1,91 @@
+package sparse
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"mggcn/internal/tensor"
+)
+
+func benchCSR(n int, degree int) *CSR {
+	rng := rand.New(rand.NewSource(2))
+	entries := make([]Coo, 0, n*degree)
+	for u := 0; u < n; u++ {
+		for d := 0; d < degree; d++ {
+			entries = append(entries, Coo{Row: int32(u), Col: int32(rng.Intn(n)), Val: 1})
+		}
+	}
+	return FromCoo(n, n, entries, true)
+}
+
+func BenchmarkSpMM(b *testing.B) {
+	for _, cfg := range []struct{ n, deg, d int }{
+		{4096, 8, 128}, {4096, 64, 128}, {4096, 8, 512},
+	} {
+		b.Run(fmt.Sprintf("n=%d/deg=%d/d=%d", cfg.n, cfg.deg, cfg.d), func(b *testing.B) {
+			a := benchCSR(cfg.n, cfg.deg)
+			x := tensor.NewDense(cfg.n, cfg.d)
+			c := tensor.NewDense(cfg.n, cfg.d)
+			b.SetBytes(a.NNZ() * int64(cfg.d) * 4)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				SpMM(a, x, 0, c)
+			}
+		})
+	}
+}
+
+func BenchmarkParallelSpMM(b *testing.B) {
+	a := benchCSR(8192, 32)
+	x := tensor.NewDense(8192, 256)
+	c := tensor.NewDense(8192, 256)
+	for _, w := range []int{1, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				ParallelSpMM(a, x, 0, c, w)
+			}
+		})
+	}
+}
+
+func BenchmarkSDDMM(b *testing.B) {
+	a := benchCSR(4096, 16)
+	x := tensor.NewDense(4096, 128)
+	y := tensor.NewDense(4096, 128)
+	b.SetBytes(a.NNZ() * 128 * 8)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		SDDMM(a, x, y)
+	}
+}
+
+func BenchmarkPermuteSymmetric(b *testing.B) {
+	a := benchCSR(4096, 32)
+	rng := rand.New(rand.NewSource(3))
+	perm := make([]int32, 4096)
+	for i, v := range rng.Perm(4096) {
+		perm[i] = int32(v)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		PermuteSymmetric(a, perm)
+	}
+}
+
+func BenchmarkTranspose(b *testing.B) {
+	a := benchCSR(8192, 32)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a.Transpose()
+	}
+}
+
+func BenchmarkRowSoftmax(b *testing.B) {
+	a := benchCSR(8192, 64)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		RowSoftmax(a)
+	}
+}

@@ -1,0 +1,229 @@
+// Package sparse provides Compressed Sparse Row matrices and the SpMM
+// kernels at the heart of GCN training. Matrices may be "structure-only":
+// Vals == nil means every stored entry is implicitly 1 for arithmetic
+// purposes, or the matrix is used purely for cost/partitioning analysis.
+package sparse
+
+import (
+	"fmt"
+	"sort"
+)
+
+// CSR is a sparse matrix in Compressed Sparse Row format.
+//
+//	RowPtr has Rows+1 entries; column indices of row i live in
+//	ColIdx[RowPtr[i]:RowPtr[i+1]], sorted ascending within the row.
+//	Vals is either nil (structure-only) or parallel to ColIdx.
+type CSR struct {
+	Rows, Cols int
+	RowPtr     []int64
+	ColIdx     []int32
+	Vals       []float32
+}
+
+// NNZ returns the number of stored entries.
+func (m *CSR) NNZ() int64 { return m.RowPtr[m.Rows] }
+
+// HasVals reports whether the matrix stores explicit values.
+func (m *CSR) HasVals() bool { return m.Vals != nil }
+
+// Bytes returns the CSR storage footprint in bytes (rowptr 8B, colidx 4B,
+// vals 4B each), counting values even for structure-only matrices so that
+// memory accounting reflects what a value-carrying run would use.
+func (m *CSR) Bytes() int64 {
+	return int64(m.Rows+1)*8 + m.NNZ()*4 + m.NNZ()*4
+}
+
+// RowNNZ returns the number of stored entries in row i.
+func (m *CSR) RowNNZ(i int) int64 { return m.RowPtr[i+1] - m.RowPtr[i] }
+
+// Row returns the column indices and values of row i. vals is nil for
+// structure-only matrices.
+func (m *CSR) Row(i int) (cols []int32, vals []float32) {
+	lo, hi := m.RowPtr[i], m.RowPtr[i+1]
+	cols = m.ColIdx[lo:hi]
+	if m.Vals != nil {
+		vals = m.Vals[lo:hi]
+	}
+	return cols, vals
+}
+
+// Coo is a coordinate-format entry used to build CSR matrices.
+type Coo struct {
+	Row, Col int32
+	Val      float32
+}
+
+// FromCoo builds a CSR matrix from coordinate entries. Duplicate (row,col)
+// pairs are summed. If withVals is false the result is structure-only and
+// duplicate coordinates are collapsed.
+func FromCoo(rows, cols int, entries []Coo, withVals bool) *CSR {
+	for _, e := range entries {
+		if int(e.Row) < 0 || int(e.Row) >= rows || int(e.Col) < 0 || int(e.Col) >= cols {
+			panic(fmt.Sprintf("sparse: entry (%d,%d) outside %dx%d", e.Row, e.Col, rows, cols))
+		}
+	}
+	sorted := make([]Coo, len(entries))
+	copy(sorted, entries)
+	sort.Slice(sorted, func(i, j int) bool {
+		if sorted[i].Row != sorted[j].Row {
+			return sorted[i].Row < sorted[j].Row
+		}
+		return sorted[i].Col < sorted[j].Col
+	})
+	m := &CSR{Rows: rows, Cols: cols, RowPtr: make([]int64, rows+1)}
+	m.ColIdx = make([]int32, 0, len(sorted))
+	if withVals {
+		m.Vals = make([]float32, 0, len(sorted))
+	}
+	for i := 0; i < len(sorted); {
+		j := i + 1
+		sum := sorted[i].Val
+		for j < len(sorted) && sorted[j].Row == sorted[i].Row && sorted[j].Col == sorted[i].Col {
+			sum += sorted[j].Val
+			j++
+		}
+		m.ColIdx = append(m.ColIdx, sorted[i].Col)
+		if withVals {
+			m.Vals = append(m.Vals, sum)
+		}
+		m.RowPtr[sorted[i].Row+1]++
+		i = j
+	}
+	for r := 0; r < rows; r++ {
+		m.RowPtr[r+1] += m.RowPtr[r]
+	}
+	return m
+}
+
+// Transpose returns the transpose of m in CSR form (equivalently m in CSC).
+func (m *CSR) Transpose() *CSR {
+	t := &CSR{Rows: m.Cols, Cols: m.Rows, RowPtr: make([]int64, m.Cols+1)}
+	nnz := m.NNZ()
+	t.ColIdx = make([]int32, nnz)
+	if m.Vals != nil {
+		t.Vals = make([]float32, nnz)
+	}
+	for _, c := range m.ColIdx {
+		t.RowPtr[c+1]++
+	}
+	for r := 0; r < t.Rows; r++ {
+		t.RowPtr[r+1] += t.RowPtr[r]
+	}
+	next := make([]int64, t.Rows)
+	copy(next, t.RowPtr[:t.Rows])
+	for r := 0; r < m.Rows; r++ {
+		lo, hi := m.RowPtr[r], m.RowPtr[r+1]
+		for k := lo; k < hi; k++ {
+			c := m.ColIdx[k]
+			pos := next[c]
+			next[c]++
+			t.ColIdx[pos] = int32(r)
+			if m.Vals != nil {
+				t.Vals[pos] = m.Vals[k]
+			}
+		}
+	}
+	return t
+}
+
+// SubMatrix extracts the tile with rows [r0,r1) and columns [c0,c1) as a new
+// CSR matrix with local (shifted) indices. Structure-only matrices yield
+// structure-only tiles.
+func (m *CSR) SubMatrix(r0, r1, c0, c1 int) *CSR {
+	if r0 < 0 || r1 < r0 || r1 > m.Rows || c0 < 0 || c1 < c0 || c1 > m.Cols {
+		panic(fmt.Sprintf("sparse: tile [%d,%d)x[%d,%d) outside %dx%d", r0, r1, c0, c1, m.Rows, m.Cols))
+	}
+	t := &CSR{Rows: r1 - r0, Cols: c1 - c0, RowPtr: make([]int64, r1-r0+1)}
+	lo32, hi32 := int32(c0), int32(c1)
+	for r := r0; r < r1; r++ {
+		cols, _ := m.Row(r)
+		// Rows are sorted, so the tile's columns are a contiguous range.
+		a := sort.Search(len(cols), func(i int) bool { return cols[i] >= lo32 })
+		b := sort.Search(len(cols), func(i int) bool { return cols[i] >= hi32 })
+		t.RowPtr[r-r0+1] = t.RowPtr[r-r0] + int64(b-a)
+	}
+	nnz := t.RowPtr[t.Rows]
+	t.ColIdx = make([]int32, 0, nnz)
+	if m.Vals != nil {
+		t.Vals = make([]float32, 0, nnz)
+	}
+	for r := r0; r < r1; r++ {
+		cols, vals := m.Row(r)
+		a := sort.Search(len(cols), func(i int) bool { return cols[i] >= lo32 })
+		b := sort.Search(len(cols), func(i int) bool { return cols[i] >= hi32 })
+		for k := a; k < b; k++ {
+			t.ColIdx = append(t.ColIdx, cols[k]-lo32)
+			if vals != nil {
+				t.Vals = append(t.Vals, vals[k])
+			}
+		}
+	}
+	return t
+}
+
+// CountTileNNZ returns the number of stored entries in the tile
+// [r0,r1) x [c0,c1) without materializing it.
+func (m *CSR) CountTileNNZ(r0, r1, c0, c1 int) int64 {
+	lo32, hi32 := int32(c0), int32(c1)
+	var nnz int64
+	for r := r0; r < r1; r++ {
+		cols, _ := m.Row(r)
+		a := sort.Search(len(cols), func(i int) bool { return cols[i] >= lo32 })
+		b := sort.Search(len(cols), func(i int) bool { return cols[i] >= hi32 })
+		nnz += int64(b - a)
+	}
+	return nnz
+}
+
+// Validate checks structural invariants and returns an error describing the
+// first violation found, or nil.
+func (m *CSR) Validate() error {
+	if len(m.RowPtr) != m.Rows+1 {
+		return fmt.Errorf("sparse: RowPtr length %d, want %d", len(m.RowPtr), m.Rows+1)
+	}
+	if m.RowPtr[0] != 0 {
+		return fmt.Errorf("sparse: RowPtr[0] = %d, want 0", m.RowPtr[0])
+	}
+	for i := 0; i < m.Rows; i++ {
+		if m.RowPtr[i+1] < m.RowPtr[i] {
+			return fmt.Errorf("sparse: RowPtr not monotone at row %d", i)
+		}
+	}
+	if int64(len(m.ColIdx)) != m.NNZ() {
+		return fmt.Errorf("sparse: ColIdx length %d, want %d", len(m.ColIdx), m.NNZ())
+	}
+	if m.Vals != nil && int64(len(m.Vals)) != m.NNZ() {
+		return fmt.Errorf("sparse: Vals length %d, want %d", len(m.Vals), m.NNZ())
+	}
+	for i := 0; i < m.Rows; i++ {
+		cols, _ := m.Row(i)
+		for k, c := range cols {
+			if int(c) < 0 || int(c) >= m.Cols {
+				return fmt.Errorf("sparse: row %d col %d out of range", i, c)
+			}
+			if k > 0 && cols[k-1] >= c {
+				return fmt.Errorf("sparse: row %d columns not strictly ascending at %d", i, k)
+			}
+		}
+	}
+	return nil
+}
+
+// ToDenseRows materializes the matrix as [][]float32 for tests and debugging.
+// Structure-only entries materialize as 1.
+func (m *CSR) ToDenseRows() [][]float32 {
+	out := make([][]float32, m.Rows)
+	for i := range out {
+		out[i] = make([]float32, m.Cols)
+		cols, vals := m.Row(i)
+		for k, c := range cols {
+			v := float32(1)
+			if vals != nil {
+				v = vals[k]
+			}
+			out[i][c] = v
+		}
+	}
+	return out
+}

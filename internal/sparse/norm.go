@@ -1,0 +1,71 @@
+package sparse
+
+// NormalizeInDegree applies the paper's eq. (2): each column v of A is
+// divided by the total weight of v's in-edges, so every column of the
+// returned matrix sums to 1 (columns with no in-edges stay zero). For a
+// structure-only matrix the entry weights are taken as 1 and the result
+// carries explicit values. The receiver is not modified.
+//
+// With this normalization Âᵀ*H averages each vertex's in-neighbor features,
+// which is what makes the first layer's backward SpMM skippable (§4.4): the
+// implied feature scaling matrix is the identity.
+func NormalizeInDegree(a *CSR) *CSR {
+	colSum := make([]float64, a.Cols)
+	for i := 0; i < a.Rows; i++ {
+		cols, vals := a.Row(i)
+		for k, c := range cols {
+			if vals != nil {
+				colSum[c] += float64(vals[k])
+			} else {
+				colSum[c]++
+			}
+		}
+	}
+	out := &CSR{Rows: a.Rows, Cols: a.Cols, RowPtr: a.RowPtr, ColIdx: a.ColIdx}
+	out.Vals = make([]float32, a.NNZ())
+	for i := 0; i < a.Rows; i++ {
+		cols, vals := a.Row(i)
+		lo := a.RowPtr[i]
+		for k, c := range cols {
+			w := float64(1)
+			if vals != nil {
+				w = float64(vals[k])
+			}
+			if colSum[c] != 0 {
+				out.Vals[lo+int64(k)] = float32(w / colSum[c])
+			}
+		}
+	}
+	return out
+}
+
+// NormalizeRowMean divides every row by its own entry count (or weight sum),
+// so A*H computes the mean over out-going structure. This is the transposed
+// view of NormalizeInDegree used when the adjacency is stored pre-transposed.
+func NormalizeRowMean(a *CSR) *CSR {
+	out := &CSR{Rows: a.Rows, Cols: a.Cols, RowPtr: a.RowPtr, ColIdx: a.ColIdx}
+	out.Vals = make([]float32, a.NNZ())
+	for i := 0; i < a.Rows; i++ {
+		cols, vals := a.Row(i)
+		var sum float64
+		if vals == nil {
+			sum = float64(len(cols))
+		} else {
+			for _, v := range vals {
+				sum += float64(v)
+			}
+		}
+		if sum == 0 {
+			continue
+		}
+		lo := a.RowPtr[i]
+		for k := range cols {
+			w := float64(1)
+			if vals != nil {
+				w = float64(vals[k])
+			}
+			out.Vals[lo+int64(k)] = float32(w / sum)
+		}
+	}
+	return out
+}

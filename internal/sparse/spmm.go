@@ -1,0 +1,93 @@
+package sparse
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"mggcn/internal/tensor"
+)
+
+// SpMM computes C = A*X + beta*C where A is sparse (m x k), X dense (k x n),
+// C dense (m x n). beta is either 0 (overwrite) or 1 (accumulate); the GCN
+// pipeline needs no other values. Structure-only A treats entries as 1.
+// Phantom dense operands make the call shape-check-only.
+func SpMM(a *CSR, x *tensor.Dense, beta float32, c *tensor.Dense) {
+	checkSpMMShapes(a, x, c)
+	if x.IsPhantom() || c.IsPhantom() {
+		return
+	}
+	spmmRows(a, x, beta, c, 0, a.Rows)
+}
+
+// ParallelSpMM is SpMM with output rows split across workers goroutines
+// (workers <= 0 uses GOMAXPROCS).
+func ParallelSpMM(a *CSR, x *tensor.Dense, beta float32, c *tensor.Dense, workers int) {
+	checkSpMMShapes(a, x, c)
+	if x.IsPhantom() || c.IsPhantom() {
+		return
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > a.Rows {
+		workers = a.Rows
+	}
+	if workers <= 1 {
+		spmmRows(a, x, beta, c, 0, a.Rows)
+		return
+	}
+	var wg sync.WaitGroup
+	chunk := (a.Rows + workers - 1) / workers
+	for lo := 0; lo < a.Rows; lo += chunk {
+		hi := lo + chunk
+		if hi > a.Rows {
+			hi = a.Rows
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			spmmRows(a, x, beta, c, lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+func checkSpMMShapes(a *CSR, x, c *tensor.Dense) {
+	if a.Cols != x.Rows || c.Rows != a.Rows || c.Cols != x.Cols {
+		panic(fmt.Sprintf("sparse: SpMM shape mismatch (%dx%d)*(%dx%d) -> %dx%d",
+			a.Rows, a.Cols, x.Rows, x.Cols, c.Rows, c.Cols))
+	}
+}
+
+func spmmRows(a *CSR, x *tensor.Dense, beta float32, c *tensor.Dense, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		rc := c.Row(i)
+		if beta == 0 {
+			for j := range rc {
+				rc[j] = 0
+			}
+		}
+		cols, vals := a.Row(i)
+		if vals == nil {
+			for _, col := range cols {
+				rx := x.Row(int(col))
+				for j, v := range rx {
+					rc[j] += v
+				}
+			}
+		} else {
+			for k, col := range cols {
+				av := vals[k]
+				rx := x.Row(int(col))
+				for j, v := range rx {
+					rc[j] += av * v
+				}
+			}
+		}
+	}
+}
+
+// SpMMFlops returns the floating point operations of one SpMM with the given
+// nonzero count and dense width (one multiply + one add per nnz per column).
+func SpMMFlops(nnz int64, denseCols int) int64 { return 2 * nnz * int64(denseCols) }

@@ -1,0 +1,144 @@
+package sparse
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"mggcn/internal/tensor"
+)
+
+func randomDense(rng *rand.Rand, rows, cols int) *tensor.Dense {
+	d := tensor.NewDense(rows, cols)
+	for i := range d.Data {
+		d.Data[i] = float32(rng.NormFloat64())
+	}
+	return d
+}
+
+// naiveSpMM multiplies via the densified matrix.
+func naiveSpMM(a *CSR, x *tensor.Dense, beta float32, c *tensor.Dense) {
+	ad := a.ToDenseRows()
+	for i := 0; i < a.Rows; i++ {
+		for j := 0; j < x.Cols; j++ {
+			var s float32
+			for p := 0; p < a.Cols; p++ {
+				s += ad[i][p] * x.At(p, j)
+			}
+			c.Set(i, j, s+beta*c.At(i, j))
+		}
+	}
+}
+
+func TestSpMMMatchesNaive(t *testing.T) {
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m, k, n := rng.Intn(12)+1, rng.Intn(12)+1, rng.Intn(8)+1
+		a := randomCSR(rng, m, k, 0.4, true)
+		x := randomDense(rng, k, n)
+		c1 := randomDense(rng, m, n)
+		c2 := c1.Clone()
+		beta := float32(rng.Intn(2))
+		SpMM(a, x, beta, c1)
+		naiveSpMM(a, x, beta, c2)
+		return tensor.MaxAbsDiff(c1, c2) < 1e-4
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSpMMStructureOnlySumsNeighbors(t *testing.T) {
+	// Structure-only SpMM must behave like entries of 1.
+	a := FromCoo(2, 3, []Coo{{Row: 0, Col: 0}, {Row: 0, Col: 2}, {Row: 1, Col: 1}}, false)
+	x := tensor.NewDense(3, 1)
+	x.Set(0, 0, 10)
+	x.Set(1, 0, 20)
+	x.Set(2, 0, 30)
+	c := tensor.NewDense(2, 1)
+	SpMM(a, x, 0, c)
+	if c.At(0, 0) != 40 || c.At(1, 0) != 20 {
+		t.Fatalf("got %v / %v, want 40 / 20", c.At(0, 0), c.At(1, 0))
+	}
+}
+
+func TestSpMMAccumulate(t *testing.T) {
+	a := FromCoo(1, 1, []Coo{{Row: 0, Col: 0, Val: 2}}, true)
+	x := tensor.NewDense(1, 1)
+	x.Set(0, 0, 3)
+	c := tensor.NewDense(1, 1)
+	c.Set(0, 0, 100)
+	SpMM(a, x, 1, c)
+	if c.At(0, 0) != 106 {
+		t.Fatalf("accumulate got %v, want 106", c.At(0, 0))
+	}
+}
+
+func TestParallelSpMMMatchesSequential(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	a := randomCSR(rng, 64, 64, 0.1, true)
+	x := randomDense(rng, 64, 16)
+	seq := tensor.NewDense(64, 16)
+	SpMM(a, x, 0, seq)
+	for _, w := range []int{1, 2, 7, 64, 200} {
+		par := tensor.NewDense(64, 16)
+		ParallelSpMM(a, x, 0, par, w)
+		if tensor.MaxAbsDiff(seq, par) > 1e-5 {
+			t.Fatalf("workers=%d mismatch %g", w, tensor.MaxAbsDiff(seq, par))
+		}
+	}
+}
+
+func TestSpMMShapeMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("expected panic")
+		}
+	}()
+	a := FromCoo(2, 2, nil, false)
+	SpMM(a, tensor.NewDense(3, 1), 0, tensor.NewDense(2, 1))
+}
+
+func TestSpMMPhantomNoOp(t *testing.T) {
+	a := FromCoo(2, 2, []Coo{{Row: 0, Col: 1}}, false)
+	SpMM(a, tensor.NewPhantom(2, 4), 0, tensor.NewPhantom(2, 4))
+	ParallelSpMM(a, tensor.NewPhantom(2, 4), 0, tensor.NewPhantom(2, 4), 4)
+}
+
+func TestSpMMFlops(t *testing.T) {
+	if SpMMFlops(10, 4) != 80 {
+		t.Fatalf("SpMMFlops(10,4)=%d", SpMMFlops(10, 4))
+	}
+}
+
+func TestStagedSpMMEqualsWhole(t *testing.T) {
+	// The multi-stage tiled product sum_j A[:,j-tile] * X[j-tile] must equal
+	// the whole SpMM — the algebraic identity behind MG-GCN's distributed SpMM.
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := rng.Intn(16) + 4
+		d := rng.Intn(6) + 1
+		parts := rng.Intn(3) + 2
+		a := randomCSR(rng, n, n, 0.3, true)
+		x := randomDense(rng, n, d)
+		whole := tensor.NewDense(n, d)
+		SpMM(a, x, 0, whole)
+		staged := tensor.NewDense(n, d)
+		bounds := make([]int, parts+1)
+		for i := 0; i <= parts; i++ {
+			bounds[i] = i * n / parts
+		}
+		for j := 0; j < parts; j++ {
+			tile := a.SubMatrix(0, n, bounds[j], bounds[j+1])
+			xs := x.RowSlice(bounds[j], bounds[j+1])
+			if tile.Cols == 0 {
+				continue
+			}
+			SpMM(tile, xs, 1, staged)
+		}
+		return tensor.MaxAbsDiff(whole, staged) < 1e-4
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

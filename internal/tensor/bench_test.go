@@ -1,0 +1,62 @@
+package tensor
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+func benchDense(rows, cols int) *Dense {
+	rng := rand.New(rand.NewSource(1))
+	d := NewDense(rows, cols)
+	for i := range d.Data {
+		d.Data[i] = float32(rng.NormFloat64())
+	}
+	return d
+}
+
+func BenchmarkGemm(b *testing.B) {
+	for _, size := range []int{64, 256, 512} {
+		b.Run(fmt.Sprintf("%dx%dx%d", size, size, size), func(b *testing.B) {
+			a, x := benchDense(size, size), benchDense(size, size)
+			c := NewDense(size, size)
+			b.SetBytes(int64(size) * int64(size) * int64(size) * 2 * 4)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				Gemm(1, a, x, 0, c)
+			}
+		})
+	}
+}
+
+func BenchmarkParallelGemm(b *testing.B) {
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			a, x := benchDense(512, 512), benchDense(512, 512)
+			c := NewDense(512, 512)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				ParallelGemm(1, a, x, 0, c, workers)
+			}
+		})
+	}
+}
+
+func BenchmarkGemmTB(b *testing.B) {
+	a, x := benchDense(1024, 128), benchDense(256, 128)
+	c := NewDense(1024, 256)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		GemmTB(1, a, x, 0, c)
+	}
+}
+
+func BenchmarkReLU(b *testing.B) {
+	src := benchDense(1024, 512)
+	dst := NewDense(1024, 512)
+	b.SetBytes(1024 * 512 * 4 * 2)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ReLU(dst, src)
+	}
+}

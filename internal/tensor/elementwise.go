@@ -1,0 +1,89 @@
+package tensor
+
+import "fmt"
+
+// ReLU writes max(x, 0) elementwise from src into dst (aliasing allowed;
+// dst may be src itself). Shapes must match.
+func ReLU(dst, src *Dense) {
+	checkSameShape(dst, src, "ReLU")
+	if dst.IsPhantom() || src.IsPhantom() {
+		return
+	}
+	for i := 0; i < src.Rows; i++ {
+		rs, rd := src.Row(i), dst.Row(i)
+		for j, v := range rs {
+			if v > 0 {
+				rd[j] = v
+			} else {
+				rd[j] = 0
+			}
+		}
+	}
+}
+
+// ReLUBackward writes grad * 1[act > 0] into dst, where act is the
+// post-activation output of the forward ReLU. dst may alias grad.
+func ReLUBackward(dst, grad, act *Dense) {
+	checkSameShape(dst, grad, "ReLUBackward")
+	checkSameShape(dst, act, "ReLUBackward")
+	if dst.IsPhantom() || grad.IsPhantom() || act.IsPhantom() {
+		return
+	}
+	for i := 0; i < dst.Rows; i++ {
+		rg, ra, rd := grad.Row(i), act.Row(i), dst.Row(i)
+		for j := range rd {
+			if ra[j] > 0 {
+				rd[j] = rg[j]
+			} else {
+				rd[j] = 0
+			}
+		}
+	}
+}
+
+// AddInPlace computes dst += src elementwise.
+func AddInPlace(dst, src *Dense) {
+	checkSameShape(dst, src, "AddInPlace")
+	if dst.IsPhantom() || src.IsPhantom() {
+		return
+	}
+	for i := 0; i < dst.Rows; i++ {
+		rd, rs := dst.Row(i), src.Row(i)
+		for j := range rd {
+			rd[j] += rs[j]
+		}
+	}
+}
+
+// ScaleInPlace computes dst *= s elementwise.
+func ScaleInPlace(dst *Dense, s float32) {
+	if dst.IsPhantom() {
+		return
+	}
+	for i := 0; i < dst.Rows; i++ {
+		rd := dst.Row(i)
+		for j := range rd {
+			rd[j] *= s
+		}
+	}
+}
+
+// AxpyInPlace computes dst += alpha*src elementwise.
+func AxpyInPlace(dst *Dense, alpha float32, src *Dense) {
+	checkSameShape(dst, src, "AxpyInPlace")
+	if dst.IsPhantom() || src.IsPhantom() {
+		return
+	}
+	for i := 0; i < dst.Rows; i++ {
+		rd, rs := dst.Row(i), src.Row(i)
+		for j := range rd {
+			rd[j] += alpha * rs[j]
+		}
+	}
+}
+
+func checkSameShape(a, b *Dense, op string) {
+	if a.Rows != b.Rows || a.Cols != b.Cols {
+		panic(fmt.Sprintf("tensor: %s shape mismatch %dx%d vs %dx%d", op, a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+}

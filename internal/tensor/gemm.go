@@ -1,0 +1,175 @@
+package tensor
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+)
+
+// blockK is the k-dimension tile used by the blocked GeMM kernels. It keeps
+// a panel of B rows hot in cache while a row of A streams through.
+const blockK = 64
+
+// Gemm computes C = alpha*A*B + beta*C with A (m x k), B (k x n), C (m x n).
+// It is the sequential kernel; use ParallelGemm to split rows across
+// goroutines. Phantom operands make the call a no-op (shape-checked only).
+func Gemm(alpha float32, a, b *Dense, beta float32, c *Dense) {
+	checkGemmShapes(a.Rows, a.Cols, b.Rows, b.Cols, c, "Gemm")
+	if a.IsPhantom() || b.IsPhantom() || c.IsPhantom() {
+		return
+	}
+	gemmRows(alpha, a, b, beta, c, 0, c.Rows)
+}
+
+// GemmTA computes C = alpha*Aᵀ*B + beta*C with A (k x m), B (k x n),
+// C (m x n). Used for the weight gradient W_G = HWᵀ_G * H style products.
+func GemmTA(alpha float32, a, b *Dense, beta float32, c *Dense) {
+	checkGemmShapes(a.Cols, a.Rows, b.Rows, b.Cols, c, "GemmTA")
+	if a.IsPhantom() || b.IsPhantom() || c.IsPhantom() {
+		return
+	}
+	if beta == 0 {
+		c.Zero()
+	} else if beta != 1 {
+		ScaleInPlace(c, beta)
+	}
+	// Accumulate outer products row-by-row of A/B: C += alpha * A[i,:]ᵀ B[i,:].
+	for i := 0; i < a.Rows; i++ {
+		ra, rb := a.Row(i), b.Row(i)
+		for p, av := range ra {
+			if av == 0 {
+				continue
+			}
+			s := alpha * av
+			rc := c.Row(p)
+			for q, bv := range rb {
+				rc[q] += s * bv
+			}
+		}
+	}
+}
+
+// GemmTB computes C = alpha*A*Bᵀ + beta*C with A (m x k), B (n x k),
+// C (m x n). Used for H_G = HW_G * Wᵀ.
+func GemmTB(alpha float32, a, b *Dense, beta float32, c *Dense) {
+	checkGemmShapes(a.Rows, a.Cols, b.Cols, b.Rows, c, "GemmTB")
+	if a.IsPhantom() || b.IsPhantom() || c.IsPhantom() {
+		return
+	}
+	gemmTBRows(alpha, a, b, beta, c, 0, c.Rows)
+}
+
+func checkGemmShapes(m, k, bk, n int, c *Dense, op string) {
+	if k != bk || c.Rows != m || c.Cols != n {
+		panic(fmt.Sprintf("tensor: %s shape mismatch: (%dx%d)*(%dx%d) -> %dx%d", op, m, k, bk, n, c.Rows, c.Cols))
+	}
+}
+
+// gemmRows computes rows [lo,hi) of C = alpha*A*B + beta*C using k-blocking.
+func gemmRows(alpha float32, a, b *Dense, beta float32, c *Dense, lo, hi int) {
+	k := a.Cols
+	for i := lo; i < hi; i++ {
+		rc := c.Row(i)
+		if beta == 0 {
+			for j := range rc {
+				rc[j] = 0
+			}
+		} else if beta != 1 {
+			for j := range rc {
+				rc[j] *= beta
+			}
+		}
+		ra := a.Row(i)
+		for k0 := 0; k0 < k; k0 += blockK {
+			k1 := k0 + blockK
+			if k1 > k {
+				k1 = k
+			}
+			for p := k0; p < k1; p++ {
+				av := ra[p]
+				if av == 0 {
+					continue
+				}
+				s := alpha * av
+				rb := b.Row(p)
+				for j, bv := range rb {
+					rc[j] += s * bv
+				}
+			}
+		}
+	}
+}
+
+func gemmTBRows(alpha float32, a, b *Dense, beta float32, c *Dense, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		ra := a.Row(i)
+		rc := c.Row(i)
+		for j := 0; j < b.Rows; j++ {
+			rb := b.Row(j)
+			var dot float32
+			for p, av := range ra {
+				dot += av * rb[p]
+			}
+			if beta == 0 {
+				rc[j] = alpha * dot
+			} else {
+				rc[j] = beta*rc[j] + alpha*dot
+			}
+		}
+	}
+}
+
+// ParallelGemm is Gemm with row-range work splitting across workers
+// goroutines (workers <= 0 uses GOMAXPROCS).
+func ParallelGemm(alpha float32, a, b *Dense, beta float32, c *Dense, workers int) {
+	checkGemmShapes(a.Rows, a.Cols, b.Rows, b.Cols, c, "ParallelGemm")
+	if a.IsPhantom() || b.IsPhantom() || c.IsPhantom() {
+		return
+	}
+	parallelRows(c.Rows, workers, func(lo, hi int) {
+		gemmRows(alpha, a, b, beta, c, lo, hi)
+	})
+}
+
+// ParallelGemmTB is GemmTB with row-parallel execution.
+func ParallelGemmTB(alpha float32, a, b *Dense, beta float32, c *Dense, workers int) {
+	checkGemmShapes(a.Rows, a.Cols, b.Cols, b.Rows, c, "ParallelGemmTB")
+	if a.IsPhantom() || b.IsPhantom() || c.IsPhantom() {
+		return
+	}
+	parallelRows(c.Rows, workers, func(lo, hi int) {
+		gemmTBRows(alpha, a, b, beta, c, lo, hi)
+	})
+}
+
+// parallelRows splits [0, n) into contiguous chunks and runs fn on each in
+// its own goroutine, waiting for completion.
+func parallelRows(n, workers int, fn func(lo, hi int)) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		fn(0, n)
+		return
+	}
+	var wg sync.WaitGroup
+	chunk := (n + workers - 1) / workers
+	for lo := 0; lo < n; lo += chunk {
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			fn(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+// GemmFlops returns the floating point operation count of an m x k x n GeMM.
+func GemmFlops(m, k, n int) int64 { return 2 * int64(m) * int64(k) * int64(n) }

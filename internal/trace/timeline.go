@@ -1,0 +1,140 @@
+// Package trace extracts per-device timelines from a scheduled task graph
+// and renders them as ASCII Gantt charts — the reproduction's version of
+// the paper's Fig 6 (SpMM stages, original vs permuted ordering) and Fig 8
+// (communication/computation overlap).
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"mggcn/internal/sim"
+)
+
+// Span is one rendered interval on a device's stream.
+type Span struct {
+	Device int
+	Stream sim.StreamID
+	Kind   sim.Kind
+	Label  string
+	Stage  int
+	Start  float64
+	End    float64
+}
+
+// Extract pulls the spans whose label contains substr (empty = all) from a
+// scheduled graph, sorted by device, stream, then start time.
+func Extract(tasks []*sim.Task, sched *sim.Schedule, substr string) []Span {
+	var out []Span
+	for _, t := range tasks {
+		if substr != "" && !strings.Contains(t.Label, substr) {
+			continue
+		}
+		for _, dev := range t.Devices {
+			out = append(out, Span{
+				Device: dev, Stream: t.Stream, Kind: t.Kind, Label: t.Label,
+				Stage: t.Stage, Start: sched.Start[t.ID], End: sched.End[t.ID],
+			})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Device != out[j].Device {
+			return out[i].Device < out[j].Device
+		}
+		if out[i].Stream != out[j].Stream {
+			return out[i].Stream < out[j].Stream
+		}
+		return out[i].Start < out[j].Start
+	})
+	return out
+}
+
+// Window returns the [min start, max end] interval covered by spans.
+func Window(spans []Span) (lo, hi float64) {
+	if len(spans) == 0 {
+		return 0, 0
+	}
+	lo, hi = spans[0].Start, spans[0].End
+	for _, s := range spans {
+		if s.Start < lo {
+			lo = s.Start
+		}
+		if s.End > hi {
+			hi = s.End
+		}
+	}
+	return lo, hi
+}
+
+// Gantt renders the spans as one text row per (device, stream) over width
+// character columns. Compute spans print their stage digit (or '#'), comm
+// spans print '~', idle prints '.'. Times are normalized to the spans'
+// window, mirroring the paper's Fig 6/8 layout.
+func Gantt(spans []Span, devices, width int) string {
+	lo, hi := Window(spans)
+	if hi <= lo || width < 1 {
+		return ""
+	}
+	scale := float64(width) / (hi - lo)
+	rows := make(map[[2]int][]byte)
+	key := func(dev int, st sim.StreamID) [2]int { return [2]int{dev, int(st)} }
+	for d := 0; d < devices; d++ {
+		for _, st := range []sim.StreamID{sim.StreamCompute, sim.StreamComm} {
+			row := make([]byte, width)
+			for i := range row {
+				row[i] = '.'
+			}
+			rows[key(d, st)] = row
+		}
+	}
+	for _, s := range spans {
+		row, ok := rows[key(s.Device, s.Stream)]
+		if !ok {
+			continue
+		}
+		a := int((s.Start - lo) * scale)
+		b := int((s.End - lo) * scale)
+		if b <= a {
+			b = a + 1
+		}
+		if b > width {
+			b = width
+		}
+		ch := byte('#')
+		if s.Stream == sim.StreamComm {
+			ch = '~'
+		} else if s.Stage >= 0 && s.Stage < 10 {
+			ch = byte('0' + s.Stage)
+		}
+		for i := a; i < b && i < width; i++ {
+			row[i] = ch
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "window: %.3f ms\n", (hi-lo)*1e3)
+	for d := 0; d < devices; d++ {
+		fmt.Fprintf(&b, "GPU %d comp |%s|\n", d+1, rows[key(d, sim.StreamCompute)])
+		fmt.Fprintf(&b, "GPU %d comm |%s|\n", d+1, rows[key(d, sim.StreamComm)])
+	}
+	return b.String()
+}
+
+// BusyFraction returns, per device, the fraction of the window the given
+// stream is busy — a quantitative load-balance readout for Fig 6.
+func BusyFraction(spans []Span, devices int, stream sim.StreamID) []float64 {
+	lo, hi := Window(spans)
+	out := make([]float64, devices)
+	if hi <= lo {
+		return out
+	}
+	for _, s := range spans {
+		if s.Stream == stream && s.Device < devices {
+			out[s.Device] += s.End - s.Start
+		}
+	}
+	for i := range out {
+		out[i] /= hi - lo
+	}
+	return out
+}

@@ -1,0 +1,104 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+
+	"mggcn/internal/sim"
+)
+
+func sampleSchedule() ([]*sim.Task, *sim.Schedule) {
+	spec := sim.DGXV100()
+	g := sim.NewGraph(spec, 2)
+	g.AddCompute(0, sim.KindSpMM, "fwd0/spmm", 0, 1.0, true)
+	g.AddCompute(1, sim.KindSpMM, "fwd0/spmm", 1, 2.0, true)
+	g.AddComm([]int{0, 1}, "fwd0/spmm/bcast", 0, 0.5)
+	g.AddCompute(0, sim.KindGeMM, "fwd0/gemm", -1, 0.5, false)
+	return g.Tasks, g.Run()
+}
+
+func TestExtractFilters(t *testing.T) {
+	tasks, sched := sampleSchedule()
+	all := Extract(tasks, sched, "")
+	// 2 SpMM + 2 collective legs (one per device) + 1 GeMM = 5 spans.
+	if len(all) != 5 {
+		t.Fatalf("all spans: %d, want 5", len(all))
+	}
+	spmm := Extract(tasks, sched, "spmm")
+	if len(spmm) != 4 { // 2 compute + 2 collective legs (label matches)
+		t.Fatalf("spmm spans: %d, want 4", len(spmm))
+	}
+	for _, s := range spmm {
+		if !strings.Contains(s.Label, "spmm") {
+			t.Fatalf("filter leak: %q", s.Label)
+		}
+	}
+}
+
+func TestExtractSorted(t *testing.T) {
+	tasks, sched := sampleSchedule()
+	spans := Extract(tasks, sched, "")
+	for i := 1; i < len(spans); i++ {
+		a, b := spans[i-1], spans[i]
+		if a.Device > b.Device {
+			t.Fatalf("spans not sorted by device")
+		}
+		if a.Device == b.Device && a.Stream == b.Stream && a.Start > b.Start {
+			t.Fatalf("spans not sorted by start")
+		}
+	}
+}
+
+func TestWindow(t *testing.T) {
+	spans := []Span{{Start: 1, End: 2}, {Start: 0.5, End: 1.2}}
+	lo, hi := Window(spans)
+	if lo != 0.5 || hi != 2 {
+		t.Fatalf("window [%v,%v]", lo, hi)
+	}
+	if lo, hi = Window(nil); lo != 0 || hi != 0 {
+		t.Fatalf("empty window [%v,%v]", lo, hi)
+	}
+}
+
+func TestGanttRendering(t *testing.T) {
+	tasks, sched := sampleSchedule()
+	spans := Extract(tasks, sched, "")
+	out := Gantt(spans, 2, 40)
+	if !strings.Contains(out, "GPU 1 comp") || !strings.Contains(out, "GPU 2 comm") {
+		t.Fatalf("missing rows:\n%s", out)
+	}
+	if !strings.Contains(out, "~") {
+		t.Fatalf("no comm span rendered:\n%s", out)
+	}
+	if !strings.Contains(out, "0") || !strings.Contains(out, "1") {
+		t.Fatalf("stage digits not rendered:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 1+4 {
+		t.Fatalf("want header + 4 rows, got %d lines", len(lines))
+	}
+}
+
+func TestGanttEmptyAndDegenerate(t *testing.T) {
+	if Gantt(nil, 2, 40) != "" {
+		t.Fatalf("empty spans should render nothing")
+	}
+	if Gantt([]Span{{Start: 1, End: 1}}, 1, 0) != "" {
+		t.Fatalf("zero width should render nothing")
+	}
+}
+
+func TestBusyFraction(t *testing.T) {
+	spans := []Span{
+		{Device: 0, Stream: sim.StreamCompute, Start: 0, End: 1},
+		{Device: 1, Stream: sim.StreamCompute, Start: 0, End: 0.5},
+		{Device: 0, Stream: sim.StreamComm, Start: 0, End: 2},
+	}
+	bf := BusyFraction(spans, 2, sim.StreamCompute)
+	if bf[0] != 0.5 || bf[1] != 0.25 {
+		t.Fatalf("busy fractions %v", bf)
+	}
+	if got := BusyFraction(nil, 2, sim.StreamCompute); got[0] != 0 {
+		t.Fatalf("empty busy fraction %v", got)
+	}
+}

@@ -1,0 +1,300 @@
+// Package mggcn is a Go reproduction of "MG-GCN: A Scalable multi-GPU GCN
+// Training Framework" (Balın, Sancak, Çatalyürek — ICPP 2022): full-batch
+// GCN training 1D-row-partitioned across the GPUs of a simulated DGX-class
+// machine, with the paper's memory-buffer reuse (§4.2), communication/
+// computation overlap (§4.3), kernel order switching and saved backward
+// SpMM (§4.4), and random-permutation load balancing (§5.2).
+//
+// Because this module is pure Go and offline, GPUs, NVLink and the OGB
+// datasets are replaced by faithful stand-ins (see DESIGN.md §2): kernels
+// execute real float32 math on the CPU while a discrete-event scheduler
+// with bandwidth contention prices every kernel and collective at
+// paper-scale, and datasets are BTER-generated to Table 1's shape. Epoch
+// times reported by this package are simulated seconds on the selected
+// machine; losses and accuracies are real.
+//
+// Quick start:
+//
+//	ds, _ := mggcn.LoadDataset("reddit", false)
+//	tr, _ := mggcn.NewTrainer(ds, mggcn.DefaultOptions(mggcn.DGXA100(), 8))
+//	for _, s := range tr.Train(100) {
+//	    fmt.Println(s.Loss, s.TrainAcc, s.EpochSeconds)
+//	}
+package mggcn
+
+import (
+	"errors"
+	"fmt"
+	"io"
+
+	"mggcn/internal/core"
+	"mggcn/internal/gen"
+	"mggcn/internal/graph"
+	"mggcn/internal/graphio"
+	"mggcn/internal/sim"
+	"mggcn/internal/trace"
+)
+
+// MachineSpec describes a multi-GPU node; build one with DGXV100 or
+// DGXA100, or customize the fields for a hypothetical machine.
+type MachineSpec = sim.MachineSpec
+
+// DGXV100 returns the paper's NVIDIA DGX-1 (8x V100 32 GB, 6 NVLinks/GPU).
+func DGXV100() MachineSpec { return sim.DGXV100() }
+
+// DGXA100 returns the paper's NVIDIA DGX-A100 (8x A100 80 GB, NVSwitch).
+func DGXA100() MachineSpec { return sim.DGXA100() }
+
+// MultiNode joins nodes identical machines through a network delivering
+// interNodeBW bytes/s per node (e.g. 12.5e9 for HDR InfiniBand).
+// Collectives that span nodes are bottlenecked by the NIC — the scaling
+// wall that kept CAGNET at a single node and that the paper's multi-GPU
+// cluster extension (§7, future work) would have to overcome.
+func MultiNode(spec MachineSpec, nodes int, interNodeBW float64) MachineSpec {
+	return sim.MultiNode(spec, nodes, interNodeBW)
+}
+
+// EpochStats reports one training epoch: simulated epoch seconds on the
+// machine, the per-kind time breakdown, and (in non-phantom mode) the real
+// loss and training accuracy.
+type EpochStats = core.EpochStats
+
+// Strategy selects the distributed SpMM algorithm of §4.1/§5.1.
+type Strategy = core.Strategy
+
+// The available partitioning strategies.
+const (
+	Strategy1DRow = core.Strategy1DRow // broadcast-based (the paper's)
+	Strategy1DCol = core.Strategy1DCol // reduction-based alternative
+	Strategy15D   = core.Strategy15D   // CAGNET 1.5D, replication 2
+)
+
+// Ordering selects the vertex ordering applied before partitioning.
+type Ordering = core.Ordering
+
+// The available vertex orderings (§5.2 ablation). OrderingDefault honors
+// the Permute flag.
+const (
+	OrderingDefault      = core.OrderingDefault
+	OrderingNatural      = core.OrderingNatural
+	OrderingRandom       = core.OrderingRandom
+	OrderingDegreeSorted = core.OrderingDegreeSorted
+	OrderingBFS          = core.OrderingBFS
+	OrderingBlockCyclic  = core.OrderingBlockCyclic
+)
+
+// Dataset is a benchmark graph bound to its full-scale statistics and the
+// generation scale divisor (DESIGN.md §2).
+type Dataset struct {
+	g     *graph.Graph
+	scale int
+	spec  gen.DatasetSpec
+}
+
+// DatasetNames lists the Table-1 catalog names.
+func DatasetNames() []string { return gen.AllNames() }
+
+// LoadDataset generates (with caching) a catalog dataset. Phantom datasets
+// carry graph structure only — enough for timing and memory experiments —
+// and are the only practical choice for the large graphs; non-phantom
+// datasets include features, labels and splits for real training.
+func LoadDataset(name string, phantom bool) (*Dataset, error) {
+	g, spec, err := gen.Load(name, phantom)
+	if err != nil {
+		return nil, err
+	}
+	return &Dataset{g: g, scale: spec.Scale, spec: spec}, nil
+}
+
+// DegreeScaledDataset returns the Fig-9 synthetic family member: the Arxiv
+// degree profile with average degree multiplied by factor at fixed n.
+func DegreeScaledDataset(factor int, phantom bool) *Dataset {
+	g, spec := gen.LoadDegreeScaled(factor, phantom)
+	return &Dataset{g: g, scale: spec.Scale, spec: spec}
+}
+
+// SynthesizeDataset generates a custom BTER dataset at scale 1.
+func SynthesizeDataset(name string, n int, avgDegree float64, featDim, classes int, seed uint64, phantom bool) *Dataset {
+	cfg := gen.DefaultBTER(n, avgDegree, seed)
+	g := gen.Generate(name, cfg, featDim, classes, phantom)
+	return &Dataset{
+		g: g, scale: 1,
+		spec: gen.DatasetSpec{
+			Name: name, FullN: int64(n), FullM: g.M(),
+			FeatDim: featDim, Classes: classes, AvgDegree: avgDegree, Scale: 1, Seed: seed,
+		},
+	}
+}
+
+// Name returns the dataset name.
+func (d *Dataset) Name() string { return d.g.Name }
+
+// N returns the generated vertex count; FullN the paper-scale count.
+func (d *Dataset) N() int { return d.g.N() }
+
+// FullN returns the paper-scale vertex count (N times the scale divisor).
+func (d *Dataset) FullN() int64 { return int64(d.g.N()) * int64(d.scale) }
+
+// M returns the generated directed edge count.
+func (d *Dataset) M() int64 { return d.g.M() }
+
+// AvgDegree returns edges per vertex (preserved across scaling).
+func (d *Dataset) AvgDegree() float64 { return d.g.AvgDegree() }
+
+// Scale returns the generation divisor relative to the paper's dataset.
+func (d *Dataset) Scale() int { return d.scale }
+
+// FeatDim and Classes return the model-facing dimensions.
+func (d *Dataset) FeatDim() int { return d.g.FeatDim }
+
+// Classes returns the label count.
+func (d *Dataset) Classes() int { return d.g.Classes }
+
+// IsPhantom reports whether the dataset is structure-only.
+func (d *Dataset) IsPhantom() bool { return d.g.IsPhantom() }
+
+// WriteBinary serializes the dataset (structure, features, labels, splits)
+// to w in the module's binary format.
+func (d *Dataset) WriteBinary(w io.Writer) error { return graphio.WriteBinary(w, d.g) }
+
+// ReadDataset deserializes a dataset written by WriteBinary. The scale
+// divisor is not stored in the format; pass the one the dataset was
+// generated with (1 for unscaled data).
+func ReadDataset(r io.Reader, scale int) (*Dataset, error) {
+	g, err := graphio.ReadBinary(r)
+	if err != nil {
+		return nil, err
+	}
+	if scale < 1 {
+		scale = 1
+	}
+	return &Dataset{
+		g: g, scale: scale,
+		spec: gen.DatasetSpec{
+			Name: g.Name, FullN: int64(g.N()) * int64(scale),
+			FullM: g.M() * int64(scale), FeatDim: g.FeatDim, Classes: g.Classes,
+			AvgDegree: g.AvgDegree(), Scale: scale,
+		},
+	}, nil
+}
+
+// Options configures a training run. Zero values are not usable; start
+// from DefaultOptions.
+type Options struct {
+	Machine MachineSpec
+	GPUs    int
+
+	Hidden int
+	Layers int
+	LR     float64
+
+	// Strategy selects the distributed SpMM algorithm: Strategy1DRow (the
+	// paper's choice, the default), Strategy1DCol, or Strategy15D.
+	Strategy Strategy
+
+	// The paper's optimizations, all enabled by DefaultOptions.
+	Permute               bool // §5.2 random vertex permutation
+	Overlap               bool // §4.3 communication/computation overlap
+	OrderSwitch           bool // §4.4 GeMM/SpMM order selection
+	SkipFirstBackwardSpMM bool // §4.4 saved first-layer backward SpMM
+
+	// Ordering overrides Permute with a specific vertex ordering when set.
+	Ordering Ordering
+	// BalancedPartition cuts partitions at equal total degree instead of
+	// equal vertex counts — an alternative load balancer to permutation.
+	BalancedPartition bool
+
+	Seed     int64
+	PermSeed uint64
+	Workers  int // CPU workers for real kernels (<=0: GOMAXPROCS)
+}
+
+// DefaultOptions returns the full MG-GCN configuration on the machine:
+// model A of §6 (2 layers, hidden 512) with every optimization enabled.
+func DefaultOptions(m MachineSpec, gpus int) Options {
+	return Options{
+		Machine: m, GPUs: gpus,
+		Hidden: 512, Layers: 2, LR: 0.01,
+		Permute: true, Overlap: true, OrderSwitch: true, SkipFirstBackwardSpMM: true,
+		Seed: 1, PermSeed: 1,
+	}
+}
+
+// Trainer is a distributed MG-GCN training run.
+type Trainer struct {
+	inner *core.Trainer
+	ds    *Dataset
+}
+
+// NewTrainer partitions the dataset across the machine's GPUs and
+// allocates the L+3 buffer set; it fails with an out-of-memory error
+// (check with IsOOM) when the configuration does not fit the machine.
+func NewTrainer(ds *Dataset, o Options) (*Trainer, error) {
+	if o.GPUs < 1 {
+		return nil, fmt.Errorf("mggcn: GPUs must be >= 1")
+	}
+	cfg := core.Config{
+		Spec: o.Machine, P: o.GPUs, MemScale: ds.scale,
+		Hidden: o.Hidden, Layers: o.Layers, LR: o.LR,
+		Strategy: o.Strategy, Ordering: o.Ordering, BalancedPartition: o.BalancedPartition,
+		Permute: o.Permute, PermSeed: o.PermSeed, Overlap: o.Overlap,
+		OrderSwitch: o.OrderSwitch, SkipFirstBackward: o.SkipFirstBackwardSpMM,
+		Seed: o.Seed, Workers: o.Workers,
+	}
+	inner, err := core.NewTrainer(ds.g, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &Trainer{inner: inner, ds: ds}, nil
+}
+
+// RunEpoch performs one full-batch training step.
+func (t *Trainer) RunEpoch() *EpochStats { return t.inner.RunEpoch() }
+
+// Train runs the given number of epochs and returns per-epoch stats.
+func (t *Trainer) Train(epochs int) []*EpochStats { return t.inner.Train(epochs) }
+
+// SaveCheckpoint writes the model weights and optimizer state to w so a
+// later run can resume exactly where this one stopped.
+func (t *Trainer) SaveCheckpoint(w io.Writer) error { return t.inner.SaveCheckpoint(w) }
+
+// LoadCheckpoint restores state saved by SaveCheckpoint; the trainer's
+// model shape must match the checkpoint's.
+func (t *Trainer) LoadCheckpoint(r io.Reader) error { return t.inner.LoadCheckpoint(r) }
+
+// PeakMemoryBytes returns the per-device peak memory at generated scale;
+// multiply by Dataset.Scale() for the paper-scale figure.
+func (t *Trainer) PeakMemoryBytes() int64 { return t.inner.PeakMemoryBytes() }
+
+// BufferCount returns the number of large per-device buffers (L+3).
+func (t *Trainer) BufferCount() int { return t.inner.BufferCount() }
+
+// EstimateMemoryBytesPerDevice predicts the paper-scale per-device memory
+// footprint of a configuration without building a trainer.
+func EstimateMemoryBytesPerDevice(ds *Dataset, o Options) int64 {
+	cfg := core.Config{
+		Spec: o.Machine, P: o.GPUs, MemScale: ds.scale,
+		Hidden: o.Hidden, Layers: o.Layers,
+	}
+	return core.EstimateMemoryBytesPerDevice(ds.g, cfg)
+}
+
+// IsOOM reports whether err is a device out-of-memory failure.
+func IsOOM(err error) bool {
+	var oom *sim.OOMError
+	return errors.As(err, &oom)
+}
+
+// Timeline runs one epoch on the dataset under the options and renders the
+// ASCII Gantt chart of the tasks whose labels contain phase (e.g.
+// "fwd0/spmm") — the paper's Fig 6/8 visualization for any configuration.
+// Returns the chart text and the simulated epoch seconds.
+func Timeline(ds *Dataset, o Options, phase string, width int) (string, float64, error) {
+	tr, err := NewTrainer(ds, o)
+	if err != nil {
+		return "", 0, err
+	}
+	stats := tr.RunEpoch()
+	spans := trace.Extract(stats.Tasks, stats.Sched, phase)
+	return trace.Gantt(spans, o.GPUs, width), stats.EpochSeconds, nil
+}
