@@ -1,0 +1,109 @@
+// Command mggcn-vet runs the MG-GCN domain-aware static analysis suite
+// (internal/analysis) over every package of the module and prints findings
+// as file:line:col: rule: message. It exits 0 when clean, 1 on findings,
+// and 2 when the module fails to load.
+//
+// Usage:
+//
+//	go run ./cmd/mggcn-vet ./...
+//	go run ./cmd/mggcn-vet -rules taskdep,bufalias ./...
+//
+// The package pattern is accepted for familiarity but the tool always
+// analyzes the whole module (non-test files only; testdata is skipped).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"mggcn/internal/analysis"
+)
+
+func main() {
+	rulesFlag := flag.String("rules", "", "comma-separated rule subset (default: all)")
+	listFlag := flag.Bool("list", false, "list available rules and exit")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: mggcn-vet [-rules r1,r2] [packages]\n\nrules:\n")
+		for _, a := range analysis.Analyzers() {
+			fmt.Fprintf(os.Stderr, "  %-16s %s\n", a.Name, a.Doc)
+		}
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	if *listFlag {
+		for _, a := range analysis.Analyzers() {
+			fmt.Printf("%-16s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	analyzers := analysis.Analyzers()
+	if *rulesFlag != "" {
+		byName := map[string]*analysis.Analyzer{}
+		for _, a := range analyzers {
+			byName[a.Name] = a
+		}
+		analyzers = nil
+		for _, name := range strings.Split(*rulesFlag, ",") {
+			a, ok := byName[strings.TrimSpace(name)]
+			if !ok {
+				fmt.Fprintf(os.Stderr, "mggcn-vet: unknown rule %q\n", name)
+				os.Exit(2)
+			}
+			analyzers = append(analyzers, a)
+		}
+	}
+
+	ld, err := analysis.NewLoader(".")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mggcn-vet:", err)
+		os.Exit(2)
+	}
+	pkgs, err := ld.LoadAll()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mggcn-vet:", err)
+		os.Exit(2)
+	}
+
+	loadBroken := false
+	var findings []analysis.Finding
+	for _, pkg := range pkgs {
+		for _, terr := range pkg.TypeErrors {
+			fmt.Fprintf(os.Stderr, "mggcn-vet: %s: type error: %v\n", pkg.Path, terr)
+			loadBroken = true
+		}
+		for _, a := range analyzers {
+			findings = append(findings, a.Run(pkg)...)
+		}
+	}
+	sort.Slice(findings, func(i, j int) bool {
+		a, b := findings[i].Pos, findings[j].Pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		return a.Column < b.Column
+	})
+	for _, f := range findings {
+		// Report paths relative to the module root for stable CI output.
+		pos := f.Pos
+		if rel, err := filepath.Rel(ld.ModuleRoot, pos.Filename); err == nil && !strings.HasPrefix(rel, "..") {
+			pos.Filename = rel
+		}
+		fmt.Printf("%s:%d:%d: %s: %s\n", pos.Filename, pos.Line, pos.Column, f.Rule, f.Msg)
+	}
+	switch {
+	case loadBroken:
+		os.Exit(2)
+	case len(findings) > 0:
+		fmt.Fprintf(os.Stderr, "mggcn-vet: %d finding(s) in %d package(s)\n", len(findings), len(pkgs))
+		os.Exit(1)
+	}
+}

@@ -630,6 +630,12 @@ func RunAccuracy() (*ExperimentResult, error) {
 // on the dataset and returns its final held-out (test) accuracy.
 func mlpBaselineAccuracy(ds *Dataset, epochs int) float64 {
 	g := ds.g
+	// A phantom dataset has no feature values to train on; without this
+	// guard the nil-safe kernels below would silently no-op and report a
+	// bogus 0 accuracy as if the MLP had been trained.
+	if g.IsPhantom() {
+		return 0
+	}
 	dims := nn.LayerDims(g.FeatDim, 32, 2, g.Classes)
 	weights := nn.InitWeights(dims, 1)
 	opt := nn.NewAdam(0.01, weights)

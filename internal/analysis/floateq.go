@@ -1,0 +1,73 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+)
+
+// FloatEq reports == / != between floating-point operands in non-test
+// code. Kernel results here come from blocked, parallel accumulation whose
+// rounding depends on worker count and block schedule, so exact equality
+// encodes an accident of the current execution plan; comparisons belong in
+// the tolerance helpers tensor.Equal / tensor.MaxAbsDiff. Comparing
+// against an integer-valued constant (0, 1, -1, ...) is allowed: such
+// values are exactly representable, and the comparisons encode deliberate
+// sentinels and identity-element fast paths (`beta == 0` skips the
+// accumulate, softmax row sums of 0 mean "row untouched"). Fractional
+// constants (0.1 has no exact float representation) and computed-vs-
+// computed comparisons stay flagged.
+var FloatEq = &Analyzer{
+	Name: "floateq",
+	Doc:  "==/!= on float operands outside the tensor tolerance helpers (exact integer-constant compares allowed)",
+	run:  runFloatEq,
+}
+
+// isFloat reports whether the expression's type is a floating-point basic
+// type (possibly via a named type).
+func isFloat(info *types.Info, e ast.Expr) bool {
+	tv, ok := info.Types[e]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	basic, ok := tv.Type.Underlying().(*types.Basic)
+	return ok && basic.Info()&types.IsFloat != 0
+}
+
+// isExactIntConst reports whether the expression is a compile-time
+// numeric constant with an exact integer value (0, 1, -1, ...), which
+// compares exactly in float arithmetic.
+func isExactIntConst(info *types.Info, e ast.Expr) bool {
+	tv, ok := info.Types[e]
+	if !ok || tv.Value == nil {
+		return false
+	}
+	switch tv.Value.Kind() {
+	case constant.Int:
+		return true
+	case constant.Float:
+		return constant.ToInt(tv.Value).Kind() == constant.Int
+	}
+	return false
+}
+
+func runFloatEq(pass *Pass) {
+	info := pass.Pkg.Info
+	for _, file := range pass.Pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			bin, ok := n.(*ast.BinaryExpr)
+			if !ok || (bin.Op != token.EQL && bin.Op != token.NEQ) {
+				return true
+			}
+			if !isFloat(info, bin.X) && !isFloat(info, bin.Y) {
+				return true
+			}
+			if isExactIntConst(info, bin.X) || isExactIntConst(info, bin.Y) {
+				return true
+			}
+			pass.Report(bin, "exact float comparison (%s): parallel blocked kernels don't round identically across schedules — use tensor.Equal/tensor.MaxAbsDiff with a tolerance", bin.Op)
+			return true
+		})
+	}
+}

@@ -1,0 +1,162 @@
+package analysis
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// PhantomGuard enforces the phantom-mode convention: in packages that
+// handle phantom tensors (structure-only matrices carrying shape for
+// cost/memory accounting but no storage), every call to a data-touching
+// kernel must be dominated by a phantom check — an enclosing branch of an
+// `if` whose condition mentions IsPhantom()/a phantom flag, or an earlier
+// `if phantom { return }` early exit in the same function. Even where the
+// kernels tolerate nil storage internally, an unguarded call in a
+// phantom-aware package means a code path that was never decided for
+// phantom mode: either it dereferences a view of an unmaterialized buffer,
+// or it silently does real work the structure-only mode is supposed to
+// skip.
+//
+// The packages that *define* the kernels (internal/tensor,
+// internal/sparse) are exempt — phantom handling lives inside the kernels
+// there. Packages that never mention phantom mode are exempt too: the rule
+// binds only where the mode is in play.
+var PhantomGuard = &Analyzer{
+	Name: "phantomguard",
+	Doc:  "data-touching kernel calls in phantom-aware packages must be dominated by an IsPhantom()/phantom-flag check",
+	run:  runPhantomGuard,
+}
+
+// kernel-defining packages where the rule does not apply.
+var phantomExemptPkgs = map[string]bool{
+	"mggcn/internal/tensor": true,
+	"mggcn/internal/sparse": true,
+}
+
+// isDataTouchingOp matches the kernel entry points that read or write
+// tensor storage.
+func isDataTouchingOp(pass *Pass, call *ast.CallExpr) (string, bool) {
+	info := pass.Pkg.Info
+	if isPkgFunc(info, call, "mggcn/internal/tensor",
+		"Gemm", "GemmTA", "GemmTB", "ParallelGemm", "ParallelGemmTB",
+		"AddInPlace", "AxpyInPlace", "ScaleInPlace", "ReLU", "ReLUBackward") ||
+		isPkgFunc(info, call, "mggcn/internal/sparse",
+			"SpMM", "ParallelSpMM", "SDDMM", "ParallelSDDMM") {
+		fn := calleeFunc(info, call)
+		return fn.Name(), true
+	}
+	if isMethod(info, call, "mggcn/internal/tensor", "Dense", "CopyFrom") {
+		return "Dense.CopyFrom", true
+	}
+	return "", false
+}
+
+// mentionsPhantom reports whether the expression tree references phantom
+// mode: an IsPhantom/NewPhantom call or any identifier/field named
+// phantom/Phantom.
+func mentionsPhantom(e ast.Node) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok {
+			switch {
+			case id.Name == "IsPhantom", id.Name == "NewPhantom",
+				strings.Contains(strings.ToLower(id.Name), "phantom"):
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// packageHandlesPhantom reports whether any file of the package mentions
+// phantom mode at all.
+func packageHandlesPhantom(pass *Pass) bool {
+	for _, file := range pass.Pkg.Files {
+		if mentionsPhantom(file) {
+			return true
+		}
+	}
+	return false
+}
+
+// terminates reports whether a statement unconditionally leaves the
+// enclosing block (the shapes an early-exit guard ends with).
+func terminates(s ast.Stmt) bool {
+	switch st := s.(type) {
+	case *ast.ReturnStmt, *ast.BranchStmt:
+		return true
+	case *ast.ExprStmt:
+		if call, ok := st.X.(*ast.CallExpr); ok {
+			if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "panic" {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// isEarlyExitGuard reports whether stmt is `if <phantom-ish> { ...; exit }`.
+func isEarlyExitGuard(stmt ast.Stmt) bool {
+	ifs, ok := stmt.(*ast.IfStmt)
+	if !ok || ifs.Else != nil || !mentionsPhantom(ifs.Cond) {
+		return false
+	}
+	body := ifs.Body.List
+	return len(body) > 0 && terminates(body[len(body)-1])
+}
+
+// guarded reports whether the call at the end of stack is dominated by a
+// phantom check: an ancestor if with a phantom-ish condition, or an
+// earlier early-exit guard in any enclosing block.
+func guarded(call *ast.CallExpr, stack []ast.Node) bool {
+	// Child pointer as we walk outward, to locate the call's statement
+	// within each enclosing block.
+	var child ast.Node = call
+	for i := len(stack) - 1; i >= 0; i-- {
+		switch n := stack[i].(type) {
+		case *ast.IfStmt:
+			// The call sits in the body or else of this if (not its init or
+			// condition) — either branch of a phantom-conditioned if counts:
+			// `if !phantom { op }` and `if phantom {} else { op }` both
+			// reflect a decision.
+			if (child == n.Body || child == n.Else) && mentionsPhantom(n.Cond) {
+				return true
+			}
+		case *ast.BlockStmt:
+			for _, s := range n.List {
+				if s == child {
+					break
+				}
+				if isEarlyExitGuard(s) {
+					return true
+				}
+			}
+		case *ast.FuncDecl, *ast.FuncLit:
+			// A guard outside the innermost function doesn't dominate the
+			// closure body at execution time.
+			return false
+		}
+		child = stack[i]
+	}
+	return false
+}
+
+func runPhantomGuard(pass *Pass) {
+	if phantomExemptPkgs[pass.Pkg.Path] || !packageHandlesPhantom(pass) {
+		return
+	}
+	for _, file := range pass.Pkg.Files {
+		inspectStack(file, func(n ast.Node, stack []ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if name, ok := isDataTouchingOp(pass, call); ok && !guarded(call, stack) {
+				pass.Report(call, "%s call not dominated by an IsPhantom()/phantom-flag check in a phantom-aware package: a phantom tensor reaching it would be dereferenced (or real work done in structure-only mode)", name)
+			}
+			return true
+		})
+	}
+}

@@ -1,0 +1,70 @@
+package analysis
+
+import (
+	"go/ast"
+)
+
+// RNGDeterminism keeps every random stream in non-test code explicitly
+// seeded. Reproducibility is a correctness property here: partitions,
+// permutations (§5.2), weight init and generated datasets must replay
+// bit-identically across runs for the simulated-vs-reference comparisons
+// to mean anything. Two shapes are flagged: calls to math/rand's global
+// (unseeded) top-level RNG, and rand.NewSource/rand.New seeded from
+// time.Now.
+var RNGDeterminism = &Analyzer{
+	Name: "rngdeterminism",
+	Doc:  "no time.Now()-seeded or unseeded (global) math/rand use in non-test code",
+	run:  runRNGDeterminism,
+}
+
+// globalRandFns are math/rand's package-level draws backed by the shared,
+// unseeded global source. Constructors (New, NewSource, NewZipf) are fine.
+var globalRandFns = []string{
+	"Int", "Intn", "Int31", "Int31n", "Int63", "Int63n",
+	"Uint32", "Uint64", "Float32", "Float64",
+	"ExpFloat64", "NormFloat64", "Perm", "Shuffle", "Read", "Seed",
+}
+
+// containsTimeNow reports whether the expression tree calls time.Now.
+func containsTimeNow(pass *Pass, root ast.Node) bool {
+	found := false
+	ast.Inspect(root, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok && isPkgFunc(pass.Pkg.Info, call, "time", "Now") {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+func runRNGDeterminism(pass *Pass) {
+	info := pass.Pkg.Info
+	for _, file := range pass.Pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			for _, randPkg := range []string{"math/rand", "math/rand/v2"} {
+				if isPkgFunc(info, call, randPkg, globalRandFns...) {
+					fn := calleeFunc(info, call)
+					pass.Report(call, "rand.%s uses the global unseeded RNG: draw from an explicitly seeded rand.New(rand.NewSource(seed)) so runs replay deterministically", fn.Name())
+					return true
+				}
+				// Only the Source constructors are checked for wall-clock
+				// seeds; rand.New(rand.NewSource(time.Now()...)) reports
+				// once, on the inner NewSource.
+				if isPkgFunc(info, call, randPkg, "NewSource", "NewPCG") {
+					for _, arg := range call.Args {
+						if containsTimeNow(pass, arg) {
+							pass.Report(call, "RNG seeded from time.Now(): wall-clock seeds make partitions/permutations/weights unreproducible — take the seed from configuration")
+							return true
+						}
+					}
+				}
+			}
+			return true
+		})
+	}
+}

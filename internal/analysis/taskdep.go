@@ -1,0 +1,62 @@
+package analysis
+
+import (
+	"go/ast"
+)
+
+// TaskDep reports discarded task IDs. sim.Graph.AddComm/AddCompute and the
+// comm.Group collectives return the ID of the task they append; a caller
+// that drops that ID cannot thread it into any later task's deps list, so
+// the simulated schedule silently loses an ordering edge (§4.3's overlap
+// correctness rests on these edges — compare CAGNET's report that dropped
+// dependencies are the dominant failure mode of hand-written overlap
+// schedules). Tasks that genuinely need no successor — terminal tasks, or
+// tasks ordered by same-stream FIFO issue order — must say so explicitly:
+//
+//	_ = tg.AddCompute(...) // vet:ok taskdep: terminal task of the epoch
+var TaskDep = &Analyzer{
+	Name: "taskdep",
+	Doc:  "discarded task ID from AddComm/AddCompute or a collective drops a scheduling dependency",
+	run:  runTaskDep,
+}
+
+// depProducer reports whether call returns a task ID meant to flow into a
+// later deps list.
+func depProducer(pass *Pass, call *ast.CallExpr) (name string, ok bool) {
+	info := pass.Pkg.Info
+	if isMethod(info, call, "mggcn/internal/sim", "Graph", "AddComm", "AddCompute") ||
+		isMethod(info, call, "mggcn/internal/comm", "Group", "Broadcast", "AllReduceSum", "AllReduceSumScaled", "ReduceSum") {
+		_, typ, meth := methodInfo(info, call)
+		return typ + "." + meth, true
+	}
+	return "", false
+}
+
+func runTaskDep(pass *Pass) {
+	for _, file := range pass.Pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch stmt := n.(type) {
+			case *ast.ExprStmt:
+				if call, ok := ast.Unparen(stmt.X).(*ast.CallExpr); ok {
+					if name, ok := depProducer(pass, call); ok {
+						pass.Report(stmt, "result of %s discarded: the task ID never reaches a deps list, so the schedule loses this ordering edge (assign to _ with a vet:ok taskdep comment if intentional)", name)
+					}
+				}
+			case *ast.AssignStmt:
+				// `_ = call` without an approving comment is still a dropped
+				// dependency; the vet:ok suppression in Report lets the
+				// annotated form through.
+				if len(stmt.Lhs) == 1 && len(stmt.Rhs) == 1 {
+					if id, ok := stmt.Lhs[0].(*ast.Ident); ok && id.Name == "_" {
+						if call, ok := ast.Unparen(stmt.Rhs[0]).(*ast.CallExpr); ok {
+							if name, ok := depProducer(pass, call); ok {
+								pass.Report(stmt, "task ID from %s blank-discarded without a vet:ok taskdep comment explaining why no later task depends on it", name)
+							}
+						}
+					}
+				}
+			}
+			return true
+		})
+	}
+}

@@ -1,0 +1,21 @@
+// Package floateq_ok is a mggcn-vet fixture: float comparisons done
+// through the tolerance helpers, plus the allowed exact-integer sentinels.
+package floateq_ok
+
+import "mggcn/internal/tensor"
+
+func tolerant(a, b *tensor.Dense, beta float32, sum float64) bool {
+	if !tensor.Equal(a, b, 1e-5) {
+		return false
+	}
+	if tensor.MaxAbsDiff(a, b) != 0 { // exact-zero sentinel is allowed
+		return false
+	}
+	// Identity-element fast paths compare exactly by design.
+	if beta == 0 || beta != 1 {
+		return true
+	}
+	return sum == 0
+}
+
+func ints(i, j int) bool { return i == j }

@@ -1,0 +1,19 @@
+// Package floateq_pos is a mggcn-vet fixture: exact float comparisons that
+// depend on the rounding of a particular execution schedule.
+package floateq_pos
+
+import "mggcn/internal/tensor"
+
+func exact(a, b float32, xs []float64, d *tensor.Dense) bool {
+	if a == b { // want floateq
+		return true
+	}
+	if xs[0] != float64(b) { // want floateq
+		return false
+	}
+	// Fractional constants have no exact float representation.
+	if a == 0.1 { // want floateq
+		return true
+	}
+	return d.At(0, 0) == d.At(1, 1) // want floateq
+}

@@ -1,0 +1,31 @@
+// Package phantom_pos is a mggcn-vet fixture: a phantom-aware package
+// (IsPhantom appears below, so the rule binds) whose data-touching kernel
+// calls are not dominated by a phantom check.
+package phantom_pos
+
+import (
+	"mggcn/internal/sparse"
+	"mggcn/internal/tensor"
+)
+
+func unguarded(dst, src *tensor.Dense, a *sparse.CSR, workers int) {
+	// A check that doesn't dominate the call doesn't count.
+	if src.IsPhantom() {
+		_ = src.Rows
+	}
+	dst.CopyFrom(src)                                 // want phantomguard
+	tensor.AddInPlace(dst, src)                       // want phantomguard
+	tensor.ParallelGemm(1, src, src, 0, dst, workers) // want phantomguard
+	sparse.ParallelSpMM(a, src, 0, dst, workers)      // want phantomguard
+}
+
+type runner struct{ phantom bool }
+
+func (r *runner) nonDominatingGuard(dst, src *tensor.Dense) {
+	// The guard doesn't exit, so control still reaches the call in
+	// phantom mode.
+	if r.phantom {
+		_ = dst.Rows
+	}
+	tensor.ReLU(dst, src) // want phantomguard
+}

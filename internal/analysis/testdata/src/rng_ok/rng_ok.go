@@ -1,0 +1,16 @@
+// Package rng_ok is a mggcn-vet fixture: every random stream is explicitly
+// seeded from configuration, so runs replay bit-identically.
+package rng_ok
+
+import "math/rand"
+
+func deterministic(seed int64, n int) int {
+	r := rand.New(rand.NewSource(seed))
+	r.Shuffle(n, func(i, j int) {})
+	return r.Intn(n)
+}
+
+func fixedSeed(n int) []int {
+	rng := rand.New(rand.NewSource(42))
+	return rng.Perm(n)
+}

@@ -1,0 +1,18 @@
+// Package rng_pos is a mggcn-vet fixture: nondeterministic RNG use in
+// non-test code.
+package rng_pos
+
+import (
+	"math/rand"
+	"time"
+)
+
+func nondeterministic(n int) int {
+	rand.Seed(time.Now().UnixNano()) // want rngdeterminism
+
+	r := rand.New(rand.NewSource(time.Now().UnixNano())) // want rngdeterminism
+
+	rand.Shuffle(n, func(i, j int) {}) // want rngdeterminism
+
+	return rand.Intn(n) + r.Intn(n) // want rngdeterminism
+}

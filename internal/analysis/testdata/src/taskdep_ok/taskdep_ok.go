@@ -1,0 +1,24 @@
+// Package taskdep_ok is a mggcn-vet fixture: task IDs either flow into
+// later deps lists or are discarded with the annotation the analyzer
+// recognizes.
+package taskdep_ok
+
+import (
+	"mggcn/internal/comm"
+	"mggcn/internal/sim"
+	"mggcn/internal/tensor"
+)
+
+func threaded(tg *sim.Graph, cg *comm.Group, bufs []*tensor.Dense) int {
+	gemm := tg.AddCompute(0, sim.KindGeMM, "gemm", -1, 1.0, false)
+	bcast := tg.AddComm([]int{0, 1}, "bcast", 0, 0.5, gemm)
+	spmm := tg.AddCompute(1, sim.KindSpMM, "spmm", 0, 2.0, true, bcast)
+	ar := cg.AllReduceSum(bufs, "ar", spmm)
+
+	// Terminal and FIFO-ordered tasks may discard, but must say so.
+	_ = tg.AddCompute(0, sim.KindAdam, "adam", -1, 0.1, true, ar) // vet:ok taskdep: terminal task of the fixture epoch
+
+	// vet:ok taskdep: comment on the line above the discard also counts
+	_ = cg.ReduceSum(0, bufs, "red")
+	return ar
+}

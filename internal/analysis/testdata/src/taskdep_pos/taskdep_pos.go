@@ -1,0 +1,22 @@
+// Package taskdep_pos is a mggcn-vet fixture: every flagged line drops a
+// task ID that can never reach a later deps list.
+package taskdep_pos
+
+import (
+	"mggcn/internal/comm"
+	"mggcn/internal/sim"
+	"mggcn/internal/tensor"
+)
+
+func dropped(tg *sim.Graph, cg *comm.Group, bufs []*tensor.Dense) {
+	tg.AddCompute(0, sim.KindGeMM, "gemm", -1, 1.0, false) // want taskdep
+	tg.AddComm([]int{0, 1}, "bcast", 0, 0.5)               // want taskdep
+
+	_ = tg.AddComm([]int{0, 1}, "bcast", 1, 0.5) // want taskdep
+
+	cg.Broadcast(0, bufs[0], bufs, "b", 0)   // want taskdep
+	cg.AllReduceSum(bufs, "ar")              // want taskdep
+	cg.AllReduceSumScaled(bufs, "ars")       // want taskdep
+	cg.ReduceSum(0, bufs, "red")             // want taskdep
+	(cg.Broadcast(1, bufs[0], bufs, "b", 1)) // want taskdep
+}

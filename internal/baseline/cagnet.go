@@ -85,11 +85,13 @@ func (c CAGNETConfig) EpochSeconds(g *graph.Graph) float64 {
 		}
 		return last
 	}
-	addPerDevice := func(kind sim.Kind, label string, cost func(rows int) float64) {
+	addPerDevice := func(kind sim.Kind, label string, cost func(rows int) float64, deps ...int) []int {
+		ids := make([]int, c.P)
 		for i := 0; i < c.P; i++ {
 			rows := int(int64(vec.Size(i)) * S)
-			tg.AddCompute(i, kind, label, -1, kern(cost(rows)), kind == sim.KindSpMM)
+			ids[i] = tg.AddCompute(i, kind, label, -1, kern(cost(rows)), kind == sim.KindSpMM, deps...)
 		}
+		return ids
 	}
 
 	for l := 0; l < c.Layers; l++ {
@@ -98,6 +100,9 @@ func (c CAGNETConfig) EpochSeconds(g *graph.Graph) float64 {
 		if dIn < dOut {
 			width = dIn
 		}
+		// Compute tasks on one device serialize in issue order on its
+		// compute stream, so the per-device forward chain needs no explicit
+		// dependency edges.
 		stagedSpMM(fmt.Sprintf("fwd%d/spmm", l), width)
 		addPerDevice(sim.KindGeMM, fmt.Sprintf("fwd%d/gemm", l), func(rows int) float64 {
 			return spec.GemmCost(rows, dIn, dOut)
@@ -115,6 +120,7 @@ func (c CAGNETConfig) EpochSeconds(g *graph.Graph) float64 {
 	for l := 0; l < c.Layers; l++ {
 		params += int64(dims[l]) * int64(dims[l+1])
 	}
+	lastAllReduce := -1
 	for l := c.Layers - 1; l >= 0; l-- {
 		dIn, dOut := dims[l], dims[l+1]
 		if l < c.Layers-1 {
@@ -122,12 +128,15 @@ func (c CAGNETConfig) EpochSeconds(g *graph.Graph) float64 {
 				return spec.ElementwiseCost(int64(rows)*int64(dOut), 2)
 			})
 		}
-		addPerDevice(sim.KindGeMM, fmt.Sprintf("bwd%d/wgrad", l), func(rows int) float64 {
+		wgID := addPerDevice(sim.KindGeMM, fmt.Sprintf("bwd%d/wgrad", l), func(rows int) float64 {
 			return spec.GemmCost(dIn, rows, dOut)
 		})
 		if c.P > 1 {
+			// The allreduce runs on the comm stream, which FIFO-order alone
+			// does not synchronize with compute: without the wgrad deps it
+			// would start at t≈0 and underprice the epoch.
 			secs := spec.CommLatency + spec.AllReduceCost(params*4, c.P)/c.CommEfficiency
-			tg.AddComm(devices, fmt.Sprintf("bwd%d/allreduce", l), -1, secs)
+			lastAllReduce = tg.AddComm(devices, fmt.Sprintf("bwd%d/allreduce", l), -1, secs, wgID...)
 		}
 		addPerDevice(sim.KindGeMM, fmt.Sprintf("bwd%d/hgrad", l), func(rows int) float64 {
 			return spec.GemmCost(rows, dOut, dIn)
@@ -136,9 +145,15 @@ func (c CAGNETConfig) EpochSeconds(g *graph.Graph) float64 {
 		// including layer 0's full-width SpMM that MG-GCN saves (§4.4).
 		stagedSpMM(fmt.Sprintf("bwd%d/spmm", l), dOut)
 	}
+	// Comm tasks span every device, so the comm stream serializes the
+	// allreduces; gating Adam on the last-issued one gates it on all.
+	var adamDeps []int
+	if lastAllReduce >= 0 {
+		adamDeps = append(adamDeps, lastAllReduce)
+	}
 	addPerDevice(sim.KindAdam, "adam", func(rows int) float64 {
 		return spec.AdamCost(params)
-	})
+	}, adamDeps...)
 	return tg.Run().Makespan
 }
 

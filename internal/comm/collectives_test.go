@@ -151,3 +151,102 @@ func TestBufferCountMismatchPanics(t *testing.T) {
 	}()
 	c.AllReduceSum([]*tensor.Dense{tensor.NewDense(1, 1)}, "ar")
 }
+
+func TestSubGroupCollectives(t *testing.T) {
+	c := newGroup(8)
+	sub := c.Sub([]int{2, 5})
+	if sub.P() != 2 {
+		t.Fatalf("sub group size = %d, want 2", sub.P())
+	}
+
+	src := tensor.NewDense(4, 4)
+	fillRand(src, 7)
+	dst := []*tensor.Dense{tensor.NewDense(4, 4), tensor.NewDense(4, 4)}
+	id := sub.Broadcast(0, src, dst, "sub-bcast", 0)
+
+	task := c.Graph.Tasks[id]
+	if len(task.Devices) != 2 || task.Devices[0] != 2 || task.Devices[1] != 5 {
+		t.Fatalf("sub broadcast spans devices %v, want [2 5]", task.Devices)
+	}
+	// §5.1: the subset's link topology prices the collective — a 2-member
+	// group, not the full 8-GPU machine.
+	want := c.Graph.Spec.BroadcastCost(src.Bytes(), 2)
+	if task.Seconds != want {
+		t.Fatalf("sub broadcast cost = %g, want groupSize-2 cost %g", task.Seconds, want)
+	}
+	if full := c.Graph.Spec.BroadcastCost(src.Bytes(), 8); task.Seconds == full {
+		t.Fatalf("sub broadcast priced as the full 8-GPU group")
+	}
+	if !tensor.Equal(dst[1], src, 0) {
+		t.Fatalf("sub broadcast did not copy to member 1")
+	}
+
+	// All-reduce over the pair: data sums within the subset only.
+	a, b := tensor.NewDense(2, 2), tensor.NewDense(2, 2)
+	a.Fill(1)
+	b.Fill(2)
+	arID := sub.AllReduceSum([]*tensor.Dense{a, b}, "sub-ar")
+	if a.At(0, 0) != 3 || b.At(0, 0) != 3 {
+		t.Fatalf("sub allreduce values = %g, %g, want 3", a.At(0, 0), b.At(0, 0))
+	}
+	arTask := c.Graph.Tasks[arID]
+	if wantAR := c.Graph.Spec.AllReduceCost(a.Bytes(), 2); arTask.Seconds != wantAR {
+		t.Fatalf("sub allreduce cost = %g, want %g", arTask.Seconds, wantAR)
+	}
+}
+
+func TestSubInheritsBytesScale(t *testing.T) {
+	c := newGroup(4)
+	c.BytesScale = 16
+	sub := c.Sub([]int{0, 1})
+	src := tensor.NewDense(4, 4)
+	dst := []*tensor.Dense{tensor.NewDense(4, 4), tensor.NewDense(4, 4)}
+	id := sub.Broadcast(0, src, dst, "scaled", 0)
+	want := c.Graph.Spec.BroadcastCost(src.Bytes()*16, 2)
+	if got := c.Graph.Tasks[id].Seconds; got != want {
+		t.Fatalf("scaled sub broadcast cost = %g, want %g", got, want)
+	}
+}
+
+// Phantom-mode collectives must not touch data (there is none) but must
+// emit comm tasks priced exactly as their real-data counterparts, so a
+// phantom run predicts the same epoch time as a materialized one.
+func TestPhantomCollectivesPricedLikeReal(t *testing.T) {
+	const p = 4
+	real := newGroup(p)
+	phantom := newGroup(p)
+
+	realBufs := make([]*tensor.Dense, p)
+	phantomBufs := make([]*tensor.Dense, p)
+	for i := 0; i < p; i++ {
+		realBufs[i] = tensor.NewDense(8, 8)
+		phantomBufs[i] = tensor.NewPhantom(8, 8)
+	}
+
+	rID := real.AllReduceSum(realBufs, "ar")
+	pID := phantom.AllReduceSum(phantomBufs, "ar")
+	if got, want := phantom.Graph.Tasks[pID].Seconds, real.Graph.Tasks[rID].Seconds; got != want {
+		t.Fatalf("phantom allreduce cost = %g, real = %g", got, want)
+	}
+
+	rID = real.ReduceSum(0, realBufs, "red")
+	pID = phantom.ReduceSum(0, phantomBufs, "red")
+	if got, want := phantom.Graph.Tasks[pID].Seconds, real.Graph.Tasks[rID].Seconds; got != want {
+		t.Fatalf("phantom reduce cost = %g, real = %g", got, want)
+	}
+
+	rID = real.Broadcast(1, realBufs[1], realBufs, "bc", 0)
+	pID = phantom.Broadcast(1, phantomBufs[1], phantomBufs, "bc", 0)
+	if got, want := phantom.Graph.Tasks[pID].Seconds, real.Graph.Tasks[rID].Seconds; got != want {
+		t.Fatalf("phantom broadcast cost = %g, real = %g", got, want)
+	}
+
+	for i, b := range phantomBufs {
+		if !b.IsPhantom() || b.Data != nil {
+			t.Fatalf("phantom buffer %d materialized data", i)
+		}
+	}
+	if got, want := len(phantom.Graph.Tasks), len(real.Graph.Tasks); got != want {
+		t.Fatalf("phantom run emitted %d tasks, real %d", got, want)
+	}
+}

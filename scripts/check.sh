@@ -1,0 +1,30 @@
+#!/usr/bin/env sh
+# check.sh — the repository's full verification gate, run locally and by CI.
+# Fails on the first broken step.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "==> gofmt"
+unformatted=$(gofmt -l .)
+if [ -n "$unformatted" ]; then
+	echo "gofmt needed on:" >&2
+	echo "$unformatted" >&2
+	exit 1
+fi
+
+echo "==> go vet"
+go vet ./...
+
+echo "==> go build"
+go build ./...
+
+echo "==> mggcn-vet (domain rules)"
+go run ./cmd/mggcn-vet ./...
+
+echo "==> go test -race"
+# The root package's end-to-end suite runs close to the default 10m
+# package timeout under the race detector; give it headroom.
+go test -race -timeout 30m ./...
+
+echo "All checks passed."
