@@ -292,6 +292,39 @@ func BenchmarkAccuracyEpoch(b *testing.B) {
 	}
 }
 
+// BenchmarkEpochWallClock measures the real wall-clock of one non-phantom
+// Products-scale epoch on 8 simulated devices: serial closure issue
+// (ExecWorkers = 1) against the dependency-driven parallel executor
+// (ExecWorkers = GOMAXPROCS). Unlike the figure benchmarks above, the
+// headline metric here IS ns/op — the replayed float32 arithmetic is the
+// work being parallelized, and on a host with GOMAXPROCS >= 8 the parallel
+// replay should cut the epoch by >= 2x. cmd/mggcn-epochbench emits the same
+// matrix as machine-readable JSON (BENCH_epoch.json).
+func BenchmarkEpochWallClock(b *testing.B) {
+	ds, err := LoadDataset("products", false)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, mode := range []struct {
+		name        string
+		execWorkers int
+	}{{"serial", 1}, {"parallel", 0}} {
+		b.Run(mode.name, func(b *testing.B) {
+			o := DefaultOptions(DGXA100(), 8)
+			o.Hidden = 128 // keeps a single-thread epoch near a second
+			o.ExecWorkers = mode.execWorkers
+			tr, err := NewTrainer(ds, o)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				tr.RunEpoch()
+			}
+		})
+	}
+}
+
 // BenchmarkSec51Analysis evaluates the closed-form §5.1 comparison.
 func BenchmarkSec51Analysis(b *testing.B) {
 	var ratio float64

@@ -1,0 +1,133 @@
+// Command mggcn-epochbench measures the real wall-clock of non-phantom
+// training epochs under the dependency-driven parallel executor and writes
+// the result matrix as machine-readable JSON (BENCH_epoch.json by default).
+//
+// Each cell trains the same Products-scale dataset at a device count in
+// {1, 4, 8} with the epoch replay issued serially (ExecWorkers = 1) and in
+// parallel (ExecWorkers = GOMAXPROCS), and reports the median epoch
+// wall-clock plus the parallel-over-serial speedup. The host's GOMAXPROCS
+// and CPU count are recorded alongside: the parallel executor can only beat
+// serial issue when the host has cores to run independent devices' closures
+// on, so a speedup claim is meaningful only at gomaxprocs >= devices.
+//
+//	mggcn-epochbench                      # full matrix -> BENCH_epoch.json
+//	mggcn-epochbench -devices 8 -epochs 3 -out -   # one row, JSON to stdout
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"mggcn"
+)
+
+// cell is one (devices, execWorkers) measurement.
+type cell struct {
+	Devices     int     `json:"devices"`
+	ExecWorkers int     `json:"exec_workers"` // 0 means GOMAXPROCS
+	Epochs      int     `json:"epochs"`
+	MedianMS    float64 `json:"median_epoch_ms"`
+	MinMS       float64 `json:"min_epoch_ms"`
+}
+
+// row pairs the serial and parallel cells at one device count.
+type row struct {
+	Devices  int     `json:"devices"`
+	Serial   cell    `json:"serial"`
+	Parallel cell    `json:"parallel"`
+	Speedup  float64 `json:"speedup"`
+}
+
+type result struct {
+	Dataset    string  `json:"dataset"`
+	N          int     `json:"n"`
+	M          int64   `json:"m"`
+	Hidden     int     `json:"hidden"`
+	Layers     int     `json:"layers"`
+	GoMaxProcs int     `json:"gomaxprocs"`
+	NumCPU     int     `json:"numcpu"`
+	Rows       []row   `json:"rows"`
+	WallSecs   float64 `json:"wall_seconds"`
+}
+
+func main() {
+	var (
+		dataset = flag.String("dataset", "products", "catalog dataset to train (non-phantom)")
+		devices = flag.String("devices", "1,4,8", "comma-separated device counts")
+		hidden  = flag.Int("hidden", 128, "hidden layer width")
+		epochs  = flag.Int("epochs", 3, "epochs per cell (median reported)")
+		out     = flag.String("out", "BENCH_epoch.json", "output path, or - for stdout")
+	)
+	flag.Parse()
+
+	ds, err := mggcn.LoadDataset(*dataset, false)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res := result{
+		Dataset: ds.Name(), N: ds.N(), M: ds.M(),
+		Hidden: *hidden, Layers: 2,
+		GoMaxProcs: runtime.GOMAXPROCS(0), NumCPU: runtime.NumCPU(),
+	}
+	start := time.Now()
+	for _, field := range strings.Split(*devices, ",") {
+		p, err := strconv.Atoi(strings.TrimSpace(field))
+		if err != nil {
+			log.Fatalf("bad -devices entry %q: %v", field, err)
+		}
+		serial := measure(ds, p, *hidden, 1, *epochs)
+		parallel := measure(ds, p, *hidden, 0, *epochs)
+		r := row{Devices: p, Serial: serial, Parallel: parallel,
+			Speedup: serial.MedianMS / parallel.MedianMS}
+		res.Rows = append(res.Rows, r)
+		fmt.Fprintf(os.Stderr, "devices=%d serial=%.0fms parallel=%.0fms speedup=%.2fx\n",
+			p, serial.MedianMS, parallel.MedianMS, r.Speedup)
+	}
+	res.WallSecs = time.Since(start).Seconds()
+
+	buf, err := json.MarshalIndent(res, "", "  ")
+	if err != nil {
+		log.Fatal(err)
+	}
+	buf = append(buf, '\n')
+	if *out == "-" {
+		os.Stdout.Write(buf)
+		return
+	}
+	if err := os.WriteFile(*out, buf, 0o644); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "wrote %s (gomaxprocs=%d)\n", *out, res.GoMaxProcs)
+}
+
+// measure trains epochs steps at the given replay parallelism and returns
+// the wall-clock cell. A fresh trainer per cell keeps cells independent.
+func measure(ds *mggcn.Dataset, p, hidden, execWorkers, epochs int) cell {
+	o := mggcn.DefaultOptions(mggcn.DGXA100(), p)
+	o.Hidden = hidden
+	o.ExecWorkers = execWorkers
+	tr, err := mggcn.NewTrainer(ds, o)
+	if err != nil {
+		log.Fatal(err)
+	}
+	tr.RunEpoch() // warm-up: first epoch pays one-time cache fills
+	times := make([]float64, 0, epochs)
+	for e := 0; e < epochs; e++ {
+		t0 := time.Now()
+		tr.RunEpoch()
+		times = append(times, float64(time.Since(t0).Microseconds())/1e3)
+	}
+	sort.Float64s(times)
+	return cell{
+		Devices: p, ExecWorkers: execWorkers, Epochs: epochs,
+		MedianMS: times[len(times)/2], MinMS: times[0],
+	}
+}

@@ -107,10 +107,29 @@ func isEarlyExitGuard(stmt ast.Stmt) bool {
 	return len(body) > 0 && terminates(body[len(body)-1])
 }
 
+// isBindRegistration reports whether lit at stack position i is an argument
+// to a (*sim.Graph).Bind call — the task-closure registration point of the
+// record/execute split.
+func isBindRegistration(pass *Pass, lit *ast.FuncLit, stack []ast.Node, i int) bool {
+	if i == 0 {
+		return false
+	}
+	call, ok := stack[i-1].(*ast.CallExpr)
+	if !ok || !isMethod(pass.Pkg.Info, call, "mggcn/internal/sim", "Graph", "Bind") {
+		return false
+	}
+	for _, arg := range call.Args {
+		if arg == lit {
+			return true
+		}
+	}
+	return false
+}
+
 // guarded reports whether the call at the end of stack is dominated by a
 // phantom check: an ancestor if with a phantom-ish condition, or an
 // earlier early-exit guard in any enclosing block.
-func guarded(call *ast.CallExpr, stack []ast.Node) bool {
+func guarded(pass *Pass, call *ast.CallExpr, stack []ast.Node) bool {
 	// Child pointer as we walk outward, to locate the call's statement
 	// within each enclosing block.
 	var child ast.Node = call
@@ -133,10 +152,18 @@ func guarded(call *ast.CallExpr, stack []ast.Node) bool {
 					return true
 				}
 			}
-		case *ast.FuncDecl, *ast.FuncLit:
+		case *ast.FuncDecl:
 			// A guard outside the innermost function doesn't dominate the
 			// closure body at execution time.
 			return false
+		case *ast.FuncLit:
+			// Same for a general closure — except one registered via
+			// (*sim.Graph).Bind: that closure only exists when the
+			// registration site ran, so a phantom guard dominating the Bind
+			// call dominates the closure body too. Keep walking outward.
+			if !isBindRegistration(pass, n, stack, i) {
+				return false
+			}
 		}
 		child = stack[i]
 	}
@@ -153,7 +180,7 @@ func runPhantomGuard(pass *Pass) {
 			if !ok {
 				return true
 			}
-			if name, ok := isDataTouchingOp(pass, call); ok && !guarded(call, stack) {
+			if name, ok := isDataTouchingOp(pass, call); ok && !guarded(pass, call, stack) {
 				pass.Report(call, "%s call not dominated by an IsPhantom()/phantom-flag check in a phantom-aware package: a phantom tensor reaching it would be dereferenced (or real work done in structure-only mode)", name)
 			}
 			return true

@@ -3,6 +3,7 @@
 package phantom_ok
 
 import (
+	"mggcn/internal/sim"
 	"mggcn/internal/sparse"
 	"mggcn/internal/tensor"
 )
@@ -33,4 +34,27 @@ func (r *runner) elseBranch(dst, src *tensor.Dense) {
 	} else {
 		tensor.ReLU(dst, src)
 	}
+}
+
+// A guard at the Bind registration site dominates a task closure's body:
+// the closure only exists — and can only run — when the guard passed
+// (the record/execute split of sim/exec.go).
+func bindGuard(g *sim.Graph, dst, src *tensor.Dense, workers int) {
+	id := g.AddCompute(0, sim.KindGeMM, "copy", -1, 0, false)
+	if !src.IsPhantom() {
+		g.Bind(id, func() {
+			dst.CopyFrom(src)
+			tensor.ParallelGemm(1, src, src, 0, dst, workers)
+		})
+	}
+	g.Execute(workers)
+}
+
+// An early-exit guard before the Bind call dominates the closure too.
+func (r *runner) bindEarlyExit(g *sim.Graph, dst, src *tensor.Dense) {
+	id := g.AddCompute(0, sim.KindActivation, "relu", -1, 0, true)
+	if r.phantom {
+		return
+	}
+	g.Bind(id, func() { tensor.ReLU(dst, src) })
 }

@@ -4,6 +4,7 @@
 package phantom_pos
 
 import (
+	"mggcn/internal/sim"
 	"mggcn/internal/sparse"
 	"mggcn/internal/tensor"
 )
@@ -28,4 +29,26 @@ func (r *runner) nonDominatingGuard(dst, src *tensor.Dense) {
 		_ = dst.Rows
 	}
 	tensor.ReLU(dst, src) // want phantomguard
+}
+
+// A Bind closure with no phantom check at the registration site (and none
+// inside) is still unguarded.
+func unguardedBind(g *sim.Graph, dst, src *tensor.Dense, workers int) {
+	id := g.AddCompute(0, sim.KindGeMM, "copy", -1, 0, false)
+	g.Bind(id, func() {
+		dst.CopyFrom(src) // want phantomguard
+	})
+	g.Execute(workers)
+}
+
+// Guards do not see through ordinary closures — only Bind registration
+// inherits the enclosing check, because only Bind ties the closure's
+// existence to the registration site running.
+func guardedOutsidePlainClosure(dst, src *tensor.Dense) func() {
+	if src.IsPhantom() {
+		return func() {}
+	}
+	return func() {
+		dst.CopyFrom(src) // want phantomguard
+	}
 }

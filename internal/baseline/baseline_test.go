@@ -27,6 +27,9 @@ func TestDGLEpochPositiveAndScalesWithModel(t *testing.T) {
 }
 
 func TestDGLSlowerOnV100ThanA100(t *testing.T) {
+	if testing.Short() {
+		t.Skip("phantom reddit generation: long e2e, skipped in -short")
+	}
 	g, scale := loadPhantom(t, "reddit")
 	v := NewDGL(sim.DGXV100(), scale, 512, 2).EpochSeconds(g)
 	a := NewDGL(sim.DGXA100(), scale, 512, 2).EpochSeconds(g)
@@ -66,6 +69,9 @@ func TestFig12LayerBudgets(t *testing.T) {
 }
 
 func TestCAGNETScalesWithGPUs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("phantom products sweep: long e2e, skipped in -short")
+	}
 	g, scale := loadPhantom(t, "products")
 	prev := NewCAGNET(sim.DGXV100(), 1, scale, 512, 2).EpochSeconds(g)
 	for _, p := range []int{2, 4, 8} {
@@ -103,6 +109,9 @@ func TestSection51CrossoverViaCommTimes(t *testing.T) {
 }
 
 func TestDistGNNTable2Anchors(t *testing.T) {
+	if testing.Short() {
+		t.Skip("regenerates Table-2 datasets: long e2e, skipped in -short")
+	}
 	// The regenerated DistGNN numbers must land within ~3x of the paper's
 	// quoted Table 2 for the small/medium datasets (Papers' quoted "1000"
 	// is itself an estimate; we require only an order-of-magnitude match).
@@ -132,6 +141,9 @@ func TestDistGNNTable2Anchors(t *testing.T) {
 }
 
 func TestDistGNNScalesOnLargeGraphsOnly(t *testing.T) {
+	if testing.Short() {
+		t.Skip("phantom products+reddit generation: long e2e, skipped in -short")
+	}
 	// Products must speed up substantially from 1 to 64 sockets; Reddit
 	// (tiny model, comm/sync bound) must not scale anywhere near linearly.
 	gp, sp := loadPhantom(t, "products")

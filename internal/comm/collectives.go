@@ -68,9 +68,12 @@ func (c *Group) checkBufs(op string, bufs []*tensor.Dense) {
 	}
 }
 
-// Broadcast copies src (resident on device root) into dst[i] on every other
-// device and emits one collective comm task. dst[root] is left untouched
-// (the paper's implementation reads the root's own tile from its resident
+// Broadcast records the copy of src (resident on device root) into dst[i]
+// on every other device and emits one collective comm task. The data
+// movement itself is bound to the task as an Exec closure and runs when
+// sim.Graph.Execute replays the graph, after the task's deps — only the
+// shape checks happen at record time. dst[root] is left untouched (the
+// paper's implementation reads the root's own tile from its resident
 // buffer). Returns the task ID to depend on.
 func (c *Group) Broadcast(root int, src *tensor.Dense, dst []*tensor.Dense, label string, stage int, deps ...int) int {
 	if len(dst) != c.P() {
@@ -86,30 +89,33 @@ func (c *Group) Broadcast(root int, src *tensor.Dense, dst []*tensor.Dense, labe
 		if d.Rows != src.Rows || d.Cols != src.Cols {
 			panic(fmt.Sprintf("comm: broadcast dst %d shape %dx%d != src %dx%d", i, d.Rows, d.Cols, src.Rows, src.Cols))
 		}
-		if !src.IsPhantom() && !d.IsPhantom() {
-			d.CopyFrom(src)
-		}
 	}
 	seconds := c.Graph.Spec.BroadcastCost(src.Bytes()*c.BytesScale, c.P())
-	return c.Graph.AddComm(c.members(), label, stage, seconds, deps...)
+	id := c.Graph.AddComm(c.members(), label, stage, seconds, deps...)
+	if !src.IsPhantom() {
+		c.Graph.Bind(id, func() {
+			for i, d := range dst {
+				if i == root || d.IsPhantom() {
+					continue
+				}
+				d.CopyFrom(src)
+			}
+		})
+	}
+	return id
 }
 
 // AllReduceSum sums the per-device buffers elementwise and writes the total
 // back into every buffer (ring all-reduce semantics), emitting one comm
-// task. Returns the task ID.
+// task whose Exec closure performs the reduction at replay time. The sum
+// always accumulates in group-member order, so results are bit-identical
+// however the executor interleaves surrounding tasks. Returns the task ID.
 func (c *Group) AllReduceSum(bufs []*tensor.Dense, label string, deps ...int) int {
 	c.checkBufs("allreduce", bufs)
-	if !bufs[0].IsPhantom() {
-		total := bufs[0].Clone()
-		for i := 1; i < len(bufs); i++ {
-			tensor.AddInPlace(total, bufs[i])
-		}
-		for _, b := range bufs {
-			b.CopyFrom(total)
-		}
-	}
 	seconds := c.Graph.Spec.AllReduceCost(bufs[0].Bytes(), c.P())
-	return c.Graph.AddComm(c.members(), label, -1, seconds, deps...)
+	id := c.Graph.AddComm(c.members(), label, -1, seconds, deps...)
+	c.bindAllReduce(id, bufs)
+	return id
 }
 
 // AllReduceSumScaled is AllReduceSum for feature-sized payloads: the
@@ -117,7 +123,19 @@ func (c *Group) AllReduceSum(bufs []*tensor.Dense, label string, deps ...int) in
 // partial-result reduction).
 func (c *Group) AllReduceSumScaled(bufs []*tensor.Dense, label string, deps ...int) int {
 	c.checkBufs("allreduce", bufs)
-	if !bufs[0].IsPhantom() {
+	seconds := c.Graph.Spec.AllReduceCost(bufs[0].Bytes()*c.BytesScale, c.P())
+	id := c.Graph.AddComm(c.members(), label, -1, seconds, deps...)
+	c.bindAllReduce(id, bufs)
+	return id
+}
+
+// bindAllReduce attaches the elementwise sum-and-replicate closure to task
+// id unless the buffers are phantom.
+func (c *Group) bindAllReduce(id int, bufs []*tensor.Dense) {
+	if bufs[0].IsPhantom() {
+		return
+	}
+	c.Graph.Bind(id, func() {
 		total := bufs[0].Clone()
 		for i := 1; i < len(bufs); i++ {
 			tensor.AddInPlace(total, bufs[i])
@@ -125,25 +143,26 @@ func (c *Group) AllReduceSumScaled(bufs []*tensor.Dense, label string, deps ...i
 		for _, b := range bufs {
 			b.CopyFrom(total)
 		}
-	}
-	seconds := c.Graph.Spec.AllReduceCost(bufs[0].Bytes()*c.BytesScale, c.P())
-	return c.Graph.AddComm(c.members(), label, -1, seconds, deps...)
+	})
 }
 
 // ReduceSum sums the per-device buffers into bufs[root] only, emitting one
-// comm task. Other buffers keep their contributions. root and the buffer
-// order are group-member positions. Feature-sized: cost scales with
-// BytesScale.
+// comm task bound to the reduction closure. Other buffers keep their
+// contributions. root and the buffer order are group-member positions.
+// Feature-sized: cost scales with BytesScale.
 func (c *Group) ReduceSum(root int, bufs []*tensor.Dense, label string, deps ...int) int {
 	c.checkBufs("reduce", bufs)
-	if !bufs[0].IsPhantom() {
-		for i, b := range bufs {
-			if i == root {
-				continue
-			}
-			tensor.AddInPlace(bufs[root], b)
-		}
-	}
 	seconds := c.Graph.Spec.ReduceCost(bufs[0].Bytes()*c.BytesScale, c.P())
-	return c.Graph.AddComm(c.members(), label, -1, seconds, deps...)
+	id := c.Graph.AddComm(c.members(), label, -1, seconds, deps...)
+	if !bufs[0].IsPhantom() {
+		c.Graph.Bind(id, func() {
+			for i, b := range bufs {
+				if i == root {
+					continue
+				}
+				tensor.AddInPlace(bufs[root], b)
+			}
+		})
+	}
+	return id
 }

@@ -28,6 +28,7 @@ func TestBroadcastCopiesData(t *testing.T) {
 		dst[i] = tensor.NewDense(6, 3)
 	}
 	id := c.Broadcast(2, src, dst, "bcast", 0)
+	c.Graph.Execute(2)
 	for i := range dst {
 		if i == 2 {
 			continue
@@ -56,6 +57,7 @@ func TestBroadcastLeavesRootUntouched(t *testing.T) {
 	rootBuf.Fill(-1)
 	other := tensor.NewDense(2, 2)
 	c.Broadcast(0, src, []*tensor.Dense{rootBuf, other}, "b", 0)
+	c.Graph.Execute(1)
 	if rootBuf.At(0, 0) != -1 {
 		t.Fatalf("root destination was overwritten")
 	}
@@ -92,6 +94,7 @@ func TestAllReduceSums(t *testing.T) {
 		bufs[i].Fill(float32(i + 1))
 	}
 	c.AllReduceSum(bufs, "ar")
+	c.Graph.Execute(2)
 	for i, b := range bufs {
 		for _, v := range b.Data {
 			if v != 6 {
@@ -106,6 +109,7 @@ func TestAllReduceSingleDeviceIsFreeButValid(t *testing.T) {
 	bufs := []*tensor.Dense{tensor.NewDense(2, 2)}
 	bufs[0].Fill(3)
 	id := c.AllReduceSum(bufs, "ar")
+	c.Graph.Execute(1)
 	if bufs[0].At(0, 0) != 3 {
 		t.Fatalf("single-device allreduce changed data")
 	}
@@ -122,6 +126,7 @@ func TestReduceSumOnlyRoot(t *testing.T) {
 		bufs[i].Fill(float32(i + 1))
 	}
 	c.ReduceSum(1, bufs, "red")
+	c.Graph.Execute(2)
 	if bufs[1].At(0, 0) != 6 {
 		t.Fatalf("root sum %v, want 6", bufs[1].At(0, 0))
 	}
@@ -163,6 +168,7 @@ func TestSubGroupCollectives(t *testing.T) {
 	fillRand(src, 7)
 	dst := []*tensor.Dense{tensor.NewDense(4, 4), tensor.NewDense(4, 4)}
 	id := sub.Broadcast(0, src, dst, "sub-bcast", 0)
+	c.Graph.Execute(2)
 
 	task := c.Graph.Tasks[id]
 	if len(task.Devices) != 2 || task.Devices[0] != 2 || task.Devices[1] != 5 {
@@ -186,6 +192,7 @@ func TestSubGroupCollectives(t *testing.T) {
 	a.Fill(1)
 	b.Fill(2)
 	arID := sub.AllReduceSum([]*tensor.Dense{a, b}, "sub-ar")
+	c.Graph.Execute(2)
 	if a.At(0, 0) != 3 || b.At(0, 0) != 3 {
 		t.Fatalf("sub allreduce values = %g, %g, want 3", a.At(0, 0), b.At(0, 0))
 	}

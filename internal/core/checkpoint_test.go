@@ -102,6 +102,9 @@ func TestCheckpointRejectsGarbage(t *testing.T) {
 }
 
 func TestCheckpointPhantomRefused(t *testing.T) {
+	if testing.Short() {
+		t.Skip("phantom products epoch: long e2e, skipped in -short")
+	}
 	g, err := loadPhantomProducts()
 	if err != nil {
 		t.Fatal(err)

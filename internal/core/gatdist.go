@@ -106,33 +106,31 @@ func (d *GATDist) Forward() (*tensor.Dense, *EpochStats) {
 			s2 := tensor.NewDense(ds.rows, 1)
 			if d.phantom {
 				s1, s2 = tensor.NewPhantom(ds.rows, 1), tensor.NewPhantom(ds.rows, 1)
-			} else {
-				tensor.ParallelGemm(1, inputView(i, l), d.Model.Weights[l], 0, z, d.Cfg.Workers)
-				tensor.Gemm(1, z, d.Model.AttnSrc[l], 0, s1)
-				tensor.Gemm(1, z, d.Model.AttnDst[l], 0, s2)
 			}
 			s1Local[i], s2Local[i] = s1, s2
 			var deps []int
 			if hReady[i] >= 0 {
 				deps = append(deps, hReady[i])
 			}
-			id := tg.AddCompute(i, sim.KindGeMM, fmt.Sprintf("gat%d/gemm", l), -1,
+			gemmID := tg.AddCompute(i, sim.KindGeMM, fmt.Sprintf("gat%d/gemm", l), -1,
 				spec.GemmCost(scale(d.part.devs[i].rows), dIn, dOut), false, deps...)
-			id = tg.AddCompute(i, sim.KindGeMM, fmt.Sprintf("gat%d/attnvec", l), -1,
-				2*spec.GemmCost(scale(d.part.devs[i].rows), dOut, 1), false, id)
+			id := tg.AddCompute(i, sim.KindGeMM, fmt.Sprintf("gat%d/attnvec", l), -1,
+				2*spec.GemmCost(scale(d.part.devs[i].rows), dOut, 1), false, gemmID)
+			if !d.phantom {
+				in, w := inputView(i, l), d.Model.Weights[l]
+				tg.Bind(gemmID, func() { tensor.ParallelGemm(1, in, w, 0, z, d.Cfg.Workers) })
+				aSrc, aDst := d.Model.AttnSrc[l], d.Model.AttnDst[l]
+				tg.Bind(id, func() {
+					tensor.Gemm(1, z, aSrc, 0, s1)
+					tensor.Gemm(1, z, aDst, 0, s2)
+				})
+			}
 			zID[i] = id
 		}
 		// All-gather the per-vertex source scores s1 (n scalars).
 		s1Full := tensor.NewDense(d.graph.N(), 1)
 		if d.phantom {
 			s1Full = tensor.NewPhantom(d.graph.N(), 1)
-		} else {
-			for i := 0; i < p; i++ {
-				ds := d.part.devs[i]
-				for r := 0; r < ds.rows; r++ {
-					s1Full.Set(ds.lo+r, 0, s1Local[i].At(r, 0))
-				}
-			}
 		}
 		gatherSecs := spec.AllReduceCost(int64(scale(d.graph.N()))*4, p)
 		allDevs := make([]int, p)
@@ -140,6 +138,16 @@ func (d *GATDist) Forward() (*tensor.Dense, *EpochStats) {
 			allDevs[i] = i
 		}
 		gatherID := tg.AddComm(allDevs, fmt.Sprintf("gat%d/allgather-s1", l), -1, gatherSecs, zID...)
+		if !d.phantom {
+			tg.Bind(gatherID, func() {
+				for i := 0; i < p; i++ {
+					ds := d.part.devs[i]
+					for r := 0; r < ds.rows; r++ {
+						s1Full.Set(ds.lo+r, 0, s1Local[i].At(r, 0))
+					}
+				}
+			})
+		}
 
 		// Each device scores and softmax-normalizes its whole tile row of
 		// attention locally (it has every column's s1 and its own s2).
@@ -147,17 +155,22 @@ func (d *GATDist) Forward() (*tensor.Dense, *EpochStats) {
 		scoreID := make([]int, p)
 		for i := 0; i < p; i++ {
 			ds := d.part.devs[i]
-			if !d.phantom {
-				alphaTiles[i] = attentionRow(ds, s1Full, s2Local[i], d.part.vec, d.Model.LeakySlope)
-			} else {
-				alphaTiles[i] = ds.atTiles
-			}
 			var nnzRow int64
 			for _, t := range ds.atTiles {
 				nnzRow += t.NNZ()
 			}
 			scoreID[i] = tg.AddCompute(i, sim.KindSpMM, fmt.Sprintf("gat%d/attn-softmax", l), -1,
 				spec.ElementwiseCost(nnzRow*int64(d.Cfg.MemScale), 3), true, gatherID)
+			if !d.phantom {
+				s2 := s2Local[i]
+				// The aggregation closures below read alphaTiles[i] at
+				// replay time, after this task (their scoreID dep).
+				tg.Bind(scoreID[i], func() {
+					alphaTiles[i] = attentionRow(ds, s1Full, s2, d.part.vec, d.Model.LeakySlope)
+				})
+			} else {
+				alphaTiles[i] = ds.atTiles
+			}
 		}
 
 		// Aggregation: the standard staged-broadcast SpMM with the
@@ -196,11 +209,13 @@ func (d *GATDist) Forward() (*tensor.Dense, *EpochStats) {
 					beta = 1
 				}
 				out := ds.bufs.AHW[l].View(ds.rows, dOut)
-				if !d.phantom {
-					sparse.ParallelSpMM(alphaTiles[i][j], xin, beta, out, d.Cfg.Workers)
-				}
 				cost := spec.SpMMCost(ds.atTiles[j].NNZ()*int64(d.Cfg.MemScale), scale(ds.rows), scale(rootRows), dOut)
 				id := tg.AddCompute(i, sim.KindSpMM, fmt.Sprintf("gat%d/spmm", l), j, cost, true, deps...)
+				if !d.phantom {
+					// alphaTiles[i] materializes when scoreID[i] (a dep)
+					// replays, so index it inside the closure.
+					tg.Bind(id, func() { sparse.ParallelSpMM(alphaTiles[i][j], xin, beta, out, d.Cfg.Workers) })
+				}
 				stage = append(stage, id)
 				last[i] = id
 			}
@@ -211,16 +226,18 @@ func (d *GATDist) Forward() (*tensor.Dense, *EpochStats) {
 			for i := 0; i < p; i++ {
 				ds := d.part.devs[i]
 				act := ds.bufs.AHW[l].View(ds.rows, dOut)
-				if !d.phantom {
-					tensor.ReLU(act, act)
-				}
-				last[i] = tg.AddCompute(i, sim.KindActivation, fmt.Sprintf("gat%d/relu", l), -1,
+				id := tg.AddCompute(i, sim.KindActivation, fmt.Sprintf("gat%d/relu", l), -1,
 					spec.ElementwiseCost(int64(scale(ds.rows))*int64(dOut), 1), true, last[i])
+				if !d.phantom {
+					tg.Bind(id, func() { tensor.ReLU(act, act) })
+				}
+				last[i] = id
 			}
 		}
 		copy(hReady, last)
 	}
 
+	tg.Execute(d.Cfg.ExecWorkers)
 	sched := tg.Run()
 	stats := &EpochStats{
 		EpochSeconds: sched.Makespan,

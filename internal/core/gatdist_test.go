@@ -32,6 +32,9 @@ func TestGATDistMatchesSingleDevice(t *testing.T) {
 }
 
 func TestGATDistPhantomTiming(t *testing.T) {
+	if testing.Short() {
+		t.Skip("phantom products epochs: long e2e, skipped in -short")
+	}
 	// Phantom mode: structure-only timing of the distributed GAT, scaling
 	// with GPUs like the GCN does.
 	g, spec, err := gen.Load("products", true)

@@ -106,11 +106,12 @@ func (tr *Trainer) stagedSpMM(tg *sim.Graph, cg *comm.Group, a spmmArgs) []int {
 			if j > 0 {
 				beta = 1
 			}
-			if !tr.phantom {
-				sparse.ParallelSpMM(tile, xin, beta, a.dst(i), tr.Cfg.Workers)
-			}
 			cost := spec.SpMMCost(tile.NNZ()*int64(tr.Cfg.MemScale), tr.s(dev.rows), tr.s(rootRows), a.width)
 			id := tg.AddCompute(i, sim.KindSpMM, a.label, j, cost, true, deps...)
+			if !tr.phantom {
+				dst := a.dst(i)
+				tg.Bind(id, func() { sparse.ParallelSpMM(tile, xin, beta, dst, tr.Cfg.Workers) })
+			}
 			stage = append(stage, id)
 			last[i] = id
 		}

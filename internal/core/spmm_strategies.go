@@ -56,11 +56,13 @@ func (tr *Trainer) stagedSpMMCol(tg *sim.Graph, cg *comm.Group, a spmmArgs) []in
 				deps = append(deps, prevReduce)
 			}
 			tile := a.tiles(j)[i]
-			if !tr.phantom {
-				sparse.ParallelSpMM(tile, a.src(j), 0, out, tr.Cfg.Workers)
-			}
 			cost := spec.SpMMCost(tile.NNZ()*int64(tr.Cfg.MemScale), tr.s(outRows), tr.s(dev.rows), a.width)
-			stageIDs = append(stageIDs, tg.AddCompute(j, sim.KindSpMM, a.label, i, cost, true, deps...))
+			id := tg.AddCompute(j, sim.KindSpMM, a.label, i, cost, true, deps...)
+			if !tr.phantom {
+				src := a.src(j)
+				tg.Bind(id, func() { sparse.ParallelSpMM(tile, src, 0, out, tr.Cfg.Workers) })
+			}
+			stageIDs = append(stageIDs, id)
 		}
 		if p > 1 {
 			reduceID := cg.ReduceSum(i, partials, a.label+"/reduce", stageIDs...)
@@ -148,11 +150,12 @@ func (tr *Trainer) stagedSpMM15D(tg *sim.Graph, cg *comm.Group, a spmmArgs) []in
 				if stagesDone[d] > 0 {
 					beta = 1
 				}
-				if !tr.phantom {
-					sparse.ParallelSpMM(tile, xin, beta, a.dst(d), tr.Cfg.Workers)
-				}
 				cost := spec.SpMMCost(tile.NNZ()*int64(tr.Cfg.MemScale), tr.s(dev.rows), tr.s(rootRows), a.width)
 				id := tg.AddCompute(d, sim.KindSpMM, a.label, j, cost, true, deps...)
+				if !tr.phantom {
+					dst := a.dst(d)
+					tg.Bind(id, func() { sparse.ParallelSpMM(tile, xin, beta, dst, tr.Cfg.Workers) })
+				}
 				stage = append(stage, id)
 				lastLocal[d] = id
 				stagesDone[d]++
@@ -164,10 +167,17 @@ func (tr *Trainer) stagedSpMM15D(tg *sim.Graph, cg *comm.Group, a spmmArgs) []in
 	}
 
 	// Devices whose group ran zero stages (possible only when blocks == 1)
-	// must contribute a zeroed partial.
+	// must contribute a zeroed partial. The fill is a zero-cost compute task
+	// (recorded in phantom mode too, so phantom and real task graphs agree)
+	// so the executor orders it before the pair all-reduce that reads it.
 	for d := 0; d < p; d++ {
-		if stagesDone[d] == 0 && !tr.phantom {
-			a.dst(d).Zero()
+		if stagesDone[d] == 0 {
+			id := tg.AddCompute(d, sim.KindSpMM, a.label+"/zerofill", -1, 0, false)
+			if !tr.phantom {
+				dst := a.dst(d)
+				tg.Bind(id, func() { dst.Zero() })
+			}
+			lastLocal[d] = id
 		}
 	}
 

@@ -110,6 +110,9 @@ func TestStrategiesTrainIdentically(t *testing.T) {
 }
 
 func Test15DUsesMoreFeatureMemory(t *testing.T) {
+	if testing.Short() {
+		t.Skip("phantom products build: long e2e, skipped in -short")
+	}
 	// The §5.1 trade: 1.5D halves broadcast volume but doubles the
 	// feature/buffer footprint per device (each block held by 2 devices).
 	g, _, err := gen.Load("products", true)
@@ -132,6 +135,9 @@ func Test15DUsesMoreFeatureMemory(t *testing.T) {
 }
 
 func Test15DCrossoverMatchesSection51(t *testing.T) {
+	if testing.Short() {
+		t.Skip("phantom products epochs across strategies: long e2e, skipped in -short")
+	}
 	// Fully-executed schedules must reproduce the §5.1 conclusion on
 	// communication: 1.5D moves less broadcast volume but pays the DGX-1
 	// inter-group penalty. Compare total comm task time per epoch on a

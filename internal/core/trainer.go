@@ -40,6 +40,10 @@ type Config struct {
 
 	Seed    int64 // weight initialization seed
 	Workers int   // CPU workers for the real kernels (<=0: GOMAXPROCS)
+	// ExecWorkers is the host-side replay parallelism of sim.Graph.Execute:
+	// how many recorded task closures may run concurrently (<=0: GOMAXPROCS,
+	// 1: serial issue). Results are bit-identical at any setting.
+	ExecWorkers int
 }
 
 // DefaultConfig returns the full MG-GCN configuration (all optimizations
@@ -223,26 +227,29 @@ func (tr *Trainer) RunEpoch() *EpochStats {
 				ds := tr.part.devs[i]
 				ah := ds.bufs.HW.View(ds.rows, dIn)
 				out := ds.bufs.AHW[l].View(ds.rows, dOut)
-				if !tr.phantom {
-					tensor.ParallelGemm(1, ah, tr.weights[i][l], 0, out, tr.Cfg.Workers)
-				}
-				next[i] = tg.AddCompute(i, sim.KindGeMM, fmt.Sprintf("fwd%d/gemm", l), -1,
+				id := tg.AddCompute(i, sim.KindGeMM, fmt.Sprintf("fwd%d/gemm", l), -1,
 					spec.GemmCost(tr.s(ds.rows), dIn, dOut), false, last[i])
+				if !tr.phantom {
+					w := tr.weights[i][l]
+					tg.Bind(id, func() { tensor.ParallelGemm(1, ah, w, 0, out, tr.Cfg.Workers) })
+				}
+				next[i] = id
 			}
 		} else {
 			gemmID := make([]int, p)
 			for i := 0; i < p; i++ {
 				ds := tr.part.devs[i]
 				hw := ds.bufs.HW.View(ds.rows, dOut)
-				if !tr.phantom {
-					tensor.ParallelGemm(1, tr.inputView(i, l), tr.weights[i][l], 0, hw, tr.Cfg.Workers)
-				}
 				var deps []int
 				if hReady[i] >= 0 {
 					deps = append(deps, hReady[i])
 				}
 				gemmID[i] = tg.AddCompute(i, sim.KindGeMM, fmt.Sprintf("fwd%d/gemm", l), -1,
 					spec.GemmCost(tr.s(ds.rows), dIn, dOut), false, deps...)
+				if !tr.phantom {
+					in, w := tr.inputView(i, l), tr.weights[i][l]
+					tg.Bind(gemmID[i], func() { tensor.ParallelGemm(1, in, w, 0, hw, tr.Cfg.Workers) })
+				}
 			}
 			last := tr.distSpMM(tg, cg, spmmArgs{
 				label: fmt.Sprintf("fwd%d/spmm", l),
@@ -260,42 +267,41 @@ func (tr *Trainer) RunEpoch() *EpochStats {
 			for i := 0; i < p; i++ {
 				ds := tr.part.devs[i]
 				act := ds.bufs.AHW[l].View(ds.rows, dOut)
-				if !tr.phantom {
-					tensor.ReLU(act, act)
-				}
-				next[i] = tg.AddCompute(i, sim.KindActivation, fmt.Sprintf("fwd%d/relu", l), -1,
+				id := tg.AddCompute(i, sim.KindActivation, fmt.Sprintf("fwd%d/relu", l), -1,
 					spec.ElementwiseCost(int64(tr.s(ds.rows))*int64(dOut), 1), true, next[i])
+				if !tr.phantom {
+					tg.Bind(id, func() { tensor.ReLU(act, act) })
+				}
+				next[i] = id
 			}
 		}
 		copy(hReady, next)
 	}
 
 	// --- Loss ---
+	// Each device's loss task computes accuracy and the loss gradient for
+	// its own vertex shard into a private slot; the slots are summed after
+	// Execute so concurrent replay stays deterministic.
 	stats := &EpochStats{}
 	classes := tr.Dims[L]
 	lossID := make([]int, p)
-	var correct, testCorrect int
+	lossSum := make([]float64, p)
+	lossCorrect := make([]int, p)
+	lossTestCorrect := make([]int, p)
 	for i := 0; i < p; i++ {
 		ds := tr.part.devs[i]
 		logits := ds.bufs.AHW[L-1].View(ds.rows, classes)
-		if !tr.phantom && tr.trainCount > 0 {
-			c, _ := nn.CorrectCount(logits, ds.labels, ds.mask)
-			correct += c
-			if ds.testMask != nil {
-				tc, _ := nn.CorrectCount(logits, ds.labels, ds.testMask)
-				testCorrect += tc
-			}
-			stats.Loss += nn.SoftmaxCrossEntropySum(logits, ds.labels, ds.mask, logits, tr.trainCount)
-		}
 		lossID[i] = tg.AddCompute(i, sim.KindLoss, "loss", -1,
 			spec.LossCost(tr.s(ds.rows), classes), true, hReady[i])
-	}
-	if tr.trainCount > 0 {
-		stats.Loss /= float64(tr.trainCount)
-		stats.TrainAcc = float64(correct) / float64(tr.trainCount)
-	}
-	if tr.testCount > 0 {
-		stats.TestAcc = float64(testCorrect) / float64(tr.testCount)
+		if !tr.phantom && tr.trainCount > 0 {
+			tg.Bind(lossID[i], func() {
+				lossCorrect[i], _ = nn.CorrectCount(logits, ds.labels, ds.mask)
+				if ds.testMask != nil {
+					lossTestCorrect[i], _ = nn.CorrectCount(logits, ds.labels, ds.testMask)
+				}
+				lossSum[i] = nn.SoftmaxCrossEntropySum(logits, ds.labels, ds.mask, logits, tr.trainCount)
+			})
+		}
 	}
 
 	// --- Backward ---
@@ -310,11 +316,12 @@ func (tr *Trainer) RunEpoch() *EpochStats {
 				ds := tr.part.devs[i]
 				gIn := ds.bufs.AHW[l+1].View(ds.rows, dOut)
 				act := ds.bufs.AHW[l].View(ds.rows, dOut)
-				if !tr.phantom {
-					tensor.ReLUBackward(act, gIn, act)
-				}
-				next[i] = tg.AddCompute(i, sim.KindActivation, fmt.Sprintf("bwd%d/relu", l), -1,
+				id := tg.AddCompute(i, sim.KindActivation, fmt.Sprintf("bwd%d/relu", l), -1,
 					spec.ElementwiseCost(int64(tr.s(ds.rows))*int64(dOut), 2), true, gReady[i])
+				if !tr.phantom {
+					tg.Bind(id, func() { tensor.ReLUBackward(act, gIn, act) })
+				}
+				next[i] = id
 			}
 			gReady = next
 		}
@@ -344,11 +351,12 @@ func (tr *Trainer) RunEpoch() *EpochStats {
 		wgID := make([]int, p)
 		for i := 0; i < p; i++ {
 			ds := tr.part.devs[i]
-			if !tr.phantom {
-				tensor.GemmTA(1, tr.inputView(i, l), hwg(i), 0, tr.grads[i][l])
-			}
 			wgID[i] = tg.AddCompute(i, sim.KindGeMM, fmt.Sprintf("bwd%d/wgrad", l), -1,
 				spec.GemmCost(dIn, tr.s(ds.rows), dOut), false, hwgReady[i])
+			if !tr.phantom {
+				in, hg, grad := tr.inputView(i, l), hwg(i), tr.grads[i][l]
+				tg.Bind(wgID[i], func() { tensor.GemmTA(1, in, hg, 0, grad) })
+			}
 		}
 		perDev := make([]*tensor.Dense, p)
 		for i := range perDev {
@@ -361,11 +369,13 @@ func (tr *Trainer) RunEpoch() *EpochStats {
 			for i := 0; i < p; i++ {
 				ds := tr.part.devs[i]
 				hgOut := ds.bufs.AHW[l].View(ds.rows, dIn)
-				if !tr.phantom {
-					tensor.ParallelGemmTB(1, hwg(i), tr.weights[i][l], 0, hgOut, tr.Cfg.Workers)
-				}
-				next[i] = tg.AddCompute(i, sim.KindGeMM, fmt.Sprintf("bwd%d/hgrad", l), -1,
+				id := tg.AddCompute(i, sim.KindGeMM, fmt.Sprintf("bwd%d/hgrad", l), -1,
 					spec.GemmCost(tr.s(ds.rows), dOut, dIn), false, hwgReady[i])
+				if !tr.phantom {
+					hg, w := hwg(i), tr.weights[i][l]
+					tg.Bind(id, func() { tensor.ParallelGemmTB(1, hg, w, 0, hgOut, tr.Cfg.Workers) })
+				}
+				next[i] = id
 			}
 			gReady = next
 		}
@@ -373,14 +383,32 @@ func (tr *Trainer) RunEpoch() *EpochStats {
 
 	// --- Optimizer (replicated, identical on every device) ---
 	for i := 0; i < p; i++ {
-		if !tr.phantom {
-			tr.opts[i].Step(tr.weights[i], tr.grads[i])
-		}
 		deps := []int{}
 		if lastAllReduce >= 0 {
 			deps = append(deps, lastAllReduce)
 		}
-		_ = tg.AddCompute(i, sim.KindAdam, "adam", -1, spec.AdamCost(tr.paramCount), true, deps...) // vet:ok taskdep: terminal task of the epoch, nothing runs after Adam
+		id := tg.AddCompute(i, sim.KindAdam, "adam", -1, spec.AdamCost(tr.paramCount), true, deps...) // vet:ok taskdep: terminal task of the epoch, nothing runs after Adam
+		if !tr.phantom {
+			opt, ws, gs := tr.opts[i], tr.weights[i], tr.grads[i]
+			tg.Bind(id, func() { opt.Step(ws, gs) })
+		}
+	}
+
+	// Replay the recorded arithmetic (no-op in phantom mode), then fold the
+	// per-device loss slots.
+	tg.Execute(tr.Cfg.ExecWorkers)
+	if tr.trainCount > 0 {
+		var correct, testCorrect int
+		for i := 0; i < p; i++ {
+			stats.Loss += lossSum[i]
+			correct += lossCorrect[i]
+			testCorrect += lossTestCorrect[i]
+		}
+		stats.Loss /= float64(tr.trainCount)
+		stats.TrainAcc = float64(correct) / float64(tr.trainCount)
+		if tr.testCount > 0 {
+			stats.TestAcc = float64(testCorrect) / float64(tr.testCount)
+		}
 	}
 
 	sched := tg.Run()
@@ -447,8 +475,15 @@ func (tr *Trainer) ForwardOnly() *tensor.Dense {
 		for i := 0; i < p; i++ {
 			ds := tr.part.devs[i]
 			hw := ds.bufs.HW.View(ds.rows, dOut)
-			tensor.ParallelGemm(1, tr.inputView(i, l), tr.weights[i][l], 0, hw, tr.Cfg.Workers)
-			gemmID[i] = tg.AddCompute(i, sim.KindGeMM, "f/gemm", -1, 1e-6, false)
+			var deps []int
+			if hReady[i] >= 0 {
+				deps = append(deps, hReady[i])
+			}
+			gemmID[i] = tg.AddCompute(i, sim.KindGeMM, "f/gemm", -1, 1e-6, false, deps...)
+			if !tr.phantom {
+				in, w := tr.inputView(i, l), tr.weights[i][l]
+				tg.Bind(gemmID[i], func() { tensor.ParallelGemm(1, in, w, 0, hw, tr.Cfg.Workers) })
+			}
 		}
 		last := tr.distSpMM(tg, cg, spmmArgs{
 			label: "f/spmm",
@@ -460,15 +495,20 @@ func (tr *Trainer) ForwardOnly() *tensor.Dense {
 			},
 			width: dOut, srcReady: gemmID, overlap: tr.Cfg.Overlap,
 		}.withAT(tr))
-		_ = last
 		if l < L-1 {
 			for i := 0; i < p; i++ {
 				ds := tr.part.devs[i]
 				act := ds.bufs.AHW[l].View(ds.rows, dOut)
-				tensor.ReLU(act, act)
+				id := tg.AddCompute(i, sim.KindActivation, "f/relu", -1, 1e-6, true, last[i])
+				if !tr.phantom {
+					tg.Bind(id, func() { tensor.ReLU(act, act) })
+				}
+				last[i] = id
 			}
 		}
+		copy(hReady, last)
 	}
+	tg.Execute(tr.Cfg.ExecWorkers)
 	return tr.gatherLogits()
 }
 

@@ -204,6 +204,9 @@ func TestOOMOnTinyMemory(t *testing.T) {
 }
 
 func TestEpochTimeDecreasesWithGPUs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("phantom scaling sweep: long e2e, skipped in -short")
+	}
 	// Phantom Products-scale run: simulated epoch time must shrink as GPUs
 	// are added (the Fig 10/13 scaling behaviour).
 	g, _, err := gen.Load("products", true)
@@ -229,6 +232,9 @@ func TestEpochTimeDecreasesWithGPUs(t *testing.T) {
 }
 
 func TestOverlapImprovesEpochTime(t *testing.T) {
+	if testing.Short() {
+		t.Skip("phantom products epochs: long e2e, skipped in -short")
+	}
 	g, _, err := gen.Load("products", true)
 	if err != nil {
 		t.Fatal(err)
@@ -249,6 +255,9 @@ func TestOverlapImprovesEpochTime(t *testing.T) {
 }
 
 func TestPermuteImprovesEpochTime(t *testing.T) {
+	if testing.Short() {
+		t.Skip("phantom products epochs: long e2e, skipped in -short")
+	}
 	g, _, err := gen.Load("products", true)
 	if err != nil {
 		t.Fatal(err)
@@ -270,6 +279,9 @@ func TestPermuteImprovesEpochTime(t *testing.T) {
 }
 
 func TestBreakdownSpMMDominatesDenseGraph(t *testing.T) {
+	if testing.Short() {
+		t.Skip("phantom reddit epochs: long e2e, skipped in -short")
+	}
 	// Fig 5: for high-average-degree graphs SpMM takes the majority of the
 	// epoch; for tiny graphs GeMM-side work dominates.
 	g, _, err := gen.Load("reddit", true)

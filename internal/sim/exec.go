@@ -1,0 +1,240 @@
+package sim
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+)
+
+// This file is the host-side twin of sched.go: where Run *simulates* the
+// recorded task graph against the machine's timing model, Execute *replays*
+// it for real, running each task's recorded Exec closure on a persistent
+// worker pool once its dependencies have finished. Independent tasks —
+// different simulated devices, compute vs comm streams — run concurrently,
+// which is the paper's whole point (§4.1/§4.3: P GPUs execute their SpMM
+// stages with communication overlapped). Results are bit-identical to a
+// serial replay because every pair of tasks that touch the same buffer is
+// ordered by one of the three edge sets below, so each closure's arithmetic
+// sees exactly the operands it would have seen inline.
+//
+// Execute honors three kinds of ordering, the first two shared with Run:
+//
+//  1. Deps edges — the recorded data dependencies (audited by the taskdep
+//     vet rule).
+//  2. Per-(device, stream) FIFO — tasks on one device's stream run in
+//     issue order, like kernels launched on a CUDA stream. This is what
+//     serializes the stage-j and stage-j+1 SpMMs that accumulate into the
+//     same output block.
+//  3. Cross-stream fences — a task may not start before the latest
+//     earlier-issued task on the OTHER stream of each of its devices has
+//     completed (per-stream FIFO then transitively orders it after every
+//     earlier task on that queue). Both directions matter and neither is
+//     recorded as a Deps edge, because both are anti-dependencies the
+//     simulator cannot observe (simulated tasks touch no data):
+//
+//       - compute after comm: a collective READS device buffers (a
+//         broadcast streams the root's resident block), so the next kernel
+//         overwriting the root's buffer must wait for the broadcast to
+//         finish reading it;
+//       - comm after compute: a collective WRITES staging buffers on every
+//         device it spans (a broadcast fills each device's BC buffer), so
+//         it must wait for earlier-issued kernels still reading them — the
+//         recorded producer/consumer chains reset at distributed-SpMM
+//         boundaries, leaving the first broadcasts of one SpMM unordered
+//         against the previous SpMM's final-stage readers on other devices.
+//
+//     The fence costs little: collective closures are memcpy-bound while
+//     compute closures carry the FLOPs, and compute tasks on different
+//     devices — the parallelism that pays for the replay — never fence each
+//     other (cross-device data only flows through collectives). Note this
+//     makes the replay more conservative than the simulation: Run still
+//     models §4.3's comm/compute overlap in simulated time; Execute
+//     serializes a collective behind earlier kernels on its devices to keep
+//     the arithmetic race-free.
+//
+// All three edge sets point from earlier to later issue order, so the
+// executor cannot deadlock on a graph that Graph.add accepted.
+
+// execJob is one closure dispatched to the shared pool.
+type execJob struct {
+	fn   func()
+	id   int
+	done chan<- int
+}
+
+// execPool is the process-wide persistent worker pool. Workers are spawned
+// on demand up to the largest parallelism any Execute call has requested
+// and then idle on the channel between epochs, so steady-state training
+// pays no goroutine start-up per step. The pool is shared: concurrent
+// Execute calls (parallel tests, several trainers) borrow workers from the
+// same set, each capped at its own requested parallelism.
+var execPool struct {
+	mu      sync.Mutex
+	jobs    chan execJob
+	workers int
+}
+
+// poolJobs returns the shared job channel, growing the pool to at least n
+// workers.
+func poolJobs(n int) chan execJob {
+	execPool.mu.Lock()
+	defer execPool.mu.Unlock()
+	if execPool.jobs == nil {
+		execPool.jobs = make(chan execJob)
+	}
+	for execPool.workers < n {
+		go func() {
+			for j := range execPool.jobs { // never closed: the pool persists
+				j.fn()
+				j.done <- j.id
+			}
+		}()
+		execPool.workers++
+	}
+	return execPool.jobs
+}
+
+// Execute replays the graph's bound closures in dependency order with up to
+// workers tasks in flight at once (workers <= 0: GOMAXPROCS). workers == 1
+// is the serial-issue path: every closure runs in a topological order
+// equivalent to inline execution at record time. A graph with no bound
+// closures (phantom mode) returns immediately.
+//
+// Execute is incremental: each call replays only tasks recorded since the
+// previous call (a watermark, not a per-task flag), so record → execute →
+// record more → execute again never re-runs a closure — re-running an
+// all-reduce would double-count. Earlier tasks are treated as already done
+// when the new suffix's deps point at them.
+func (g *Graph) Execute(workers int) {
+	if g.bound == 0 {
+		return
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	n := len(g.Tasks)
+	start := g.executed
+	g.executed = n
+	if start == n {
+		return
+	}
+
+	depsLeft := make([]int, n)
+	dependents := make([][]int, n)
+	// Per-(device, stream) FIFO queues in issue order, as in Run. Tasks
+	// before the watermark already ran: they join no queue and count as
+	// satisfied deps.
+	queues := make([][2][]int, g.P)
+	heads := make([][2]int, g.P)
+	// Cross-stream fences: task i waits for lastOn[dev][other stream] of
+	// each of its devices (per-device, not a single max — completing the
+	// latest task on one device says nothing about another device's queue).
+	// fencesLeft[i] counts unfinished fences; fencedBy[c] lists the tasks
+	// fencing on c.
+	fencesLeft := make([]int, n)
+	fencedBy := make([][]int, n)
+	lastOn := make([][2]int, g.P) // latest-issued task per (device, stream)
+	for d := range lastOn {
+		lastOn[d] = [2]int{-1, -1}
+	}
+	for i := start; i < n; i++ {
+		t := g.Tasks[i]
+		for _, d := range t.Deps {
+			if d >= start {
+				depsLeft[i]++
+				dependents[d] = append(dependents[d], i)
+			}
+		}
+		other := 1 - t.Stream
+		for _, dev := range t.Devices {
+			queues[dev][t.Stream] = append(queues[dev][t.Stream], i)
+			if c := lastOn[dev][other]; c >= 0 {
+				// The same fence task may span several of i's devices;
+				// count it once (any earlier append for i is the tail).
+				if fb := fencedBy[c]; len(fb) == 0 || fb[len(fb)-1] != i {
+					fencedBy[c] = append(fb, i)
+					fencesLeft[i]++
+				}
+			}
+		}
+		for _, dev := range t.Devices {
+			lastOn[dev][t.Stream] = i
+		}
+	}
+
+	done := make([]bool, n)
+	scheduled := make([]bool, n) // ready-queued or in flight
+	var ready []int
+	atAllHeads := func(id int) bool {
+		t := g.Tasks[id]
+		for _, dev := range t.Devices {
+			q := queues[dev][t.Stream]
+			h := heads[dev][t.Stream]
+			if h >= len(q) || q[h] != id {
+				return false
+			}
+		}
+		return true
+	}
+	tryReady := func(id int) {
+		if !done[id] && !scheduled[id] && depsLeft[id] == 0 &&
+			fencesLeft[id] == 0 && atAllHeads(id) {
+			scheduled[id] = true
+			ready = append(ready, id)
+		}
+	}
+
+	finished := start
+	complete := func(id int) {
+		done[id] = true
+		finished++
+		t := g.Tasks[id]
+		for _, dev := range t.Devices {
+			heads[dev][t.Stream]++
+			q := queues[dev][t.Stream]
+			if h := heads[dev][t.Stream]; h < len(q) {
+				tryReady(q[h])
+			}
+		}
+		for _, dep := range dependents[id] {
+			depsLeft[dep]--
+			tryReady(dep)
+		}
+		for _, w := range fencedBy[id] {
+			fencesLeft[w]--
+			tryReady(w)
+		}
+	}
+
+	for i := start; i < n; i++ {
+		tryReady(i)
+	}
+
+	doneCh := make(chan int, n)
+	jobs := poolJobs(workers)
+	inFlight := 0
+	for finished < n {
+		if len(ready) > 0 {
+			id := ready[len(ready)-1]
+			ready = ready[:len(ready)-1]
+			t := g.Tasks[id]
+			if t.Exec == nil {
+				complete(id)
+				continue
+			}
+			if inFlight < workers {
+				inFlight++
+				jobs <- execJob{fn: t.Exec, id: id, done: doneCh}
+				continue
+			}
+			ready = append(ready, id) // at the cap: wait for a completion
+		}
+		if inFlight == 0 {
+			// Unreachable for graphs built through add(): deps point
+			// backward and FIFO/fence edges follow issue order.
+			panic(fmt.Sprintf("sim: executor stalled with %d/%d tasks finished", finished, n))
+		}
+		complete(<-doneCh)
+		inFlight--
+	}
+}

@@ -65,10 +65,22 @@ func (g *Graph) Run() *Schedule {
 		}
 	}
 
-	active := map[int]bool{}
+	// The active set is a slice plus an index map (activeAt[id] = position
+	// or -1): O(1) add/remove without per-segment map iteration, and the
+	// hot loop below walks a dense slice. The per-device flag slices are
+	// hoisted out of the segment loop and recleared — on a Fig-9 128x
+	// graph the per-segment make() calls dominated the scheduler's own
+	// profile.
+	active := make([]int, 0, g.P*2)
+	activeAt := make([]int, n)
+	for i := range activeAt {
+		activeAt[i] = -1
+	}
 	done := make([]bool, n)
 	finished := 0
 	now := 0.0
+	commActive := make([]bool, g.P)
+	memActive := make([]bool, g.P)
 
 	atAllHeads := func(id int) bool {
 		t := g.Tasks[id]
@@ -82,10 +94,19 @@ func (g *Graph) Run() *Schedule {
 		return true
 	}
 	tryActivate := func(id int) {
-		if !done[id] && !active[id] && depsLeft[id] == 0 && atAllHeads(id) {
-			active[id] = true
+		if !done[id] && activeAt[id] < 0 && depsLeft[id] == 0 && atAllHeads(id) {
+			activeAt[id] = len(active)
+			active = append(active, id)
 			s.Start[id] = now
 		}
+	}
+	deactivate := func(id int) {
+		pos := activeAt[id]
+		last := active[len(active)-1]
+		active[pos] = last
+		activeAt[last] = pos
+		active = active[:len(active)-1]
+		activeAt[id] = -1
 	}
 
 	for i := range g.Tasks {
@@ -98,9 +119,11 @@ func (g *Graph) Run() *Schedule {
 		}
 		// Rates for this segment: a device is "comm-active"/"compute-
 		// active" if any active task of that class runs on it.
-		commActive := make([]bool, g.P)
-		memActive := make([]bool, g.P)
-		for id := range active {
+		for d := 0; d < g.P; d++ {
+			commActive[d] = false
+			memActive[d] = false
+		}
+		for _, id := range active {
 			t := g.Tasks[id]
 			for _, dev := range t.Devices {
 				if t.Stream == StreamComm {
@@ -131,7 +154,7 @@ func (g *Graph) Run() *Schedule {
 
 		// Advance to the earliest completion under current rates.
 		dt := math.Inf(1)
-		for id := range active {
+		for _, id := range active {
 			r := rate(id)
 			var need float64
 			if r > 0 {
@@ -150,7 +173,7 @@ func (g *Graph) Run() *Schedule {
 			dt = 0
 		}
 		var completed []int
-		for id := range active {
+		for _, id := range active {
 			r := rate(id)
 			remaining[id] -= r * dt
 			if remaining[id] <= epsilon {
@@ -159,7 +182,7 @@ func (g *Graph) Run() *Schedule {
 		}
 		now += dt
 		for _, id := range completed {
-			delete(active, id)
+			deactivate(id)
 			done[id] = true
 			finished++
 			s.End[id] = now

@@ -69,6 +69,11 @@ type Task struct {
 	// their device (§6.3); comm tasks are always contention-eligible.
 	MemBound bool
 	Deps     []int
+	// Exec is the task's host-side arithmetic, recorded at graph-build
+	// time and replayed by Graph.Execute once the task's dependencies have
+	// run (nil for tasks with no real work, e.g. phantom mode). Attach it
+	// with Graph.Bind.
+	Exec func()
 }
 
 // Graph accumulates the tasks of one training step/epoch in issue order.
@@ -76,6 +81,10 @@ type Graph struct {
 	Spec  MachineSpec
 	P     int
 	Tasks []*Task
+	// bound counts tasks carrying an Exec closure; Execute is a no-op at 0.
+	bound int
+	// executed is Execute's watermark: tasks below it have been replayed.
+	executed int
 }
 
 // NewGraph starts an empty task graph over p devices of spec.
@@ -102,6 +111,32 @@ func (g *Graph) AddComm(devices []int, label string, stage int, seconds float64,
 		Seconds: seconds, MemBound: false, Deps: deps,
 	})
 }
+
+// Bind attaches fn as task id's host-execution closure. Recording and
+// execution are split on purpose: AddCompute/AddComm only describe the
+// task, Bind captures its real arithmetic, and Graph.Execute later replays
+// every bound closure in dependency order (see exec.go). A task can be
+// bound at most once.
+func (g *Graph) Bind(id int, fn func()) {
+	if id < 0 || id >= len(g.Tasks) {
+		panic(fmt.Sprintf("sim: Bind of unknown task %d", id))
+	}
+	if fn == nil {
+		panic(fmt.Sprintf("sim: Bind of nil closure to task %q", g.Tasks[id].Label))
+	}
+	t := g.Tasks[id]
+	if t.Exec != nil {
+		panic(fmt.Sprintf("sim: task %q already bound", t.Label))
+	}
+	if id < g.executed {
+		panic(fmt.Sprintf("sim: Bind of task %q after Execute already replayed it", t.Label))
+	}
+	t.Exec = fn
+	g.bound++
+}
+
+// Bound returns the number of tasks carrying an Exec closure.
+func (g *Graph) Bound() int { return g.bound }
 
 func (g *Graph) add(t *Task) int {
 	for _, dev := range t.Devices {

@@ -1,0 +1,32 @@
+// Benchmarks ParallelSpMM's nnz-balanced chunking on a BTER power-law
+// instance (external test package: gen depends on sparse through graph).
+// The skew is the point — BTER's heavy-degree head makes equal-rows chunks
+// pathologically unbalanced, the regime the prefix-sum split targets.
+package sparse_test
+
+import (
+	"fmt"
+	"testing"
+
+	"mggcn/internal/gen"
+	"mggcn/internal/sparse"
+	"mggcn/internal/tensor"
+)
+
+func BenchmarkParallelSpMMBTER(b *testing.B) {
+	g := gen.Generate("bench-bter", gen.DefaultBTER(8192, 32, 7), 1, 2, false)
+	a := g.NormalizedAdj()
+	x := tensor.NewDense(a.Cols, 128)
+	for i := range x.Data {
+		x.Data[i] = float32(i%13) * 0.1
+	}
+	c := tensor.NewDense(a.Rows, 128)
+	for _, w := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			b.SetBytes(sparse.SpMMFlops(a.NNZ(), 128) * 2) // flops as a throughput proxy
+			for i := 0; i < b.N; i++ {
+				sparse.ParallelSpMM(a, x, 0, c, w)
+			}
+		})
+	}
+}

@@ -3,6 +3,7 @@ package sparse
 import (
 	"fmt"
 	"runtime"
+	"sort"
 	"sync"
 
 	"mggcn/internal/tensor"
@@ -21,7 +22,10 @@ func SpMM(a *CSR, x *tensor.Dense, beta float32, c *tensor.Dense) {
 }
 
 // ParallelSpMM is SpMM with output rows split across workers goroutines
-// (workers <= 0 uses GOMAXPROCS).
+// (workers <= 0 uses GOMAXPROCS). Chunk boundaries balance *nonzeros*, not
+// rows: on power-law graphs an equal-rows split can hand one worker most of
+// the matrix (a hub block's rows are orders of magnitude denser than the
+// tail's), serializing the whole multiply behind it.
 func ParallelSpMM(a *CSR, x *tensor.Dense, beta float32, c *tensor.Dense, workers int) {
 	checkSpMMShapes(a, x, c)
 	if x.IsPhantom() || c.IsPhantom() {
@@ -37,12 +41,12 @@ func ParallelSpMM(a *CSR, x *tensor.Dense, beta float32, c *tensor.Dense, worker
 		spmmRows(a, x, beta, c, 0, a.Rows)
 		return
 	}
+	bounds := nnzChunkBounds(a, workers)
 	var wg sync.WaitGroup
-	chunk := (a.Rows + workers - 1) / workers
-	for lo := 0; lo < a.Rows; lo += chunk {
-		hi := lo + chunk
-		if hi > a.Rows {
-			hi = a.Rows
+	for w := 0; w < workers; w++ {
+		lo, hi := bounds[w], bounds[w+1]
+		if lo >= hi {
+			continue
 		}
 		wg.Add(1)
 		go func(lo, hi int) {
@@ -51,6 +55,32 @@ func ParallelSpMM(a *CSR, x *tensor.Dense, beta float32, c *tensor.Dense, worker
 		}(lo, hi)
 	}
 	wg.Wait()
+}
+
+// nnzChunkBounds returns workers+1 row boundaries splitting a's rows into
+// chunks of near-equal nonzero count. RowPtr is already the prefix sum of
+// per-row nnz, so boundary k is a binary search for k*nnz/workers in it.
+// Rows stay contiguous per chunk (each output row is written by exactly one
+// worker, and row order inside a chunk is unchanged), so results are
+// bit-identical to the serial kernel.
+func nnzChunkBounds(a *CSR, workers int) []int {
+	bounds := make([]int, workers+1)
+	bounds[workers] = a.Rows
+	nnz := a.NNZ()
+	for k := 1; k < workers; k++ {
+		target := nnz * int64(k) / int64(workers)
+		// row straddles the target; cut on whichever side of it lands
+		// closer (cutting only before would idle a worker at a hub row).
+		row := sort.Search(a.Rows, func(i int) bool { return a.RowPtr[i+1] > target })
+		if row < a.Rows && target-a.RowPtr[row] >= a.RowPtr[row+1]-target {
+			row++
+		}
+		if row < bounds[k-1] {
+			row = bounds[k-1] // empty-row runs: keep boundaries monotone
+		}
+		bounds[k] = row
+	}
+	return bounds
 }
 
 func checkSpMMShapes(a *CSR, x, c *tensor.Dense) {
@@ -72,19 +102,51 @@ func spmmRows(a *CSR, x *tensor.Dense, beta float32, c *tensor.Dense, lo, hi int
 		if vals == nil {
 			for _, col := range cols {
 				rx := x.Row(int(col))
-				for j, v := range rx {
-					rc[j] += v
-				}
+				axpyRow1(rc, rx)
 			}
 		} else {
 			for k, col := range cols {
 				av := vals[k]
 				rx := x.Row(int(col))
-				for j, v := range rx {
-					rc[j] += av * v
-				}
+				axpyRow(rc, rx, av)
 			}
 		}
+	}
+}
+
+// axpyRow computes rc += av * rx, 4 columns per iteration. Each output
+// column accumulates independently in the same order as the rolled loop, so
+// results are bit-identical; the unroll only breaks the loop-carried
+// bounds-check/increment chain.
+func axpyRow(rc, rx []float32, av float32) {
+	n := len(rx)
+	rc = rc[:n]
+	j := 0
+	for ; j+4 <= n; j += 4 {
+		rc[j] += av * rx[j]
+		rc[j+1] += av * rx[j+1]
+		rc[j+2] += av * rx[j+2]
+		rc[j+3] += av * rx[j+3]
+	}
+	for ; j < n; j++ {
+		rc[j] += av * rx[j]
+	}
+}
+
+// axpyRow1 is axpyRow with av == 1 (structure-only adjacency), skipping the
+// multiply.
+func axpyRow1(rc, rx []float32) {
+	n := len(rx)
+	rc = rc[:n]
+	j := 0
+	for ; j+4 <= n; j += 4 {
+		rc[j] += rx[j]
+		rc[j+1] += rx[j+1]
+		rc[j+2] += rx[j+2]
+		rc[j+3] += rx[j+3]
+	}
+	for ; j < n; j++ {
+		rc[j] += rx[j]
 	}
 }
 

@@ -89,6 +89,78 @@ func TestParallelSpMMMatchesSequential(t *testing.T) {
 	}
 }
 
+func TestNnzChunkBounds(t *testing.T) {
+	// A hub matrix: row 0 holds half the nonzeros. Equal-rows chunking would
+	// give worker 0 rows [0, n/2); nnz balancing must cut right after the hub.
+	n := 64
+	var entries []Coo
+	for c := 0; c < n; c++ {
+		entries = append(entries, Coo{Row: 0, Col: int32(c), Val: 1})
+	}
+	for r := 1; r < n; r++ {
+		entries = append(entries, Coo{Row: int32(r), Col: int32(r % n), Val: 1})
+	}
+	a := FromCoo(n, n, entries, true)
+	bounds := nnzChunkBounds(a, 2)
+	if len(bounds) != 3 || bounds[0] != 0 || bounds[2] != n {
+		t.Fatalf("bounds = %v, want endpoints 0 and %d", bounds, n)
+	}
+	if bounds[1] != 1 {
+		t.Fatalf("mid boundary = %d, want 1 (cut right after the hub row)", bounds[1])
+	}
+
+	// Boundaries must be monotone and partition all rows for any worker
+	// count, including workers > rows with empty rows present.
+	rng := rand.New(rand.NewSource(9))
+	b := randomCSR(rng, 40, 40, 0.05, false)
+	for _, w := range []int{1, 2, 3, 7, 39, 40} {
+		bs := nnzChunkBounds(b, w)
+		if bs[0] != 0 || bs[len(bs)-1] != b.Rows {
+			t.Fatalf("workers=%d: bounds %v do not span all rows", w, bs)
+		}
+		var nnz int64
+		for k := 0; k < w; k++ {
+			if bs[k] > bs[k+1] {
+				t.Fatalf("workers=%d: non-monotone bounds %v", w, bs)
+			}
+			for r := bs[k]; r < bs[k+1]; r++ {
+				nnz += b.RowNNZ(r)
+			}
+		}
+		if nnz != b.NNZ() {
+			t.Fatalf("workers=%d: chunks cover %d nnz of %d", w, nnz, b.NNZ())
+		}
+	}
+}
+
+func TestParallelSpMMPowerLawBitIdentical(t *testing.T) {
+	// nnz-balanced chunks must not change results at all: each output row
+	// has exactly one writer and row-internal order is untouched.
+	rng := rand.New(rand.NewSource(11))
+	n := 96
+	var entries []Coo
+	for r := 0; r < n; r++ {
+		deg := 1 + rng.Intn(3)
+		if r%17 == 0 {
+			deg = n / 2 // hubs
+		}
+		for d := 0; d < deg; d++ {
+			entries = append(entries, Coo{Row: int32(r), Col: int32(rng.Intn(n)), Val: float32(rng.NormFloat64())})
+		}
+	}
+	a := FromCoo(n, n, entries, true)
+	x := randomDense(rng, n, 24)
+	seq := tensor.NewDense(n, 24)
+	SpMM(a, x, 0, seq)
+	for _, w := range []int{2, 3, 8, 96} {
+		par := tensor.NewDense(n, 24)
+		ParallelSpMM(a, x, 0, par, w)
+		if !tensor.Equal(seq, par, 0) {
+			t.Fatalf("workers=%d: parallel result not bit-identical to sequential", w)
+		}
+	}
+}
+
 func TestSpMMShapeMismatchPanics(t *testing.T) {
 	defer func() {
 		if recover() == nil {

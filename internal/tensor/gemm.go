@@ -106,10 +106,7 @@ func gemmTBRows(alpha float32, a, b *Dense, beta float32, c *Dense, lo, hi int) 
 		rc := c.Row(i)
 		for j := 0; j < b.Rows; j++ {
 			rb := b.Row(j)
-			var dot float32
-			for p, av := range ra {
-				dot += av * rb[p]
-			}
+			dot := dot4(ra, rb)
 			if beta == 0 {
 				rc[j] = alpha * dot
 			} else {
@@ -117,6 +114,28 @@ func gemmTBRows(alpha float32, a, b *Dense, beta float32, c *Dense, lo, hi int) 
 			}
 		}
 	}
+}
+
+// dot4 computes the ra·rb dot product with four independent partial sums,
+// freeing the FP adds from one serial dependency chain. The summation order
+// differs from a single running sum, which is fine at GeMM's usual fp32
+// tolerance — and deterministic: the split depends only on the length.
+func dot4(ra, rb []float32) float32 {
+	n := len(ra)
+	rb = rb[:n]
+	var d0, d1, d2, d3 float32
+	p := 0
+	for ; p+4 <= n; p += 4 {
+		d0 += ra[p] * rb[p]
+		d1 += ra[p+1] * rb[p+1]
+		d2 += ra[p+2] * rb[p+2]
+		d3 += ra[p+3] * rb[p+3]
+	}
+	dot := (d0 + d1) + (d2 + d3)
+	for ; p < n; p++ {
+		dot += ra[p] * rb[p]
+	}
+	return dot
 }
 
 // ParallelGemm is Gemm with row-range work splitting across workers

@@ -207,6 +207,13 @@ type Options struct {
 	Seed     int64
 	PermSeed uint64
 	Workers  int // CPU workers for real kernels (<=0: GOMAXPROCS)
+
+	// ExecWorkers is how many recorded task closures the epoch executor may
+	// replay concurrently (<=0: GOMAXPROCS; 1: serial issue). Independent
+	// tasks — different devices, comm vs compute — run in parallel on the
+	// host, mirroring the multi-GPU concurrency the simulator prices.
+	// Results are bit-identical at any setting.
+	ExecWorkers int
 }
 
 // DefaultOptions returns the full MG-GCN configuration on the machine:
@@ -239,7 +246,7 @@ func NewTrainer(ds *Dataset, o Options) (*Trainer, error) {
 		Strategy: o.Strategy, Ordering: o.Ordering, BalancedPartition: o.BalancedPartition,
 		Permute: o.Permute, PermSeed: o.PermSeed, Overlap: o.Overlap,
 		OrderSwitch: o.OrderSwitch, SkipFirstBackward: o.SkipFirstBackwardSpMM,
-		Seed: o.Seed, Workers: o.Workers,
+		Seed: o.Seed, Workers: o.Workers, ExecWorkers: o.ExecWorkers,
 	}
 	inner, err := core.NewTrainer(ds.g, cfg)
 	if err != nil {

@@ -72,6 +72,9 @@ func TestNewTrainerValidation(t *testing.T) {
 }
 
 func TestIsOOM(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-scale papers load: long e2e, skipped in -short")
+	}
 	// A full-scale Papers run on one A100 must OOM, like the paper's Table 3.
 	ds, err := LoadDataset("papers", true)
 	if err != nil {
@@ -94,6 +97,9 @@ func TestIsOOM(t *testing.T) {
 }
 
 func TestEstimateMemoryMatchesTrainer(t *testing.T) {
+	if testing.Short() {
+		t.Skip("phantom reddit build: simulator-only, skipped in -short")
+	}
 	ds, err := LoadDataset("reddit", true)
 	if err != nil {
 		t.Fatal(err)
@@ -136,6 +142,9 @@ func TestExperimentRegistryComplete(t *testing.T) {
 }
 
 func TestTable1Experiment(t *testing.T) {
+	if testing.Short() {
+		t.Skip("generates the full Table-1 catalog: long e2e, skipped in -short")
+	}
 	res, err := RunExperiment("table1")
 	if err != nil {
 		t.Fatal(err)
@@ -165,6 +174,9 @@ func TestSec51Experiment(t *testing.T) {
 }
 
 func TestFig6Experiment(t *testing.T) {
+	if testing.Short() {
+		t.Skip("phantom products timelines: simulator-only, skipped in -short")
+	}
 	res, err := RunExperiment("fig6")
 	if err != nil {
 		t.Fatal(err)
@@ -181,6 +193,9 @@ func TestFig6Experiment(t *testing.T) {
 }
 
 func TestFig8Experiment(t *testing.T) {
+	if testing.Short() {
+		t.Skip("phantom products timelines: simulator-only, skipped in -short")
+	}
 	res, err := RunExperiment("fig8")
 	if err != nil {
 		t.Fatal(err)
@@ -297,6 +312,9 @@ func TestCheckpointPublicAPI(t *testing.T) {
 }
 
 func TestTimelinePublicAPI(t *testing.T) {
+	if testing.Short() {
+		t.Skip("phantom products timeline: simulator-only, skipped in -short")
+	}
 	ds, err := LoadDataset("products", true)
 	if err != nil {
 		t.Fatal(err)
@@ -315,6 +333,9 @@ func TestTimelinePublicAPI(t *testing.T) {
 }
 
 func TestMultiNodePublicAPI(t *testing.T) {
+	if testing.Short() {
+		t.Skip("phantom reddit epochs: simulator-only, skipped in -short")
+	}
 	m := MultiNode(DGXV100(), 2, 12.5e9)
 	if m.NumGPUs != 16 {
 		t.Fatalf("NumGPUs=%d", m.NumGPUs)
@@ -362,6 +383,9 @@ func TestStrategiesPublicAPI(t *testing.T) {
 // harness for the full reproduction. (table1/fig6/fig8/fig12/sec51/accuracy
 // have their own dedicated tests above.)
 func TestAllExperimentsShapes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs every registered experiment: long e2e, skipped in -short")
+	}
 	get := func(id string) *ExperimentResult {
 		t.Helper()
 		res, err := RunExperiment(id)

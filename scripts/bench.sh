@@ -1,0 +1,16 @@
+#!/usr/bin/env sh
+# bench.sh — regenerate the epoch wall-clock benchmark matrix.
+#
+# Runs cmd/mggcn-epochbench (real non-phantom training, serial vs parallel
+# epoch replay at several device counts) and writes BENCH_epoch.json at the
+# repository root. The JSON records GOMAXPROCS and the CPU count of the host
+# it ran on; the parallel executor's speedup is only demonstrable when the
+# host has at least as many cores as simulated devices.
+#
+#   scripts/bench.sh                 # full matrix -> BENCH_epoch.json
+#   scripts/bench.sh -devices 8     # any mggcn-epochbench flags pass through
+set -eu
+
+cd "$(dirname "$0")/.."
+
+go run ./cmd/mggcn-epochbench "$@"
