@@ -5,10 +5,26 @@
 // Each cell trains the same Products-scale dataset at a device count in
 // {1, 4, 8} with the epoch replay issued serially (ExecWorkers = 1) and in
 // parallel (ExecWorkers = GOMAXPROCS), and reports the median epoch
-// wall-clock plus the parallel-over-serial speedup. The host's GOMAXPROCS
-// and CPU count are recorded alongside: the parallel executor can only beat
-// serial issue when the host has cores to run independent devices' closures
-// on, so a speedup claim is meaningful only at gomaxprocs >= devices.
+// wall-clock plus the parallel-over-serial speedup. Both knobs of the shared
+// worker pool are recorded per cell: Workers (kernel lanes per Parallel*
+// call) and ExecWorkers (replay closures in flight). The host's GOMAXPROCS
+// and CPU count are recorded alongside, and a warning is emitted — in the
+// JSON and on stderr — when the host has fewer CPUs than simulated devices:
+// on such hosts parallel replay cannot beat serial (there is nothing to run
+// the extra closures on) and sub-1.0 speedups say nothing about the
+// executor.
+//
+// Two further sections feed the performance story:
+//
+//   - "kernels": microbenchmarks of the cache-blocked SpMM/GeMM against the
+//     retained flat reference kernels (SpMMFlat/GemmFlat) at the benchmark
+//     hidden width, so kernel-level regressions are visible without running
+//     epochs.
+//
+//   - "sweep": a workers x exec_workers grid at the largest device count,
+//     showing how the two pool knobs trade off on this host.
+//
+// Usage:
 //
 //	mggcn-epochbench                      # full matrix -> BENCH_epoch.json
 //	mggcn-epochbench -devices 8 -epochs 3 -out -   # one row, JSON to stdout
@@ -27,12 +43,15 @@ import (
 	"time"
 
 	"mggcn"
+	"mggcn/internal/sparse"
+	"mggcn/internal/tensor"
 )
 
-// cell is one (devices, execWorkers) measurement.
+// cell is one (devices, workers, execWorkers) measurement.
 type cell struct {
 	Devices     int     `json:"devices"`
-	ExecWorkers int     `json:"exec_workers"` // 0 means GOMAXPROCS
+	Workers     int     `json:"workers"`      // kernel lanes per call; 0 means GOMAXPROCS
+	ExecWorkers int     `json:"exec_workers"` // replay closures in flight; 0 means GOMAXPROCS
 	Epochs      int     `json:"epochs"`
 	MedianMS    float64 `json:"median_epoch_ms"`
 	MinMS       float64 `json:"min_epoch_ms"`
@@ -44,18 +63,32 @@ type row struct {
 	Serial   cell    `json:"serial"`
 	Parallel cell    `json:"parallel"`
 	Speedup  float64 `json:"speedup"`
+	Warning  string  `json:"warning,omitempty"`
+}
+
+// kernelBench compares one blocked kernel against its flat reference on a
+// fixed shape.
+type kernelBench struct {
+	Kernel    string  `json:"kernel"`
+	Shape     string  `json:"shape"`
+	FlatMS    float64 `json:"flat_ms"`
+	BlockedMS float64 `json:"blocked_ms"`
+	Speedup   float64 `json:"speedup"`
 }
 
 type result struct {
-	Dataset    string  `json:"dataset"`
-	N          int     `json:"n"`
-	M          int64   `json:"m"`
-	Hidden     int     `json:"hidden"`
-	Layers     int     `json:"layers"`
-	GoMaxProcs int     `json:"gomaxprocs"`
-	NumCPU     int     `json:"numcpu"`
-	Rows       []row   `json:"rows"`
-	WallSecs   float64 `json:"wall_seconds"`
+	Dataset    string        `json:"dataset"`
+	N          int           `json:"n"`
+	M          int64         `json:"m"`
+	Hidden     int           `json:"hidden"`
+	Layers     int           `json:"layers"`
+	GoMaxProcs int           `json:"gomaxprocs"`
+	NumCPU     int           `json:"numcpu"`
+	Warnings   []string      `json:"warnings,omitempty"`
+	Kernels    []kernelBench `json:"kernels"`
+	Rows       []row         `json:"rows"`
+	Sweep      []cell        `json:"sweep,omitempty"`
+	WallSecs   float64       `json:"wall_seconds"`
 }
 
 func main() {
@@ -64,6 +97,8 @@ func main() {
 		devices = flag.String("devices", "1,4,8", "comma-separated device counts")
 		hidden  = flag.Int("hidden", 128, "hidden layer width")
 		epochs  = flag.Int("epochs", 3, "epochs per cell (median reported)")
+		workers = flag.Int("workers", 0, "kernel lanes per Parallel* call in the matrix rows (0: GOMAXPROCS)")
+		sweep   = flag.String("sweep", "1,0", "comma-separated workers and exec_workers values for the grid at the largest device count (empty: skip)")
 		out     = flag.String("out", "BENCH_epoch.json", "output path, or - for stdout")
 	)
 	flag.Parse()
@@ -78,18 +113,46 @@ func main() {
 		GoMaxProcs: runtime.GOMAXPROCS(0), NumCPU: runtime.NumCPU(),
 	}
 	start := time.Now()
-	for _, field := range strings.Split(*devices, ",") {
-		p, err := strconv.Atoi(strings.TrimSpace(field))
-		if err != nil {
-			log.Fatalf("bad -devices entry %q: %v", field, err)
-		}
-		serial := measure(ds, p, *hidden, 1, *epochs)
-		parallel := measure(ds, p, *hidden, 0, *epochs)
+
+	res.Kernels = benchKernels(*hidden)
+	for _, k := range res.Kernels {
+		fmt.Fprintf(os.Stderr, "kernel %-8s %-24s flat=%.2fms blocked=%.2fms speedup=%.2fx\n",
+			k.Kernel, k.Shape, k.FlatMS, k.BlockedMS, k.Speedup)
+	}
+
+	counts := parseInts(*devices, "-devices")
+	for _, p := range counts {
+		serial := measure(ds, p, *hidden, *workers, 1, *epochs)
+		parallel := measure(ds, p, *hidden, *workers, 0, *epochs)
 		r := row{Devices: p, Serial: serial, Parallel: parallel,
 			Speedup: serial.MedianMS / parallel.MedianMS}
+		if res.NumCPU < p {
+			r.Warning = starvedWarning(res.NumCPU, p)
+		}
 		res.Rows = append(res.Rows, r)
 		fmt.Fprintf(os.Stderr, "devices=%d serial=%.0fms parallel=%.0fms speedup=%.2fx\n",
 			p, serial.MedianMS, parallel.MedianMS, r.Speedup)
+		if r.Warning != "" {
+			fmt.Fprintf(os.Stderr, "WARNING: %s\n", r.Warning)
+		}
+	}
+	if len(counts) > 0 {
+		if maxP := counts[len(counts)-1]; res.NumCPU < maxP {
+			res.Warnings = append(res.Warnings, starvedWarning(res.NumCPU, maxP))
+		}
+	}
+
+	if *sweep != "" && len(counts) > 0 {
+		p := counts[len(counts)-1]
+		grid := parseInts(*sweep, "-sweep")
+		for _, w := range grid {
+			for _, ew := range grid {
+				c := measure(ds, p, *hidden, w, ew, *epochs)
+				res.Sweep = append(res.Sweep, c)
+				fmt.Fprintf(os.Stderr, "sweep devices=%d workers=%d exec_workers=%d median=%.0fms\n",
+					p, w, ew, c.MedianMS)
+			}
+		}
 	}
 	res.WallSecs = time.Since(start).Seconds()
 
@@ -108,11 +171,29 @@ func main() {
 	fmt.Fprintf(os.Stderr, "wrote %s (gomaxprocs=%d)\n", *out, res.GoMaxProcs)
 }
 
-// measure trains epochs steps at the given replay parallelism and returns
-// the wall-clock cell. A fresh trainer per cell keeps cells independent.
-func measure(ds *mggcn.Dataset, p, hidden, execWorkers, epochs int) cell {
+func starvedWarning(numCPU, devices int) string {
+	return fmt.Sprintf("host has %d CPU(s) for %d simulated devices: parallel replay cannot beat serial here, sub-1.0 speedups reflect the host, not the executor", numCPU, devices)
+}
+
+func parseInts(csv, flagName string) []int {
+	var vals []int
+	for _, field := range strings.Split(csv, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(field))
+		if err != nil {
+			log.Fatalf("bad %s entry %q: %v", flagName, field, err)
+		}
+		vals = append(vals, v)
+	}
+	return vals
+}
+
+// measure trains epochs steps at the given kernel and replay parallelism
+// and returns the wall-clock cell. A fresh trainer per cell keeps cells
+// independent.
+func measure(ds *mggcn.Dataset, p, hidden, workers, execWorkers, epochs int) cell {
 	o := mggcn.DefaultOptions(mggcn.DGXA100(), p)
 	o.Hidden = hidden
+	o.Workers = workers
 	o.ExecWorkers = execWorkers
 	tr, err := mggcn.NewTrainer(ds, o)
 	if err != nil {
@@ -127,7 +208,82 @@ func measure(ds *mggcn.Dataset, p, hidden, execWorkers, epochs int) cell {
 	}
 	sort.Float64s(times)
 	return cell{
-		Devices: p, ExecWorkers: execWorkers, Epochs: epochs,
+		Devices: p, Workers: workers, ExecWorkers: execWorkers, Epochs: epochs,
 		MedianMS: times[len(times)/2], MinMS: times[0],
 	}
+}
+
+// benchKernels times the blocked SpMM/GeMM against the flat reference
+// kernels on GCN-shaped operands at the benchmark hidden width. Serial
+// kernels on both sides: this isolates cache blocking from pool scheduling.
+func benchKernels(hidden int) []kernelBench {
+	const reps = 5
+
+	n, deg := 4096, 32
+	a := benchCSR(n, deg)
+	x := randDense(n, hidden, 1)
+	c := tensor.NewDense(n, hidden)
+	spmmShape := fmt.Sprintf("n=%d deg=%d d=%d", n, deg, hidden)
+	spmmFlat := bestOf(reps, func() { sparse.SpMMFlat(a, x, 0, c) })
+	spmmBlocked := bestOf(reps, func() { sparse.SpMM(a, x, 0, c) })
+
+	m := 2048
+	ga := randDense(m, hidden, 2)
+	gb := randDense(hidden, hidden, 3)
+	gc := tensor.NewDense(m, hidden)
+	gemmShape := fmt.Sprintf("%dx%dx%d", m, hidden, hidden)
+	gemmFlat := bestOf(reps, func() { tensor.GemmFlat(1, ga, gb, 0, gc) })
+	gemmBlocked := bestOf(reps, func() { tensor.Gemm(1, ga, gb, 0, gc) })
+
+	return []kernelBench{
+		{Kernel: "spmm", Shape: spmmShape, FlatMS: spmmFlat, BlockedMS: spmmBlocked,
+			Speedup: spmmFlat / spmmBlocked},
+		{Kernel: "gemm", Shape: gemmShape, FlatMS: gemmFlat, BlockedMS: gemmBlocked,
+			Speedup: gemmFlat / gemmBlocked},
+	}
+}
+
+// bestOf returns the fastest of reps timed runs in milliseconds — minimum,
+// not median: kernel microbenchmarks want the noise floor, and a warm-up
+// run is implied by discarding slower repetitions.
+func bestOf(reps int, fn func()) float64 {
+	best := 0.0
+	for r := 0; r < reps; r++ {
+		t0 := time.Now()
+		fn()
+		ms := float64(time.Since(t0).Microseconds()) / 1e3
+		if r == 0 || ms < best {
+			best = ms
+		}
+	}
+	return best
+}
+
+func randDense(rows, cols int, seed int64) *tensor.Dense {
+	d := tensor.NewDense(rows, cols)
+	s := uint64(seed)*2862933555777941757 + 3037000493
+	for i := range d.Data {
+		// xorshift keeps the generator dependency-free and deterministic.
+		s ^= s << 13
+		s ^= s >> 7
+		s ^= s << 17
+		d.Data[i] = float32(int32(s))/(1<<31)*0.5 + 0.25
+	}
+	return d
+}
+
+func benchCSR(n, degree int) *sparse.CSR {
+	entries := make([]sparse.Coo, 0, n*degree)
+	s := uint64(12345)
+	for u := 0; u < n; u++ {
+		for d := 0; d < degree; d++ {
+			s ^= s << 13
+			s ^= s >> 7
+			s ^= s << 17
+			entries = append(entries, sparse.Coo{
+				Row: int32(u), Col: int32(s % uint64(n)), Val: 1,
+			})
+		}
+	}
+	return sparse.FromCoo(n, n, entries, true)
 }

@@ -38,8 +38,9 @@ var BufAlias = &Analyzer{
 func isNoAliasKernel(pass *Pass, call *ast.CallExpr) bool {
 	info := pass.Pkg.Info
 	return isPkgFunc(info, call, "mggcn/internal/tensor",
-		"Gemm", "GemmTA", "GemmTB", "ParallelGemm", "ParallelGemmTB") ||
-		isPkgFunc(info, call, "mggcn/internal/sparse", "SpMM", "ParallelSpMM")
+		"Gemm", "GemmFlat", "GemmTA", "GemmTB",
+		"ParallelGemm", "ParallelGemmTA", "ParallelGemmTB") ||
+		isPkgFunc(info, call, "mggcn/internal/sparse", "SpMM", "SpMMFlat", "ParallelSpMM")
 }
 
 // isElementwise covers the in-place ops whose first argument is the

@@ -22,6 +22,9 @@ func aliased(db *core.DeviceBuffers, w *tensor.Dense, a *sparse.CSR, workers int
 	v := db.HW.View(8, 4)
 	tensor.GemmTB(1, v, w, 0, v) // want bufalias
 
+	// The packed-transpose weight-gradient kernel is just as strict.
+	tensor.ParallelGemmTA(1, v, w, 0, v, workers) // want bufalias
+
 	// Elementwise ops may run in place on one variable, but not on two
 	// separately materialized views of one buffer.
 	tensor.AddInPlace(db.HW.View(8, 4), db.HW.View(8, 4)) // want bufalias

@@ -14,10 +14,11 @@ func unguarded(dst, src *tensor.Dense, a *sparse.CSR, workers int) {
 	if src.IsPhantom() {
 		_ = src.Rows
 	}
-	dst.CopyFrom(src)                                 // want phantomguard
-	tensor.AddInPlace(dst, src)                       // want phantomguard
-	tensor.ParallelGemm(1, src, src, 0, dst, workers) // want phantomguard
-	sparse.ParallelSpMM(a, src, 0, dst, workers)      // want phantomguard
+	dst.CopyFrom(src)                                   // want phantomguard
+	tensor.AddInPlace(dst, src)                         // want phantomguard
+	tensor.ParallelGemm(1, src, src, 0, dst, workers)   // want phantomguard
+	tensor.ParallelGemmTA(1, src, src, 0, dst, workers) // want phantomguard
+	sparse.ParallelSpMM(a, src, 0, dst, workers)        // want phantomguard
 }
 
 type runner struct{ phantom bool }

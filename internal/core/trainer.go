@@ -355,7 +355,7 @@ func (tr *Trainer) RunEpoch() *EpochStats {
 				spec.GemmCost(dIn, tr.s(ds.rows), dOut), false, hwgReady[i])
 			if !tr.phantom {
 				in, hg, grad := tr.inputView(i, l), hwg(i), tr.grads[i][l]
-				tg.Bind(wgID[i], func() { tensor.GemmTA(1, in, hg, 0, grad) })
+				tg.Bind(wgID[i], func() { tensor.ParallelGemmTA(1, in, hg, 0, grad, tr.Cfg.Workers) })
 			}
 		}
 		perDev := make([]*tensor.Dense, p)

@@ -159,7 +159,7 @@ func (m *GAT) Backward(gradLogits *tensor.Dense) []*tensor.Dense {
 		da2 := vecGemmTA(z, ds2)
 		// dW = Hᵀ dZ; dH = dZ Wᵀ.
 		dW := tensor.NewDense(m.Weights[l].Rows, m.Weights[l].Cols)
-		tensor.GemmTA(1, m.inputs[l], dZ, 0, dW)
+		tensor.ParallelGemmTA(1, m.inputs[l], dZ, 0, dW, 0)
 		grads[3*l], grads[3*l+1], grads[3*l+2] = dW, da1, da2
 		if l > 0 {
 			dH := tensor.NewDense(dZ.Rows, m.Weights[l].Rows)

@@ -188,7 +188,7 @@ func (m *MultiHeadGAT) Backward(gradLogits *tensor.Dense) []*tensor.Dense {
 			da1 := vecGemmTA(z, ds1)
 			da2 := vecGemmTA(z, ds2)
 			dW := tensor.NewDense(m.Weights[l][head].Rows, m.Weights[l][head].Cols)
-			tensor.GemmTA(1, m.inputs[l], dZ, 0, dW)
+			tensor.ParallelGemmTA(1, m.inputs[l], dZ, 0, dW, 0)
 			base := 3 * (l*m.Heads + head)
 			grads[base], grads[base+1], grads[base+2] = dW, da1, da2
 			if l > 0 {

@@ -1,0 +1,183 @@
+package pool
+
+import (
+	"os"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// The pool sizes itself to GOMAXPROCS at first use. Pin it to 8 before any
+// test touches the pool so the concurrent paths (stealing, nested loops,
+// concurrent ForChunks) are exercised even on single-core CI hosts.
+func TestMain(m *testing.M) {
+	runtime.GOMAXPROCS(8)
+	os.Exit(m.Run())
+}
+
+func TestParallelForCoversEveryIndexOnce(t *testing.T) {
+	for _, n := range []int{0, 1, 2, 7, 64, 1000} {
+		for _, lanes := range []int{0, 1, 2, 8, 100} {
+			hits := make([]atomic.Int32, n)
+			ParallelFor(n, lanes, func(lo, hi int) {
+				for i := lo; i < hi; i++ {
+					hits[i].Add(1)
+				}
+			})
+			for i := range hits {
+				if got := hits[i].Load(); got != 1 {
+					t.Fatalf("n=%d lanes=%d: index %d ran %d times", n, lanes, i, got)
+				}
+			}
+		}
+	}
+}
+
+func TestForChunksRunsEachChunkOnce(t *testing.T) {
+	const chunks = 37
+	hits := make([]atomic.Int32, chunks)
+	ForChunks(chunks, 5, func(c int) { hits[c].Add(1) })
+	for c := range hits {
+		if got := hits[c].Load(); got != 1 {
+			t.Fatalf("chunk %d ran %d times", c, got)
+		}
+	}
+}
+
+func TestParallelForChunkBoundsDeterministic(t *testing.T) {
+	// Chunk boundaries must be a pure function of (n, lanes): the bounds
+	// are what pins kernel results bit-identical across pool states.
+	record := func() [][2]int {
+		var mu sync.Mutex
+		var spans [][2]int
+		ParallelFor(100, 4, func(lo, hi int) {
+			mu.Lock()
+			spans = append(spans, [2]int{lo, hi})
+			mu.Unlock()
+		})
+		return spans
+	}
+	want := map[[2]int]bool{}
+	for _, s := range record() {
+		want[s] = true
+	}
+	for trial := 0; trial < 10; trial++ {
+		got := record()
+		if len(got) != len(want) {
+			t.Fatalf("trial %d: %d chunks, want %d", trial, len(got), len(want))
+		}
+		for _, s := range got {
+			if !want[s] {
+				t.Fatalf("trial %d: unexpected chunk %v", trial, s)
+			}
+		}
+	}
+}
+
+func TestNestedParallelForInsideSubmit(t *testing.T) {
+	// A replayed closure running on a pool worker calls a parallel kernel:
+	// the inner loop must complete even when every other worker is busy
+	// (the caller lane drains its own chunks).
+	const tasks = 16
+	var wg sync.WaitGroup
+	var total atomic.Int64
+	for i := 0; i < tasks; i++ {
+		wg.Add(1)
+		Submit(func() {
+			defer wg.Done()
+			ParallelFor(64, 0, func(lo, hi int) {
+				total.Add(int64(hi - lo))
+			})
+		})
+	}
+	wg.Wait()
+	if total.Load() != tasks*64 {
+		t.Fatalf("nested loops covered %d indices, want %d", total.Load(), tasks*64)
+	}
+}
+
+func TestConcurrentParallelForsShareTheBudget(t *testing.T) {
+	// Many goroutines running parallel loops at once must all complete and
+	// cover their ranges — the shared-pool contract that replaces per-call
+	// goroutine spawning.
+	var wg sync.WaitGroup
+	for g := 0; g < 12; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			hits := make([]atomic.Int32, 257)
+			ParallelFor(len(hits), 8, func(lo, hi int) {
+				for i := lo; i < hi; i++ {
+					hits[i].Add(1)
+				}
+			})
+			for i := range hits {
+				if hits[i].Load() != 1 {
+					t.Errorf("index %d ran %d times", i, hits[i].Load())
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+func TestIdleWorkersStealALoneLoop(t *testing.T) {
+	// With an otherwise idle pool, a single ParallelFor should actually run
+	// on more than one lane: block until two distinct lanes are inside fn.
+	if Size() < 2 {
+		t.Skip("needs a multi-worker pool")
+	}
+	var both sync.WaitGroup
+	both.Add(2)
+	seen := make(chan struct{})
+	var once sync.Once
+	ParallelFor(2, 2, func(lo, hi int) {
+		both.Done()
+		both.Wait() // deadlocks (test timeout) if only one lane serves the loop
+		once.Do(func() { close(seen) })
+	})
+	<-seen
+}
+
+func TestGrowRaisesSize(t *testing.T) {
+	before := Size()
+	Grow(before + 3)
+	if got := Size(); got < before+3 {
+		t.Fatalf("Size() = %d after Grow(%d)", got, before+3)
+	}
+	// Grown workers must actually serve: this many blocking closures need
+	// that many workers in flight at once.
+	n := Size()
+	var wg sync.WaitGroup
+	barrier := make(chan struct{})
+	var running atomic.Int32
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		Submit(func() {
+			defer wg.Done()
+			if running.Add(1) == int32(n) {
+				close(barrier)
+			}
+			<-barrier
+		})
+	}
+	wg.Wait()
+}
+
+func TestSubmitRunsEverything(t *testing.T) {
+	var count atomic.Int64
+	var wg sync.WaitGroup
+	for i := 0; i < 200; i++ {
+		wg.Add(1)
+		Submit(func() {
+			count.Add(1)
+			wg.Done()
+		})
+	}
+	wg.Wait()
+	if count.Load() != 200 {
+		t.Fatalf("ran %d submissions, want 200", count.Load())
+	}
+}

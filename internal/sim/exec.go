@@ -3,7 +3,8 @@ package sim
 import (
 	"fmt"
 	"runtime"
-	"sync"
+
+	"mggcn/internal/pool"
 )
 
 // This file is the host-side twin of sched.go: where Run *simulates* the
@@ -55,45 +56,6 @@ import (
 // All three edge sets point from earlier to later issue order, so the
 // executor cannot deadlock on a graph that Graph.add accepted.
 
-// execJob is one closure dispatched to the shared pool.
-type execJob struct {
-	fn   func()
-	id   int
-	done chan<- int
-}
-
-// execPool is the process-wide persistent worker pool. Workers are spawned
-// on demand up to the largest parallelism any Execute call has requested
-// and then idle on the channel between epochs, so steady-state training
-// pays no goroutine start-up per step. The pool is shared: concurrent
-// Execute calls (parallel tests, several trainers) borrow workers from the
-// same set, each capped at its own requested parallelism.
-var execPool struct {
-	mu      sync.Mutex
-	jobs    chan execJob
-	workers int
-}
-
-// poolJobs returns the shared job channel, growing the pool to at least n
-// workers.
-func poolJobs(n int) chan execJob {
-	execPool.mu.Lock()
-	defer execPool.mu.Unlock()
-	if execPool.jobs == nil {
-		execPool.jobs = make(chan execJob)
-	}
-	for execPool.workers < n {
-		go func() {
-			for j := range execPool.jobs { // never closed: the pool persists
-				j.fn()
-				j.done <- j.id
-			}
-		}()
-		execPool.workers++
-	}
-	return execPool.jobs
-}
-
 // Execute replays the graph's bound closures in dependency order with up to
 // workers tasks in flight at once (workers <= 0: GOMAXPROCS). workers == 1
 // is the serial-issue path: every closure runs in a topological order
@@ -105,6 +67,14 @@ func poolJobs(n int) chan execJob {
 // record more → execute again never re-runs a closure — re-running an
 // all-reduce would double-count. Earlier tasks are treated as already done
 // when the new suffix's deps point at them.
+//
+// Replayed closures run on the process-wide internal/pool workers — the
+// same pool the Parallel* kernels draw lanes from — so N in-flight tasks
+// and their kernels share one worker budget instead of oversubscribing the
+// host with N×Workers goroutines. The pool is grown to this call's
+// in-flight budget first: closures may block on each other's side effects
+// (a barrier in tests, a channel in custom binds), so the budget must be
+// realizable even when GOMAXPROCS is smaller.
 func (g *Graph) Execute(workers int) {
 	if g.bound == 0 {
 		return
@@ -211,7 +181,7 @@ func (g *Graph) Execute(workers int) {
 	}
 
 	doneCh := make(chan int, n)
-	jobs := poolJobs(workers)
+	pool.Grow(workers)
 	inFlight := 0
 	for finished < n {
 		if len(ready) > 0 {
@@ -224,7 +194,11 @@ func (g *Graph) Execute(workers int) {
 			}
 			if inFlight < workers {
 				inFlight++
-				jobs <- execJob{fn: t.Exec, id: id, done: doneCh}
+				fn, tid := t.Exec, id
+				pool.Submit(func() {
+					fn()
+					doneCh <- tid
+				})
 				continue
 			}
 			ready = append(ready, id) // at the cap: wait for a completion

@@ -36,6 +36,25 @@ func BenchmarkSpMM(b *testing.B) {
 	}
 }
 
+// BenchmarkSpMMFlat is the pre-blocking kernel on the same shapes as
+// BenchmarkSpMM — the flat-vs-blocked pair the CI smoke run keeps honest.
+func BenchmarkSpMMFlat(b *testing.B) {
+	for _, cfg := range []struct{ n, deg, d int }{
+		{4096, 8, 128}, {4096, 64, 128}, {4096, 8, 512},
+	} {
+		b.Run(fmt.Sprintf("n=%d/deg=%d/d=%d", cfg.n, cfg.deg, cfg.d), func(b *testing.B) {
+			a := benchCSR(cfg.n, cfg.deg)
+			x := tensor.NewDense(cfg.n, cfg.d)
+			c := tensor.NewDense(cfg.n, cfg.d)
+			b.SetBytes(a.NNZ() * int64(cfg.d) * 4)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				SpMMFlat(a, x, 0, c)
+			}
+		})
+	}
+}
+
 func BenchmarkParallelSpMM(b *testing.B) {
 	a := benchCSR(8192, 32)
 	x := tensor.NewDense(8192, 256)

@@ -2,12 +2,18 @@ package sparse
 
 import (
 	"fmt"
-	"runtime"
 	"sort"
-	"sync"
 
+	"mggcn/internal/pool"
 	"mggcn/internal/tensor"
 )
+
+// spmmColTile is the feature-dimension tile of the blocked SpMM: C-row
+// segments of this many columns stay resident (registers + L1) while the
+// gathered X rows stream past, so wide-feature multiplies (input layers,
+// hidden 512) never evict the accumulator between nonzeros. 256 floats =
+// 1 KB per row segment.
+const spmmColTile = 256
 
 // SpMM computes C = A*X + beta*C where A is sparse (m x k), X dense (k x n),
 // C dense (m x n). beta is either 0 (overwrite) or 1 (accumulate); the GCN
@@ -21,40 +27,78 @@ func SpMM(a *CSR, x *tensor.Dense, beta float32, c *tensor.Dense) {
 	spmmRows(a, x, beta, c, 0, a.Rows)
 }
 
-// ParallelSpMM is SpMM with output rows split across workers goroutines
-// (workers <= 0 uses GOMAXPROCS). Chunk boundaries balance *nonzeros*, not
-// rows: on power-law graphs an equal-rows split can hand one worker most of
-// the matrix (a hub block's rows are orders of magnitude denser than the
-// tail's), serializing the whole multiply behind it.
+// SpMMFlat is the pre-blocking reference kernel (flat row loop, one full-
+// width axpy per nonzero), retained as the oracle for the blocked kernel's
+// bit-identity tables and as the microbenchmark baseline. Not for
+// production call sites — SpMM is strictly faster.
+func SpMMFlat(a *CSR, x *tensor.Dense, beta float32, c *tensor.Dense) {
+	checkSpMMShapes(a, x, c)
+	if x.IsPhantom() || c.IsPhantom() {
+		return
+	}
+	for i := 0; i < a.Rows; i++ {
+		rc := c.Row(i)
+		if beta == 0 {
+			for j := range rc {
+				rc[j] = 0
+			}
+		}
+		cols, vals := a.Row(i)
+		if vals == nil {
+			for _, col := range cols {
+				rx := x.Row(int(col))
+				for j := range rc {
+					rc[j] += rx[j]
+				}
+			}
+		} else {
+			for k, col := range cols {
+				av := vals[k]
+				rx := x.Row(int(col))
+				for j := range rc {
+					rc[j] += av * rx[j]
+				}
+			}
+		}
+	}
+}
+
+// ParallelSpMM is SpMM with output rows split into nnz-balanced chunks
+// drawn from the shared worker pool (workers <= 0 caps lanes at
+// GOMAXPROCS). Chunk boundaries balance *nonzeros*, not rows: on power-law
+// graphs an equal-rows split can hand one lane most of the matrix (a hub
+// block's rows are orders of magnitude denser than the tail's),
+// serializing the whole multiply behind it. Chunks are oversplit relative
+// to the lane cap so idle pool workers steal the tail of a skewed
+// multiply. Each output row is written by exactly one chunk with the
+// serial kernel's accumulation order, so results are bit-identical to SpMM
+// at any worker count and pool state.
 func ParallelSpMM(a *CSR, x *tensor.Dense, beta float32, c *tensor.Dense, workers int) {
 	checkSpMMShapes(a, x, c)
 	if x.IsPhantom() || c.IsPhantom() {
 		return
 	}
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
+	lanes := workers
+	if lanes <= 0 {
+		lanes = pool.Size()
 	}
-	if workers > a.Rows {
-		workers = a.Rows
+	if lanes > a.Rows {
+		lanes = a.Rows
 	}
-	if workers <= 1 {
+	if lanes <= 1 {
 		spmmRows(a, x, beta, c, 0, a.Rows)
 		return
 	}
-	bounds := nnzChunkBounds(a, workers)
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		lo, hi := bounds[w], bounds[w+1]
-		if lo >= hi {
-			continue
-		}
-		wg.Add(1)
-		go func(lo, hi int) {
-			defer wg.Done()
-			spmmRows(a, x, beta, c, lo, hi)
-		}(lo, hi)
+	chunks := lanes * 4
+	if chunks > a.Rows {
+		chunks = a.Rows
 	}
-	wg.Wait()
+	bounds := nnzChunkBounds(a, chunks)
+	pool.ForChunks(chunks, lanes, func(ch int) {
+		if bounds[ch] < bounds[ch+1] {
+			spmmRows(a, x, beta, c, bounds[ch], bounds[ch+1])
+		}
+	})
 }
 
 // nnzChunkBounds returns workers+1 row boundaries splitting a's rows into
@@ -90,63 +134,87 @@ func checkSpMMShapes(a *CSR, x, c *tensor.Dense) {
 	}
 }
 
+// spmmRows computes output rows [lo,hi), cache-blocked two ways: the
+// feature dimension is processed in spmmColTile panels so the C-row
+// segment being accumulated stays resident while X rows stream, and
+// nonzeros are consumed two at a time so each C-segment load/store pair
+// feeds two gathered X rows instead of one. Per output element the
+// accumulation order is unchanged — ascending nonzero index with
+// left-associated adds, exactly SpMMFlat's order — so results are
+// bit-identical to the flat kernel for all finite inputs.
 func spmmRows(a *CSR, x *tensor.Dense, beta float32, c *tensor.Dense, lo, hi int) {
+	width := c.Cols
 	for i := lo; i < hi; i++ {
 		rc := c.Row(i)
-		if beta == 0 {
-			for j := range rc {
-				rc[j] = 0
-			}
-		}
 		cols, vals := a.Row(i)
-		if vals == nil {
-			for _, col := range cols {
-				rx := x.Row(int(col))
-				axpyRow1(rc, rx)
+		for j0 := 0; j0 < width; j0 += spmmColTile {
+			j1 := j0 + spmmColTile
+			if j1 > width {
+				j1 = width
 			}
-		} else {
-			for k, col := range cols {
-				av := vals[k]
-				rx := x.Row(int(col))
-				axpyRow(rc, rx, av)
+			seg := rc[j0:j1]
+			if beta == 0 {
+				for j := range seg {
+					seg[j] = 0
+				}
+			}
+			if vals == nil {
+				spmmSeg1(seg, x, cols, j0, j1)
+			} else {
+				spmmSeg(seg, x, cols, vals, j0, j1)
 			}
 		}
 	}
 }
 
-// axpyRow computes rc += av * rx, 4 columns per iteration. Each output
-// column accumulates independently in the same order as the rolled loop, so
-// results are bit-identical; the unroll only breaks the loop-carried
-// bounds-check/increment chain.
-func axpyRow(rc, rx []float32, av float32) {
-	n := len(rx)
-	rc = rc[:n]
-	j := 0
-	for ; j+4 <= n; j += 4 {
-		rc[j] += av * rx[j]
-		rc[j+1] += av * rx[j+1]
-		rc[j+2] += av * rx[j+2]
-		rc[j+3] += av * rx[j+3]
+// spmmSeg accumulates seg += sum_k vals[k] * x[cols[k]][j0:j1], two
+// nonzeros per pass. seg[j] = seg[j] + a0*x0[j] + a1*x1[j] associates
+// left — the same per-element order as two separate axpys.
+func spmmSeg(seg []float32, x *tensor.Dense, cols []int32, vals []float32, j0, j1 int) {
+	n := j1 - j0
+	seg = seg[:n]
+	k := 0
+	for ; k+2 <= len(cols); k += 2 {
+		a0, a1 := vals[k], vals[k+1]
+		x0 := x.Row(int(cols[k]))[j0:j1]
+		x1 := x.Row(int(cols[k+1]))[j0:j1]
+		x0 = x0[:n]
+		x1 = x1[:n]
+		for j := 0; j < n; j++ {
+			seg[j] = seg[j] + a0*x0[j] + a1*x1[j]
+		}
 	}
-	for ; j < n; j++ {
-		rc[j] += av * rx[j]
+	if k < len(cols) {
+		av := vals[k]
+		rx := x.Row(int(cols[k]))[j0:j1]
+		rx = rx[:n]
+		for j := 0; j < n; j++ {
+			seg[j] += av * rx[j]
+		}
 	}
 }
 
-// axpyRow1 is axpyRow with av == 1 (structure-only adjacency), skipping the
-// multiply.
-func axpyRow1(rc, rx []float32) {
-	n := len(rx)
-	rc = rc[:n]
-	j := 0
-	for ; j+4 <= n; j += 4 {
-		rc[j] += rx[j]
-		rc[j+1] += rx[j+1]
-		rc[j+2] += rx[j+2]
-		rc[j+3] += rx[j+3]
+// spmmSeg1 is spmmSeg for structure-only tiles (entries of 1), skipping
+// the multiplies.
+func spmmSeg1(seg []float32, x *tensor.Dense, cols []int32, j0, j1 int) {
+	n := j1 - j0
+	seg = seg[:n]
+	k := 0
+	for ; k+2 <= len(cols); k += 2 {
+		x0 := x.Row(int(cols[k]))[j0:j1]
+		x1 := x.Row(int(cols[k+1]))[j0:j1]
+		x0 = x0[:n]
+		x1 = x1[:n]
+		for j := 0; j < n; j++ {
+			seg[j] = seg[j] + x0[j] + x1[j]
+		}
 	}
-	for ; j < n; j++ {
-		rc[j] += rx[j]
+	if k < len(cols) {
+		rx := x.Row(int(cols[k]))[j0:j1]
+		rx = rx[:n]
+		for j := 0; j < n; j++ {
+			seg[j] += rx[j]
+		}
 	}
 }
 

@@ -1,0 +1,112 @@
+package sparse
+
+import (
+	"math/rand"
+	"testing"
+
+	"mggcn/internal/tensor"
+)
+
+// TestSpMMBitIdenticalToFlat pins the column-tiled kernel's contract: tiling
+// the feature dimension and fusing nonzero pairs may not change a single bit
+// relative to the flat reference kernel. Widths straddle the spmmColTile
+// boundary; beta covers overwrite and accumulate.
+func TestSpMMBitIdenticalToFlat(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for _, width := range []int{1, 3, spmmColTile - 1, spmmColTile, spmmColTile + 1, spmmColTile + 37, 2*spmmColTile + 5} {
+		for _, beta := range []float32{0, 1} {
+			a := randomCSR(rng, 23, 17, 0.3, true)
+			x := randomDense(rng, 17, width)
+			blocked := randomDense(rng, 23, width)
+			flat := blocked.Clone()
+			SpMM(a, x, beta, blocked)
+			SpMMFlat(a, x, beta, flat)
+			if !tensor.Equal(blocked, flat, 0) {
+				t.Fatalf("width=%d beta=%g: blocked != flat", width, beta)
+			}
+		}
+	}
+}
+
+// TestSpMMBitIdenticalToFlatStructureOnly: the Vals == nil tile path (entries
+// of 1, odd nonzero counts per row so the pair loop's tail runs) must match
+// the flat structure-only path bit for bit.
+func TestSpMMBitIdenticalToFlatStructureOnly(t *testing.T) {
+	rng := rand.New(rand.NewSource(32))
+	n := 31
+	var entries []Coo
+	for r := 0; r < n; r++ {
+		deg := rng.Intn(6) // degree 0 leaves empty rows in the middle
+		for d := 0; d < deg; d++ {
+			entries = append(entries, Coo{Row: int32(r), Col: int32(rng.Intn(n))})
+		}
+	}
+	a := FromCoo(n, n, entries, false)
+	for _, width := range []int{1, spmmColTile - 3, spmmColTile + 3} {
+		x := randomDense(rng, n, width)
+		blocked := randomDense(rng, n, width)
+		flat := blocked.Clone()
+		SpMM(a, x, 1, blocked)
+		SpMMFlat(a, x, 1, flat)
+		if !tensor.Equal(blocked, flat, 0) {
+			t.Fatalf("width=%d: structure-only blocked != flat", width)
+		}
+	}
+}
+
+// TestSpMMBlockedDegenerateShapes: empty matrices, single row/column,
+// all-empty rows — beta=0 must still zero the output.
+func TestSpMMBlockedDegenerateShapes(t *testing.T) {
+	rng := rand.New(rand.NewSource(33))
+
+	// 1x1 with a single entry.
+	one := FromCoo(1, 1, []Coo{{Row: 0, Col: 0, Val: 2}}, true)
+	x := tensor.NewDense(1, 1)
+	x.Set(0, 0, 3)
+	c := tensor.NewDense(1, 1)
+	c.Set(0, 0, 7)
+	SpMM(one, x, 1, c)
+	if c.At(0, 0) != 13 {
+		t.Fatalf("1x1 accumulate got %v, want 13", c.At(0, 0))
+	}
+
+	// All rows empty: beta=0 must overwrite stale C with zeros in every tile.
+	empty := FromCoo(4, 4, nil, true)
+	wide := randomDense(rng, 4, spmmColTile+9)
+	stale := randomDense(rng, 4, spmmColTile+9)
+	SpMM(empty, wide, 0, stale)
+	for i, v := range stale.Data {
+		if v != 0 {
+			t.Fatalf("empty-matrix beta=0 left element %d = %v", i, v)
+		}
+	}
+
+	// Single column of X (narrower than any tile).
+	a := randomCSR(rng, 9, 9, 0.4, true)
+	x1 := randomDense(rng, 9, 1)
+	blocked := randomDense(rng, 9, 1)
+	flat := blocked.Clone()
+	SpMM(a, x1, 1, blocked)
+	SpMMFlat(a, x1, 1, flat)
+	if !tensor.Equal(blocked, flat, 0) {
+		t.Fatalf("1-column blocked != flat")
+	}
+}
+
+// TestParallelSpMMBitIdenticalToFlatWideFeatures runs the full pooled path
+// (nnz chunking + column tiles + pair fusion) against the flat serial kernel
+// at tolerance 0 on a feature width that doesn't divide the tile.
+func TestParallelSpMMBitIdenticalToFlatWideFeatures(t *testing.T) {
+	rng := rand.New(rand.NewSource(34))
+	a := randomCSR(rng, 128, 128, 0.08, true)
+	x := randomDense(rng, 128, spmmColTile+21)
+	flat := tensor.NewDense(128, spmmColTile+21)
+	SpMMFlat(a, x, 0, flat)
+	for _, w := range []int{2, 5, 16} {
+		par := tensor.NewDense(128, spmmColTile+21)
+		ParallelSpMM(a, x, 0, par, w)
+		if !tensor.Equal(flat, par, 0) {
+			t.Fatalf("workers=%d: pooled blocked SpMM != flat serial", w)
+		}
+	}
+}

@@ -29,6 +29,44 @@ func BenchmarkGemm(b *testing.B) {
 	}
 }
 
+// BenchmarkGemmFlat is the pre-blocking kernel on the same shapes as
+// BenchmarkGemm — the flat-vs-blocked pair the CI smoke run keeps honest.
+func BenchmarkGemmFlat(b *testing.B) {
+	for _, size := range []int{64, 256, 512} {
+		b.Run(fmt.Sprintf("%dx%dx%d", size, size, size), func(b *testing.B) {
+			a, x := benchDense(size, size), benchDense(size, size)
+			c := NewDense(size, size)
+			b.SetBytes(int64(size) * int64(size) * int64(size) * 2 * 4)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				GemmFlat(1, a, x, 0, c)
+			}
+		})
+	}
+}
+
+func BenchmarkGemmTA(b *testing.B) {
+	a, x := benchDense(4096, 128), benchDense(4096, 128)
+	c := NewDense(128, 128)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		GemmTA(1, a, x, 0, c)
+	}
+}
+
+func BenchmarkParallelGemmTA(b *testing.B) {
+	a, x := benchDense(4096, 128), benchDense(4096, 128)
+	c := NewDense(128, 128)
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				ParallelGemmTA(1, a, x, 0, c, workers)
+			}
+		})
+	}
+}
+
 func BenchmarkParallelGemm(b *testing.B) {
 	for _, workers := range []int{1, 2, 4, 8} {
 		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {

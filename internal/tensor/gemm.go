@@ -2,17 +2,21 @@ package tensor
 
 import (
 	"fmt"
-	"runtime"
 	"sync"
+
+	"mggcn/internal/pool"
 )
 
-// blockK is the k-dimension tile used by the blocked GeMM kernels. It keeps
-// a panel of B rows hot in cache while a row of A streams through.
+// blockK is the k-dimension panel of the blocked GeMM kernels: the panel's
+// B rows stay hot in cache while C rows accumulate across it. 64 rows x
+// (n x 4 bytes) keeps a hidden-512 panel inside L2 and a hidden-128 panel
+// inside L1.
 const blockK = 64
 
 // Gemm computes C = alpha*A*B + beta*C with A (m x k), B (k x n), C (m x n).
-// It is the sequential kernel; use ParallelGemm to split rows across
-// goroutines. Phantom operands make the call a no-op (shape-checked only).
+// It is the sequential kernel; use ParallelGemm to split rows across the
+// shared worker pool. Phantom operands make the call a no-op (shape-checked
+// only).
 func Gemm(alpha float32, a, b *Dense, beta float32, c *Dense) {
 	checkGemmShapes(a.Rows, a.Cols, b.Rows, b.Cols, c, "Gemm")
 	if a.IsPhantom() || b.IsPhantom() || c.IsPhantom() {
@@ -21,8 +25,34 @@ func Gemm(alpha float32, a, b *Dense, beta float32, c *Dense) {
 	gemmRows(alpha, a, b, beta, c, 0, c.Rows)
 }
 
+// GemmFlat is the pre-blocking reference kernel (flat row loop, one k step
+// and one C row at a time), retained as the oracle for the blocked kernel's
+// bit-identity tables and as the microbenchmark baseline. Not for
+// production call sites — Gemm is strictly faster.
+func GemmFlat(alpha float32, a, b *Dense, beta float32, c *Dense) {
+	checkGemmShapes(a.Rows, a.Cols, b.Rows, b.Cols, c, "GemmFlat")
+	if a.IsPhantom() || b.IsPhantom() || c.IsPhantom() {
+		return
+	}
+	k := a.Cols
+	for i := 0; i < c.Rows; i++ {
+		rc := c.Row(i)
+		applyBeta(rc, beta)
+		ra := a.Row(i)
+		for p := 0; p < k; p++ {
+			s := alpha * ra[p]
+			rb := b.Row(p)
+			for j, bv := range rb {
+				rc[j] += s * bv
+			}
+		}
+	}
+}
+
 // GemmTA computes C = alpha*Aᵀ*B + beta*C with A (k x m), B (k x n),
-// C (m x n). Used for the weight gradient W_G = HWᵀ_G * H style products.
+// C (m x n). Used for the weight gradient W_G = Hᵀ HW_G style products.
+// It is the sequential kernel; ParallelGemmTA packs the transpose and runs
+// the blocked row-parallel GeMM instead.
 func GemmTA(alpha float32, a, b *Dense, beta float32, c *Dense) {
 	checkGemmShapes(a.Cols, a.Rows, b.Rows, b.Cols, c, "GemmTA")
 	if a.IsPhantom() || b.IsPhantom() || c.IsPhantom() {
@@ -65,43 +95,146 @@ func checkGemmShapes(m, k, bk, n int, c *Dense, op string) {
 	}
 }
 
-// gemmRows computes rows [lo,hi) of C = alpha*A*B + beta*C using k-blocking.
+// applyBeta scales a C row for the beta prologue: overwrite at 0, keep at
+// 1, scale otherwise.
+func applyBeta(rc []float32, beta float32) {
+	if beta == 0 {
+		for j := range rc {
+			rc[j] = 0
+		}
+	} else if beta != 1 {
+		for j := range rc {
+			rc[j] *= beta
+		}
+	}
+}
+
+// gemmRows computes rows [lo,hi) of C = alpha*A*B + beta*C, cache-blocked:
+// k is processed in blockK panels (the panel's B rows stay resident while
+// C rows stream across it) and the micro-kernel is 2 C-rows x 2 k-steps,
+// so each loaded B row feeds four accumulations instead of one. Per C
+// element the accumulation order is unchanged — ascending k with
+// left-associated adds, exactly the flat kernel's order — so results are
+// bit-identical to GemmFlat for all finite inputs.
 func gemmRows(alpha float32, a, b *Dense, beta float32, c *Dense, lo, hi int) {
 	k := a.Cols
-	for i := lo; i < hi; i++ {
-		rc := c.Row(i)
-		if beta == 0 {
-			for j := range rc {
-				rc[j] = 0
+	i := lo
+	for ; i+2 <= hi; i += 2 {
+		rc0, rc1 := c.Row(i), c.Row(i+1)
+		applyBeta(rc0, beta)
+		applyBeta(rc1, beta)
+		ra0, ra1 := a.Row(i), a.Row(i+1)
+		for k0 := 0; k0 < k; k0 += blockK {
+			k1 := k0 + blockK
+			if k1 > k {
+				k1 = k
 			}
-		} else if beta != 1 {
-			for j := range rc {
-				rc[j] *= beta
-			}
+			gemmPanel2(alpha, ra0, ra1, b, rc0, rc1, k0, k1)
 		}
+	}
+	if i < hi {
+		rc := c.Row(i)
+		applyBeta(rc, beta)
 		ra := a.Row(i)
 		for k0 := 0; k0 < k; k0 += blockK {
 			k1 := k0 + blockK
 			if k1 > k {
 				k1 = k
 			}
-			for p := k0; p < k1; p++ {
-				av := ra[p]
-				if av == 0 {
-					continue
-				}
-				s := alpha * av
-				rb := b.Row(p)
-				for j, bv := range rb {
-					rc[j] += s * bv
-				}
-			}
+			gemmPanel1(alpha, ra, b, rc, k0, k1)
 		}
 	}
 }
 
+// gemmPanel2 accumulates the k-panel [k0,k1) into two C rows, two k steps
+// per pass. rc[j] = rc[j] + s0*rb0[j] + s1*rb1[j] associates left, which
+// is the same per-element order as two separate += statements.
+func gemmPanel2(alpha float32, ra0, ra1 []float32, b *Dense, rc0, rc1 []float32, k0, k1 int) {
+	n := len(rc0)
+	p := k0
+	for ; p+2 <= k1; p += 2 {
+		s00, s01 := alpha*ra0[p], alpha*ra0[p+1]
+		s10, s11 := alpha*ra1[p], alpha*ra1[p+1]
+		if s00 == 0 && s01 == 0 && s10 == 0 && s11 == 0 {
+			continue // ReLU-sparse inputs: a whole zero 2x2 tile of A
+		}
+		rb0 := b.Row(p)[:n]
+		rb1 := b.Row(p + 1)[:n]
+		c0 := rc0[:n]
+		c1 := rc1[:n]
+		for j := 0; j < n; j++ {
+			b0, b1 := rb0[j], rb1[j]
+			c0[j] = c0[j] + s00*b0 + s01*b1
+			c1[j] = c1[j] + s10*b0 + s11*b1
+		}
+	}
+	for ; p < k1; p++ {
+		s0, s1 := alpha*ra0[p], alpha*ra1[p]
+		if s0 == 0 && s1 == 0 {
+			continue
+		}
+		rb := b.Row(p)[:n]
+		c0 := rc0[:n]
+		c1 := rc1[:n]
+		for j := 0; j < n; j++ {
+			bv := rb[j]
+			c0[j] += s0 * bv
+			c1[j] += s1 * bv
+		}
+	}
+}
+
+// gemmPanel1 is gemmPanel2 for a single (tail) C row.
+func gemmPanel1(alpha float32, ra []float32, b *Dense, rc []float32, k0, k1 int) {
+	n := len(rc)
+	p := k0
+	for ; p+2 <= k1; p += 2 {
+		s0, s1 := alpha*ra[p], alpha*ra[p+1]
+		if s0 == 0 && s1 == 0 {
+			continue
+		}
+		rb0 := b.Row(p)[:n]
+		rb1 := b.Row(p + 1)[:n]
+		c0 := rc[:n]
+		for j := 0; j < n; j++ {
+			c0[j] = c0[j] + s0*rb0[j] + s1*rb1[j]
+		}
+	}
+	for ; p < k1; p++ {
+		s := alpha * ra[p]
+		if s == 0 {
+			continue
+		}
+		rb := b.Row(p)[:n]
+		c0 := rc[:n]
+		for j := 0; j < n; j++ {
+			c0[j] += s * rb[j]
+		}
+	}
+}
+
+// gemmTBRows computes rows [lo,hi) of C = alpha*A*Bᵀ + beta*C. Two A rows
+// share each loaded B row, halving B traffic; every dot product keeps
+// dot4's four-partial-sum pattern so results match the one-row path
+// bit for bit.
 func gemmTBRows(alpha float32, a, b *Dense, beta float32, c *Dense, lo, hi int) {
-	for i := lo; i < hi; i++ {
+	i := lo
+	for ; i+2 <= hi; i += 2 {
+		ra0, ra1 := a.Row(i), a.Row(i+1)
+		rc0, rc1 := c.Row(i), c.Row(i+1)
+		for j := 0; j < b.Rows; j++ {
+			rb := b.Row(j)
+			d0, d1 := dot4Pair(ra0, ra1, rb)
+			if beta == 0 {
+				rc0[j] = alpha * d0
+				rc1[j] = alpha * d1
+			} else {
+				rc0[j] = beta*rc0[j] + alpha*d0
+				rc1[j] = beta*rc1[j] + alpha*d1
+			}
+		}
+	}
+	for ; i < hi; i++ {
 		ra := a.Row(i)
 		rc := c.Row(i)
 		for j := 0; j < b.Rows; j++ {
@@ -138,56 +271,111 @@ func dot4(ra, rb []float32) float32 {
 	return dot
 }
 
-// ParallelGemm is Gemm with row-range work splitting across workers
-// goroutines (workers <= 0 uses GOMAXPROCS).
+// dot4Pair computes ra0·rb and ra1·rb together so rb is loaded once. Each
+// dot keeps dot4's exact partial-sum split.
+func dot4Pair(ra0, ra1, rb []float32) (float32, float32) {
+	n := len(ra0)
+	ra1 = ra1[:n]
+	rb = rb[:n]
+	var a0, a1, a2, a3 float32
+	var b0, b1, b2, b3 float32
+	p := 0
+	for ; p+4 <= n; p += 4 {
+		r0, r1, r2, r3 := rb[p], rb[p+1], rb[p+2], rb[p+3]
+		a0 += ra0[p] * r0
+		a1 += ra0[p+1] * r1
+		a2 += ra0[p+2] * r2
+		a3 += ra0[p+3] * r3
+		b0 += ra1[p] * r0
+		b1 += ra1[p+1] * r1
+		b2 += ra1[p+2] * r2
+		b3 += ra1[p+3] * r3
+	}
+	d0 := (a0 + a1) + (a2 + a3)
+	d1 := (b0 + b1) + (b2 + b3)
+	for ; p < n; p++ {
+		d0 += ra0[p] * rb[p]
+		d1 += ra1[p] * rb[p]
+	}
+	return d0, d1
+}
+
+// ParallelGemm is Gemm with row ranges drawn from the shared worker pool
+// (workers <= 0 caps lanes at GOMAXPROCS). Rows are independent, so any
+// chunking is bit-identical to the sequential kernel.
 func ParallelGemm(alpha float32, a, b *Dense, beta float32, c *Dense, workers int) {
 	checkGemmShapes(a.Rows, a.Cols, b.Rows, b.Cols, c, "ParallelGemm")
 	if a.IsPhantom() || b.IsPhantom() || c.IsPhantom() {
 		return
 	}
-	parallelRows(c.Rows, workers, func(lo, hi int) {
+	pool.ParallelFor(c.Rows, workers, func(lo, hi int) {
 		gemmRows(alpha, a, b, beta, c, lo, hi)
 	})
 }
 
-// ParallelGemmTB is GemmTB with row-parallel execution.
+// ParallelGemmTB is GemmTB with row-parallel execution on the shared pool.
 func ParallelGemmTB(alpha float32, a, b *Dense, beta float32, c *Dense, workers int) {
 	checkGemmShapes(a.Rows, a.Cols, b.Cols, b.Rows, c, "ParallelGemmTB")
 	if a.IsPhantom() || b.IsPhantom() || c.IsPhantom() {
 		return
 	}
-	parallelRows(c.Rows, workers, func(lo, hi int) {
+	pool.ParallelFor(c.Rows, workers, func(lo, hi int) {
 		gemmTBRows(alpha, a, b, beta, c, lo, hi)
 	})
 }
 
-// parallelRows splits [0, n) into contiguous chunks and runs fn on each in
-// its own goroutine, waiting for completion.
-func parallelRows(n, workers int, fn func(lo, hi int)) {
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	if workers > n {
-		workers = n
-	}
-	if workers <= 1 {
-		fn(0, n)
+// packScratch recycles the Aᵀ panels ParallelGemmTA packs: weight-gradient
+// products recur every layer of every epoch with identical shapes, so the
+// pack buffer is reused instead of churning the GC.
+var packScratch = sync.Pool{New: func() any { return []float32(nil) }}
+
+// ParallelGemmTA computes C = alpha*Aᵀ*B + beta*C with A (k x m), B (k x n)
+// like GemmTA, but parallel: it packs the Aᵀ panel once (a blocked
+// transpose of A into scratch, split over the pool) and then runs the
+// blocked row-parallel GeMM on the packed panel. The weight-gradient
+// product Hᵀ·HW_G (k = a device's vertex rows, m = n = layer widths) was
+// the last serial kernel in the backward pass — outer-product accumulation
+// races on C, so it could not be row-split without this transposition.
+//
+// Accumulation per C element is ascending k, the same order as GemmTA, so
+// results match the sequential kernel bit for bit on finite inputs.
+func ParallelGemmTA(alpha float32, a, b *Dense, beta float32, c *Dense, workers int) {
+	checkGemmShapes(a.Cols, a.Rows, b.Rows, b.Cols, c, "ParallelGemmTA")
+	if a.IsPhantom() || b.IsPhantom() || c.IsPhantom() {
 		return
 	}
-	var wg sync.WaitGroup
-	chunk := (n + workers - 1) / workers
-	for lo := 0; lo < n; lo += chunk {
-		hi := lo + chunk
-		if hi > n {
-			hi = n
-		}
-		wg.Add(1)
-		go func(lo, hi int) {
-			defer wg.Done()
-			fn(lo, hi)
-		}(lo, hi)
+	k, m := a.Rows, a.Cols
+	buf := packScratch.Get().([]float32)
+	if cap(buf) < m*k {
+		buf = make([]float32, m*k)
 	}
-	wg.Wait()
+	at := &Dense{Rows: m, Cols: k, Stride: k, Data: buf[:m*k]}
+	pool.ParallelFor(m, workers, func(lo, hi int) {
+		packTransposeRows(a, at, lo, hi)
+	})
+	pool.ParallelFor(c.Rows, workers, func(lo, hi int) {
+		gemmRows(alpha, at, b, beta, c, lo, hi)
+	})
+	packScratch.Put(buf[:0])
+}
+
+// packTransposeRows fills rows [jLo,jHi) of at = aᵀ, reading a in panels
+// of source rows so each panel's cache lines are reused across the
+// destination rows the lane owns.
+func packTransposeRows(a, at *Dense, jLo, jHi int) {
+	const panel = 64
+	for i0 := 0; i0 < a.Rows; i0 += panel {
+		i1 := i0 + panel
+		if i1 > a.Rows {
+			i1 = a.Rows
+		}
+		for j := jLo; j < jHi; j++ {
+			col := at.Row(j)
+			for i := i0; i < i1; i++ {
+				col[i] = a.Data[i*a.Stride+j]
+			}
+		}
+	}
 }
 
 // GemmFlops returns the floating point operation count of an m x k x n GeMM.

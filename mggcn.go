@@ -206,13 +206,20 @@ type Options struct {
 
 	Seed     int64
 	PermSeed uint64
-	Workers  int // CPU workers for real kernels (<=0: GOMAXPROCS)
+
+	// Workers caps how many shared-pool lanes one Parallel* kernel call may
+	// occupy (<=0: GOMAXPROCS). All kernels and the epoch executor draw
+	// from one process-wide pool (internal/pool), so this is a per-call cap
+	// on a shared budget, not a goroutine count: concurrent kernels split
+	// the machine, and idle lanes are stolen by whichever kernel has chunks
+	// left. See DESIGN.md §5.2 for tuning it against ExecWorkers.
+	Workers int
 
 	// ExecWorkers is how many recorded task closures the epoch executor may
 	// replay concurrently (<=0: GOMAXPROCS; 1: serial issue). Independent
 	// tasks — different devices, comm vs compute — run in parallel on the
-	// host, mirroring the multi-GPU concurrency the simulator prices.
-	// Results are bit-identical at any setting.
+	// shared pool, mirroring the multi-GPU concurrency the simulator
+	// prices. Results are bit-identical at any setting.
 	ExecWorkers int
 }
 

@@ -32,4 +32,11 @@ go test -race -short -timeout 30m ./...
 echo "==> go test (full, no race)"
 go test -timeout 30m ./...
 
+echo "==> benchmark smoke"
+# One iteration per benchmark, no tests: keeps the kernel benchmarks
+# (flat-vs-blocked pairs, pool scaling) compiling and runnable so they
+# can't silently rot. Timings from a single iteration are meaningless and
+# are discarded.
+go test -bench . -benchtime=1x -run '^$' ./... > /dev/null
+
 echo "All checks passed."
