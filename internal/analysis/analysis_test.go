@@ -70,6 +70,8 @@ func TestRules(t *testing.T) {
 		{PhantomGuard, "phantom_pos", "phantom_ok"},
 		{RNGDeterminism, "rng_pos", "rng_ok"},
 		{FloatEq, "floateq_pos", "floateq_ok"},
+		{BindCapture, "bindcapture_pos", "bindcapture_ok"},
+		{AccessDecl, "accessdecl_pos", "accessdecl_ok"},
 	}
 
 	for _, tc := range cases {
@@ -117,6 +119,8 @@ func TestCrossRuleSilence(t *testing.T) {
 		"phantom_pos", "phantom_ok",
 		"rng_pos", "rng_ok",
 		"floateq_pos", "floateq_ok",
+		"bindcapture_pos", "bindcapture_ok",
+		"accessdecl_pos", "accessdecl_ok",
 	}
 	for _, name := range fixtures {
 		pkg := loadFixture(t, ld, name)

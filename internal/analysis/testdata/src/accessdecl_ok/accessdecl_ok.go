@@ -1,0 +1,51 @@
+// Package accessdecl_ok is a mggcn-vet fixture: every buffer view a closure
+// captures appears in its reads/writes declaration, and view-free closures
+// owe the graph nothing.
+package accessdecl_ok
+
+import (
+	"mggcn/internal/sim"
+	"mggcn/internal/tensor"
+)
+
+// Both captured views appear in the access sets.
+func declared(g *sim.Graph, dst, src *tensor.Dense, workers int) {
+	id := g.AddCompute(0, sim.KindGeMM, "copy", -1, 0, false)
+	g.BindRW(id, sim.BufsOf(src), sim.BufsOf(dst), func() {
+		dst.CopyFrom(src)
+	})
+	g.Execute(workers)
+}
+
+// A slice capture is covered by a variadic declaration.
+func declaredSlice(g *sim.Graph, out *tensor.Dense, parts []*tensor.Dense, workers int) {
+	id := g.AddCompute(0, sim.KindSpMM, "gather", -1, 0, true)
+	g.BindRW(id, sim.BufsOf(parts...), sim.BufsOf(out), func() {
+		for _, p := range parts {
+			_ = p.Rows
+		}
+		_ = out.Rows
+	})
+	g.Execute(workers)
+}
+
+// Declarations may flow through helper expressions; the variable just has to
+// appear somewhere in the reads/writes arguments.
+func declaredViaHelper(g *sim.Graph, dst, src *tensor.Dense, extra []sim.BufID, workers int) {
+	id := g.AddCompute(0, sim.KindGeMM, "gemm", -1, 0, false)
+	g.BindRW(id, append(sim.BufsOf(src), extra...), sim.BufsOf(dst), func() {
+		dst.CopyFrom(src)
+	})
+	g.Execute(workers)
+}
+
+// Closures that touch no buffer views may use plain Bind freely.
+func viewFree(g *sim.Graph, n, workers int) {
+	count := make([]int, n)
+	for i := 0; i < n; i++ {
+		i := i
+		id := g.AddCompute(0, sim.KindActivation, "tick", -1, 0, true)
+		g.Bind(id, func() { count[i]++ })
+	}
+	g.Execute(workers)
+}

@@ -1,0 +1,39 @@
+// Package accessdecl_pos is a mggcn-vet fixture: task closures touch buffer
+// views the graph was never told about — invisible to the happens-before
+// checker and the shadow replay.
+package accessdecl_pos
+
+import (
+	"mggcn/internal/sim"
+	"mggcn/internal/tensor"
+)
+
+// A plain Bind whose closure captures buffer views declares nothing at all.
+func undeclaredBind(g *sim.Graph, dst, src *tensor.Dense, workers int) {
+	id := g.AddCompute(0, sim.KindGeMM, "copy", -1, 0, false)
+	g.Bind(id, func() { // want accessdecl
+		dst.CopyFrom(src)
+	})
+	g.Execute(workers)
+}
+
+// A BindRW that declares the input but forgets the output: the declaration
+// exists but is blind to dst.
+func missingWrite(g *sim.Graph, dst, src *tensor.Dense, workers int) {
+	id := g.AddCompute(0, sim.KindGeMM, "gemm", -1, 0, false)
+	g.BindRW(id, sim.BufsOf(src), nil, func() { // want accessdecl
+		dst.CopyFrom(src)
+	})
+	g.Execute(workers)
+}
+
+// Slices of views are buffer captures too.
+func missingSlice(g *sim.Graph, out *tensor.Dense, parts []*tensor.Dense, workers int) {
+	id := g.AddCompute(0, sim.KindSpMM, "gather", -1, 0, true)
+	g.BindRW(id, nil, sim.BufsOf(out), func() { // want accessdecl
+		for _, p := range parts {
+			_ = p.Rows
+		}
+	})
+	g.Execute(workers)
+}

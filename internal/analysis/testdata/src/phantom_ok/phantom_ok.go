@@ -42,6 +42,7 @@ func (r *runner) elseBranch(dst, src *tensor.Dense) {
 func bindGuard(g *sim.Graph, dst, src *tensor.Dense, workers int) {
 	id := g.AddCompute(0, sim.KindGeMM, "copy", -1, 0, false)
 	if !src.IsPhantom() {
+		// vet:ok accessdecl: fixture exercises phantomguard's Bind-site guard
 		g.Bind(id, func() {
 			dst.CopyFrom(src)
 			tensor.ParallelGemm(1, src, src, 0, dst, workers)
@@ -56,5 +57,5 @@ func (r *runner) bindEarlyExit(g *sim.Graph, dst, src *tensor.Dense) {
 	if r.phantom {
 		return
 	}
-	g.Bind(id, func() { tensor.ReLU(dst, src) })
+	g.Bind(id, func() { tensor.ReLU(dst, src) }) // vet:ok accessdecl: phantomguard fixture
 }

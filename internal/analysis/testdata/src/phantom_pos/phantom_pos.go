@@ -36,6 +36,7 @@ func (r *runner) nonDominatingGuard(dst, src *tensor.Dense) {
 // inside) is still unguarded.
 func unguardedBind(g *sim.Graph, dst, src *tensor.Dense, workers int) {
 	id := g.AddCompute(0, sim.KindGeMM, "copy", -1, 0, false)
+	// vet:ok accessdecl: fixture exercises phantomguard, not the access contract
 	g.Bind(id, func() {
 		dst.CopyFrom(src) // want phantomguard
 	})

@@ -55,6 +55,21 @@ func (c *Group) members() []int {
 	return ds
 }
 
+// stamps collects the registry IDs of a per-device buffer set, skipping the
+// member at index skip (-1: none) — how collectives derive their access
+// declarations from the views they are handed, without the caller repeating
+// itself. Unregistered views contribute nothing.
+func stamps(bufs []*tensor.Dense, skip int) []sim.BufID {
+	var out []sim.BufID
+	for i, b := range bufs {
+		if i == skip || b == nil || b.Buf == 0 {
+			continue
+		}
+		out = append(out, sim.BufID(b.Buf))
+	}
+	return out
+}
+
 // checkBufs validates a per-device buffer set: one buffer per device, all
 // the same shape.
 func (c *Group) checkBufs(op string, bufs []*tensor.Dense) {
@@ -93,7 +108,9 @@ func (c *Group) Broadcast(root int, src *tensor.Dense, dst []*tensor.Dense, labe
 	seconds := c.Graph.Spec.BroadcastCost(src.Bytes()*c.BytesScale, c.P())
 	id := c.Graph.AddComm(c.members(), label, stage, seconds, deps...)
 	if !src.IsPhantom() {
-		c.Graph.Bind(id, func() {
+		// Reads the root's resident block, writes every other destination;
+		// dst[root] is untouched and stays out of the declaration.
+		c.Graph.BindRW(id, sim.BufsOf(src), stamps(dst, root), func() {
 			for i, d := range dst {
 				if i == root || d.IsPhantom() {
 					continue
@@ -135,7 +152,8 @@ func (c *Group) bindAllReduce(id int, bufs []*tensor.Dense) {
 	if bufs[0].IsPhantom() {
 		return
 	}
-	c.Graph.Bind(id, func() {
+	// Every member buffer is read and then overwritten with the total.
+	c.Graph.BindRW(id, nil, stamps(bufs, -1), func() {
 		total := bufs[0].Clone()
 		for i := 1; i < len(bufs); i++ {
 			tensor.AddInPlace(total, bufs[i])
@@ -155,7 +173,8 @@ func (c *Group) ReduceSum(root int, bufs []*tensor.Dense, label string, deps ...
 	seconds := c.Graph.Spec.ReduceCost(bufs[0].Bytes()*c.BytesScale, c.P())
 	id := c.Graph.AddComm(c.members(), label, -1, seconds, deps...)
 	if !bufs[0].IsPhantom() {
-		c.Graph.Bind(id, func() {
+		// Non-root contributions are read-only; the root accumulates.
+		c.Graph.BindRW(id, stamps(bufs, root), sim.BufsOf(bufs[root]), func() {
 			for i, b := range bufs {
 				if i == root {
 					continue

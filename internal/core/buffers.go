@@ -15,15 +15,19 @@ import (
 // Buffer is a device-resident slab of float32 storage that can be viewed as
 // matrices of varying shapes — the mechanism behind §4.2's buffer reuse. A
 // phantom Buffer carries capacity for memory accounting but no storage.
+// Every buffer is registered (and, non-phantom, tracked) in the trainer's
+// sim.BufRegistry so views can carry its identity into task access sets.
 type Buffer struct {
 	label    string
 	capElems int64
 	data     []float32 // nil in phantom mode
+	id       sim.BufID
 }
 
 // newBuffer allocates a buffer of capElems float32s from pool, failing with
-// the pool's OOM error when over capacity.
-func newBuffer(pool *sim.Pool, label string, capElems int64, phantom bool) (*Buffer, error) {
+// the pool's OOM error when over capacity, and registers it with reg under
+// a device-qualified name so the sanitizer can tell d0's HW from d1's.
+func newBuffer(reg *sim.BufRegistry, dev int, pool *sim.Pool, label string, capElems int64, phantom bool) (*Buffer, error) {
 	if err := pool.Alloc(label, capElems*4); err != nil {
 		return nil, err
 	}
@@ -31,17 +35,20 @@ func newBuffer(pool *sim.Pool, label string, capElems int64, phantom bool) (*Buf
 	if !phantom {
 		b.data = make([]float32, capElems)
 	}
+	b.id = reg.Register(fmt.Sprintf("d%d/%s", dev, label))
+	reg.Track(b.id, b.data)
 	return b, nil
 }
 
 // View returns a rows x cols matrix over the buffer's prefix. Views of the
-// same buffer alias each other — exactly the reuse the paper exploits.
+// same buffer alias each other — exactly the reuse the paper exploits — and
+// carry the buffer's registry stamp for access declarations.
 func (b *Buffer) View(rows, cols int) *tensor.Dense {
 	need := int64(rows) * int64(cols)
 	if need > b.capElems {
 		panic(fmt.Sprintf("core: view %dx%d needs %d elems, buffer %q holds %d", rows, cols, need, b.label, b.capElems))
 	}
-	d := &tensor.Dense{Rows: rows, Cols: cols, Stride: cols}
+	d := &tensor.Dense{Rows: rows, Cols: cols, Stride: cols, Buf: int(b.id)}
 	if b.data != nil {
 		d.Data = b.data[:need]
 	}
@@ -61,10 +68,11 @@ type DeviceBuffers struct {
 	AHW []*Buffer // private per layer: layer output / AHW_G / H_G
 }
 
-// NewDeviceBuffers allocates the L+3 buffer set on pool for a device owning
-// rows vertices, where dims are the model's layer widths (len L+1) and
-// maxTileRows is the largest row-block any broadcast can carry.
-func NewDeviceBuffers(pool *sim.Pool, rows, maxTileRows int, dims []int, phantom bool) (*DeviceBuffers, error) {
+// NewDeviceBuffers allocates the L+3 buffer set on pool for device dev
+// owning rows vertices, where dims are the model's layer widths (len L+1)
+// and maxTileRows is the largest row-block any broadcast can carry. All
+// buffers register with reg.
+func NewDeviceBuffers(reg *sim.BufRegistry, dev int, pool *sim.Pool, rows, maxTileRows int, dims []int, phantom bool) (*DeviceBuffers, error) {
 	maxDim := 0
 	for _, d := range dims {
 		if d > maxDim {
@@ -73,13 +81,13 @@ func NewDeviceBuffers(pool *sim.Pool, rows, maxTileRows int, dims []int, phantom
 	}
 	b := &DeviceBuffers{}
 	var err error
-	if b.HW, err = newBuffer(pool, "buf/HW", int64(rows)*int64(maxDim), phantom); err != nil {
+	if b.HW, err = newBuffer(reg, dev, pool, "buf/HW", int64(rows)*int64(maxDim), phantom); err != nil {
 		return nil, err
 	}
-	if b.BC1, err = newBuffer(pool, "buf/BC1", int64(maxTileRows)*int64(maxDim), phantom); err != nil {
+	if b.BC1, err = newBuffer(reg, dev, pool, "buf/BC1", int64(maxTileRows)*int64(maxDim), phantom); err != nil {
 		return nil, err
 	}
-	if b.BC2, err = newBuffer(pool, "buf/BC2", int64(maxTileRows)*int64(maxDim), phantom); err != nil {
+	if b.BC2, err = newBuffer(reg, dev, pool, "buf/BC2", int64(maxTileRows)*int64(maxDim), phantom); err != nil {
 		return nil, err
 	}
 	for l := 0; l+1 < len(dims); l++ {
@@ -90,7 +98,7 @@ func NewDeviceBuffers(pool *sim.Pool, rows, maxTileRows int, dims []int, phantom
 		if dims[l] > w {
 			w = dims[l]
 		}
-		buf, err := newBuffer(pool, fmt.Sprintf("buf/AHW%d", l), int64(rows)*int64(w), phantom)
+		buf, err := newBuffer(reg, dev, pool, fmt.Sprintf("buf/AHW%d", l), int64(rows)*int64(w), phantom)
 		if err != nil {
 			return nil, err
 		}
@@ -109,6 +117,17 @@ func (b *DeviceBuffers) TotalBytes() int64 {
 		t += a.Bytes()
 	}
 	return t
+}
+
+// registerDense registers (and, when materialized, tracks) a standalone
+// matrix — weights, gradients, feature shards — under name and stamps it so
+// access declarations can name it. Safe on phantoms (registered untracked).
+func registerDense(reg *sim.BufRegistry, name string, t *tensor.Dense) {
+	id := reg.Register(name)
+	if t.Data != nil {
+		reg.Track(id, t.Data)
+	}
+	t.Buf = int(id)
 }
 
 // BC returns the broadcast buffer for stage (BC1 for even stages, BC2 for

@@ -24,9 +24,11 @@ type GATDist struct {
 	Machine *sim.Machine
 	Model   *nn.GAT
 
-	part    *partitioned
-	phantom bool
-	graph   *graph.Graph
+	part      *partitioned
+	phantom   bool
+	graph     *graph.Graph
+	reg       *sim.BufRegistry
+	lastGraph *sim.Graph
 }
 
 // NewGATDist partitions the graph and replicates the GAT parameters.
@@ -40,18 +42,30 @@ func NewGATDist(g *graph.Graph, model *nn.GAT, cfg Config) (*GATDist, error) {
 	if err != nil {
 		return nil, err
 	}
-	d := &GATDist{Cfg: cfg, Machine: machine, Model: model, part: p, phantom: g.IsPhantom(), graph: g}
+	d := &GATDist{Cfg: cfg, Machine: machine, Model: model, part: p, phantom: g.IsPhantom(), graph: g,
+		reg: sim.NewBufRegistry()}
 	maxTile := p.maxTileRows()
 	var params int64
 	for _, w := range model.Params() {
 		params += int64(w.Rows) * int64(w.Cols)
 	}
+	// The GAT parameters are shared (read-only) across devices; register
+	// them so the access sets can say so.
+	for l := 0; l < model.Layers(); l++ {
+		registerDense(d.reg, fmt.Sprintf("gat/w%d", l), model.Weights[l])
+		registerDense(d.reg, fmt.Sprintf("gat/a1-%d", l), model.AttnSrc[l])
+		registerDense(d.reg, fmt.Sprintf("gat/a2-%d", l), model.AttnDst[l])
+	}
 	for dev := 0; dev < machine.P; dev++ {
-		bufs, err := NewDeviceBuffers(machine.Pools[dev], p.devs[dev].rows, maxTile, model.Dims, d.phantom)
+		bufs, err := NewDeviceBuffers(d.reg, dev, machine.Pools[dev], p.devs[dev].rows, maxTile, model.Dims, d.phantom)
 		if err != nil {
 			return nil, err
 		}
 		p.devs[dev].bufs = bufs
+		if x := p.devs[dev].x; x != nil {
+			// Keyed by block for storage identity (see Trainer).
+			registerDense(d.reg, fmt.Sprintf("b%d/x", p.devs[dev].block), x)
+		}
 		if err := machine.Pools[dev].Alloc("gat-model", params*4); err != nil {
 			return nil, err
 		}
@@ -108,6 +122,8 @@ func (d *GATDist) Forward() (*tensor.Dense, *EpochStats) {
 				s1, s2 = tensor.NewPhantom(ds.rows, 1), tensor.NewPhantom(ds.rows, 1)
 			}
 			s1Local[i], s2Local[i] = s1, s2
+			registerDense(d.reg, fmt.Sprintf("gat%d/s1-d%d", l, i), s1)
+			registerDense(d.reg, fmt.Sprintf("gat%d/s2-d%d", l, i), s2)
 			var deps []int
 			if hReady[i] >= 0 {
 				deps = append(deps, hReady[i])
@@ -118,9 +134,10 @@ func (d *GATDist) Forward() (*tensor.Dense, *EpochStats) {
 				2*spec.GemmCost(scale(d.part.devs[i].rows), dOut, 1), false, gemmID)
 			if !d.phantom {
 				in, w := inputView(i, l), d.Model.Weights[l]
-				tg.Bind(gemmID, func() { tensor.ParallelGemm(1, in, w, 0, z, d.Cfg.Workers) })
+				tg.BindRW(gemmID, sim.BufsOf(in, w), sim.BufsOf(z),
+					func() { tensor.ParallelGemm(1, in, w, 0, z, d.Cfg.Workers) })
 				aSrc, aDst := d.Model.AttnSrc[l], d.Model.AttnDst[l]
-				tg.Bind(id, func() {
+				tg.BindRW(id, sim.BufsOf(z, aSrc, aDst), sim.BufsOf(s1, s2), func() {
 					tensor.Gemm(1, z, aSrc, 0, s1)
 					tensor.Gemm(1, z, aDst, 0, s2)
 				})
@@ -132,6 +149,7 @@ func (d *GATDist) Forward() (*tensor.Dense, *EpochStats) {
 		if d.phantom {
 			s1Full = tensor.NewPhantom(d.graph.N(), 1)
 		}
+		registerDense(d.reg, fmt.Sprintf("gat%d/s1full", l), s1Full)
 		gatherSecs := spec.AllReduceCost(int64(scale(d.graph.N()))*4, p)
 		allDevs := make([]int, p)
 		for i := range allDevs {
@@ -139,7 +157,7 @@ func (d *GATDist) Forward() (*tensor.Dense, *EpochStats) {
 		}
 		gatherID := tg.AddComm(allDevs, fmt.Sprintf("gat%d/allgather-s1", l), -1, gatherSecs, zID...)
 		if !d.phantom {
-			tg.Bind(gatherID, func() {
+			tg.BindRW(gatherID, sim.BufsOf(s1Local...), sim.BufsOf(s1Full), func() {
 				for i := 0; i < p; i++ {
 					ds := d.part.devs[i]
 					for r := 0; r < ds.rows; r++ {
@@ -152,6 +170,11 @@ func (d *GATDist) Forward() (*tensor.Dense, *EpochStats) {
 		// Each device scores and softmax-normalizes its whole tile row of
 		// attention locally (it has every column's s1 and its own s2).
 		alphaTiles := make([][]*sparse.CSR, p)
+		// alphaIDs are untracked pseudo-buffers standing in for the
+		// attention-valued CSR tiles (no float32 slab to track): declaring
+		// the softmax's write and the aggregation's reads against them gives
+		// the sanitizer static happens-before coverage of the handoff.
+		alphaIDs := make([]sim.BufID, p)
 		scoreID := make([]int, p)
 		for i := 0; i < p; i++ {
 			ds := d.part.devs[i]
@@ -163,9 +186,10 @@ func (d *GATDist) Forward() (*tensor.Dense, *EpochStats) {
 				spec.ElementwiseCost(nnzRow*int64(d.Cfg.MemScale), 3), true, gatherID)
 			if !d.phantom {
 				s2 := s2Local[i]
+				alphaIDs[i] = d.reg.Register(fmt.Sprintf("gat%d/alpha-d%d", l, i))
 				// The aggregation closures below read alphaTiles[i] at
 				// replay time, after this task (their scoreID dep).
-				tg.Bind(scoreID[i], func() {
+				tg.BindRW(scoreID[i], sim.BufsOf(s1Full, s2), []sim.BufID{alphaIDs[i]}, func() {
 					alphaTiles[i] = attentionRow(ds, s1Full, s2, d.part.vec, d.Model.LeakySlope)
 				})
 			} else {
@@ -214,7 +238,8 @@ func (d *GATDist) Forward() (*tensor.Dense, *EpochStats) {
 				if !d.phantom {
 					// alphaTiles[i] materializes when scoreID[i] (a dep)
 					// replays, so index it inside the closure.
-					tg.Bind(id, func() { sparse.ParallelSpMM(alphaTiles[i][j], xin, beta, out, d.Cfg.Workers) })
+					tg.BindRW(id, append(sim.BufsOf(xin), alphaIDs[i]), sim.BufsOf(out),
+						func() { sparse.ParallelSpMM(alphaTiles[i][j], xin, beta, out, d.Cfg.Workers) })
 				}
 				stage = append(stage, id)
 				last[i] = id
@@ -229,7 +254,7 @@ func (d *GATDist) Forward() (*tensor.Dense, *EpochStats) {
 				id := tg.AddCompute(i, sim.KindActivation, fmt.Sprintf("gat%d/relu", l), -1,
 					spec.ElementwiseCost(int64(scale(ds.rows))*int64(dOut), 1), true, last[i])
 				if !d.phantom {
-					tg.Bind(id, func() { tensor.ReLU(act, act) })
+					tg.BindRW(id, nil, sim.BufsOf(act), func() { tensor.ReLU(act, act) })
 				}
 				last[i] = id
 			}
@@ -237,7 +262,14 @@ func (d *GATDist) Forward() (*tensor.Dense, *EpochStats) {
 		copy(hReady, last)
 	}
 
-	tg.Execute(d.Cfg.ExecWorkers)
+	tg.Reg = d.reg
+	tg.Observer = d.Cfg.ExecObserver
+	d.lastGraph = tg
+	if d.Cfg.ExecSeed != 0 {
+		tg.ExecuteAdversarial(d.Cfg.ExecWorkers, d.Cfg.ExecSeed)
+	} else {
+		tg.Execute(d.Cfg.ExecWorkers)
+	}
 	sched := tg.Run()
 	stats := &EpochStats{
 		EpochSeconds: sched.Makespan,
@@ -258,6 +290,13 @@ func (d *GATDist) Forward() (*tensor.Dense, *EpochStats) {
 	}
 	return unpermuteRows(full, d.part.perm), stats
 }
+
+// LastGraph returns the task graph of the most recent Forward replay (nil
+// before the first), with Reg attached — the sanitizer's input.
+func (d *GATDist) LastGraph() *sim.Graph { return d.lastGraph }
+
+// Registry returns the distributed GAT's buffer registry.
+func (d *GATDist) Registry() *sim.BufRegistry { return d.reg }
 
 // attentionRow computes device ds's attention-valued tiles: raw scores
 // e(v,u) = LeakyReLU(s1_u + s2_v) over its tile row, normalized by a

@@ -1,0 +1,244 @@
+package core
+
+import (
+	"testing"
+
+	"mggcn/internal/nn"
+	"mggcn/internal/san"
+	"mggcn/internal/sim"
+	"mggcn/internal/tensor"
+)
+
+// sanConfigs enumerates the shipped strategy/optimization combinations the
+// sanitizer must find clean.
+func sanConfigs() map[string]func(cfg *Config) {
+	return map[string]func(cfg *Config){
+		"1drow":         func(cfg *Config) {},
+		"1drow-overlap": func(cfg *Config) { cfg.Overlap = true },
+		"1drow-skip":    func(cfg *Config) { cfg.SkipFirstBackward = true; cfg.Overlap = true },
+		"1dcol":         func(cfg *Config) { cfg.Strategy = Strategy1DCol },
+		"1dcol-overlap": func(cfg *Config) { cfg.Strategy = Strategy1DCol; cfg.Overlap = true },
+		"15d":           func(cfg *Config) { cfg.Strategy = Strategy15D; cfg.Overlap = true },
+	}
+}
+
+// TestTrainerGraphsSanClean runs the static happens-before check over the
+// real recorded epoch graphs of every shipped strategy: under the executor's
+// full edge contract no declared conflict may be unordered.
+func TestTrainerGraphsSanClean(t *testing.T) {
+	g := testGraph(t)
+	for name, tweak := range sanConfigs() {
+		cfg := testConfig(4)
+		cfg.Overlap = false
+		tweak(&cfg)
+		tr, err := NewTrainer(g, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tr.RunEpoch()
+		if got := san.Check(tr.LastGraph(), san.Options{}); len(got) != 0 {
+			t.Errorf("%s: epoch graph has %d unordered conflicts, e.g. %v", name, len(got), got[0])
+		}
+	}
+}
+
+// TestTrainerFenceRemovalFlagged is the sanitizer's regression teeth: the
+// cross-stream fence is a real ordering the trainer graphs depend on (a
+// broadcast reads the root's resident buffer that the next layer's GeMM
+// overwrites, with no recorded edge between them). Modeling a removed fence
+// must surface those conflicts — if this test starts passing with zero
+// findings, either the fence became redundant or the declarations went
+// blind.
+func TestTrainerFenceRemovalFlagged(t *testing.T) {
+	g := testGraph(t)
+	cfg := testConfig(4)
+	cfg.Overlap = true
+	tr, err := NewTrainer(g, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr.RunEpoch()
+	if got := san.Check(tr.LastGraph(), san.Options{IgnoreFences: true}); len(got) == 0 {
+		t.Fatal("fence-removed model reports no conflicts; the fence regression fixture lost its teeth")
+	}
+}
+
+// TestTrainerLiveBufferBound confirms §4.2 on the recorded graph: at most
+// L+3 large slab buffers are ever simultaneously live per device.
+func TestTrainerLiveBufferBound(t *testing.T) {
+	g := testGraph(t)
+	cfg := testConfig(4)
+	cfg.Overlap = true
+	tr, err := NewTrainer(g, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr.RunEpoch()
+	bound := cfg.Layers + 3
+	hw := san.LiveHighWater(tr.LastGraph())
+	if len(hw) == 0 {
+		t.Fatal("no slab accesses declared")
+	}
+	for dev, n := range hw {
+		if n > bound {
+			t.Errorf("%s: %d slab buffers live at once, want <= L+3 = %d", dev, n, bound)
+		}
+	}
+}
+
+// TestTrainerShadowClean replays an epoch under the Shadow observer: every
+// closure must stay inside its declared access set.
+func TestTrainerShadowClean(t *testing.T) {
+	g := testGraph(t)
+	for name, tweak := range sanConfigs() {
+		cfg := testConfig(4)
+		cfg.Overlap = false
+		tweak(&cfg)
+		tr, err := NewTrainer(g, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sh := san.NewShadow(tr.Registry())
+		tr.Cfg.ExecObserver = sh
+		tr.RunEpoch()
+		if len(sh.Findings) != 0 {
+			t.Errorf("%s: %d undeclared accesses, e.g. %v", name, len(sh.Findings), sh.Findings[0])
+		}
+	}
+}
+
+// TestTrainerAdversarialParity: the adversarial replay must stay
+// bit-identical to the default executor on correctly ordered graphs —
+// per-seed, per-strategy. Run with -race this is the mggcn-san CI job's
+// core: worst-case legal orders with real kernels underneath.
+func TestTrainerAdversarialParity(t *testing.T) {
+	g := testGraph(t)
+	for name, tweak := range sanConfigs() {
+		cfg := testConfig(4)
+		cfg.Overlap = false
+		tweak(&cfg)
+		base, err := NewTrainer(g, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		baseStats := base.RunEpoch()
+
+		for _, seed := range []int64{1, 7} {
+			cfgA := cfg
+			cfgA.ExecSeed = seed
+			cfgA.ExecWorkers = 4
+			adv, err := NewTrainer(g, cfgA)
+			if err != nil {
+				t.Fatal(err)
+			}
+			advStats := adv.RunEpoch()
+			if baseStats.Loss != advStats.Loss {
+				t.Fatalf("%s seed %d: adversarial loss %v != %v", name, seed, advStats.Loss, baseStats.Loss)
+			}
+			for l := range base.Weights() {
+				if d := tensor.MaxAbsDiff(base.Weights()[l], adv.Weights()[l]); d != 0 {
+					t.Fatalf("%s seed %d: layer %d weights diverge by %g after adversarial replay", name, seed, l, d)
+				}
+			}
+		}
+	}
+}
+
+// TestForwardOnlySanClean covers the test-path graph builder too.
+func TestForwardOnlySanClean(t *testing.T) {
+	g := testGraph(t)
+	cfg := testConfig(3)
+	tr, err := NewTrainer(g, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr.ForwardOnly()
+	if got := san.Check(tr.LastGraph(), san.Options{}); len(got) != 0 {
+		t.Fatalf("ForwardOnly graph has conflicts: %v", got)
+	}
+}
+
+// TestGATGraphSanClean checks the distributed GAT forward graph, including
+// the attention-tile pseudo-buffer handoff, and its shadow replay.
+func TestGATGraphSanClean(t *testing.T) {
+	g := testGraph(t)
+	model := nn.NewGAT(g, nn.LayerDims(g.FeatDim, 16, 2, g.Classes), 3)
+	cfg := testConfig(4)
+	cfg.Overlap = true
+	dist, err := NewGATDist(g, model, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dist.Forward()
+	if got := san.Check(dist.LastGraph(), san.Options{}); len(got) != 0 {
+		t.Fatalf("GAT graph has conflicts: %v", got)
+	}
+	hw := san.LiveHighWater(dist.LastGraph())
+	bound := len(model.Dims) - 1 + 3
+	for dev, n := range hw {
+		if n > bound {
+			t.Errorf("%s: %d slab buffers live, want <= %d", dev, n, bound)
+		}
+	}
+
+	sh := san.NewShadow(dist.Registry())
+	cfg2 := testConfig(2)
+	cfg2.ExecObserver = sh
+	dist2, err := NewGATDist(g, model, cfg2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dist2.Forward()
+	if len(sh.Findings) != 0 {
+		t.Fatalf("GAT shadow replay: %d undeclared accesses, e.g. %v", len(sh.Findings), sh.Findings[0])
+	}
+}
+
+// TestGATAdversarialParity: adversarial replay of the GAT forward matches
+// the default executor bit for bit.
+func TestGATAdversarialParity(t *testing.T) {
+	g := testGraph(t)
+	model := nn.NewGAT(g, nn.LayerDims(g.FeatDim, 16, 2, g.Classes), 3)
+	cfg := testConfig(4)
+	cfg.Overlap = true
+	base, err := NewGATDist(g, model, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _ := base.Forward()
+
+	cfg.ExecSeed = 11
+	cfg.ExecWorkers = 4
+	adv, err := NewGATDist(g, model, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _ := adv.Forward()
+	if d := tensor.MaxAbsDiff(got, want); d != 0 {
+		t.Fatalf("adversarial GAT forward diverges by %g", d)
+	}
+}
+
+// TestShadowRegistryCoversSlabs sanity-checks the registry contents the
+// other tests rely on: every device contributes its L+3 slabs plus weights,
+// gradients, and its feature shard.
+func TestShadowRegistryCoversSlabs(t *testing.T) {
+	g := testGraph(t)
+	cfg := testConfig(2)
+	tr, err := NewTrainer(g, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := tr.Registry()
+	want := []string{"d0/buf/HW", "d0/buf/BC1", "d0/buf/BC2", "d0/buf/AHW0", "d0/buf/AHW1",
+		"d1/buf/HW", "d0/w0", "d1/g1", "b0/x", "b1/x"}
+	names := make(map[string]bool)
+	for id := sim.BufID(1); int(id) <= reg.Len(); id++ {
+		names[reg.Name(id)] = true
+	}
+	for _, n := range want {
+		if !names[n] {
+			t.Errorf("registry missing %q (have %d entries)", n, reg.Len())
+		}
+	}
+}

@@ -110,7 +110,10 @@ func (tr *Trainer) stagedSpMM(tg *sim.Graph, cg *comm.Group, a spmmArgs) []int {
 			id := tg.AddCompute(i, sim.KindSpMM, a.label, j, cost, true, deps...)
 			if !tr.phantom {
 				dst := a.dst(i)
-				tg.Bind(id, func() { sparse.ParallelSpMM(tile, xin, beta, dst, tr.Cfg.Workers) })
+				// dst is Writes even at beta=0: Writes means read-and-write,
+				// and the accumulating stages (beta=1) do read it.
+				tg.BindRW(id, sim.BufsOf(xin), sim.BufsOf(dst),
+					func() { sparse.ParallelSpMM(tile, xin, beta, dst, tr.Cfg.Workers) })
 			}
 			stage = append(stage, id)
 			last[i] = id

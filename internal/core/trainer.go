@@ -44,6 +44,14 @@ type Config struct {
 	// how many recorded task closures may run concurrently (<=0: GOMAXPROCS,
 	// 1: serial issue). Results are bit-identical at any setting.
 	ExecWorkers int
+	// ExecSeed, when nonzero, replays epochs with ExecuteAdversarial seeded
+	// by it: worst-case legal orders plus injected start delays, so `-race`
+	// runs exercise the executor's ordering rules. Results stay
+	// bit-identical to the default replay.
+	ExecSeed int64
+	// ExecObserver, when set, brackets every replayed closure (internal/san
+	// shadow tracking). Forces serial replay.
+	ExecObserver sim.ExecObserver
 }
 
 // DefaultConfig returns the full MG-GCN configuration (all optimizations
@@ -72,6 +80,11 @@ type Trainer struct {
 	grads   [][]*tensor.Dense
 	opts    []*nn.Adam
 	phantom bool
+	// reg names every device-resident buffer (slabs, weights, gradients,
+	// feature shards) for the sanitizer; lastGraph is the most recently
+	// replayed task graph, exposed for post-hoc checking.
+	reg       *sim.BufRegistry
+	lastGraph *sim.Graph
 	// trainCount is the global number of training vertices (the loss
 	// normalizer shared by every device); testCount the held-out count.
 	trainCount int
@@ -98,6 +111,7 @@ func NewTrainer(g *graph.Graph, cfg Config) (*Trainer, error) {
 		Cfg: cfg, Graph: g, Machine: machine, part: p,
 		Dims:    nn.LayerDims(g.FeatDim, cfg.Hidden, cfg.Layers, g.Classes),
 		phantom: g.IsPhantom(),
+		reg:     sim.NewBufRegistry(),
 	}
 	maxTile := p.maxTileRows()
 	init := nn.InitWeights(tr.Dims, cfg.Seed)
@@ -105,7 +119,7 @@ func NewTrainer(g *graph.Graph, cfg Config) (*Trainer, error) {
 		tr.paramCount += int64(w.Rows) * int64(w.Cols)
 	}
 	for d := 0; d < machine.P; d++ {
-		bufs, err := NewDeviceBuffers(machine.Pools[d], p.devs[d].rows, maxTile, tr.Dims, tr.phantom)
+		bufs, err := NewDeviceBuffers(tr.reg, d, machine.Pools[d], p.devs[d].rows, maxTile, tr.Dims, tr.phantom)
 		if err != nil {
 			return nil, err
 		}
@@ -116,7 +130,7 @@ func NewTrainer(g *graph.Graph, cfg Config) (*Trainer, error) {
 			return nil, err
 		}
 		var ws, gs []*tensor.Dense
-		for _, w := range init {
+		for l, w := range init {
 			if tr.phantom {
 				ws = append(ws, tensor.NewPhantom(w.Rows, w.Cols))
 				gs = append(gs, tensor.NewPhantom(w.Rows, w.Cols))
@@ -124,10 +138,19 @@ func NewTrainer(g *graph.Graph, cfg Config) (*Trainer, error) {
 				ws = append(ws, w.Clone())
 				gs = append(gs, tensor.NewDense(w.Rows, w.Cols))
 			}
+			registerDense(tr.reg, fmt.Sprintf("d%d/w%d", d, l), ws[l])
+			registerDense(tr.reg, fmt.Sprintf("d%d/g%d", d, l), gs[l])
 		}
 		tr.weights = append(tr.weights, ws)
 		tr.grads = append(tr.grads, gs)
 		tr.opts = append(tr.opts, nn.NewAdam(cfg.LR, ws))
+		if x := p.devs[d].x; x != nil {
+			// Feature shards are keyed by block, not device: 1.5D replica
+			// devices view the same storage, and registry identity must
+			// follow storage identity (aliased entries would poison each
+			// other in shadow mode).
+			registerDense(tr.reg, fmt.Sprintf("b%d/x", p.devs[d].block), x)
+		}
 	}
 	if !tr.phantom {
 		for _, ds := range p.devs {
@@ -139,6 +162,27 @@ func NewTrainer(g *graph.Graph, cfg Config) (*Trainer, error) {
 	}
 	return tr, nil
 }
+
+// replay runs the recorded closures with the configured executor variant,
+// attaching the registry and observer so the graph is self-describing for
+// the sanitizer, and keeps the graph reachable via LastGraph.
+func (tr *Trainer) replay(tg *sim.Graph) {
+	tg.Reg = tr.reg
+	tg.Observer = tr.Cfg.ExecObserver
+	tr.lastGraph = tg
+	if tr.Cfg.ExecSeed != 0 {
+		tg.ExecuteAdversarial(tr.Cfg.ExecWorkers, tr.Cfg.ExecSeed)
+		return
+	}
+	tg.Execute(tr.Cfg.ExecWorkers)
+}
+
+// LastGraph returns the task graph of the most recent RunEpoch/ForwardOnly
+// replay (nil before the first), with Reg attached — the sanitizer's input.
+func (tr *Trainer) LastGraph() *sim.Graph { return tr.lastGraph }
+
+// Registry returns the trainer's buffer registry.
+func (tr *Trainer) Registry() *sim.BufRegistry { return tr.reg }
 
 // s maps an actual (scaled-down) row/element count to its full-scale
 // equivalent: all task costs are priced at paper scale so that simulated
@@ -231,7 +275,8 @@ func (tr *Trainer) RunEpoch() *EpochStats {
 					spec.GemmCost(tr.s(ds.rows), dIn, dOut), false, last[i])
 				if !tr.phantom {
 					w := tr.weights[i][l]
-					tg.Bind(id, func() { tensor.ParallelGemm(1, ah, w, 0, out, tr.Cfg.Workers) })
+					tg.BindRW(id, sim.BufsOf(ah, w), sim.BufsOf(out),
+						func() { tensor.ParallelGemm(1, ah, w, 0, out, tr.Cfg.Workers) })
 				}
 				next[i] = id
 			}
@@ -248,7 +293,8 @@ func (tr *Trainer) RunEpoch() *EpochStats {
 					spec.GemmCost(tr.s(ds.rows), dIn, dOut), false, deps...)
 				if !tr.phantom {
 					in, w := tr.inputView(i, l), tr.weights[i][l]
-					tg.Bind(gemmID[i], func() { tensor.ParallelGemm(1, in, w, 0, hw, tr.Cfg.Workers) })
+					tg.BindRW(gemmID[i], sim.BufsOf(in, w), sim.BufsOf(hw),
+						func() { tensor.ParallelGemm(1, in, w, 0, hw, tr.Cfg.Workers) })
 				}
 			}
 			last := tr.distSpMM(tg, cg, spmmArgs{
@@ -270,7 +316,9 @@ func (tr *Trainer) RunEpoch() *EpochStats {
 				id := tg.AddCompute(i, sim.KindActivation, fmt.Sprintf("fwd%d/relu", l), -1,
 					spec.ElementwiseCost(int64(tr.s(ds.rows))*int64(dOut), 1), true, next[i])
 				if !tr.phantom {
-					tg.Bind(id, func() { tensor.ReLU(act, act) })
+					// In-place: the destination is also read, so Writes
+					// (read-and-write) alone covers it.
+					tg.BindRW(id, nil, sim.BufsOf(act), func() { tensor.ReLU(act, act) })
 				}
 				next[i] = id
 			}
@@ -294,7 +342,10 @@ func (tr *Trainer) RunEpoch() *EpochStats {
 		lossID[i] = tg.AddCompute(i, sim.KindLoss, "loss", -1,
 			spec.LossCost(tr.s(ds.rows), classes), true, hReady[i])
 		if !tr.phantom && tr.trainCount > 0 {
-			tg.Bind(lossID[i], func() {
+			// The loss writes the gradient over its logits in place; the
+			// label/mask shards and per-device loss slots are host-side and
+			// unregistered.
+			tg.BindRW(lossID[i], nil, sim.BufsOf(logits), func() {
 				lossCorrect[i], _ = nn.CorrectCount(logits, ds.labels, ds.mask)
 				if ds.testMask != nil {
 					lossTestCorrect[i], _ = nn.CorrectCount(logits, ds.labels, ds.testMask)
@@ -319,7 +370,8 @@ func (tr *Trainer) RunEpoch() *EpochStats {
 				id := tg.AddCompute(i, sim.KindActivation, fmt.Sprintf("bwd%d/relu", l), -1,
 					spec.ElementwiseCost(int64(tr.s(ds.rows))*int64(dOut), 2), true, gReady[i])
 				if !tr.phantom {
-					tg.Bind(id, func() { tensor.ReLUBackward(act, gIn, act) })
+					tg.BindRW(id, sim.BufsOf(gIn), sim.BufsOf(act),
+						func() { tensor.ReLUBackward(act, gIn, act) })
 				}
 				next[i] = id
 			}
@@ -355,7 +407,8 @@ func (tr *Trainer) RunEpoch() *EpochStats {
 				spec.GemmCost(dIn, tr.s(ds.rows), dOut), false, hwgReady[i])
 			if !tr.phantom {
 				in, hg, grad := tr.inputView(i, l), hwg(i), tr.grads[i][l]
-				tg.Bind(wgID[i], func() { tensor.ParallelGemmTA(1, in, hg, 0, grad, tr.Cfg.Workers) })
+				tg.BindRW(wgID[i], sim.BufsOf(in, hg), sim.BufsOf(grad),
+					func() { tensor.ParallelGemmTA(1, in, hg, 0, grad, tr.Cfg.Workers) })
 			}
 		}
 		perDev := make([]*tensor.Dense, p)
@@ -373,7 +426,8 @@ func (tr *Trainer) RunEpoch() *EpochStats {
 					spec.GemmCost(tr.s(ds.rows), dOut, dIn), false, hwgReady[i])
 				if !tr.phantom {
 					hg, w := hwg(i), tr.weights[i][l]
-					tg.Bind(id, func() { tensor.ParallelGemmTB(1, hg, w, 0, hgOut, tr.Cfg.Workers) })
+					tg.BindRW(id, sim.BufsOf(hg, w), sim.BufsOf(hgOut),
+						func() { tensor.ParallelGemmTB(1, hg, w, 0, hgOut, tr.Cfg.Workers) })
 				}
 				next[i] = id
 			}
@@ -390,13 +444,14 @@ func (tr *Trainer) RunEpoch() *EpochStats {
 		id := tg.AddCompute(i, sim.KindAdam, "adam", -1, spec.AdamCost(tr.paramCount), true, deps...) // vet:ok taskdep: terminal task of the epoch, nothing runs after Adam
 		if !tr.phantom {
 			opt, ws, gs := tr.opts[i], tr.weights[i], tr.grads[i]
-			tg.Bind(id, func() { opt.Step(ws, gs) })
+			// Adam's moment buffers are optimizer-private and unregistered.
+			tg.BindRW(id, sim.BufsOf(gs...), sim.BufsOf(ws...), func() { opt.Step(ws, gs) })
 		}
 	}
 
 	// Replay the recorded arithmetic (no-op in phantom mode), then fold the
 	// per-device loss slots.
-	tg.Execute(tr.Cfg.ExecWorkers)
+	tr.replay(tg)
 	if tr.trainCount > 0 {
 		var correct, testCorrect int
 		for i := 0; i < p; i++ {
@@ -482,7 +537,8 @@ func (tr *Trainer) ForwardOnly() *tensor.Dense {
 			gemmID[i] = tg.AddCompute(i, sim.KindGeMM, "f/gemm", -1, 1e-6, false, deps...)
 			if !tr.phantom {
 				in, w := tr.inputView(i, l), tr.weights[i][l]
-				tg.Bind(gemmID[i], func() { tensor.ParallelGemm(1, in, w, 0, hw, tr.Cfg.Workers) })
+				tg.BindRW(gemmID[i], sim.BufsOf(in, w), sim.BufsOf(hw),
+					func() { tensor.ParallelGemm(1, in, w, 0, hw, tr.Cfg.Workers) })
 			}
 		}
 		last := tr.distSpMM(tg, cg, spmmArgs{
@@ -501,14 +557,14 @@ func (tr *Trainer) ForwardOnly() *tensor.Dense {
 				act := ds.bufs.AHW[l].View(ds.rows, dOut)
 				id := tg.AddCompute(i, sim.KindActivation, "f/relu", -1, 1e-6, true, last[i])
 				if !tr.phantom {
-					tg.Bind(id, func() { tensor.ReLU(act, act) })
+					tg.BindRW(id, nil, sim.BufsOf(act), func() { tensor.ReLU(act, act) })
 				}
 				last[i] = id
 			}
 		}
 		copy(hReady, last)
 	}
-	tg.Execute(tr.Cfg.ExecWorkers)
+	tr.replay(tg)
 	return tr.gatherLogits()
 }
 

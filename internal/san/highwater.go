@@ -1,0 +1,71 @@
+package san
+
+import (
+	"strings"
+
+	"mggcn/internal/sim"
+)
+
+// LiveHighWater measures §4.2's memory claim on a recorded graph: for each
+// device, how many of its large slab buffers (registered as "d<N>/buf/...")
+// are ever simultaneously live, where a buffer is live from its first to
+// its last declared access in issue order. MG-GCN's buffer-reuse design
+// bounds this at L+3 per device (HW, BC1, BC2 and one output buffer per
+// layer); a regression that starts materializing extra intermediates shows
+// up as a higher mark. Returns the per-device high-water keyed by the
+// device prefix ("d0", "d1", ...). Devices with no declared slab accesses
+// are absent.
+func LiveHighWater(g *sim.Graph) map[string]int {
+	if g.Reg == nil {
+		return nil
+	}
+	type interval struct{ first, last int }
+	live := make(map[sim.BufID]*interval)
+	touch := func(b sim.BufID, task int) {
+		name := g.Reg.Name(b)
+		cut := strings.Index(name, "/buf/")
+		if !strings.HasPrefix(name, "d") || cut < 0 {
+			return
+		}
+		if iv, ok := live[b]; ok {
+			iv.last = task
+		} else {
+			live[b] = &interval{task, task}
+		}
+	}
+	for _, t := range g.Tasks {
+		for _, b := range t.Reads {
+			touch(b, t.ID)
+		}
+		for _, b := range t.Writes {
+			touch(b, t.ID)
+		}
+	}
+
+	// Sweep issue order per device: +1 at first access, -1 after last.
+	n := len(g.Tasks)
+	delta := make(map[string][]int)
+	for b, iv := range live {
+		name := g.Reg.Name(b)
+		dev := name[:strings.Index(name, "/")]
+		d, ok := delta[dev]
+		if !ok {
+			d = make([]int, n+1)
+			delta[dev] = d
+		}
+		d[iv.first]++
+		d[iv.last+1]--
+	}
+	out := make(map[string]int, len(delta))
+	for dev, d := range delta {
+		cur, max := 0, 0
+		for _, v := range d {
+			cur += v
+			if cur > max {
+				max = cur
+			}
+		}
+		out[dev] = max
+	}
+	return out
+}

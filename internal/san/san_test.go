@@ -1,0 +1,158 @@
+package san
+
+import (
+	"strings"
+	"testing"
+
+	"mggcn/internal/sim"
+)
+
+// declGraph builds an empty registry-carrying graph over p devices.
+func declGraph(p int) *sim.Graph {
+	g := sim.NewGraph(sim.DGXV100(), p)
+	g.Reg = sim.NewBufRegistry()
+	return g
+}
+
+func TestCheckCleanPipeline(t *testing.T) {
+	g := declGraph(2)
+	hw := g.Reg.Register("d0/buf/HW")
+	a := g.AddCompute(0, sim.KindGeMM, "produce", -1, 1, false)
+	g.Declare(a, nil, []sim.BufID{hw})
+	b := g.AddCompute(0, sim.KindSpMM, "consume", -1, 1, true, a)
+	g.Declare(b, []sim.BufID{hw}, nil)
+	if got := Check(g, Options{}); len(got) != 0 {
+		t.Fatalf("ordered producer/consumer flagged: %v", got)
+	}
+	// The same pair without the dep edge and without implicit edges (the
+	// consumer on another device so FIFO cannot save it) must be flagged.
+	g2 := declGraph(2)
+	hw2 := g2.Reg.Register("d0/buf/HW")
+	a2 := g2.AddCompute(0, sim.KindGeMM, "produce", -1, 1, false)
+	g2.Declare(a2, nil, []sim.BufID{hw2})
+	b2 := g2.AddCompute(1, sim.KindSpMM, "consume", -1, 1, true)
+	g2.Declare(b2, []sim.BufID{hw2}, nil)
+	got := Check(g2, Options{})
+	if len(got) != 1 {
+		t.Fatalf("unordered cross-device conflict: got %v, want 1 finding", got)
+	}
+	if got[0].A != a2 || got[0].B != b2 || got[0].WriteWrite {
+		t.Fatalf("wrong conflict: %+v", got[0])
+	}
+	if !strings.Contains(got[0].String(), "d0/buf/HW") {
+		t.Fatalf("conflict string lacks buffer name: %s", got[0])
+	}
+}
+
+func TestCheckReadReadNotFlagged(t *testing.T) {
+	g := declGraph(2)
+	w := g.Reg.Register("d0/w0")
+	a := g.AddCompute(0, sim.KindGeMM, "r1", -1, 1, false)
+	g.Declare(a, []sim.BufID{w}, nil)
+	b := g.AddCompute(1, sim.KindGeMM, "r2", -1, 1, false)
+	g.Declare(b, []sim.BufID{w}, nil)
+	if got := Check(g, Options{}); len(got) != 0 {
+		t.Fatalf("read-read pair flagged: %v", got)
+	}
+}
+
+// TestCheckBCAntiDependency reconstructs the broadcast-buffer anti-
+// dependency the overlap machinery must preserve: stage j's SpMM reads the
+// BC buffer that stage j+1's broadcast overwrites. With the anti-dependency
+// edge recorded (as stagedSpMM records prevStage deps) the graph is clean
+// even on Deps alone; with the edge dropped, only the cross-stream fence
+// saves it — so the fence-removed check must flag it.
+func TestCheckBCAntiDependency(t *testing.T) {
+	build := func(withAntiDep bool) *sim.Graph {
+		g := declGraph(2)
+		bc := g.Reg.Register("d1/buf/BC1")
+		src0 := g.Reg.Register("d0/buf/HW")
+		src1 := g.Reg.Register("d1/buf/HW")
+		dst := g.Reg.Register("d1/buf/AHW0")
+		bc0 := g.AddComm([]int{0, 1}, "spmm/bcast", 0, 1)
+		g.Declare(bc0, []sim.BufID{src0}, []sim.BufID{bc})
+		spmm0 := g.AddCompute(1, sim.KindSpMM, "spmm", 0, 1, true, bc0)
+		g.Declare(spmm0, []sim.BufID{bc}, []sim.BufID{dst})
+		deps := []int{}
+		if withAntiDep {
+			deps = append(deps, spmm0)
+		}
+		bc1 := g.AddComm([]int{0, 1}, "spmm/bcast", 1, 1, deps...)
+		g.Declare(bc1, []sim.BufID{src1}, []sim.BufID{bc})
+		spmm1 := g.AddCompute(1, sim.KindSpMM, "spmm", 1, 1, true, bc1)
+		g.Declare(spmm1, []sim.BufID{bc}, []sim.BufID{dst})
+		return g
+	}
+
+	if got := Check(build(true), Options{IgnoreFIFO: true, IgnoreFences: true}); len(got) != 0 {
+		t.Fatalf("anti-dependency recorded but still flagged: %v", got)
+	}
+	// Without the recorded edge the executor still orders the pair (fence:
+	// the second broadcast waits for device 1's latest compute task), so the
+	// full check stays clean...
+	if got := Check(build(false), Options{}); len(got) != 0 {
+		t.Fatalf("fence-protected graph flagged under full edges: %v", got)
+	}
+	// ...but removing the fence exposes the race: broadcast 2 overwrites
+	// d1/BC1 while device 1's stage-0 SpMM may still be reading it.
+	got := Check(build(false), Options{IgnoreFences: true})
+	if len(got) == 0 {
+		t.Fatal("removed fence not flagged")
+	}
+	found := false
+	for _, c := range got {
+		if c.Name == "d1/buf/BC1" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("expected a d1/buf/BC1 conflict, got %v", got)
+	}
+}
+
+func TestCheckFIFOCredit(t *testing.T) {
+	// Two same-stream same-device writers with no recorded dep: ordered by
+	// FIFO, racy without it.
+	g := declGraph(1)
+	hw := g.Reg.Register("d0/buf/HW")
+	a := g.AddCompute(0, sim.KindGeMM, "w1", -1, 1, false)
+	g.Declare(a, nil, []sim.BufID{hw})
+	b := g.AddCompute(0, sim.KindGeMM, "w2", -1, 1, false)
+	g.Declare(b, nil, []sim.BufID{hw})
+	if got := Check(g, Options{}); len(got) != 0 {
+		t.Fatalf("FIFO-ordered pair flagged: %v", got)
+	}
+	got := Check(g, Options{IgnoreFIFO: true})
+	if len(got) != 1 || !got[0].WriteWrite {
+		t.Fatalf("FIFO removal not flagged as write-write: %v", got)
+	}
+}
+
+func TestLiveHighWater(t *testing.T) {
+	g := declGraph(2)
+	hw := g.Reg.Register("d0/buf/HW")
+	bc := g.Reg.Register("d0/buf/BC1")
+	ahw := g.Reg.Register("d0/buf/AHW0")
+	other := g.Reg.Register("d1/buf/HW")
+	w := g.Reg.Register("d0/w0") // not a slab: never counted
+
+	// HW live [0,1], BC live [1,2], AHW live [3,3]: d0 high-water 2.
+	t0 := g.AddCompute(0, sim.KindGeMM, "a", -1, 1, false)
+	g.Declare(t0, []sim.BufID{w}, []sim.BufID{hw})
+	t1 := g.AddCompute(0, sim.KindSpMM, "b", -1, 1, true, t0)
+	g.Declare(t1, []sim.BufID{hw}, []sim.BufID{bc})
+	t2 := g.AddCompute(0, sim.KindSpMM, "c", -1, 1, true, t1)
+	g.Declare(t2, []sim.BufID{bc}, nil)
+	t3 := g.AddCompute(0, sim.KindGeMM, "d", -1, 1, false, t2)
+	g.Declare(t3, nil, []sim.BufID{ahw})
+	t4 := g.AddCompute(1, sim.KindGeMM, "e", -1, 1, false)
+	g.Declare(t4, nil, []sim.BufID{other})
+
+	got := LiveHighWater(g)
+	if got["d0"] != 2 {
+		t.Fatalf("d0 high-water = %d, want 2 (got %v)", got["d0"], got)
+	}
+	if got["d1"] != 1 {
+		t.Fatalf("d1 high-water = %d, want 1", got["d1"])
+	}
+}

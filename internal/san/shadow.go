@@ -1,0 +1,158 @@
+package san
+
+import (
+	"fmt"
+	"math"
+
+	"mggcn/internal/sim"
+)
+
+// Undeclared is one access a replayed closure made outside its task's
+// declared Reads/Writes sets, caught by the Shadow observer.
+type Undeclared struct {
+	Task  int
+	Label string
+	Buf   sim.BufID
+	Name  string
+	// Kind is "undeclared-write" (an unlisted tracked buffer changed),
+	// "undeclared-read" (poison from an unlisted buffer leaked into a
+	// declared output), or "read-only-written" (a buffer declared in Reads
+	// changed).
+	Kind string
+}
+
+func (u Undeclared) String() string {
+	return fmt.Sprintf("%s of %s by task %d %q", u.Kind, u.Name, u.Task, u.Label)
+}
+
+// Shadow is a sim.ExecObserver that verifies tasks' declared access sets
+// against their actual behavior. Around every closure it hashes all tracked
+// buffers and NaN-poisons the ones outside the declared sets:
+//
+//   - a poisoned buffer whose hash changes was written without declaration;
+//   - NaN appearing in a declared output buffer means the closure read a
+//     poisoned (undeclared) input and the poison propagated;
+//   - a buffer declared read-only whose hash changes was written.
+//
+// Poisoned buffers are restored afterwards, so the replay still computes
+// (a Shadow run's arithmetic results are usable, not just its findings).
+// Setting a Shadow as Graph.Observer forces serial replay, which the
+// bracketing requires. Read detection is propagation-based: a read whose
+// value does not influence any tracked declared output (or that lands in an
+// untracked buffer) escapes it — the static Check and the accessdecl vet
+// rule cover that side.
+type Shadow struct {
+	Reg      *sim.BufRegistry
+	Findings []Undeclared
+
+	// per-task state between Before and After
+	poisoned []poisonState
+	declHash map[sim.BufID]uint64 // pre-hash of declared read-only buffers
+	declNaN  map[sim.BufID]bool   // declared write buffers already holding NaN
+}
+
+type poisonState struct {
+	id    sim.BufID
+	saved []float32
+}
+
+// NewShadow returns a Shadow over the registry's tracked buffers.
+func NewShadow(reg *sim.BufRegistry) *Shadow { return &Shadow{Reg: reg} }
+
+// Before poisons undeclared tracked buffers and snapshots declared ones.
+func (s *Shadow) Before(t *sim.Task) {
+	declared := make(map[sim.BufID]int) // 1 = read, 2 = write
+	for _, b := range t.Reads {
+		declared[b] |= 1
+	}
+	for _, b := range t.Writes {
+		declared[b] |= 2
+	}
+	s.poisoned = s.poisoned[:0]
+	s.declHash = make(map[sim.BufID]uint64)
+	s.declNaN = make(map[sim.BufID]bool)
+	nan := float32(math.NaN())
+	for id := sim.BufID(1); int(id) <= s.Reg.Len(); id++ {
+		data := s.Reg.Data(id)
+		if data == nil {
+			continue
+		}
+		switch declared[id] {
+		case 0: // undeclared: poison
+			saved := make([]float32, len(data))
+			copy(saved, data)
+			for i := range data {
+				data[i] = nan
+			}
+			s.poisoned = append(s.poisoned, poisonState{id, saved})
+		case 1: // read-only: must not change
+			s.declHash[id] = hashFloats(data)
+		default: // written (possibly also read): NaN may not newly appear
+			s.declNaN[id] = hasNaN(data)
+		}
+	}
+}
+
+// After checks the closure's footprint against the declaration and restores
+// the poisoned buffers.
+func (s *Shadow) After(t *sim.Task) {
+	for _, p := range s.poisoned {
+		data := s.Reg.Data(p.id)
+		if hashFloats(data) != hashNaNs(len(data)) {
+			s.report(t, p.id, "undeclared-write")
+		}
+		copy(data, p.saved)
+	}
+	for id, h := range s.declHash {
+		if hashFloats(s.Reg.Data(id)) != h {
+			s.report(t, id, "read-only-written")
+		}
+	}
+	for id, had := range s.declNaN {
+		if !had && hasNaN(s.Reg.Data(id)) {
+			s.report(t, id, "undeclared-read")
+		}
+	}
+}
+
+func (s *Shadow) report(t *sim.Task, id sim.BufID, kind string) {
+	s.Findings = append(s.Findings, Undeclared{
+		Task: t.ID, Label: t.Label, Buf: id, Name: s.Reg.Name(id), Kind: kind,
+	})
+}
+
+// hashFloats is FNV-1a over the float32 bit patterns.
+func hashFloats(data []float32) uint64 {
+	h := uint64(14695981039346656037)
+	for _, v := range data {
+		bits := math.Float32bits(v)
+		for s := 0; s < 32; s += 8 {
+			h ^= uint64(bits>>s) & 0xff
+			h *= 1099511628211
+		}
+	}
+	return h
+}
+
+// hashNaNs returns hashFloats of n copies of the canonical NaN we poison
+// with — the "unchanged" reference for a poisoned buffer.
+func hashNaNs(n int) uint64 {
+	h := uint64(14695981039346656037)
+	bits := math.Float32bits(float32(math.NaN()))
+	for i := 0; i < n; i++ {
+		for s := 0; s < 32; s += 8 {
+			h ^= uint64(bits>>s) & 0xff
+			h *= 1099511628211
+		}
+	}
+	return h
+}
+
+func hasNaN(data []float32) bool {
+	for _, v := range data {
+		if v != v { // vet:ok floateq: x != x is the IEEE NaN test, exactness intended
+			return true
+		}
+	}
+	return false
+}

@@ -2,7 +2,9 @@ package sim
 
 import (
 	"fmt"
+	"math/rand"
 	"runtime"
+	"time"
 
 	"mggcn/internal/pool"
 )
@@ -76,11 +78,105 @@ import (
 // (a barrier in tests, a channel in custom binds), so the budget must be
 // realizable even when GOMAXPROCS is smaller.
 func (g *Graph) Execute(workers int) {
+	// pick the newest ready task (LIFO): depth-first progress keeps the
+	// working set warm; any pick order is correct.
+	g.execute(workers, func(ready []int) int { return len(ready) - 1 }, nil)
+}
+
+// ExecuteAdversarial replays the graph like Execute but deliberately seeks
+// out the *worst-case legal orders*: among ready tasks it usually picks the
+// latest-issued one (reverse tie-breaking maximally reorders independent
+// tasks relative to record order) and otherwise a seeded-random one, and it
+// injects microsecond-scale start delays so independent closures overlap in
+// wall-clock time. Run under `go test -race`, this turns the executor's
+// ordering rules into something the race detector actually exercises — a
+// missing fence or dependency edge that serial replay (and lucky parallel
+// replays) mask becomes a detectable race or a parity failure. Results
+// remain bit-identical to Execute for a correctly ordered graph.
+func (g *Graph) ExecuteAdversarial(workers int, seed int64) {
+	rng := rand.New(rand.NewSource(seed))
+	pick := func(ready []int) int {
+		if rng.Intn(4) == 0 {
+			return rng.Intn(len(ready))
+		}
+		// Latest-issued first: reverse of record order among the ready set.
+		best := 0
+		for i := 1; i < len(ready); i++ {
+			if ready[i] > ready[best] {
+				best = i
+			}
+		}
+		return best
+	}
+	delay := func() time.Duration {
+		if rng.Intn(2) == 0 {
+			return time.Duration(rng.Intn(120)) * time.Microsecond
+		}
+		return 0
+	}
+	g.execute(workers, pick, delay)
+}
+
+// Predecessors returns, for every task, its direct happens-before
+// predecessors — the edge contract Execute enforces and internal/san
+// checks. Three edge sets, matching the numbered list above: recorded Deps;
+// per-(device, stream) FIFO (each task's immediate predecessor on every one
+// of its device queues — transitively the whole queue prefix); and
+// cross-stream fences (the latest earlier-issued task on the other stream
+// of each device). fifo and fences toggle the implicit sets so the
+// sanitizer can answer "is this graph safe on recorded dependencies
+// alone?" — the shape of bug a removed fence would reintroduce.
+func (g *Graph) Predecessors(fifo, fences bool) [][]int {
+	n := len(g.Tasks)
+	preds := make([][]int, n)
+	lastOn := make([][2]int, g.P)
+	for d := range lastOn {
+		lastOn[d] = [2]int{-1, -1}
+	}
+	for i := 0; i < n; i++ {
+		t := g.Tasks[i]
+		preds[i] = append(preds[i], t.Deps...)
+		other := 1 - t.Stream
+		for _, dev := range t.Devices {
+			if fifo {
+				if c := lastOn[dev][t.Stream]; c >= 0 {
+					preds[i] = append(preds[i], c)
+				}
+			}
+			if fences {
+				if c := lastOn[dev][other]; c >= 0 {
+					preds[i] = append(preds[i], c)
+				}
+			}
+		}
+		for _, dev := range t.Devices {
+			lastOn[dev][t.Stream] = i
+		}
+	}
+	return preds
+}
+
+// ExecObserver brackets replayed closures in shadow-tracking mode; see
+// Graph.Observer.
+type ExecObserver interface {
+	Before(t *Task)
+	After(t *Task)
+}
+
+// execute is the shared replay core: pick selects which ready task to
+// issue next (index into the ready slice), delay (optional) yields a start
+// delay injected before the task's closure runs on its worker.
+func (g *Graph) execute(workers int, pick func(ready []int) int, delay func() time.Duration) {
 	if g.bound == 0 {
 		return
 	}
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
+	}
+	if g.Observer != nil {
+		// Shadow tracking needs exclusive buffer observation around each
+		// closure; any serial topological order is a valid reference order.
+		workers = 1
 	}
 	n := len(g.Tasks)
 	start := g.executed
@@ -183,9 +279,12 @@ func (g *Graph) Execute(workers int) {
 	doneCh := make(chan int, n)
 	pool.Grow(workers)
 	inFlight := 0
+	obs := g.Observer
 	for finished < n {
 		if len(ready) > 0 {
-			id := ready[len(ready)-1]
+			k := pick(ready)
+			id := ready[k]
+			ready[k] = ready[len(ready)-1]
 			ready = ready[:len(ready)-1]
 			t := g.Tasks[id]
 			if t.Exec == nil {
@@ -194,9 +293,22 @@ func (g *Graph) Execute(workers int) {
 			}
 			if inFlight < workers {
 				inFlight++
-				fn, tid := t.Exec, id
+				fn, tid, task := t.Exec, id, t
+				var d time.Duration
+				if delay != nil {
+					d = delay()
+				}
 				pool.Submit(func() {
+					if d > 0 {
+						time.Sleep(d)
+					}
+					if obs != nil {
+						obs.Before(task)
+					}
 					fn()
+					if obs != nil {
+						obs.After(task)
+					}
 					doneCh <- tid
 				})
 				continue

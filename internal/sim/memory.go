@@ -6,6 +6,82 @@ import (
 	"sync"
 )
 
+// BufID identifies one registered device-resident buffer in a BufRegistry.
+// Zero is reserved for "unregistered": a *tensor.Dense whose Buf stamp is 0
+// carries no identity and is invisible to the sanitizer.
+type BufID int
+
+// BufRegistry names the buffers whose accesses tasks declare (Task.Reads/
+// Task.Writes) so internal/san can check the recorded graph. Registration
+// is idempotent by name — a trainer that records one graph per epoch reuses
+// the same IDs — and a registered buffer may optionally be *tracked* by
+// attaching its backing float32 storage, which lets the shadow execute mode
+// observe actual reads and writes. Untracked entries (attention tiles,
+// host-side slots) still participate in the static happens-before check.
+// Safe for concurrent use.
+type BufRegistry struct {
+	mu     sync.Mutex
+	names  []string // index = int(id) - 1
+	data   [][]float32
+	byName map[string]BufID
+}
+
+// NewBufRegistry returns an empty registry.
+func NewBufRegistry() *BufRegistry {
+	return &BufRegistry{byName: make(map[string]BufID)}
+}
+
+// Register returns the ID for name, allocating one on first use.
+func (r *BufRegistry) Register(name string) BufID {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if id, ok := r.byName[name]; ok {
+		return id
+	}
+	r.names = append(r.names, name)
+	r.data = append(r.data, nil)
+	id := BufID(len(r.names))
+	r.byName[name] = id
+	return id
+}
+
+// Track attaches backing storage to a registered buffer so the shadow
+// execute mode can hash and poison it. Re-tracking replaces the storage
+// (per-epoch temporaries re-materialize under the same name).
+func (r *BufRegistry) Track(id BufID, data []float32) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.data[id-1] = data
+}
+
+// Name returns the buffer's registration name ("" for the zero ID).
+func (r *BufRegistry) Name(id BufID) string {
+	if id == 0 {
+		return ""
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.names[id-1]
+}
+
+// Data returns the tracked backing storage, or nil for untracked buffers
+// and the zero ID.
+func (r *BufRegistry) Data(id BufID) []float32 {
+	if id == 0 {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.data[id-1]
+}
+
+// Len returns the number of registered buffers. Valid IDs are 1..Len().
+func (r *BufRegistry) Len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.names)
+}
+
 // OOMError reports a failed device allocation, mirroring the paper's
 // "Out of Memory" bars.
 type OOMError struct {

@@ -1,6 +1,10 @@
 package sim
 
-import "fmt"
+import (
+	"fmt"
+
+	"mggcn/internal/tensor"
+)
 
 // StreamID selects one of the two per-device CUDA-style streams of §4.3.
 type StreamID int
@@ -74,6 +78,16 @@ type Task struct {
 	// run (nil for tasks with no real work, e.g. phantom mode). Attach it
 	// with Graph.Bind.
 	Exec func()
+	// Reads and Writes are the task's declared access sets over the
+	// BufRegistry: every registered buffer the Exec closure touches.
+	// Writes means read-and-write (accumulating kernels and in-place ops
+	// read their destination); Reads is read-only access. internal/san
+	// checks that every conflicting pair of declared accesses is ordered
+	// by the executor's happens-before edges, and its shadow execute mode
+	// checks the closure's *actual* accesses stay inside these sets.
+	// Declare them with Graph.BindRW or Graph.Declare.
+	Reads  []BufID
+	Writes []BufID
 }
 
 // Graph accumulates the tasks of one training step/epoch in issue order.
@@ -81,6 +95,14 @@ type Graph struct {
 	Spec  MachineSpec
 	P     int
 	Tasks []*Task
+	// Reg, when set, names the buffer handles the tasks' declared access
+	// sets refer to (sanitizer diagnostics only; the executor ignores it).
+	Reg *BufRegistry
+	// Observer, when set, brackets every replayed closure with Before/After
+	// callbacks. Execute then forces serial replay (one task in flight) so
+	// the callbacks observe buffer state exclusively — the shadow-tracking
+	// mode of internal/san.
+	Observer ExecObserver
 	// bound counts tasks carrying an Exec closure; Execute is a no-op at 0.
 	bound int
 	// executed is Execute's watermark: tasks below it have been replayed.
@@ -133,6 +155,53 @@ func (g *Graph) Bind(id int, fn func()) {
 	}
 	t.Exec = fn
 	g.bound++
+}
+
+// BindRW is Bind plus an access declaration: reads and writes list the
+// registered buffers fn touches (Writes entries may also be read — an
+// accumulating SpMM or in-place ReLU reads its destination). This is the
+// binding form production code should use; the accessdecl vet rule flags
+// plain Bind calls whose closures touch buffer storage.
+func (g *Graph) BindRW(id int, reads, writes []BufID, fn func()) {
+	g.Declare(id, reads, writes)
+	g.Bind(id, fn)
+}
+
+// Declare records task id's access sets without binding a closure —
+// useful when the closure is attached separately or (in tests) when only
+// the graph structure is under scrutiny. Zero IDs (unregistered views) are
+// dropped. Declaring twice replaces the previous sets.
+func (g *Graph) Declare(id int, reads, writes []BufID) {
+	if id < 0 || id >= len(g.Tasks) {
+		panic(fmt.Sprintf("sim: Declare of unknown task %d", id))
+	}
+	t := g.Tasks[id]
+	t.Reads = appendBufs(nil, reads)
+	t.Writes = appendBufs(nil, writes)
+}
+
+func appendBufs(dst, src []BufID) []BufID {
+	for _, b := range src {
+		if b != 0 {
+			dst = append(dst, b)
+		}
+	}
+	return dst
+}
+
+// BufsOf collects the registry stamps of the given views, skipping
+// unregistered (zero-stamped) ones — the bridge between the *tensor.Dense
+// views closures actually touch and the BufID sets they declare. Passing
+// the very views the closure captures keeps declaration and use in sync
+// (the accessdecl vet rule checks this textually).
+func BufsOf(views ...*tensor.Dense) []BufID {
+	var out []BufID
+	for _, v := range views {
+		if v != nil && v.Buf != 0 {
+			out = append(out, BufID(v.Buf))
+		}
+	}
+	return out
 }
 
 // Bound returns the number of tasks carrying an Exec closure.

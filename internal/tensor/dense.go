@@ -16,6 +16,12 @@ type Dense struct {
 	Rows, Cols int
 	Stride     int // distance between row starts in Data; Stride >= Cols
 	Data       []float32
+	// Buf is the sim.BufRegistry stamp of the buffer this matrix views
+	// (0 = unregistered). Views of a registered buffer carry its ID so
+	// task closures can declare which buffers they touch; the stamp is
+	// identity metadata only — no kernel reads it, and derived copies
+	// (Clone) deliberately drop it because they own fresh storage.
+	Buf int
 }
 
 // NewDense allocates a Rows x Cols zero matrix with a tight stride.

@@ -22,6 +22,19 @@ go build ./...
 echo "==> mggcn-vet (domain rules)"
 go run ./cmd/mggcn-vet ./...
 
+echo "==> mggcn-san (task-graph sanitizer)"
+# Static happens-before check, shadow replay, and adversarial parity over
+# every shipped strategy; then the fence-removal regression (removing the
+# cross-stream fences must expose conflicts somewhere, or the access
+# declarations went blind).
+go run ./cmd/mggcn-san -seeds 4
+go run ./cmd/mggcn-san -ignore-fences -seeds 1
+
+echo "==> mggcn-san adversarial replay under -race"
+# Worst-case legal replay orders with delay injection, so the race detector
+# sees the interleavings a FIFO replay never produces.
+go test -race -short -timeout 30m -run 'Adversarial|San|Shadow' ./internal/sim/ ./internal/san/ ./internal/core/
+
 echo "==> go test -race"
 # -short skips the long phantom end-to-end sweeps (they re-run the timing
 # model, which the non-race step already covers) so the race pass watches
