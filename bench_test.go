@@ -54,7 +54,7 @@ func runEpochBench(b *testing.B, tr *Trainer) {
 	var sec float64
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		sec = tr.RunEpoch().EpochSeconds
+		sec = mustEpoch(tr).EpochSeconds
 	}
 	b.ReportMetric(sec*1e3, "sim-ms/epoch")
 }
@@ -79,7 +79,7 @@ func BenchmarkFig05Breakdown(b *testing.B) {
 				var spmmPct float64
 				b.ResetTimer()
 				for i := 0; i < b.N; i++ {
-					spmmPct = tr.RunEpoch().BreakdownPercent()[sim.KindSpMM]
+					spmmPct = mustEpoch(tr).BreakdownPercent()[sim.KindSpMM]
 				}
 				b.ReportMetric(spmmPct, "spmm-%")
 			})
@@ -150,7 +150,7 @@ func BenchmarkFig09DegreeSweep(b *testing.B) {
 			var speedup float64
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				speedup = tr1.RunEpoch().EpochSeconds / tr8.RunEpoch().EpochSeconds
+				speedup = mustEpoch(tr1).EpochSeconds / mustEpoch(tr8).EpochSeconds
 			}
 			b.ReportMetric(speedup, "speedup-8gpu")
 		})
@@ -169,7 +169,7 @@ func benchComparison(b *testing.B, machine MachineSpec, dataset string, withCAGN
 	var mg, dglSec, cagSec float64
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		mg = tr.RunEpoch().EpochSeconds
+		mg = mustEpoch(tr).EpochSeconds
 		dglSec = dgl.EpochSeconds(ds.g)
 		if withCAGNET {
 			cagSec = cag.EpochSeconds(ds.g)
@@ -288,7 +288,7 @@ func BenchmarkAccuracyEpoch(b *testing.B) {
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		tr.RunEpoch()
+		mustEpoch(tr)
 	}
 }
 
@@ -319,7 +319,7 @@ func BenchmarkEpochWallClock(b *testing.B) {
 			}
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				tr.RunEpoch()
+				mustEpoch(tr)
 			}
 		})
 	}
@@ -352,7 +352,7 @@ func BenchmarkStrategies(b *testing.B) {
 			var sec float64
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				sec = tr.RunEpoch().EpochSeconds
+				sec = mustEpoch(tr).EpochSeconds
 			}
 			b.ReportMetric(sec*1e3, "sim-ms/epoch")
 		})
@@ -376,7 +376,7 @@ func BenchmarkOrderings(b *testing.B) {
 			var sec float64
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				sec = tr.RunEpoch().EpochSeconds
+				sec = mustEpoch(tr).EpochSeconds
 			}
 			b.ReportMetric(sec*1e3, "sim-ms/epoch")
 		})
@@ -400,7 +400,7 @@ func BenchmarkMultiNodeWall(b *testing.B) {
 			var sec float64
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				sec = tr.RunEpoch().EpochSeconds
+				sec = mustEpoch(tr).EpochSeconds
 			}
 			b.ReportMetric(sec*1e3, "sim-ms/epoch")
 		})

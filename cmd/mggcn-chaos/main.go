@@ -1,0 +1,317 @@
+// Command mggcn-chaos sweeps seeded fault scenarios across the shipped SpMM
+// strategies (1D-row, 1D-col, 1.5D) and the distributed GAT forward,
+// reporting each scenario's outcome as JSON: did the run survive (recover
+// and match the fault-free result), abort (fail with a clean error), or
+// corrupt (finish with wrong or non-finite numbers)?
+//
+//	mggcn-chaos                     # full matrix, 2 seeds each
+//	mggcn-chaos -seeds 4 -epochs 6
+//	mggcn-chaos -strategy 1d-row -fault crash
+//
+// Every scenario carries an expected outcome — crash and retried-transient
+// runs must survive, exhausted-retry runs must abort cleanly, nothing may
+// ever corrupt — and the process exits 1 if any scenario deviates, so the
+// CI chaos job is a real gate, not a report.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"math"
+	"os"
+	"strings"
+	"time"
+
+	"mggcn/internal/comm"
+	"mggcn/internal/core"
+	"mggcn/internal/fault"
+	"mggcn/internal/gen"
+	"mggcn/internal/graph"
+	"mggcn/internal/nn"
+	"mggcn/internal/sim"
+	"mggcn/internal/tensor"
+)
+
+// scenario is one row of the JSON matrix.
+type scenario struct {
+	Strategy string  `json:"strategy"`
+	Fault    string  `json:"fault"`
+	Seed     int64   `json:"seed"`
+	Outcome  string  `json:"outcome"` // survive | abort | corrupt
+	Expected string  `json:"expected"`
+	Detail   string  `json:"detail,omitempty"`
+	FinalP   int     `json:"final_p,omitempty"`
+	Epochs   int     `json:"effective_epochs,omitempty"`
+	Loss     float64 `json:"final_loss,omitempty"`
+
+	Events   []core.RecoveryEvent `json:"recovery_events,omitempty"`
+	Injected fault.Stats          `json:"injected"`
+}
+
+type report struct {
+	Machine   string     `json:"machine"`
+	GPUs      int        `json:"gpus"`
+	Epochs    int        `json:"epochs"`
+	Scenarios []scenario `json:"scenarios"`
+	Failures  int        `json:"failures"`
+}
+
+var gcnStrategies = map[string]core.Strategy{
+	"1d-row": core.Strategy1DRow,
+	"1d-col": core.Strategy1DCol,
+	"1.5d":   core.Strategy15D,
+}
+
+// faultKinds in sweep order. "transient" stays under the retry budget;
+// "transient-exhaust" exceeds it and must abort cleanly.
+var faultKinds = []string{"crash", "transient", "transient-exhaust", "straggler", "poison"}
+
+func main() {
+	var (
+		machine  = flag.String("machine", "a100", "machine: v100 or a100")
+		gpus     = flag.Int("gpus", 4, "number of GPUs (2-8)")
+		epochs   = flag.Int("epochs", 4, "effective training epochs per scenario")
+		seeds    = flag.Int("seeds", 2, "fault seeds per scenario")
+		strategy = flag.String("strategy", "all", "1d-row, 1d-col, 1.5d, gat, or all")
+		kind     = flag.String("fault", "all", strings.Join(faultKinds, ", ")+", or all")
+		expect   = flag.Bool("expect", true, "exit 1 when an outcome deviates from its expectation")
+	)
+	flag.Parse()
+
+	var spec sim.MachineSpec
+	switch strings.ToLower(*machine) {
+	case "v100", "dgx-1", "dgx-v100":
+		spec = sim.DGXV100()
+	case "a100", "dgx-a100":
+		spec = sim.DGXA100()
+	default:
+		log.Fatalf("unknown machine %q (want v100 or a100)", *machine)
+	}
+	if *gpus < 2 {
+		log.Fatalf("chaos needs at least 2 GPUs (a 1-GPU machine has no survivors)")
+	}
+
+	g := gen.Generate("chaos", gen.DefaultBTER(160, 8, 99), 12, 4, false)
+	rep := report{Machine: spec.Name, GPUs: *gpus, Epochs: *epochs}
+
+	kinds := faultKinds
+	if *kind != "all" {
+		kinds = []string{*kind}
+	}
+	for name := range gcnStrategies {
+		if *strategy != "all" && *strategy != name {
+			continue
+		}
+		for _, fk := range kinds {
+			for s := int64(1); s <= int64(*seeds); s++ {
+				rep.Scenarios = append(rep.Scenarios, runGCN(g, spec, *gpus, *epochs, name, fk, s))
+			}
+		}
+	}
+	if *strategy == "all" || *strategy == "gat" {
+		for _, fk := range kinds {
+			if fk == "poison" {
+				// The GAT forward has no numeric-recovery loop to exercise;
+				// poison coverage lives in the GCN scenarios.
+				continue
+			}
+			for s := int64(1); s <= int64(*seeds); s++ {
+				rep.Scenarios = append(rep.Scenarios, runGAT(g, spec, *gpus, fk, s))
+			}
+		}
+	}
+
+	for i := range rep.Scenarios {
+		if rep.Scenarios[i].Outcome != rep.Scenarios[i].Expected {
+			rep.Failures++
+		}
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		log.Fatal(err)
+	}
+	if *expect && rep.Failures > 0 {
+		fmt.Fprintf(os.Stderr, "mggcn-chaos: %d scenario(s) deviated from expectation\n", rep.Failures)
+		os.Exit(1)
+	}
+}
+
+// chaosConfig is the shared scenario configuration: small model, real math.
+func chaosConfig(spec sim.MachineSpec, p int) core.Config {
+	cfg := core.DefaultConfig(spec, p, 1<<20)
+	cfg.MemScale = 1
+	cfg.Hidden = 16
+	cfg.Layers = 2
+	cfg.LR = 0.01
+	cfg.Seed = 7
+	cfg.SkipFirstBackward = false
+	return cfg
+}
+
+// plan builds the injector plan for one fault kind at one seed.
+func plan(fk string, seed int64, p int) fault.Plan {
+	pl := fault.Plan{Seed: seed}
+	switch fk {
+	case "crash":
+		pl.Crash = &fault.CrashSpec{Device: p - 1, OnLabel: "bwd"}
+	case "transient":
+		pl.Transient = &fault.TransientSpec{Every: 2, Failures: 2}
+	case "transient-exhaust":
+		pl.Transient = &fault.TransientSpec{Every: 2, Failures: 100}
+	case "straggler":
+		pl.Straggler = &fault.StragglerSpec{Device: 1, Delay: 50 * time.Microsecond, Every: 5}
+	case "poison":
+		// The last forward GeMM feeds the logits directly (an earlier layer's
+		// NaN would be laundered by the ReLU).
+		pl.Poison = &fault.PoisonSpec{Label: "fwd1/gemm", Stage: -1, Device: 0, Occurrence: 1}
+	default:
+		log.Fatalf("unknown fault kind %q", fk)
+	}
+	return pl
+}
+
+// expectation returns the contract each scenario is judged against.
+func expectation(fk string) string {
+	if fk == "transient-exhaust" {
+		return "abort"
+	}
+	return "survive"
+}
+
+// baselines caches the fault-free loss curve per strategy.
+var baselines = map[string][]float64{}
+
+func baseline(g *graph.Graph, spec sim.MachineSpec, p, epochs int, name string) []float64 {
+	if c, ok := baselines[name]; ok {
+		return c
+	}
+	cfg := chaosConfig(spec, p)
+	cfg.Strategy = gcnStrategies[name]
+	tr, err := core.NewTrainer(g, cfg)
+	if err != nil {
+		log.Fatalf("baseline %s: %v", name, err)
+	}
+	var curve []float64
+	for e := 0; e < epochs; e++ {
+		s, err := tr.RunEpoch()
+		if err != nil {
+			log.Fatalf("baseline %s epoch %d: %v", name, e, err)
+		}
+		curve = append(curve, s.Loss)
+	}
+	baselines[name] = curve
+	return curve
+}
+
+func runGCN(g *graph.Graph, spec sim.MachineSpec, p, epochs int, name, fk string, seed int64) scenario {
+	sc := scenario{Strategy: name, Fault: fk, Seed: seed, Expected: expectation(fk)}
+	clean := baseline(g, spec, p, epochs, name)
+
+	inj := fault.New(plan(fk, seed, p))
+	cfg := chaosConfig(spec, p)
+	cfg.Strategy = gcnStrategies[name]
+	cfg.Fault = inj
+	cfg.Retry = comm.RetryPolicy{MaxAttempts: 4, BaseDelay: 10 * time.Microsecond, Multiplier: 2}
+	res, err := core.TrainElastic(g, cfg, epochs)
+	sc.Injected = inj.Stats()
+	if res != nil {
+		sc.FinalP = res.FinalP
+		sc.Epochs = len(res.Stats)
+		sc.Events = res.Events
+		if n := len(res.Stats); n > 0 {
+			sc.Loss = res.Stats[n-1].Loss
+		}
+	}
+	switch {
+	case err != nil:
+		sc.Outcome = "abort"
+		sc.Detail = err.Error()
+	case len(res.Stats) != epochs || math.IsNaN(sc.Loss) || math.IsInf(sc.Loss, 0):
+		sc.Outcome = "corrupt"
+		sc.Detail = fmt.Sprintf("finished %d/%d epochs, final loss %v", len(res.Stats), epochs, sc.Loss)
+	case fk == "transient" || fk == "straggler" || fk == "poison":
+		// Full-strength recoveries: the run must be bit-identical to
+		// fault-free (retries move data exactly once; the poison re-run
+		// starts from the epoch-start snapshot).
+		sc.Outcome = "survive"
+		for e := range clean {
+			if res.Stats[e].Loss != clean[e] { // vet:ok floateq: retried-fault parity is bit-exact by contract
+				sc.Outcome = "corrupt"
+				sc.Detail = fmt.Sprintf("epoch %d loss %v != fault-free %v", e, res.Stats[e].Loss, clean[e])
+				break
+			}
+		}
+	default: // crash: degraded but alive, one device down
+		if sc.FinalP == p-1 {
+			sc.Outcome = "survive"
+		} else {
+			sc.Outcome = "corrupt"
+			sc.Detail = fmt.Sprintf("expected group of %d after device loss, got %d", p-1, sc.FinalP)
+		}
+	}
+	return sc
+}
+
+var (
+	gatBaseline *tensor.Dense
+	gatShared   *nn.GAT
+)
+
+func gatModel(g *graph.Graph) *nn.GAT {
+	if gatShared == nil {
+		gatShared = nn.NewGAT(g, nn.LayerDims(g.FeatDim, 16, 2, g.Classes), 3)
+	}
+	return gatShared
+}
+
+func runGAT(g *graph.Graph, spec sim.MachineSpec, p int, fk string, seed int64) scenario {
+	sc := scenario{Strategy: "gat", Fault: fk, Seed: seed, Expected: expectation(fk)}
+	if fk == "crash" {
+		// The GAT path is forward-only with no elastic loop: a lost device
+		// must surface as a clean abort, never as silent garbage.
+		sc.Expected = "abort"
+	}
+	model := gatModel(g)
+	if gatBaseline == nil {
+		d, err := core.NewGATDist(g, model, chaosConfig(spec, p))
+		if err != nil {
+			log.Fatalf("gat baseline: %v", err)
+		}
+		logits, _, err := d.Forward()
+		if err != nil {
+			log.Fatalf("gat baseline forward: %v", err)
+		}
+		gatBaseline = logits
+	}
+
+	pl := plan(fk, seed, p)
+	if pl.Crash != nil {
+		// The forward-only GAT graph has no backward labels; kill the device
+		// on its first task of any kind.
+		pl.Crash.OnLabel = ""
+	}
+	inj := fault.New(pl)
+	cfg := chaosConfig(spec, p)
+	cfg.Fault = inj
+	cfg.Retry = comm.RetryPolicy{MaxAttempts: 4, BaseDelay: 10 * time.Microsecond, Multiplier: 2}
+	d, err := core.NewGATDist(g, model, cfg)
+	if err != nil {
+		log.Fatalf("gat %s: %v", fk, err)
+	}
+	logits, _, err := d.Forward()
+	sc.Injected = inj.Stats()
+	switch {
+	case err != nil:
+		sc.Outcome = "abort"
+		sc.Detail = err.Error()
+	case tensor.MaxAbsDiff(logits, gatBaseline) != 0:
+		sc.Outcome = "corrupt"
+		sc.Detail = fmt.Sprintf("logits diverge from fault-free by %g", tensor.MaxAbsDiff(logits, gatBaseline))
+	default:
+		sc.Outcome = "survive"
+	}
+	return sc
+}

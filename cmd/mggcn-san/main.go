@@ -152,7 +152,10 @@ func sanitizeGCN(name string, g *graph.Graph, cfg core.Config, seeds int, noFenc
 	if err != nil {
 		log.Fatalf("%s: %v", name, err)
 	}
-	base := tr.RunEpoch()
+	base, err := tr.RunEpoch()
+	if err != nil {
+		log.Fatalf("%s: %v", name, err)
+	}
 	findings := checkGraph(name, tr.LastGraph(), cfg.Layers, noFences)
 	if noFences {
 		return findings
@@ -164,7 +167,9 @@ func sanitizeGCN(name string, g *graph.Graph, cfg core.Config, seeds int, noFenc
 	}
 	sh := san.NewShadow(shTr.Registry())
 	shTr.Cfg.ExecObserver = sh
-	shTr.RunEpoch()
+	if _, err := shTr.RunEpoch(); err != nil {
+		log.Fatalf("%s: shadow: %v", name, err)
+	}
 	for _, f := range sh.Findings {
 		fmt.Printf("%s: shadow: %v\n", name, f)
 		findings++
@@ -178,7 +183,10 @@ func sanitizeGCN(name string, g *graph.Graph, cfg core.Config, seeds int, noFenc
 		if err != nil {
 			log.Fatalf("%s: %v", name, err)
 		}
-		got := adv.RunEpoch()
+		got, err := adv.RunEpoch()
+		if err != nil {
+			log.Fatalf("%s: adversarial seed %d: %v", name, seed, err)
+		}
 		if got.Loss != base.Loss { // vet:ok floateq: adversarial replay parity is bit-exact by contract
 			fmt.Printf("%s: adversarial seed %d: loss %v != %v\n", name, seed, got.Loss, base.Loss)
 			findings++
@@ -200,7 +208,10 @@ func sanitizeGAT(g *graph.Graph, cfg core.Config, seeds int, noFences bool) int 
 	if err != nil {
 		log.Fatalf("gat: %v", err)
 	}
-	want, _ := dist.Forward()
+	want, _, err := dist.Forward()
+	if err != nil {
+		log.Fatalf("gat: %v", err)
+	}
 	findings := checkGraph("gat", dist.LastGraph(), len(model.Dims)-1, noFences)
 	if noFences {
 		return findings
@@ -212,7 +223,9 @@ func sanitizeGAT(g *graph.Graph, cfg core.Config, seeds int, noFences bool) int 
 	}
 	sh := san.NewShadow(shDist.Registry())
 	shDist.Cfg.ExecObserver = sh
-	shDist.Forward()
+	if _, _, err := shDist.Forward(); err != nil {
+		log.Fatalf("gat: shadow: %v", err)
+	}
 	for _, f := range sh.Findings {
 		fmt.Printf("gat: shadow: %v\n", f)
 		findings++
@@ -226,7 +239,10 @@ func sanitizeGAT(g *graph.Graph, cfg core.Config, seeds int, noFences bool) int 
 		if err != nil {
 			log.Fatalf("gat: %v", err)
 		}
-		got, _ := adv.Forward()
+		got, _, err := adv.Forward()
+		if err != nil {
+			log.Fatalf("gat: adversarial seed %d: %v", seed, err)
+		}
 		if d := tensor.MaxAbsDiff(got, want); d != 0 {
 			fmt.Printf("gat: adversarial seed %d: forward diverges by %g\n", seed, d)
 			findings++

@@ -12,6 +12,7 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"path/filepath"
 	"strings"
 
 	"mggcn"
@@ -134,8 +135,9 @@ func main() {
 		fmt.Printf("restored checkpoint from %s\n", *loadCkpt)
 	}
 
+	stats, trainErr := tr.Train(*epochs)
 	var total float64
-	for e, s := range tr.Train(*epochs) {
+	for e, s := range stats {
 		total += s.EpochSeconds
 		if ds.IsPhantom() {
 			fmt.Printf("epoch %3d: sim %.4fs\n", e+1, s.EpochSeconds)
@@ -144,18 +146,39 @@ func main() {
 				e+1, s.Loss, s.TrainAcc, s.TestAcc, s.EpochSeconds)
 		}
 	}
+	if trainErr != nil {
+		log.Fatalf("training failed after %d epochs: %v", len(stats), trainErr)
+	}
 	fmt.Printf("total simulated training time: %.3fs (%.4fs/epoch)\n", total, total/float64(*epochs))
 	if *saveCkpt != "" {
-		f, err := os.Create(*saveCkpt)
-		if err != nil {
-			log.Fatal(err)
-		}
-		if err := tr.SaveCheckpoint(f); err != nil {
-			log.Fatal(err)
-		}
-		if err := f.Close(); err != nil {
+		if err := saveCheckpointAtomic(tr, *saveCkpt); err != nil {
 			log.Fatal(err)
 		}
 		fmt.Printf("saved checkpoint to %s\n", *saveCkpt)
 	}
+}
+
+// saveCheckpointAtomic writes the checkpoint to a temp file in the target's
+// directory, syncs it, and renames it into place — a crash mid-write leaves
+// the previous checkpoint intact instead of a truncated one.
+func saveCheckpointAtomic(tr *mggcn.Trainer, path string) error {
+	dir := filepath.Dir(path)
+	f, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
+	if err != nil {
+		return err
+	}
+	tmp := f.Name()
+	defer os.Remove(tmp) // no-op after a successful rename
+	if err := tr.SaveCheckpoint(f); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp, path)
 }

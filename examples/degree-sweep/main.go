@@ -23,7 +23,11 @@ func main() {
 			if err != nil {
 				log.Fatal(err)
 			}
-			sec := tr.RunEpoch().EpochSeconds
+			s, err := tr.RunEpoch()
+			if err != nil {
+				log.Fatal(err)
+			}
+			sec := s.EpochSeconds
 			if p == 1 {
 				base = sec
 			} else {

@@ -48,7 +48,11 @@ func main() {
 	}
 	o.GPUs = 8
 	if tr, err := mggcn.NewTrainer(papers, o); err == nil {
+		s, err := tr.RunEpoch()
+		if err != nil {
+			log.Fatal(err)
+		}
 		fmt.Printf("papers on 8x A100: fits, simulated epoch %.2fs (paper: 2.89s)\n",
-			tr.RunEpoch().EpochSeconds)
+			s.EpochSeconds)
 	}
 }

@@ -25,7 +25,10 @@ func main() {
 	}
 	fmt.Printf("buffers per device: %d (L+3 with L=%d)\n", tr.BufferCount(), opts.Layers)
 
-	stats := tr.Train(50)
+	stats, err := tr.Train(50)
+	if err != nil {
+		log.Fatal(err)
+	}
 	for e := 0; e < len(stats); e += 10 {
 		s := stats[e]
 		fmt.Printf("epoch %2d: loss=%.4f train-acc=%.3f test-acc=%.3f sim-epoch=%.2fms\n",

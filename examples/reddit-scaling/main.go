@@ -32,7 +32,11 @@ func main() {
 				if err != nil {
 					log.Fatal(err)
 				}
-				return tr.RunEpoch().EpochSeconds
+				s, err := tr.RunEpoch()
+				if err != nil {
+					log.Fatal(err)
+				}
+				return s.EpochSeconds
 			}
 			orig := run(false, false)
 			perm := run(true, false)

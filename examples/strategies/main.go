@@ -27,7 +27,10 @@ func main() {
 			if err != nil {
 				log.Fatal(err)
 			}
-			stats := tr.RunEpoch()
+			stats, err := tr.RunEpoch()
+			if err != nil {
+				log.Fatal(err)
+			}
 			fmt.Printf("%-8s epoch %.4fs  peak mem %5.2f GiB/GPU (full scale)\n",
 				s, stats.EpochSeconds,
 				float64(tr.PeakMemoryBytes())*float64(ds.Scale())/float64(1<<30))

@@ -97,7 +97,11 @@ func mgEpochSeconds(machine MachineSpec, name string, p, hidden, layers int, per
 	if err != nil {
 		return 0, err
 	}
-	return tr.RunEpoch().EpochSeconds, nil
+	stats, err := tr.RunEpoch()
+	if err != nil {
+		return 0, err
+	}
+	return stats.EpochSeconds, nil
 }
 
 // RunTable1 regenerates Table 1: per dataset, the paper-scale statistics
@@ -148,7 +152,10 @@ func RunFig5() (*ExperimentResult, error) {
 			if err != nil {
 				return nil, err
 			}
-			stats := tr.RunEpoch()
+			stats, err := tr.RunEpoch()
+			if err != nil {
+				return nil, err
+			}
 			pct := stats.BreakdownPercent()
 			m := map[string]float64{}
 			for _, k := range sim.Kinds() {
@@ -175,7 +182,10 @@ func timelineExperiment(permute, overlap bool) (string, float64, []float64, erro
 	if err != nil {
 		return "", 0, nil, err
 	}
-	stats := tr.RunEpoch()
+	stats, err := tr.RunEpoch()
+	if err != nil {
+		return "", 0, nil, err
+	}
 	spans := trace.Extract(stats.Tasks, stats.Sched, "fwd0/spmm")
 	chart := trace.Gantt(spans, 4, 76)
 	busy := trace.BusyFraction(spans, 4, sim.StreamCompute)
@@ -290,7 +300,11 @@ func RunFig9() (*ExperimentResult, error) {
 			if err != nil {
 				return nil, err
 			}
-			sec := tr.RunEpoch().EpochSeconds
+			stats, err := tr.RunEpoch()
+			if err != nil {
+				return nil, err
+			}
+			sec := stats.EpochSeconds
 			if p == 1 {
 				base = sec
 			}
@@ -585,7 +599,10 @@ func RunAccuracy() (*ExperimentResult, error) {
 		if err != nil {
 			return nil, 0, 0, err
 		}
-		stats := tr.Train(epochs)
+		stats, err := tr.Train(epochs)
+		if err != nil {
+			return nil, 0, 0, err
+		}
 		losses := make([]float64, len(stats))
 		for i, s := range stats {
 			losses[i] = s.Loss
@@ -701,7 +718,10 @@ func RunStrategies() (*ExperimentResult, error) {
 			if err != nil {
 				return nil, err
 			}
-			stats := tr.RunEpoch()
+			stats, err := tr.RunEpoch()
+			if err != nil {
+				return nil, err
+			}
 			memGiB := float64(tr.PeakMemoryBytes()) * float64(ds.Scale()) / float64(1<<30)
 			row := fmt.Sprintf("%s %s", machine.Name, strategy)
 			tab.AddRow(row,
@@ -736,7 +756,11 @@ func RunMultiNode() (*ExperimentResult, error) {
 		if err != nil {
 			return nil, err
 		}
-		sec := tr.RunEpoch().EpochSeconds
+		stats, err := tr.RunEpoch()
+		if err != nil {
+			return nil, err
+		}
+		sec := stats.EpochSeconds
 		if p == 1 {
 			base = sec
 		}
@@ -771,7 +795,11 @@ func RunOrdering() (*ExperimentResult, error) {
 		if err != nil {
 			return err
 		}
-		sec := tr.RunEpoch().EpochSeconds
+		stats, err := tr.RunEpoch()
+		if err != nil {
+			return err
+		}
+		sec := stats.EpochSeconds
 		if natural == 0 {
 			natural = sec
 		}
@@ -910,7 +938,10 @@ func RunGAT() (*ExperimentResult, error) {
 		if err != nil {
 			return nil, err
 		}
-		_, stats := dist.Forward()
+		_, stats, err := dist.Forward()
+		if err != nil {
+			return nil, err
+		}
 		distTimes = append(distTimes, stats.EpochSeconds)
 	}
 
@@ -946,7 +977,11 @@ func RunWhatIf() (*ExperimentResult, error) {
 		if err != nil {
 			return 0, err
 		}
-		return tr.RunEpoch().EpochSeconds, nil
+		stats, err := tr.RunEpoch()
+		if err != nil {
+			return 0, err
+		}
+		return stats.EpochSeconds, nil
 	}
 	base := DGXA100()
 	tab := report.NewTable("Reddit epoch (s) vs machine resources (8 GPUs, 2x512)",

@@ -11,13 +11,14 @@ import (
 //
 // Two shapes are flagged:
 //
-//  1. A plain Graph.Bind whose closure captures a *tensor.Dense (or slice of
-//     them). The happens-before checker and the shadow replay can only see
-//     declared accesses; an undeclared buffer toucher is invisible to both.
-//     Use Graph.BindRW and declare the reads/writes sets.
+//  1. A plain Graph.Bind (or its error-returning variant BindE) whose
+//     closure captures a *tensor.Dense (or slice of them). The
+//     happens-before checker and the shadow replay can only see declared
+//     accesses; an undeclared buffer toucher is invisible to both. Use
+//     Graph.BindRW/BindRWE and declare the reads/writes sets.
 //
-//  2. A Graph.BindRW whose closure captures a Dense-typed variable that does
-//     not appear anywhere in the reads/writes argument expressions. The
+//  2. A Graph.BindRW/BindRWE whose closure captures a Dense-typed variable
+//     that does not appear anywhere in the reads/writes argument expressions. The
 //     declaration exists but is blind to that buffer — exactly the drift the
 //     shadow replay exists to catch at runtime; this pass catches it at vet
 //     time.
@@ -100,11 +101,12 @@ func runAccessDecl(pass *Pass) {
 			if len(captured) == 0 {
 				return true
 			}
-			if isMethod(info, call, "mggcn/internal/sim", "Graph", "Bind") {
-				pass.Report(call, "Bind closure captures buffer view %q but declares no access set; use BindRW so the sanitizer can order and shadow this task", captured[0].Name())
+			if isMethod(info, call, "mggcn/internal/sim", "Graph", "Bind", "BindE") {
+				pass.Report(call, "Bind closure captures buffer view %q but declares no access set; use BindRW/BindRWE so the sanitizer can order and shadow this task", captured[0].Name())
 				return true
 			}
-			// BindRW(id, reads, writes, fn): the two access-set expressions.
+			// BindRW/BindRWE(id, reads, writes, fn): the two access-set
+			// expressions.
 			if len(call.Args) < 4 {
 				return true
 			}

@@ -28,9 +28,10 @@ var BindCapture = &Analyzer{
 	run:  runBindCapture,
 }
 
-// bindClosure returns the func-literal argument of a Graph.Bind/BindRW call.
+// bindClosure returns the func-literal argument of a Graph Bind-family
+// call: Bind/BindRW and their error-returning variants BindE/BindRWE.
 func bindClosure(pass *Pass, call *ast.CallExpr) *ast.FuncLit {
-	if !isMethod(pass.Pkg.Info, call, "mggcn/internal/sim", "Graph", "Bind", "BindRW") {
+	if !isMethod(pass.Pkg.Info, call, "mggcn/internal/sim", "Graph", "Bind", "BindRW", "BindE", "BindRWE") {
 		return nil
 	}
 	for _, arg := range call.Args {

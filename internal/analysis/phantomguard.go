@@ -109,14 +109,34 @@ func isEarlyExitGuard(stmt ast.Stmt) bool {
 }
 
 // isBindRegistration reports whether lit at stack position i is an argument
-// to a (*sim.Graph).Bind or BindRW call — the task-closure registration
-// points of the record/execute split.
+// to a (*sim.Graph) Bind-family call (Bind/BindRW/BindE/BindRWE) — the
+// task-closure registration points of the record/execute split.
 func isBindRegistration(pass *Pass, lit *ast.FuncLit, stack []ast.Node, i int) bool {
 	if i == 0 {
 		return false
 	}
 	call, ok := stack[i-1].(*ast.CallExpr)
-	if !ok || !isMethod(pass.Pkg.Info, call, "mggcn/internal/sim", "Graph", "Bind", "BindRW") {
+	if !ok || !isMethod(pass.Pkg.Info, call, "mggcn/internal/sim", "Graph", "Bind", "BindRW", "BindE", "BindRWE") {
+		return false
+	}
+	for _, arg := range call.Args {
+		if arg == lit {
+			return true
+		}
+	}
+	return false
+}
+
+// isRetryMove reports whether lit at stack position i is the move argument
+// of the collectives' (*comm.Group).retry attempt loop. The move closure
+// runs exactly when its enclosing bound closure runs, so phantom guards
+// outside it still dominate at execution time.
+func isRetryMove(pass *Pass, lit *ast.FuncLit, stack []ast.Node, i int) bool {
+	if i == 0 {
+		return false
+	}
+	call, ok := stack[i-1].(*ast.CallExpr)
+	if !ok || !isMethod(pass.Pkg.Info, call, "mggcn/internal/comm", "Group", "retry") {
 		return false
 	}
 	for _, arg := range call.Args {
@@ -158,11 +178,12 @@ func guarded(pass *Pass, call *ast.CallExpr, stack []ast.Node) bool {
 			// closure body at execution time.
 			return false
 		case *ast.FuncLit:
-			// Same for a general closure — except one registered via
-			// (*sim.Graph).Bind: that closure only exists when the
-			// registration site ran, so a phantom guard dominating the Bind
-			// call dominates the closure body too. Keep walking outward.
-			if !isBindRegistration(pass, n, stack, i) {
+			// Same for a general closure — except one registered via a
+			// (*sim.Graph) Bind-family call, or the move closure of the
+			// collectives' retry loop: those closures only run when the
+			// registration site ran, so a phantom guard dominating it
+			// dominates the closure body too. Keep walking outward.
+			if !isBindRegistration(pass, n, stack, i) && !isRetryMove(pass, n, stack, i) {
 				return false
 			}
 		}

@@ -39,6 +39,25 @@ func declaredViaHelper(g *sim.Graph, dst, src *tensor.Dense, extra []sim.BufID, 
 	g.Execute(workers)
 }
 
+// The error-returning registration declares its captures the same way.
+func declaredE(g *sim.Graph, dst, src *tensor.Dense, workers int) {
+	id := g.AddCompute(0, sim.KindGeMM, "copy", -1, 0, false)
+	g.BindRWE(id, sim.BufsOf(src), sim.BufsOf(dst), func() error {
+		dst.CopyFrom(src)
+		return nil
+	})
+	g.Execute(workers)
+}
+
+// A view-free BindE owes the graph nothing.
+func viewFreeE(g *sim.Graph, workers int) {
+	fired := false
+	id := g.AddCompute(0, sim.KindActivation, "tick", -1, 0, true)
+	g.BindE(id, func() error { fired = true; return nil })
+	g.Execute(workers)
+	_ = fired
+}
+
 // Closures that touch no buffer views may use plain Bind freely.
 func viewFree(g *sim.Graph, n, workers int) {
 	count := make([]int, n)

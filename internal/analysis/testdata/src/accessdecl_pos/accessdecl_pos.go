@@ -27,6 +27,27 @@ func missingWrite(g *sim.Graph, dst, src *tensor.Dense, workers int) {
 	g.Execute(workers)
 }
 
+// The error-returning variants owe the same declarations: a plain BindE
+// capturing views declares nothing.
+func undeclaredBindE(g *sim.Graph, dst, src *tensor.Dense, workers int) {
+	id := g.AddCompute(0, sim.KindGeMM, "copy", -1, 0, false)
+	g.BindE(id, func() error { // want accessdecl
+		dst.CopyFrom(src)
+		return nil
+	})
+	g.Execute(workers)
+}
+
+// A BindRWE blind to one of its captures is the same drift as BindRW.
+func missingWriteE(g *sim.Graph, dst, src *tensor.Dense, workers int) {
+	id := g.AddCompute(0, sim.KindGeMM, "gemm", -1, 0, false)
+	g.BindRWE(id, sim.BufsOf(src), nil, func() error { // want accessdecl
+		dst.CopyFrom(src)
+		return nil
+	})
+	g.Execute(workers)
+}
+
 // Slices of views are buffer captures too.
 func missingSlice(g *sim.Graph, out *tensor.Dense, parts []*tensor.Dense, workers int) {
 	id := g.AddCompute(0, sim.KindSpMM, "gather", -1, 0, true)

@@ -36,6 +36,21 @@ func rebindScalar(g *sim.Graph, n, workers int) {
 	g.Execute(workers)
 }
 
+// The error-returning registration shares the same replay semantics, so the
+// same rebinding is just as wrong under BindRWE.
+func rebindStagingE(g *sim.Graph, views []*tensor.Dense, workers int) {
+	var staging *tensor.Dense
+	for i := 0; i < len(views); i++ {
+		staging = views[i]
+		id := g.AddCompute(0, sim.KindGeMM, "copy", -1, 0, false)
+		g.BindRWE(id, sim.BufsOf(staging), nil, func() error { // want bindcapture
+			_ = staging.Rows
+			return nil
+		})
+	}
+	g.Execute(workers)
+}
+
 // A variable declared in the outer loop body is per-outer-iteration, but
 // rebinding it inside the inner loop still shares it across the inner
 // closures.

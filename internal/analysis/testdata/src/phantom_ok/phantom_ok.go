@@ -59,3 +59,18 @@ func (r *runner) bindEarlyExit(g *sim.Graph, dst, src *tensor.Dense) {
 	}
 	g.Bind(id, func() { tensor.ReLU(dst, src) }) // vet:ok accessdecl: phantomguard fixture
 }
+
+// The error-returning registration points are Bind-family too: a guard at
+// the BindE/BindRWE site dominates the closure body.
+func (r *runner) bindEGuard(g *sim.Graph, dst, src *tensor.Dense, workers int) {
+	id := g.AddCompute(0, sim.KindGeMM, "copy", -1, 0, false)
+	if r.phantom {
+		return
+	}
+	g.BindRWE(id, sim.BufsOf(src), sim.BufsOf(dst), func() error {
+		dst.CopyFrom(src)
+		tensor.AddInPlace(dst, src)
+		return nil
+	})
+	g.Execute(workers)
+}

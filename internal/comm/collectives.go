@@ -24,6 +24,13 @@ import (
 type Group struct {
 	Graph      *sim.Graph
 	BytesScale int64
+	// Retry bounds per-collective transient-failure retries (retry.go);
+	// the zero value means a single attempt. Clock supplies the backoff
+	// sleeps (nil: wall clock), Gate is consulted before every attempt
+	// (nil: attempts always pass) — the fault injector's hook.
+	Retry RetryPolicy
+	Clock Clock
+	Gate  CollectiveGate
 	// devices are the group members; nil means all of Graph's devices.
 	devices []int
 }
@@ -32,12 +39,15 @@ type Group struct {
 func New(g *sim.Graph) *Group { return &Group{Graph: g, BytesScale: 1} }
 
 // Sub returns a communicator over the given device subset, inheriting the
-// byte scale. Collective costs use the subset's link topology (§5.1: a
-// 4-GPU group of a DGX-1 sees 4 links; a cross-group pair sees 2).
+// byte scale and the retry policy/clock/gate — a shrunken group recovers
+// from transient faults exactly like its parent. Collective costs use the
+// subset's link topology (§5.1: a 4-GPU group of a DGX-1 sees 4 links; a
+// cross-group pair sees 2).
 func (c *Group) Sub(devices []int) *Group {
 	ds := make([]int, len(devices))
 	copy(ds, devices)
-	return &Group{Graph: c.Graph, BytesScale: c.BytesScale, devices: ds}
+	return &Group{Graph: c.Graph, BytesScale: c.BytesScale,
+		Retry: c.Retry, Clock: c.Clock, Gate: c.Gate, devices: ds}
 }
 
 // P returns the group size.
@@ -109,14 +119,18 @@ func (c *Group) Broadcast(root int, src *tensor.Dense, dst []*tensor.Dense, labe
 	id := c.Graph.AddComm(c.members(), label, stage, seconds, deps...)
 	if !src.IsPhantom() {
 		// Reads the root's resident block, writes every other destination;
-		// dst[root] is untouched and stays out of the declaration.
-		c.Graph.BindRW(id, sim.BufsOf(src), stamps(dst, root), func() {
-			for i, d := range dst {
-				if i == root || d.IsPhantom() {
-					continue
+		// dst[root] is untouched and stays out of the declaration. The
+		// movement runs under the group's retry loop: failed attempts leave
+		// every destination untouched (retry.go).
+		c.Graph.BindRWE(id, sim.BufsOf(src), stamps(dst, root), func() error {
+			return c.retry(id, label, func() {
+				for i, d := range dst {
+					if i == root || d.IsPhantom() {
+						continue
+					}
+					d.CopyFrom(src)
 				}
-				d.CopyFrom(src)
-			}
+			})
 		})
 	}
 	return id
@@ -131,7 +145,7 @@ func (c *Group) AllReduceSum(bufs []*tensor.Dense, label string, deps ...int) in
 	c.checkBufs("allreduce", bufs)
 	seconds := c.Graph.Spec.AllReduceCost(bufs[0].Bytes(), c.P())
 	id := c.Graph.AddComm(c.members(), label, -1, seconds, deps...)
-	c.bindAllReduce(id, bufs)
+	c.bindAllReduce(id, bufs, label)
 	return id
 }
 
@@ -142,25 +156,30 @@ func (c *Group) AllReduceSumScaled(bufs []*tensor.Dense, label string, deps ...i
 	c.checkBufs("allreduce", bufs)
 	seconds := c.Graph.Spec.AllReduceCost(bufs[0].Bytes()*c.BytesScale, c.P())
 	id := c.Graph.AddComm(c.members(), label, -1, seconds, deps...)
-	c.bindAllReduce(id, bufs)
+	c.bindAllReduce(id, bufs, label)
 	return id
 }
 
 // bindAllReduce attaches the elementwise sum-and-replicate closure to task
 // id unless the buffers are phantom.
-func (c *Group) bindAllReduce(id int, bufs []*tensor.Dense) {
+func (c *Group) bindAllReduce(id int, bufs []*tensor.Dense, label string) {
 	if bufs[0].IsPhantom() {
 		return
 	}
-	// Every member buffer is read and then overwritten with the total.
-	c.Graph.BindRW(id, nil, stamps(bufs, -1), func() {
-		total := bufs[0].Clone()
-		for i := 1; i < len(bufs); i++ {
-			tensor.AddInPlace(total, bufs[i])
-		}
-		for _, b := range bufs {
-			b.CopyFrom(total)
-		}
+	// Every member buffer is read and then overwritten with the total. The
+	// movement is not idempotent (after the write-back every buffer holds
+	// the total), which is exactly why the retry gate sits *before* it:
+	// failed attempts never start the reduction.
+	c.Graph.BindRWE(id, nil, stamps(bufs, -1), func() error {
+		return c.retry(id, label, func() {
+			total := bufs[0].Clone()
+			for i := 1; i < len(bufs); i++ {
+				tensor.AddInPlace(total, bufs[i])
+			}
+			for _, b := range bufs {
+				b.CopyFrom(total)
+			}
+		})
 	})
 }
 
@@ -173,14 +192,18 @@ func (c *Group) ReduceSum(root int, bufs []*tensor.Dense, label string, deps ...
 	seconds := c.Graph.Spec.ReduceCost(bufs[0].Bytes()*c.BytesScale, c.P())
 	id := c.Graph.AddComm(c.members(), label, -1, seconds, deps...)
 	if !bufs[0].IsPhantom() {
-		// Non-root contributions are read-only; the root accumulates.
-		c.Graph.BindRW(id, stamps(bufs, root), sim.BufsOf(bufs[root]), func() {
-			for i, b := range bufs {
-				if i == root {
-					continue
+		// Non-root contributions are read-only; the root accumulates. Like
+		// the all-reduce, the accumulation is not idempotent — the retry
+		// gate fires before it, never between partial additions.
+		c.Graph.BindRWE(id, stamps(bufs, root), sim.BufsOf(bufs[root]), func() error {
+			return c.retry(id, label, func() {
+				for i, b := range bufs {
+					if i == root {
+						continue
+					}
+					tensor.AddInPlace(bufs[root], b)
 				}
-				tensor.AddInPlace(bufs[root], b)
-			}
+			})
 		})
 	}
 	return id

@@ -3,89 +3,152 @@ package core
 import (
 	"bufio"
 	"encoding/binary"
+	"errors"
 	"fmt"
+	"hash"
+	"hash/crc32"
 	"io"
 
 	"mggcn/internal/tensor"
 )
 
-// Checkpoint format: magic, version, layer dims, then per layer the
-// weights and the Adam first/second moments (device 0's copy — replicas
-// are identical), plus the optimizer step count. Restoring copies the
-// state onto every device so the replicated invariant holds.
+// Checkpoint format (version 2): magic, version, layer dims, then per layer
+// the weights and the Adam first/second moments (device 0's copy — replicas
+// are identical), plus the optimizer step count, and finally a CRC32-IEEE
+// footer over everything before it. Restoring copies the state onto every
+// device so the replicated invariant holds.
+//
+// The footer is the corruption guard: a truncated file fails with a
+// truncation error (the payload or the footer is missing), and a bit-flipped
+// one fails the checksum comparison — a damaged checkpoint is reported, never
+// silently restored. Version 1 (no footer) is no longer readable; retrain or
+// re-save rather than trusting an unverifiable file.
 const (
 	ckptMagic   = 0x4d474b50 // "MGKP"
-	ckptVersion = 1
+	ckptVersion = 2
 )
 
-// SaveCheckpoint writes the model and optimizer state to w. Phantom-mode
-// trainers have no state to save and return an error.
+// CorruptCheckpointError reports a checkpoint whose checksum footer does not
+// match its contents.
+type CorruptCheckpointError struct {
+	Stored, Computed uint32
+}
+
+func (e *CorruptCheckpointError) Error() string {
+	return fmt.Sprintf("core: checkpoint corrupted: stored checksum %08x, computed %08x", e.Stored, e.Computed)
+}
+
+// crcWriter tees everything written through it into a running CRC.
+type crcWriter struct {
+	w   io.Writer
+	sum hash.Hash32
+}
+
+func (cw *crcWriter) Write(p []byte) (int, error) {
+	n, err := cw.w.Write(p)
+	cw.sum.Write(p[:n])
+	return n, err
+}
+
+// crcReader tees everything read through it into a running CRC.
+type crcReader struct {
+	r   io.Reader
+	sum hash.Hash32
+}
+
+func (cr *crcReader) Read(p []byte) (int, error) {
+	n, err := cr.r.Read(p)
+	cr.sum.Write(p[:n])
+	return n, err
+}
+
+// truncated converts the io EOF pair into a descriptive error: a short read
+// mid-structure means the file ends before the format says it should.
+func truncated(what string, err error) error {
+	if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
+		return fmt.Errorf("core: truncated checkpoint: file ends inside %s", what)
+	}
+	return fmt.Errorf("core: reading checkpoint %s: %w", what, err)
+}
+
+// SaveCheckpoint writes the model and optimizer state to w, ending with the
+// CRC32 footer LoadCheckpoint verifies. Phantom-mode trainers have no state
+// to save and return an error.
 func (tr *Trainer) SaveCheckpoint(w io.Writer) error {
 	if tr.phantom {
 		return fmt.Errorf("core: cannot checkpoint a phantom-mode trainer")
 	}
 	bw := bufio.NewWriter(w)
+	cw := &crcWriter{w: bw, sum: crc32.NewIEEE()}
 	le := binary.LittleEndian
 	for _, v := range []uint32{ckptMagic, ckptVersion, uint32(len(tr.Dims))} {
-		if err := binary.Write(bw, le, v); err != nil {
+		if err := binary.Write(cw, le, v); err != nil {
 			return err
 		}
 	}
 	for _, d := range tr.Dims {
-		if err := binary.Write(bw, le, uint32(d)); err != nil {
+		if err := binary.Write(cw, le, uint32(d)); err != nil {
 			return err
 		}
 	}
 	step, m, v := tr.opts[0].State()
-	if err := binary.Write(bw, le, uint64(step)); err != nil {
+	if err := binary.Write(cw, le, uint64(step)); err != nil {
 		return err
 	}
 	for l := range tr.weights[0] {
 		for _, mat := range []*tensor.Dense{tr.weights[0][l], m[l], v[l]} {
-			if err := binary.Write(bw, le, mat.Data); err != nil {
+			if err := binary.Write(cw, le, mat.Data); err != nil {
 				return err
 			}
 		}
+	}
+	// Footer: the CRC of everything above, written outside the summed
+	// stream.
+	if err := binary.Write(bw, le, cw.sum.Sum32()); err != nil {
+		return err
 	}
 	return bw.Flush()
 }
 
 // LoadCheckpoint restores model and optimizer state saved by
-// SaveCheckpoint into every device replica. The trainer's layer dims must
-// match the checkpoint's.
+// SaveCheckpoint into every device replica, verifying the CRC32 footer
+// before any device state is touched. The trainer's layer dims must match
+// the checkpoint's. Truncation and corruption come back as descriptive
+// errors — never a panic, never a half-restored model.
 func (tr *Trainer) LoadCheckpoint(r io.Reader) error {
 	if tr.phantom {
 		return fmt.Errorf("core: cannot restore into a phantom-mode trainer")
 	}
 	br := bufio.NewReader(r)
+	cr := &crcReader{r: br, sum: crc32.NewIEEE()}
 	le := binary.LittleEndian
 	var magic, version, nDims uint32
 	for _, dst := range []*uint32{&magic, &version, &nDims} {
-		if err := binary.Read(br, le, dst); err != nil {
-			return fmt.Errorf("core: reading checkpoint header: %w", err)
+		if err := binary.Read(cr, le, dst); err != nil {
+			return truncated("header", err)
 		}
 	}
 	if magic != ckptMagic {
 		return fmt.Errorf("core: not a checkpoint (magic %#x)", magic)
 	}
 	if version != ckptVersion {
-		return fmt.Errorf("core: unsupported checkpoint version %d", version)
+		return fmt.Errorf("core: unsupported checkpoint version %d (this build reads version %d; version 1 files predate the checksum footer and cannot be verified)", version, ckptVersion)
 	}
 	if int(nDims) != len(tr.Dims) {
 		return fmt.Errorf("core: checkpoint has %d dims, trainer has %d", nDims, len(tr.Dims))
 	}
 	for i := range tr.Dims {
 		var d uint32
-		if err := binary.Read(br, le, &d); err != nil {
-			return err
+		if err := binary.Read(cr, le, &d); err != nil {
+			return truncated("layer dims", err)
 		}
 		if int(d) != tr.Dims[i] {
 			return fmt.Errorf("core: checkpoint dim[%d]=%d, trainer has %d", i, d, tr.Dims[i])
 		}
 	}
 	var step uint64
-	if err := binary.Read(br, le, &step); err != nil {
-		return err
+	if err := binary.Read(cr, le, &step); err != nil {
+		return truncated("optimizer step", err)
 	}
 	L := len(tr.weights[0])
 	ws := make([]*tensor.Dense, L)
@@ -95,11 +158,20 @@ func (tr *Trainer) LoadCheckpoint(r io.Reader) error {
 		shape := tr.weights[0][l]
 		for _, dst := range []**tensor.Dense{&ws[l], &ms[l], &vs[l]} {
 			mat := tensor.NewDense(shape.Rows, shape.Cols)
-			if err := binary.Read(br, le, mat.Data); err != nil {
-				return fmt.Errorf("core: reading checkpoint tensors: %w", err)
+			if err := binary.Read(cr, le, mat.Data); err != nil {
+				return truncated(fmt.Sprintf("layer %d tensors", l), err)
 			}
 			*dst = mat
 		}
+	}
+	// Footer: read the stored CRC outside the summed stream and compare.
+	computed := cr.sum.Sum32()
+	var stored uint32
+	if err := binary.Read(br, le, &stored); err != nil {
+		return truncated("checksum footer", err)
+	}
+	if stored != computed {
+		return &CorruptCheckpointError{Stored: stored, Computed: computed}
 	}
 	for d := 0; d < tr.Machine.P; d++ {
 		for l := 0; l < L; l++ {

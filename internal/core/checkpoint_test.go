@@ -2,6 +2,9 @@ package core
 
 import (
 	"bytes"
+	"encoding/binary"
+	"errors"
+	"strings"
 	"testing"
 
 	"mggcn/internal/gen"
@@ -19,7 +22,7 @@ func TestCheckpointResumeMatchesUninterrupted(t *testing.T) {
 	}
 	var wantLoss float64
 	for e := 0; e < 10; e++ {
-		wantLoss = trA.RunEpoch().Loss
+		wantLoss = mustEpoch(trA).Loss
 	}
 
 	// Interrupted run: 5 epochs, checkpoint, restore into a fresh trainer
@@ -29,7 +32,7 @@ func TestCheckpointResumeMatchesUninterrupted(t *testing.T) {
 		t.Fatal(err)
 	}
 	for e := 0; e < 5; e++ {
-		trB.RunEpoch()
+		mustEpoch(trB)
 	}
 	var buf bytes.Buffer
 	if err := trB.SaveCheckpoint(&buf); err != nil {
@@ -46,7 +49,7 @@ func TestCheckpointResumeMatchesUninterrupted(t *testing.T) {
 	}
 	var gotLoss float64
 	for e := 0; e < 5; e++ {
-		gotLoss = trC.RunEpoch().Loss
+		gotLoss = mustEpoch(trC).Loss
 	}
 	if diff := gotLoss - wantLoss; diff > 1e-6 || diff < -1e-6 {
 		t.Fatalf("resumed loss %v != uninterrupted %v", gotLoss, wantLoss)
@@ -98,6 +101,80 @@ func TestCheckpointRejectsGarbage(t *testing.T) {
 	full := buf.Bytes()
 	if err := tr.LoadCheckpoint(bytes.NewReader(full[:len(full)/2])); err == nil {
 		t.Fatalf("truncated checkpoint accepted")
+	}
+}
+
+func TestCheckpointDetectsCorruption(t *testing.T) {
+	// Any flipped bit in the payload must fail the CRC footer with the
+	// typed corruption error — never restore silently, never panic.
+	g := testGraph(t)
+	tr, err := NewTrainer(g, testConfig(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustEpoch(tr)
+	var buf bytes.Buffer
+	if err := tr.SaveCheckpoint(&buf); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	// Flip one payload bit well past the header (inside the tensors).
+	for _, off := range []int{len(full) / 2, len(full) - 8} {
+		bad := append([]byte(nil), full...)
+		bad[off] ^= 0x10
+		err := tr.LoadCheckpoint(bytes.NewReader(bad))
+		var corrupt *CorruptCheckpointError
+		if !errors.As(err, &corrupt) {
+			t.Fatalf("bit flip at %d: err = %v, want *CorruptCheckpointError", off, err)
+		}
+	}
+	// The pristine bytes still load.
+	if err := tr.LoadCheckpoint(bytes.NewReader(full)); err != nil {
+		t.Fatalf("pristine checkpoint rejected: %v", err)
+	}
+}
+
+func TestCheckpointDetectsTruncationEverywhere(t *testing.T) {
+	// Cutting the file at any prefix length must produce a descriptive
+	// error, including a cut inside the 4-byte footer itself.
+	g := testGraph(t)
+	tr, err := NewTrainer(g, testConfig(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := tr.SaveCheckpoint(&buf); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	for _, n := range []int{0, 2, 11, len(full) / 3, len(full) - 5, len(full) - 1} {
+		err := tr.LoadCheckpoint(bytes.NewReader(full[:n]))
+		if err == nil {
+			t.Fatalf("truncation to %d/%d bytes accepted", n, len(full))
+		}
+		if !strings.Contains(err.Error(), "truncated") && !strings.Contains(err.Error(), "checkpoint") {
+			t.Fatalf("truncation to %d bytes: undescriptive error %v", n, err)
+		}
+	}
+}
+
+func TestCheckpointRejectsOldVersion(t *testing.T) {
+	// A version-1 file (no checksum footer) must be refused with a version
+	// error, not misparsed.
+	g := testGraph(t)
+	tr, err := NewTrainer(g, testConfig(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := tr.SaveCheckpoint(&buf); err != nil {
+		t.Fatal(err)
+	}
+	old := append([]byte(nil), buf.Bytes()...)
+	binary.LittleEndian.PutUint32(old[4:8], 1) // rewrite the version field
+	err = tr.LoadCheckpoint(bytes.NewReader(old))
+	if err == nil || !strings.Contains(err.Error(), "version") {
+		t.Fatalf("version-1 checkpoint: err = %v, want a version error", err)
 	}
 }
 

@@ -1,0 +1,325 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"mggcn/internal/comm"
+	"mggcn/internal/graph"
+	"mggcn/internal/sim"
+	"mggcn/internal/tensor"
+)
+
+// This file is the trainer's elastic degraded-mode path: what happens when
+// an epoch does not come back clean. The failure taxonomy (internal/sim's
+// fault contract) maps onto three recoveries:
+//
+//   - permanent device loss (*sim.DeviceLostError): the survivors resync
+//     their replicated model state from a consistent surviving replica via
+//     a shrunken collective group (comm.Group.Sub), the 1D row partition is
+//     rebuilt over P-1 devices (1.5D degrades to 1D-row when the survivor
+//     count goes odd), and the voided epoch re-runs — training continues at
+//     reduced parallelism instead of dying;
+//   - numeric corruption (*NumericError, e.g. an injected NaN): the model
+//     restores to its epoch-start snapshot and the epoch re-runs;
+//   - anything else (an exhausted collective's *comm.GiveUpError, a plain
+//     kernel failure) aborts the run.
+//
+// Every recovery re-runs the voided epoch, so a recovered run performs the
+// same number of *effective* optimizer steps as a fault-free one — the
+// parity tests compare final losses at equal effective epochs.
+
+// NumericError reports a non-finite value where training arithmetic should
+// have produced a finite one — the symptom of silent data corruption.
+type NumericError struct {
+	What string // which quantity went non-finite ("loss", "weight d0/w1[17]")
+}
+
+func (e *NumericError) Error() string {
+	return fmt.Sprintf("core: non-finite %s (numeric corruption)", e.What)
+}
+
+// checkFinite is RunEpoch's corruption guard over the loss and device 0's
+// weight replica (the all-reduce makes replicas identical, so one replica
+// suffices). Phantom trainers carry no numbers to check.
+func (tr *Trainer) checkFinite(loss float64) error {
+	if tr.phantom {
+		return nil
+	}
+	if tr.trainCount > 0 && (math.IsNaN(loss) || math.IsInf(loss, 0)) {
+		return &NumericError{What: "loss"}
+	}
+	for l, w := range tr.weights[0] {
+		for i, v := range w.Data {
+			if math.IsNaN(float64(v)) || math.IsInf(float64(v), 0) {
+				return &NumericError{What: fmt.Sprintf("weight d0/w%d[%d]", l, i)}
+			}
+		}
+	}
+	return nil
+}
+
+// modelState is a point-in-time copy of the replicated model: weights plus
+// the Adam moments and step count. One replica's worth — replicas are
+// identical whenever an epoch boundary was reached cleanly.
+type modelState struct {
+	step    int
+	weights []*tensor.Dense
+	m, v    []*tensor.Dense
+}
+
+// captureState clones device dev's replica (nil for phantom trainers).
+func (tr *Trainer) captureState(dev int) *modelState {
+	if tr.phantom {
+		return nil
+	}
+	st := &modelState{step: tr.opts[dev].StepCount()}
+	_, m, v := tr.opts[dev].State()
+	for l, w := range tr.weights[dev] {
+		st.weights = append(st.weights, w.Clone())
+		st.m = append(st.m, m[l].Clone())
+		st.v = append(st.v, v[l].Clone())
+	}
+	return st
+}
+
+// restoreState copies st onto every device replica, re-establishing the
+// replicated invariant. A nil state (phantom) is a no-op.
+func (tr *Trainer) restoreState(st *modelState) {
+	if st == nil || tr.phantom {
+		return
+	}
+	for d := 0; d < tr.Machine.P; d++ {
+		for l := range tr.weights[d] {
+			tr.weights[d][l].CopyFrom(st.weights[l])
+		}
+		tr.opts[d].SetState(st.step, st.m, st.v)
+	}
+}
+
+// replicaFinite reports whether device dev's weight replica is all-finite —
+// a corrupted survivor must not become the resync source.
+func (tr *Trainer) replicaFinite(dev int) bool {
+	for _, w := range tr.weights[dev] {
+		for _, v := range w.Data {
+			if math.IsNaN(float64(v)) || math.IsInf(float64(v), 0) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// resyncSurvivors broadcasts device src's replica (weights and Adam
+// moments) to the other survivors over a shrunken collective group — the
+// data movement a real deployment performs so the surviving replicas agree
+// before the repartition. The broadcast records onto a fresh graph wired
+// with the trainer's fault machinery: a straggler still delays it and
+// transient failures still retry.
+func (tr *Trainer) resyncSurvivors(survivors []int, src int) error {
+	if tr.phantom || len(survivors) < 2 {
+		return nil
+	}
+	tg := sim.NewGraph(tr.Machine.Spec, tr.Machine.P)
+	cg := tr.newComm(tg)
+	sub := cg.Sub(survivors)
+	root := -1
+	for i, d := range survivors {
+		if d == src {
+			root = i
+		}
+	}
+	if root < 0 {
+		return fmt.Errorf("core: resync source %d not among survivors %v", src, survivors)
+	}
+	_, srcM, srcV := tr.opts[src].State()
+	for l := range tr.weights[src] {
+		wDst := make([]*tensor.Dense, len(survivors))
+		mDst := make([]*tensor.Dense, len(survivors))
+		vDst := make([]*tensor.Dense, len(survivors))
+		for i, d := range survivors {
+			wDst[i] = tr.weights[d][l]
+			_, dm, dv := tr.opts[d].State()
+			mDst[i], vDst[i] = dm[l], dv[l]
+		}
+		_ = sub.Broadcast(root, tr.weights[src][l], wDst, fmt.Sprintf("resync/w%d", l), -1) // vet:ok taskdep: independent terminal resync tasks; the graph replays immediately below
+		_ = sub.Broadcast(root, srcM[l], mDst, fmt.Sprintf("resync/m%d", l), -1)            // vet:ok taskdep: independent terminal resync tasks; the graph replays immediately below
+		_ = sub.Broadcast(root, srcV[l], vDst, fmt.Sprintf("resync/v%d", l), -1)            // vet:ok taskdep: independent terminal resync tasks; the graph replays immediately below
+	}
+	if err := tr.replay(tg); err != nil {
+		return err
+	}
+	step := tr.opts[src].StepCount()
+	for _, d := range survivors {
+		tr.opts[d].SetStep(step)
+	}
+	return nil
+}
+
+// RecoveryEvent is one entry of TrainElastic's recovery log.
+type RecoveryEvent struct {
+	Epoch  int    `json:"epoch"`  // the epoch that failed (0-based, effective numbering)
+	Kind   string `json:"kind"`   // "device-lost" or "numeric"
+	Detail string `json:"detail"` // what recovery did
+	P      int    `json:"p"`      // group size after recovery
+}
+
+// ElasticResult is TrainElastic's report: the per-epoch stats of the
+// effective (completed) epochs, the recovery log, and the surviving
+// trainer.
+type ElasticResult struct {
+	Stats  []*EpochStats
+	Events []RecoveryEvent
+	FinalP int
+	// Trainer is the (possibly rebuilt, smaller) trainer that finished the
+	// run — the caller's handle for checkpointing or further epochs.
+	Trainer *Trainer
+}
+
+// maxConsecutiveRecoveries bounds how many times one epoch may be retried
+// before the run aborts — a stuck injector (or a genuinely broken machine)
+// must not loop forever.
+const maxConsecutiveRecoveries = 4
+
+// removalObserver is the acknowledgement seam back to the fault injector:
+// after the elastic path removes a crashed device and renumbers the
+// survivors, the injector must stop failing the recycled index.
+type removalObserver interface {
+	ObserveRemoval(device int)
+}
+
+// TrainElastic trains for the given number of *effective* epochs,
+// recovering from recoverable faults along the way (see the file comment
+// for the taxonomy). On an unrecoverable failure it returns the partial
+// result alongside the error.
+func TrainElastic(g *graph.Graph, cfg Config, epochs int) (*ElasticResult, error) {
+	tr, err := NewTrainer(g, cfg)
+	if err != nil {
+		return nil, err
+	}
+	res := &ElasticResult{}
+	consecutive := 0
+	for e := 0; e < epochs; {
+		snap := tr.captureState(0)
+		s, runErr := tr.RunEpoch()
+		if runErr == nil {
+			if e < epochs-1 {
+				s.Tasks, s.Sched = nil, nil
+			}
+			res.Stats = append(res.Stats, s)
+			e++
+			consecutive = 0
+			continue
+		}
+		consecutive++
+		if consecutive > maxConsecutiveRecoveries {
+			res.FinalP, res.Trainer = tr.Machine.P, tr
+			return res, fmt.Errorf("core: epoch %d still failing after %d recoveries: %w", e, maxConsecutiveRecoveries, runErr)
+		}
+		var lost *sim.DeviceLostError
+		var numeric *NumericError
+		switch {
+		case errors.As(runErr, &lost):
+			nt, ev, recErr := tr.shrinkAfterLoss(g, lost.Device, snap)
+			if recErr != nil {
+				res.FinalP, res.Trainer = tr.Machine.P, tr
+				return res, fmt.Errorf("core: recovering from %v: %w", runErr, recErr)
+			}
+			ev.Epoch = e
+			res.Events = append(res.Events, ev)
+			tr = nt
+		case errors.As(runErr, &numeric):
+			tr.restoreState(snap)
+			res.Events = append(res.Events, RecoveryEvent{
+				Epoch: e, Kind: "numeric",
+				Detail: fmt.Sprintf("restored epoch-start state after %v", numeric),
+				P:      tr.Machine.P,
+			})
+		default:
+			res.FinalP, res.Trainer = tr.Machine.P, tr
+			return res, runErr
+		}
+	}
+	res.FinalP, res.Trainer = tr.Machine.P, tr
+	return res, nil
+}
+
+// shrinkAfterLoss rebuilds the trainer over the survivors of a permanent
+// device loss: pick a resync source whose replica is still at the
+// epoch-start step and finite (falling back to the epoch-start snapshot
+// when none qualifies — e.g. the crash landed mid-Adam and some survivors
+// already stepped), resync the survivors from it, acknowledge the removal
+// to the injector, repartition at P-1, and restore the agreed state onto
+// the new replicas.
+func (tr *Trainer) shrinkAfterLoss(g *graph.Graph, lostDev int, snap *modelState) (*Trainer, RecoveryEvent, error) {
+	p := tr.Machine.P
+	if p <= 1 {
+		return nil, RecoveryEvent{}, fmt.Errorf("core: last device lost, nothing to shrink to")
+	}
+	if lostDev < 0 || lostDev >= p {
+		return nil, RecoveryEvent{}, fmt.Errorf("core: lost device %d outside machine of %d", lostDev, p)
+	}
+	survivors := make([]int, 0, p-1)
+	for d := 0; d < p; d++ {
+		if d != lostDev {
+			survivors = append(survivors, d)
+		}
+	}
+
+	var state *modelState
+	var detail string
+	if !tr.phantom {
+		src := -1
+		startStep := 0
+		if snap != nil {
+			startStep = snap.step
+		}
+		for _, d := range survivors {
+			if tr.opts[d].StepCount() == startStep && tr.replicaFinite(d) {
+				src = d
+				break
+			}
+		}
+		if src >= 0 {
+			if err := tr.resyncSurvivors(survivors, src); err == nil {
+				state = tr.captureState(src)
+				detail = fmt.Sprintf("resynced %d survivors from replica %d", len(survivors), src)
+			} else {
+				detail = fmt.Sprintf("replica resync failed (%v); ", err)
+			}
+		}
+		if state == nil {
+			if snap == nil {
+				return nil, RecoveryEvent{}, fmt.Errorf("core: no consistent surviving replica and no snapshot")
+			}
+			state = snap
+			detail += "restored epoch-start snapshot"
+		}
+	} else {
+		detail = "phantom mode, no state to restore"
+	}
+
+	if obs, ok := tr.Cfg.Fault.(removalObserver); ok {
+		obs.ObserveRemoval(lostDev)
+	}
+
+	cfg := tr.Cfg
+	cfg.P = p - 1
+	if err := cfg.Strategy.validate(cfg.P); err != nil {
+		// 1.5D needs an even group; an odd survivor count degrades to the
+		// paper's default 1D-row strategy.
+		cfg.Strategy = Strategy1DRow
+		detail += "; degraded to 1D-row"
+	}
+	nt, err := NewTrainer(g, cfg)
+	if err != nil {
+		return nil, RecoveryEvent{}, fmt.Errorf("core: repartitioning over %d survivors: %w", cfg.P, err)
+	}
+	nt.restoreState(state)
+	return nt, RecoveryEvent{Kind: "device-lost", Detail: detail, P: cfg.P}, nil
+}
+
+// Interface conformance note: comm.GiveUpError and sim.TaskError both
+// unwrap, so errors.As dispatch above sees through the executor's wrapping.
+var _ = comm.GiveUpError{}

@@ -29,7 +29,7 @@ func TestParallelReplayBitIdentical(t *testing.T) {
 					}
 					var losses []float64
 					for e := 0; e < 3; e++ {
-						losses = append(losses, tr.RunEpoch().Loss)
+						losses = append(losses, mustEpoch(tr).Loss)
 					}
 					return tr.Weights(), losses
 				}
@@ -63,7 +63,7 @@ func TestParallelReplayDefaultWorkers(t *testing.T) {
 		t.Fatal(err)
 	}
 	for e := 0; e < 2; e++ {
-		tr.RunEpoch()
+		mustEpoch(tr)
 	}
 	for d := 1; d < cfg.P; d++ {
 		for l := range tr.weights[d] {
@@ -85,7 +85,7 @@ func TestParallelForwardOnlyBitIdentical(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		return tr.ForwardOnly()
+		return mustForward(tr)
 	}
 	serial := logits(1)
 	par := logits(8)
@@ -107,7 +107,7 @@ func TestGATParallelReplayBitIdentical(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		out, _ := d.Forward()
+		out, _ := mustGATForward(d)
 		return out
 	}
 	serial := logits(1)
@@ -128,7 +128,7 @@ func TestLossStatsMatchSerialReplay(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		s := tr.RunEpoch()
+		s := mustEpoch(tr)
 		return s.Loss, s.TrainAcc, s.TestAcc
 	}
 	l1, tr1, te1 := stats(1)

@@ -80,12 +80,19 @@ func NewGATDist(g *graph.Graph, model *nn.GAT, cfg Config) (*GATDist, error) {
 
 // Forward runs the distributed forward pass, returning the logits in
 // original vertex order (nil in phantom mode) and the epoch statistics.
-func (d *GATDist) Forward() (*tensor.Dense, *EpochStats) {
+// A non-nil error is the replay's first task failure (fault-injected or
+// real); the logits are then unusable.
+func (d *GATDist) Forward() (*tensor.Dense, *EpochStats, error) {
 	p := d.Machine.P
 	spec := d.Machine.Spec
 	tg := sim.NewGraph(spec, p)
 	cg := comm.New(tg)
 	cg.BytesScale = int64(d.Cfg.MemScale)
+	cg.Retry = d.Cfg.Retry
+	cg.Clock = d.Cfg.RetryClock
+	if gate, ok := d.Cfg.Fault.(comm.CollectiveGate); ok {
+		cg.Gate = gate
+	}
 	scale := func(x int) int { return x * d.Cfg.MemScale }
 
 	L := d.Model.Layers()
@@ -264,11 +271,16 @@ func (d *GATDist) Forward() (*tensor.Dense, *EpochStats) {
 
 	tg.Reg = d.reg
 	tg.Observer = d.Cfg.ExecObserver
+	tg.Fault = d.Cfg.Fault
 	d.lastGraph = tg
+	var err error
 	if d.Cfg.ExecSeed != 0 {
-		tg.ExecuteAdversarial(d.Cfg.ExecWorkers, d.Cfg.ExecSeed)
+		err = tg.ExecuteAdversarial(d.Cfg.ExecWorkers, d.Cfg.ExecSeed)
 	} else {
-		tg.Execute(d.Cfg.ExecWorkers)
+		err = tg.Execute(d.Cfg.ExecWorkers)
+	}
+	if err != nil {
+		return nil, nil, err
 	}
 	sched := tg.Run()
 	stats := &EpochStats{
@@ -278,7 +290,7 @@ func (d *GATDist) Forward() (*tensor.Dense, *EpochStats) {
 		Sched:        sched,
 	}
 	if d.phantom {
-		return nil, stats
+		return nil, stats, nil
 	}
 	classes := dims[L]
 	full := tensor.NewDense(d.graph.N(), classes)
@@ -288,7 +300,7 @@ func (d *GATDist) Forward() (*tensor.Dense, *EpochStats) {
 			copy(full.Row(ds.lo+r), view.Row(r))
 		}
 	}
-	return unpermuteRows(full, d.part.perm), stats
+	return unpermuteRows(full, d.part.perm), stats, nil
 }
 
 // LastGraph returns the task graph of the most recent Forward replay (nil

@@ -20,7 +20,7 @@ func TestGATDistMatchesSingleDevice(t *testing.T) {
 			if err != nil {
 				t.Fatalf("P=%d: %v", p, err)
 			}
-			got, stats := dist.Forward()
+			got, stats := mustGATForward(dist)
 			if d := tensor.MaxAbsDiff(got, want); d > 1e-3 {
 				t.Fatalf("P=%d permute=%t: distributed GAT diverges by %g", p, permute, d)
 			}
@@ -49,7 +49,7 @@ func TestGATDistPhantomTiming(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		logits, stats := dist.Forward()
+		logits, stats := mustGATForward(dist)
 		if logits != nil {
 			t.Fatalf("phantom run returned logits")
 		}

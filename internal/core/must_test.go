@@ -1,0 +1,39 @@
+package core
+
+import "mggcn/internal/tensor"
+
+// Fault-free test helpers: epochs in the pre-existing correctness tests
+// must not fail, so any error is a test-infrastructure bug and panics.
+// Fault-path tests call RunEpoch/Train directly and assert on the error.
+
+func mustEpoch(tr *Trainer) *EpochStats {
+	s, err := tr.RunEpoch()
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+func mustTrain(tr *Trainer, epochs int) []*EpochStats {
+	out, err := tr.Train(epochs)
+	if err != nil {
+		panic(err)
+	}
+	return out
+}
+
+func mustForward(tr *Trainer) *tensor.Dense {
+	out, err := tr.ForwardOnly()
+	if err != nil {
+		panic(err)
+	}
+	return out
+}
+
+func mustGATForward(d *GATDist) (*tensor.Dense, *EpochStats) {
+	logits, stats, err := d.Forward()
+	if err != nil {
+		panic(err)
+	}
+	return logits, stats
+}

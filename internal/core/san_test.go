@@ -3,6 +3,8 @@ package core
 import (
 	"testing"
 
+	"mggcn/internal/fault"
+	"mggcn/internal/graph"
 	"mggcn/internal/nn"
 	"mggcn/internal/san"
 	"mggcn/internal/sim"
@@ -35,7 +37,7 @@ func TestTrainerGraphsSanClean(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		tr.RunEpoch()
+		mustEpoch(tr)
 		if got := san.Check(tr.LastGraph(), san.Options{}); len(got) != 0 {
 			t.Errorf("%s: epoch graph has %d unordered conflicts, e.g. %v", name, len(got), got[0])
 		}
@@ -57,7 +59,7 @@ func TestTrainerFenceRemovalFlagged(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	tr.RunEpoch()
+	mustEpoch(tr)
 	if got := san.Check(tr.LastGraph(), san.Options{IgnoreFences: true}); len(got) == 0 {
 		t.Fatal("fence-removed model reports no conflicts; the fence regression fixture lost its teeth")
 	}
@@ -73,7 +75,7 @@ func TestTrainerLiveBufferBound(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	tr.RunEpoch()
+	mustEpoch(tr)
 	bound := cfg.Layers + 3
 	hw := san.LiveHighWater(tr.LastGraph())
 	if len(hw) == 0 {
@@ -100,11 +102,47 @@ func TestTrainerShadowClean(t *testing.T) {
 		}
 		sh := san.NewShadow(tr.Registry())
 		tr.Cfg.ExecObserver = sh
-		tr.RunEpoch()
+		mustEpoch(tr)
 		if len(sh.Findings) != 0 {
 			t.Errorf("%s: %d undeclared accesses, e.g. %v", name, len(sh.Findings), sh.Findings[0])
 		}
 	}
+}
+
+// TestTrainerShadowCleanUnderRetriedFaults: the shadow replay must
+// understand retried tasks. A collective whose first attempts fail
+// transiently still moves data exactly once (the gate fires before any
+// movement), so its footprint matches its declaration and the Shadow run
+// stays finding-free and bit-identical to the unfaulted one.
+func TestTrainerShadowCleanUnderRetriedFaults(t *testing.T) {
+	g := testGraph(t)
+	cfg := testConfig(4)
+	clean := mustEpoch(mustNewTrainer(t, g, cfg)).Loss
+
+	inj := fault.New(fault.Plan{Seed: 11, Transient: &fault.TransientSpec{Every: 2, Failures: 2}})
+	fcfg := faultConfig(4, inj)
+	tr := mustNewTrainer(t, g, fcfg)
+	sh := san.NewShadow(tr.Registry())
+	tr.Cfg.ExecObserver = sh
+	s := mustEpoch(tr)
+	if len(sh.Findings) != 0 {
+		t.Fatalf("shadow replay under retried faults: %d undeclared accesses, e.g. %v", len(sh.Findings), sh.Findings[0])
+	}
+	if s.Loss != clean {
+		t.Fatalf("shadowed retried run loss %v != fault-free %v", s.Loss, clean)
+	}
+	if st := inj.Stats(); st.TransientFailures == 0 {
+		t.Fatal("injector never fired under the shadow observer")
+	}
+}
+
+func mustNewTrainer(t *testing.T, g *graph.Graph, cfg Config) *Trainer {
+	t.Helper()
+	tr, err := NewTrainer(g, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
 }
 
 // TestTrainerAdversarialParity: the adversarial replay must stay
@@ -121,7 +159,7 @@ func TestTrainerAdversarialParity(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		baseStats := base.RunEpoch()
+		baseStats := mustEpoch(base)
 
 		for _, seed := range []int64{1, 7} {
 			cfgA := cfg
@@ -131,7 +169,7 @@ func TestTrainerAdversarialParity(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			advStats := adv.RunEpoch()
+			advStats := mustEpoch(adv)
 			if baseStats.Loss != advStats.Loss {
 				t.Fatalf("%s seed %d: adversarial loss %v != %v", name, seed, advStats.Loss, baseStats.Loss)
 			}
@@ -152,7 +190,7 @@ func TestForwardOnlySanClean(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	tr.ForwardOnly()
+	mustForward(tr)
 	if got := san.Check(tr.LastGraph(), san.Options{}); len(got) != 0 {
 		t.Fatalf("ForwardOnly graph has conflicts: %v", got)
 	}
@@ -169,7 +207,7 @@ func TestGATGraphSanClean(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	dist.Forward()
+	mustGATForward(dist)
 	if got := san.Check(dist.LastGraph(), san.Options{}); len(got) != 0 {
 		t.Fatalf("GAT graph has conflicts: %v", got)
 	}
@@ -188,7 +226,7 @@ func TestGATGraphSanClean(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	dist2.Forward()
+	mustGATForward(dist2)
 	if len(sh.Findings) != 0 {
 		t.Fatalf("GAT shadow replay: %d undeclared accesses, e.g. %v", len(sh.Findings), sh.Findings[0])
 	}
@@ -205,7 +243,7 @@ func TestGATAdversarialParity(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	want, _ := base.Forward()
+	want, _ := mustGATForward(base)
 
 	cfg.ExecSeed = 11
 	cfg.ExecWorkers = 4
@@ -213,7 +251,7 @@ func TestGATAdversarialParity(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	got, _ := adv.Forward()
+	got, _ := mustGATForward(adv)
 	if d := tensor.MaxAbsDiff(got, want); d != 0 {
 		t.Fatalf("adversarial GAT forward diverges by %g", d)
 	}

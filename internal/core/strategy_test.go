@@ -67,7 +67,7 @@ func TestAllStrategiesMatchReference(t *testing.T) {
 				if err != nil {
 					t.Fatalf("%v P=%d: %v", c.strategy, p, err)
 				}
-				got := tr.ForwardOnly()
+				got := mustForward(tr)
 				if d := tensor.MaxAbsDiff(got, want); d > 1e-3 {
 					t.Fatalf("%v P=%d overlap=%t: logits diverge by %g", c.strategy, p, overlap, d)
 				}
@@ -89,7 +89,7 @@ func TestStrategiesTrainIdentically(t *testing.T) {
 		}
 		var out []float64
 		for e := 0; e < 6; e++ {
-			out = append(out, tr.RunEpoch().Loss)
+			out = append(out, mustEpoch(tr).Loss)
 		}
 		return out
 	}
@@ -153,7 +153,7 @@ func Test15DCrossoverMatchesSection51(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		return tr.RunEpoch().KindBusy[sim.KindComm]
+		return mustEpoch(tr).KindBusy[sim.KindComm]
 	}
 	// On the NVSwitch A100 the 1.5D comm budget must be smaller.
 	rowA := commTime(sim.DGXA100(), Strategy1DRow)
@@ -180,7 +180,7 @@ func TestColStrategyTradesBroadcastsForReduces(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		stats := tr.RunEpoch()
+		stats := mustEpoch(tr)
 		n := 0
 		for _, task := range stats.Tasks {
 			if task.Kind == sim.KindComm && containsSub(task.Label, substr) {
@@ -221,7 +221,7 @@ func Test15DMinimalGPUCount(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	got := tr.ForwardOnly()
+	got := mustForward(tr)
 	if d := tensor.MaxAbsDiff(got, want); d > 1e-3 {
 		t.Fatalf("P=2 1.5D diverges by %g", d)
 	}

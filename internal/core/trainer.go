@@ -52,6 +52,17 @@ type Config struct {
 	// ExecObserver, when set, brackets every replayed closure (internal/san
 	// shadow tracking). Forces serial replay.
 	ExecObserver sim.ExecObserver
+	// Fault, when set, brackets every replayed closure with fault-injection
+	// callbacks (internal/fault's Injector). When the hook also implements
+	// comm.CollectiveGate, collective attempts are gated through it, so one
+	// injector drives both the crash/straggler/poison seams and the
+	// transient-collective seam.
+	Fault sim.FaultHook
+	// Retry bounds the collectives' transient-failure retries (the zero
+	// value means a single attempt); RetryClock supplies the backoff sleeps
+	// (nil: wall clock).
+	Retry      comm.RetryPolicy
+	RetryClock comm.Clock
 }
 
 // DefaultConfig returns the full MG-GCN configuration (all optimizations
@@ -164,17 +175,33 @@ func NewTrainer(g *graph.Graph, cfg Config) (*Trainer, error) {
 }
 
 // replay runs the recorded closures with the configured executor variant,
-// attaching the registry and observer so the graph is self-describing for
-// the sanitizer, and keeps the graph reachable via LastGraph.
-func (tr *Trainer) replay(tg *sim.Graph) {
+// attaching the registry, observer and fault hook so the graph is
+// self-describing for the sanitizer, and keeps the graph reachable via
+// LastGraph. A non-nil error is the replay's first task failure (already a
+// *sim.TaskError); the graph is not resumable afterwards.
+func (tr *Trainer) replay(tg *sim.Graph) error {
 	tg.Reg = tr.reg
 	tg.Observer = tr.Cfg.ExecObserver
+	tg.Fault = tr.Cfg.Fault
 	tr.lastGraph = tg
 	if tr.Cfg.ExecSeed != 0 {
-		tg.ExecuteAdversarial(tr.Cfg.ExecWorkers, tr.Cfg.ExecSeed)
-		return
+		return tg.ExecuteAdversarial(tr.Cfg.ExecWorkers, tr.Cfg.ExecSeed)
 	}
-	tg.Execute(tr.Cfg.ExecWorkers)
+	return tg.Execute(tr.Cfg.ExecWorkers)
+}
+
+// newComm builds the epoch's communicator with the trainer's byte scale and
+// failure machinery: the retry policy/clock, and the fault hook as the
+// collective gate when it implements one.
+func (tr *Trainer) newComm(tg *sim.Graph) *comm.Group {
+	cg := comm.New(tg)
+	cg.BytesScale = int64(tr.Cfg.MemScale)
+	cg.Retry = tr.Cfg.Retry
+	cg.Clock = tr.Cfg.RetryClock
+	if gate, ok := tr.Cfg.Fault.(comm.CollectiveGate); ok {
+		cg.Gate = gate
+	}
+	return cg
 }
 
 // LastGraph returns the task graph of the most recent RunEpoch/ForwardOnly
@@ -238,13 +265,19 @@ func (s *EpochStats) BreakdownPercent() map[sim.Kind]float64 {
 // loss, L backward layers with per-layer gradient all-reduce, and the Adam
 // update, recording every kernel and collective into a task graph whose
 // schedule yields the simulated epoch time.
-func (tr *Trainer) RunEpoch() *EpochStats {
+//
+// A non-nil error means the epoch did not complete and the model state is
+// suspect: a *sim.TaskError wrapping the first task failure (unwrap to
+// *sim.DeviceLostError for permanent device loss, *comm.GiveUpError for an
+// exhausted collective), or a *NumericError when the step produced
+// non-finite loss or weights. TrainElastic recovers from the recoverable
+// ones; callers using RunEpoch directly should stop training.
+func (tr *Trainer) RunEpoch() (*EpochStats, error) {
 	p := tr.Machine.P
 	spec := tr.Machine.Spec
 	L := tr.Cfg.Layers
 	tg := sim.NewGraph(spec, p)
-	cg := comm.New(tg)
-	cg.BytesScale = int64(tr.Cfg.MemScale)
+	cg := tr.newComm(tg)
 
 	hReady := make([]int, p)
 	for i := range hReady {
@@ -451,7 +484,9 @@ func (tr *Trainer) RunEpoch() *EpochStats {
 
 	// Replay the recorded arithmetic (no-op in phantom mode), then fold the
 	// per-device loss slots.
-	tr.replay(tg)
+	if err := tr.replay(tg); err != nil {
+		return nil, err
+	}
 	if tr.trainCount > 0 {
 		var correct, testCorrect int
 		for i := 0; i < p; i++ {
@@ -466,26 +501,39 @@ func (tr *Trainer) RunEpoch() *EpochStats {
 		}
 	}
 
+	// Silent-corruption guard: a poisoned buffer anywhere in the step shows
+	// up as a non-finite loss (forward-path corruption) or non-finite
+	// weights after the Adam update (backward-path corruption spreads
+	// through the gradient all-reduce to every replica).
+	if err := tr.checkFinite(stats.Loss); err != nil {
+		return nil, err
+	}
+
 	sched := tg.Run()
 	stats.EpochSeconds = sched.Makespan
 	stats.KindBusy = sched.KindBusy
 	stats.Tasks = tg.Tasks
 	stats.Sched = sched
-	return stats
+	return stats, nil
 }
 
 // Train runs epochs full-batch steps and returns per-epoch stats (without
-// the heavyweight task/schedule payload except on the final epoch).
-func (tr *Trainer) Train(epochs int) []*EpochStats {
+// the heavyweight task/schedule payload except on the final epoch). The
+// first epoch failure stops the run, returning the completed epochs' stats
+// alongside the error; TrainElastic is the fault-tolerant variant.
+func (tr *Trainer) Train(epochs int) ([]*EpochStats, error) {
 	out := make([]*EpochStats, 0, epochs)
 	for e := 0; e < epochs; e++ {
-		s := tr.RunEpoch()
+		s, err := tr.RunEpoch()
+		if err != nil {
+			return out, err
+		}
 		if e < epochs-1 {
 			s.Tasks, s.Sched = nil, nil
 		}
 		out = append(out, s)
 	}
-	return out
+	return out, nil
 }
 
 // Logits gathers the current output-layer activations into one matrix in
@@ -511,14 +559,15 @@ func (tr *Trainer) gatherLogits() *tensor.Dense {
 
 // ForwardOnly runs just the forward pass with real math and returns the
 // logits in original vertex order — the hook the correctness tests use to
-// compare against the sequential reference.
-func (tr *Trainer) ForwardOnly() *tensor.Dense {
+// compare against the sequential reference. A non-nil error is the
+// replay's first task failure.
+func (tr *Trainer) ForwardOnly() (*tensor.Dense, error) {
 	if tr.phantom {
 		panic("core: ForwardOnly in phantom mode")
 	}
 	p := tr.Machine.P
 	tg := sim.NewGraph(tr.Machine.Spec, p)
-	cg := comm.New(tg)
+	cg := tr.newComm(tg)
 	hReady := make([]int, p)
 	for i := range hReady {
 		hReady[i] = -1
@@ -564,8 +613,10 @@ func (tr *Trainer) ForwardOnly() *tensor.Dense {
 		}
 		copy(hReady, last)
 	}
-	tr.replay(tg)
-	return tr.gatherLogits()
+	if err := tr.replay(tg); err != nil {
+		return nil, err
+	}
+	return tr.gatherLogits(), nil
 }
 
 // Weights returns device 0's weight stack (replicas are identical).

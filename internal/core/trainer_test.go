@@ -42,7 +42,7 @@ func TestForwardMatchesReference(t *testing.T) {
 			if err != nil {
 				t.Fatalf("P=%d permute=%t: %v", p, permute, err)
 			}
-			got := tr.ForwardOnly()
+			got := mustForward(tr)
 			if d := tensor.MaxAbsDiff(got, want); d > 1e-3 {
 				t.Fatalf("P=%d permute=%t: logits diverge from reference by %g", p, permute, d)
 			}
@@ -61,7 +61,7 @@ func TestForwardOrderSwitchEquivalence(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		s := tr.RunEpoch()
+		s := mustEpoch(tr)
 		ref := nn.NewReferenceGCN(g, nn.LayerDims(g.FeatDim, 20, 2, g.Classes), 7)
 		opt := nn.NewAdam(cfg.LR, ref.Weights)
 		r := ref.TrainEpoch(g, opt)
@@ -78,7 +78,7 @@ func TestFirstEpochGradientsMatchReference(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	tr.RunEpoch()
+	mustEpoch(tr)
 
 	dims := nn.LayerDims(g.FeatDim, cfg.Hidden, cfg.Layers, g.Classes)
 	ref := nn.NewReferenceGCN(g, dims, cfg.Seed)
@@ -107,7 +107,7 @@ func TestAccuracyParityAcrossGPUCounts(t *testing.T) {
 		}
 		var losses []float64
 		for e := 0; e < 8; e++ {
-			losses = append(losses, tr.RunEpoch().Loss)
+			losses = append(losses, mustEpoch(tr).Loss)
 		}
 		return losses
 	}
@@ -131,7 +131,7 @@ func TestTrainingConvergesDistributed(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	stats := tr.Train(50)
+	stats := mustTrain(tr, 50)
 	if stats[len(stats)-1].Loss >= stats[0].Loss {
 		t.Fatalf("loss did not decrease: %v -> %v", stats[0].Loss, stats[len(stats)-1].Loss)
 	}
@@ -148,7 +148,7 @@ func TestSkipFirstBackwardStillLearns(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	stats := tr.Train(50)
+	stats := mustTrain(tr, 50)
 	last := stats[len(stats)-1]
 	if last.TrainAcc < 0.7 {
 		t.Fatalf("accuracy with saved SpMM %v too low", last.TrainAcc)
@@ -160,7 +160,7 @@ func TestSkipFirstBackwardStillLearns(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	s1, s2 := tr.RunEpoch(), tr2.RunEpoch()
+	s1, s2 := mustEpoch(tr), mustEpoch(tr2)
 	if countKind(s1, sim.KindSpMM) >= countKind(s2, sim.KindSpMM) {
 		t.Fatalf("skip did not reduce SpMM count: %d vs %d",
 			countKind(s1, sim.KindSpMM), countKind(s2, sim.KindSpMM))
@@ -220,7 +220,7 @@ func TestEpochTimeDecreasesWithGPUs(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		sec := tr.RunEpoch().EpochSeconds
+		sec := mustEpoch(tr).EpochSeconds
 		if sec <= 0 {
 			t.Fatalf("P=%d: non-positive epoch time", p)
 		}
@@ -246,7 +246,7 @@ func TestOverlapImprovesEpochTime(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		return tr.RunEpoch().EpochSeconds
+		return mustEpoch(tr).EpochSeconds
 	}
 	with, without := run(true), run(false)
 	if with >= without {
@@ -270,7 +270,7 @@ func TestPermuteImprovesEpochTime(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		return tr.RunEpoch().EpochSeconds
+		return mustEpoch(tr).EpochSeconds
 	}
 	perm, orig := run(true), run(false)
 	if perm >= orig {
@@ -293,7 +293,7 @@ func TestBreakdownSpMMDominatesDenseGraph(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	pct := tr.RunEpoch().BreakdownPercent()
+	pct := mustEpoch(tr).BreakdownPercent()
 	if pct[sim.KindSpMM] < 50 {
 		t.Fatalf("SpMM only %.1f%% on reddit; expected dominance", pct[sim.KindSpMM])
 	}
@@ -320,7 +320,7 @@ func TestPhantomAndRealTaskGraphsAgree(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	sR, sP := trR.RunEpoch(), trP.RunEpoch()
+	sR, sP := mustEpoch(trR), mustEpoch(trP)
 	if math.Abs(sR.EpochSeconds-sP.EpochSeconds) > 1e-12 {
 		t.Fatalf("phantom epoch %g != real epoch %g", sP.EpochSeconds, sR.EpochSeconds)
 	}
@@ -337,7 +337,7 @@ func TestSingleLayerModel(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	s := tr.RunEpoch()
+	s := mustEpoch(tr)
 	if s.EpochSeconds <= 0 || math.IsNaN(s.Loss) {
 		t.Fatalf("bad single-layer epoch: %+v", s)
 	}
@@ -352,7 +352,7 @@ func TestThreeLayerModelConverges(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	stats := tr.Train(60)
+	stats := mustTrain(tr, 60)
 	if stats[len(stats)-1].TrainAcc < 0.65 {
 		t.Fatalf("3-layer accuracy %v", stats[len(stats)-1].TrainAcc)
 	}
@@ -366,7 +366,7 @@ func TestWeightsStayReplicated(t *testing.T) {
 		t.Fatal(err)
 	}
 	for e := 0; e < 3; e++ {
-		tr.RunEpoch()
+		mustEpoch(tr)
 	}
 	for d := 1; d < 4; d++ {
 		for l := range tr.weights[0] {

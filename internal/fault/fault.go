@@ -1,0 +1,267 @@
+// Package fault is the deterministic, seeded fault injector for MG-GCN's
+// task-graph execution. The full-batch pipeline of §4.1-4.3 assumes every
+// device and every broadcast succeeds; at production scale partial failure
+// is the common case, and the recovery machinery (internal/comm retries,
+// internal/core elastic training) is only trustworthy if its failure paths
+// are exercised on purpose. An Injector plugs into both failure seams:
+//
+//   - as a sim.FaultHook on the task graph it can crash a device
+//     permanently mid-epoch (BeforeTask fails with *sim.DeviceLostError),
+//     delay a device's tasks (straggler), and poison a task's declared
+//     output buffers with NaNs (AfterTask);
+//   - as a comm.CollectiveGate it fails individual collective attempts
+//     transiently, driving the retry/backoff loop.
+//
+// Every decision is a pure function of the plan's seed and record-time
+// identifiers (task IDs, labels, devices) — never of replay interleaving or
+// wall time — so a faulted run is reproducible at any executor worker
+// count, and runs whose transient faults are all retried successfully stay
+// bit-identical to fault-free runs.
+package fault
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"time"
+
+	"mggcn/internal/comm"
+	"mggcn/internal/sim"
+)
+
+// CrashSpec kills one device permanently: the first task on Device whose
+// label contains OnLabel ("" matches any), after skipping the first After
+// matches, fails with *sim.DeviceLostError instead of running. From then on
+// every task on that device fails the same way until the machinery that
+// removed the device acknowledges the loss (Injector.ObserveRemoval) — a
+// crashed GPU does not come back, and renumbered survivor graphs must not
+// inherit the dead index.
+type CrashSpec struct {
+	Device  int
+	OnLabel string
+	After   int
+}
+
+// TransientSpec fails collective attempts transiently: a collective task is
+// selected when hash(seed, taskID) % Every == 0 (Every <= 1 selects all),
+// and its first Failures attempts fail with a comm.Transient error before
+// attempts pass. With Failures < the group's retry budget every failure is
+// retried away and the run is bit-identical to fault-free; with Failures >=
+// the budget the collective gives up and the epoch aborts.
+type TransientSpec struct {
+	Every    int
+	Failures int
+}
+
+// StragglerSpec delays every Every-th bound task on Device by Delay before
+// its closure runs (Every <= 1 delays all) — the slow-device scenario.
+// Pure latency: results must stay bit-identical.
+type StragglerSpec struct {
+	Device int
+	Delay  time.Duration
+	Every  int
+}
+
+// PoisonSpec overwrites the declared output buffers of one task with NaNs
+// after it completes: the Occurrence-th (1-based; 0 means first) completed
+// task matching Label exactly, Stage, and Device — silent data corruption
+// the numeric guards must catch.
+type PoisonSpec struct {
+	Label      string
+	Stage      int
+	Device     int
+	Occurrence int
+}
+
+// Plan is one seeded fault scenario. Nil specs inject nothing of that kind.
+type Plan struct {
+	Seed      int64
+	Crash     *CrashSpec
+	Transient *TransientSpec
+	Straggler *StragglerSpec
+	Poison    *PoisonSpec
+}
+
+// Stats counts what the injector actually did — the chaos harness reports
+// them next to each scenario's outcome.
+type Stats struct {
+	Crashes           int // permanent device-loss errors returned
+	TransientFailures int // collective attempts failed transiently
+	Delays            int // straggler sleeps injected
+	Poisons           int // buffers NaN-poisoned
+}
+
+// Injector injects one Plan into a run. It implements sim.FaultHook and
+// comm.CollectiveGate; wire the same instance into both seams (the trainer
+// does this when Config.Fault is set). Safe for concurrent use — the
+// executor calls it from parallel workers.
+type Injector struct {
+	plan Plan
+
+	mu         sync.Mutex
+	crashed    bool // crash fired; device stays dead until ObserveRemoval
+	crashSeen  int  // matching tasks observed before the crash fires
+	lateSeen   int  // straggler-device tasks observed
+	poisonSeen int  // poison-matching tasks observed
+	stats      Stats
+}
+
+// interface conformance
+var (
+	_ sim.FaultHook       = (*Injector)(nil)
+	_ comm.CollectiveGate = (*Injector)(nil)
+)
+
+// New builds an injector for the plan.
+func New(plan Plan) *Injector { return &Injector{plan: plan} }
+
+// Plan returns the injector's scenario.
+func (in *Injector) Plan() Plan { return in.plan }
+
+// Stats returns a snapshot of the injection counters.
+func (in *Injector) Stats() Stats {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.stats
+}
+
+// ObserveRemoval acknowledges that the crashed device was removed from the
+// machine (the elastic trainer repartitioned over the survivors): the
+// permanent-failure latch stops matching the now-recycled device index.
+// The crash spec stays spent — one plan kills at most one device.
+func (in *Injector) ObserveRemoval(device int) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	if in.crashed && in.plan.Crash != nil && in.plan.Crash.Device == device {
+		in.plan.Crash = nil
+	}
+}
+
+// onDevice reports whether t runs on dev.
+func onDevice(t *sim.Task, dev int) bool {
+	for _, d := range t.Devices {
+		if d == dev {
+			return true
+		}
+	}
+	return false
+}
+
+// BeforeTask implements sim.FaultHook: the crash and straggler seams.
+func (in *Injector) BeforeTask(g *sim.Graph, t *sim.Task) error {
+	var delay time.Duration
+	in.mu.Lock()
+	if c := in.plan.Crash; c != nil && onDevice(t, c.Device) {
+		if in.crashed {
+			in.stats.Crashes++
+			in.mu.Unlock()
+			return &sim.DeviceLostError{Device: c.Device}
+		}
+		if c.OnLabel == "" || contains(t.Label, c.OnLabel) {
+			in.crashSeen++
+			if in.crashSeen > c.After {
+				in.crashed = true
+				in.stats.Crashes++
+				in.mu.Unlock()
+				return &sim.DeviceLostError{Device: c.Device}
+			}
+		}
+	}
+	if s := in.plan.Straggler; s != nil && onDevice(t, s.Device) {
+		in.lateSeen++
+		every := s.Every
+		if every < 1 {
+			every = 1
+		}
+		if in.lateSeen%every == 0 {
+			delay = s.Delay
+			in.stats.Delays++
+		}
+	}
+	in.mu.Unlock()
+	if delay > 0 {
+		time.Sleep(delay)
+	}
+	return nil
+}
+
+// AfterTask implements sim.FaultHook: the NaN-poison seam. The poisoned
+// buffers are the task's *declared* writes resolved through the graph's
+// registry — corruption lands exactly where the task claims to write, so
+// the sanitizer's access-set story stays coherent even under injection.
+func (in *Injector) AfterTask(g *sim.Graph, t *sim.Task) error {
+	p := in.plan.Poison
+	if p == nil || t.Label != p.Label || t.Stage != p.Stage || !onDevice(t, p.Device) {
+		return nil
+	}
+	in.mu.Lock()
+	in.poisonSeen++
+	occ := p.Occurrence
+	if occ < 1 {
+		occ = 1
+	}
+	fire := in.poisonSeen == occ
+	if fire {
+		in.stats.Poisons++
+	}
+	in.mu.Unlock()
+	if !fire {
+		return nil
+	}
+	if g.Reg == nil {
+		return fmt.Errorf("fault: poison of task %q needs a buffer registry on the graph", t.Label)
+	}
+	nan := float32(math.NaN())
+	for _, id := range t.Writes {
+		data := g.Reg.Data(id)
+		for i := range data {
+			data[i] = nan
+		}
+	}
+	return nil
+}
+
+// CollectiveAttempt implements comm.CollectiveGate: the transient seam.
+// Selection hashes the record-time task ID with the seed, so the same
+// collectives fail in every epoch and at every executor parallelism.
+func (in *Injector) CollectiveAttempt(taskID int, label string, attempt int) error {
+	ts := in.plan.Transient
+	if ts == nil || ts.Failures < 1 {
+		return nil
+	}
+	every := ts.Every
+	if every < 1 {
+		every = 1
+	}
+	if mix(in.plan.Seed, uint64(taskID))%uint64(every) != 0 {
+		return nil
+	}
+	if attempt > ts.Failures {
+		return nil
+	}
+	in.mu.Lock()
+	in.stats.TransientFailures++
+	in.mu.Unlock()
+	return comm.Transient(fmt.Errorf("fault: injected failure of %s (task %d, attempt %d)", label, taskID, attempt))
+}
+
+// mix is splitmix64 over the seed/ID pair — a cheap, well-distributed
+// deterministic selector.
+func mix(seed int64, x uint64) uint64 {
+	z := uint64(seed) ^ (x * 0x9e3779b97f4a7c15)
+	z ^= z >> 30
+	z *= 0xbf58476d1ce4e5b9
+	z ^= z >> 27
+	z *= 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// contains is strings.Contains without the import.
+func contains(s, sub string) bool {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,226 @@
+package fault
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"time"
+
+	"mggcn/internal/comm"
+	"mggcn/internal/sim"
+	"mggcn/internal/tensor"
+)
+
+func TestCrashFailsDeviceDeterministically(t *testing.T) {
+	run := func() (err error, stats Stats) {
+		in := New(Plan{Crash: &CrashSpec{Device: 1, OnLabel: "spmm", After: 1}})
+		g := sim.NewGraph(sim.DGXV100(), 2)
+		g.Fault = in
+		var ran []string
+		prev := -1
+		for i, label := range []string{"spmm fw", "spmm fw", "gemm"} {
+			var deps []int
+			if prev >= 0 {
+				deps = []int{prev}
+			}
+			id := g.AddCompute(1, sim.KindSpMM, label, i, 1, true, deps...)
+			l := label
+			g.Bind(id, func() { ran = append(ran, l) })
+			prev = id
+		}
+		err = g.Execute(1)
+		if len(ran) != 1 || ran[0] != "spmm fw" {
+			t.Fatalf("ran %v, want exactly the first spmm (After=1 skips one match)", ran)
+		}
+		return err, in.Stats()
+	}
+	err, stats := run()
+	var lost *sim.DeviceLostError
+	if !errors.As(err, &lost) || lost.Device != 1 {
+		t.Fatalf("Execute = %v, want DeviceLostError{1}", err)
+	}
+	if stats.Crashes != 1 {
+		t.Fatalf("stats.Crashes = %d, want 1", stats.Crashes)
+	}
+	// Determinism: a second identical run crashes identically.
+	err2, _ := run()
+	if err2 == nil || err2.Error() != err.Error() {
+		t.Fatalf("second run failed differently: %v vs %v", err2, err)
+	}
+}
+
+func TestCrashedDeviceStaysDeadUntilObserveRemoval(t *testing.T) {
+	in := New(Plan{Crash: &CrashSpec{Device: 0}})
+	g := sim.NewGraph(sim.DGXV100(), 2)
+	g.Fault = in
+	a := g.AddCompute(0, sim.KindGeMM, "first", -1, 1, false)
+	g.Bind(a, func() {})
+	if err := g.Execute(1); err == nil {
+		t.Fatal("first task survived a crash plan with After=0")
+	}
+	// A fresh graph on the same machine: the device is still dead.
+	g2 := sim.NewGraph(sim.DGXV100(), 2)
+	g2.Fault = in
+	b := g2.AddCompute(0, sim.KindGeMM, "again", -1, 1, false)
+	g2.Bind(b, func() {})
+	if err := g2.Execute(1); err == nil {
+		t.Fatal("crashed device came back without ObserveRemoval")
+	}
+	// After the trainer removed the device, index 0 is a renumbered
+	// survivor and must run normally.
+	in.ObserveRemoval(0)
+	g3 := sim.NewGraph(sim.DGXV100(), 1)
+	g3.Fault = in
+	c := g3.AddCompute(0, sim.KindGeMM, "survivor", -1, 1, false)
+	ran := false
+	g3.Bind(c, func() { ran = true })
+	if err := g3.Execute(1); err != nil || !ran {
+		t.Fatalf("renumbered survivor failed after ObserveRemoval: err=%v ran=%v", err, ran)
+	}
+}
+
+func TestStragglerDelaysWithoutChangingResults(t *testing.T) {
+	in := New(Plan{Straggler: &StragglerSpec{Device: 0, Delay: time.Millisecond, Every: 2}})
+	g := sim.NewGraph(sim.DGXV100(), 1)
+	g.Fault = in
+	sum := 0
+	prev := -1
+	for i := 0; i < 4; i++ {
+		var deps []int
+		if prev >= 0 {
+			deps = []int{prev}
+		}
+		id := g.AddCompute(0, sim.KindGeMM, "gemm", -1, 1, false, deps...)
+		v := i + 1
+		g.Bind(id, func() { sum += v })
+		prev = id
+	}
+	if err := g.Execute(2); err != nil {
+		t.Fatalf("Execute: %v", err)
+	}
+	if sum != 10 {
+		t.Fatalf("sum = %d, want 10 (straggler must be latency-only)", sum)
+	}
+	if got := in.Stats().Delays; got != 2 {
+		t.Fatalf("stats.Delays = %d, want 2 (every 2nd of 4 tasks)", got)
+	}
+}
+
+func TestPoisonFillsDeclaredWritesWithNaN(t *testing.T) {
+	in := New(Plan{Poison: &PoisonSpec{Label: "spmm fw", Stage: 1, Device: 0, Occurrence: 1}})
+	g := sim.NewGraph(sim.DGXV100(), 1)
+	g.Reg = sim.NewBufRegistry()
+	g.Fault = in
+
+	out := tensor.NewDense(2, 2)
+	out.Buf = int(g.Reg.Register("h0"))
+	g.Reg.Track(sim.BufID(out.Buf), out.Data)
+	clean := tensor.NewDense(2, 2)
+	clean.Buf = int(g.Reg.Register("h1"))
+	g.Reg.Track(sim.BufID(clean.Buf), clean.Data)
+
+	a := g.AddCompute(0, sim.KindSpMM, "spmm fw", 0, 1, true)
+	g.BindRW(a, nil, sim.BufsOf(clean), func() { clean.Fill(1) })
+	b := g.AddCompute(0, sim.KindSpMM, "spmm fw", 1, 1, true, a)
+	g.BindRW(b, nil, sim.BufsOf(out), func() { out.Fill(1) })
+	if err := g.Execute(1); err != nil {
+		t.Fatalf("Execute: %v", err)
+	}
+	if !math.IsNaN(float64(out.Data[0])) || !math.IsNaN(float64(out.Data[3])) {
+		t.Fatalf("poisoned buffer = %v, want all NaN", out.Data)
+	}
+	if clean.Data[0] != 1 {
+		t.Fatalf("stage-0 buffer corrupted: %v (poison must match stage exactly)", clean.Data)
+	}
+	if got := in.Stats().Poisons; got != 1 {
+		t.Fatalf("stats.Poisons = %d, want 1", got)
+	}
+}
+
+// fakeClock records backoff sleeps without waiting.
+type fakeClock struct{ slept []time.Duration }
+
+func (c *fakeClock) Sleep(d time.Duration) { c.slept = append(c.slept, d) }
+
+func TestTransientFaultsAreRetriedAway(t *testing.T) {
+	runBroadcast := func(in *Injector, retry comm.RetryPolicy) ([]float32, error) {
+		g := sim.NewGraph(sim.DGXV100(), 2)
+		if in != nil {
+			g.Fault = in
+		}
+		cg := comm.New(g)
+		cg.Retry = retry
+		cg.Clock = &fakeClock{}
+		if in != nil {
+			cg.Gate = in
+		}
+		src := tensor.NewDense(2, 2)
+		src.Fill(3)
+		dst := []*tensor.Dense{src, tensor.NewDense(2, 2)}
+		cg.Broadcast(0, src, dst, "bcast h", 0)
+		err := g.Execute(1)
+		return dst[1].Data, err
+	}
+
+	policy := comm.RetryPolicy{MaxAttempts: 4, BaseDelay: time.Millisecond, Multiplier: 2}
+	want, err := runBroadcast(nil, policy)
+	if err != nil {
+		t.Fatalf("fault-free run: %v", err)
+	}
+
+	// Failures below the budget: retried away, bit-identical result.
+	in := New(Plan{Seed: 7, Transient: &TransientSpec{Every: 1, Failures: 2}})
+	got, err := runBroadcast(in, policy)
+	if err != nil {
+		t.Fatalf("retried run failed: %v", err)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("retried run diverged at %d: %v vs %v", i, got, want)
+		}
+	}
+	if in.Stats().TransientFailures != 2 {
+		t.Fatalf("TransientFailures = %d, want 2", in.Stats().TransientFailures)
+	}
+
+	// Failures at the budget: the collective gives up.
+	in2 := New(Plan{Seed: 7, Transient: &TransientSpec{Every: 1, Failures: 4}})
+	_, err = runBroadcast(in2, policy)
+	var give *comm.GiveUpError
+	if !errors.As(err, &give) || give.Attempts != 4 {
+		t.Fatalf("exhausted run = %v, want GiveUpError after 4 attempts", err)
+	}
+}
+
+func TestTransientSelectionIsSeedDeterministic(t *testing.T) {
+	pick := func(seed int64) []bool {
+		in := New(Plan{Seed: seed, Transient: &TransientSpec{Every: 3, Failures: 1}})
+		var hits []bool
+		for id := 0; id < 64; id++ {
+			hits = append(hits, in.CollectiveAttempt(id, "c", 1) != nil)
+		}
+		return hits
+	}
+	a, b := pick(42), pick(42)
+	anyHit := false
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed selected different collectives at task %d", i)
+		}
+		anyHit = anyHit || a[i]
+	}
+	if !anyHit {
+		t.Fatal("Every=3 over 64 tasks selected nothing")
+	}
+	c := pick(43)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical selections (hash ignores seed)")
+	}
+}

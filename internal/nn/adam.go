@@ -61,6 +61,10 @@ func (a *Adam) Step(weights, grads []*tensor.Dense) {
 // StepCount returns the number of updates applied so far.
 func (a *Adam) StepCount() int { return a.step }
 
+// SetStep overrides the update counter — the elastic trainer's replica
+// resync aligns survivor step counts after broadcasting the moments.
+func (a *Adam) SetStep(step int) { a.step = step }
+
 // NumParams returns the total parameter count managed by the optimizer.
 func (a *Adam) NumParams() int64 {
 	var n int64

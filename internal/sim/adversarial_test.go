@@ -15,11 +15,12 @@ func advOrder(g *Graph, workers int, seed int64) []int {
 		}
 		id := t.ID
 		inner := t.Exec
-		t.Exec = func() {
-			inner()
+		t.Exec = func() error {
+			err := inner()
 			mu.Lock()
 			order = append(order, id)
 			mu.Unlock()
+			return err
 		}
 	}
 	g.ExecuteAdversarial(workers, seed)

@@ -77,10 +77,17 @@ import (
 // in-flight budget first: closures may block on each other's side effects
 // (a barrier in tests, a channel in custom binds), so the budget must be
 // realizable even when GOMAXPROCS is smaller.
-func (g *Graph) Execute(workers int) {
+//
+// Execute is fallible: when a closure (or the Fault hook) returns an error,
+// the executor stops issuing new tasks, drains the tasks already in flight,
+// and returns the first failure wrapped in a *TaskError. Tasks that never
+// ran are cancelled — their closures are not invoked, and the graph is not
+// resumable (the watermark has passed them). A nil return means every bound
+// closure ran and returned nil.
+func (g *Graph) Execute(workers int) error {
 	// pick the newest ready task (LIFO): depth-first progress keeps the
 	// working set warm; any pick order is correct.
-	g.execute(workers, func(ready []int) int { return len(ready) - 1 }, nil)
+	return g.execute(workers, func(ready []int) int { return len(ready) - 1 }, nil)
 }
 
 // ExecuteAdversarial replays the graph like Execute but deliberately seeks
@@ -92,8 +99,9 @@ func (g *Graph) Execute(workers int) {
 // ordering rules into something the race detector actually exercises — a
 // missing fence or dependency edge that serial replay (and lucky parallel
 // replays) mask becomes a detectable race or a parity failure. Results
-// remain bit-identical to Execute for a correctly ordered graph.
-func (g *Graph) ExecuteAdversarial(workers int, seed int64) {
+// remain bit-identical to Execute for a correctly ordered graph, and
+// failures surface exactly as from Execute.
+func (g *Graph) ExecuteAdversarial(workers int, seed int64) error {
 	rng := rand.New(rand.NewSource(seed))
 	pick := func(ready []int) int {
 		if rng.Intn(4) == 0 {
@@ -114,7 +122,7 @@ func (g *Graph) ExecuteAdversarial(workers int, seed int64) {
 		}
 		return 0
 	}
-	g.execute(workers, pick, delay)
+	return g.execute(workers, pick, delay)
 }
 
 // Predecessors returns, for every task, its direct happens-before
@@ -166,9 +174,9 @@ type ExecObserver interface {
 // execute is the shared replay core: pick selects which ready task to
 // issue next (index into the ready slice), delay (optional) yields a start
 // delay injected before the task's closure runs on its worker.
-func (g *Graph) execute(workers int, pick func(ready []int) int, delay func() time.Duration) {
+func (g *Graph) execute(workers int, pick func(ready []int) int, delay func() time.Duration) error {
 	if g.bound == 0 {
-		return
+		return nil
 	}
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -182,7 +190,7 @@ func (g *Graph) execute(workers int, pick func(ready []int) int, delay func() ti
 	start := g.executed
 	g.executed = n
 	if start == n {
-		return
+		return nil
 	}
 
 	depsLeft := make([]int, n)
@@ -276,22 +284,28 @@ func (g *Graph) execute(workers int, pick func(ready []int) int, delay func() ti
 		tryReady(i)
 	}
 
-	doneCh := make(chan int, n)
+	type result struct {
+		id  int
+		err error
+	}
+	doneCh := make(chan result, n)
 	pool.Grow(workers)
 	inFlight := 0
 	obs := g.Observer
-	for finished < n {
-		if len(ready) > 0 {
-			k := pick(ready)
-			id := ready[k]
-			ready[k] = ready[len(ready)-1]
-			ready = ready[:len(ready)-1]
-			t := g.Tasks[id]
-			if t.Exec == nil {
-				complete(id)
-				continue
-			}
-			if inFlight < workers {
+	hook := g.Fault
+	var firstErr error
+	for {
+		if firstErr == nil {
+			for len(ready) > 0 && inFlight < workers {
+				k := pick(ready)
+				id := ready[k]
+				ready[k] = ready[len(ready)-1]
+				ready = ready[:len(ready)-1]
+				t := g.Tasks[id]
+				if t.Exec == nil {
+					complete(id)
+					continue
+				}
 				inFlight++
 				fn, tid, task := t.Exec, id, t
 				var d time.Duration
@@ -305,22 +319,51 @@ func (g *Graph) execute(workers int, pick func(ready []int) int, delay func() ti
 					if obs != nil {
 						obs.Before(task)
 					}
-					fn()
+					var err error
+					if hook != nil {
+						err = hook.BeforeTask(g, task)
+					}
+					if err == nil {
+						err = fn()
+						if err == nil && hook != nil {
+							err = hook.AfterTask(g, task)
+						}
+					}
+					// The observer's After always runs, even for failed
+					// tasks: the shadow replay must restore its poison
+					// before the executor hands buffers to recovery code.
 					if obs != nil {
 						obs.After(task)
 					}
-					doneCh <- tid
+					doneCh <- result{tid, err}
 				})
-				continue
 			}
-			ready = append(ready, id) // at the cap: wait for a completion
+			if finished == n {
+				return nil
+			}
+			if inFlight == 0 {
+				// Unreachable for graphs built through add(): deps point
+				// backward and FIFO/fence edges follow issue order.
+				panic(fmt.Sprintf("sim: executor stalled with %d/%d tasks finished", finished, n))
+			}
+		} else if inFlight == 0 {
+			// Cancelled: everything in flight drained, the rest never ran.
+			return firstErr
 		}
-		if inFlight == 0 {
-			// Unreachable for graphs built through add(): deps point
-			// backward and FIFO/fence edges follow issue order.
-			panic(fmt.Sprintf("sim: executor stalled with %d/%d tasks finished", finished, n))
-		}
-		complete(<-doneCh)
+		r := <-doneCh
 		inFlight--
+		switch {
+		case r.err != nil:
+			if firstErr == nil {
+				t := g.Tasks[r.id]
+				dev := -1
+				if len(t.Devices) > 0 {
+					dev = t.Devices[0]
+				}
+				firstErr = &TaskError{ID: r.id, Label: t.Label, Device: dev, Err: r.err}
+			}
+		case firstErr == nil:
+			complete(r.id)
+		}
 	}
 }

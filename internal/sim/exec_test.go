@@ -17,11 +17,12 @@ func execOrder(g *Graph, workers int) []int {
 		}
 		id := t.ID
 		inner := t.Exec
-		t.Exec = func() {
-			inner()
+		t.Exec = func() error {
+			err := inner()
 			mu.Lock()
 			order = append(order, id)
 			mu.Unlock()
+			return err
 		}
 	}
 	g.Execute(workers)

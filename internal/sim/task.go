@@ -76,8 +76,11 @@ type Task struct {
 	// Exec is the task's host-side arithmetic, recorded at graph-build
 	// time and replayed by Graph.Execute once the task's dependencies have
 	// run (nil for tasks with no real work, e.g. phantom mode). Attach it
-	// with Graph.Bind.
-	Exec func()
+	// with Graph.Bind (infallible closures) or Graph.BindE (closures that
+	// can fail, e.g. retried collectives). A non-nil return cancels the
+	// rest of the replay: Execute stops issuing, drains in-flight tasks,
+	// and surfaces the failure as a *TaskError.
+	Exec func() error
 	// Reads and Writes are the task's declared access sets over the
 	// BufRegistry: every registered buffer the Exec closure touches.
 	// Writes means read-and-write (accumulating kernels and in-place ops
@@ -103,6 +106,12 @@ type Graph struct {
 	// the callbacks observe buffer state exclusively — the shadow-tracking
 	// mode of internal/san.
 	Observer ExecObserver
+	// Fault, when set, brackets every bound closure with fault-injection
+	// callbacks (internal/fault): BeforeTask may delay the task (straggler)
+	// or fail it (device crash), AfterTask may corrupt its outputs or fail
+	// it. Unlike Observer it does not force serial replay — injected faults
+	// must coexist with the interleavings they are meant to disturb.
+	Fault FaultHook
 	// bound counts tasks carrying an Exec closure; Execute is a no-op at 0.
 	bound int
 	// executed is Execute's watermark: tasks below it have been replayed.
@@ -138,8 +147,20 @@ func (g *Graph) AddComm(devices []int, label string, stage int, seconds float64,
 // execution are split on purpose: AddCompute/AddComm only describe the
 // task, Bind captures its real arithmetic, and Graph.Execute later replays
 // every bound closure in dependency order (see exec.go). A task can be
-// bound at most once.
+// bound at most once. Closures that can fail — retried collectives, fault
+// paths — use BindE instead.
 func (g *Graph) Bind(id int, fn func()) {
+	if fn == nil {
+		panic(fmt.Sprintf("sim: Bind of nil closure to task %d", id))
+	}
+	g.BindE(id, func() error { fn(); return nil })
+}
+
+// BindE is Bind for fallible closures: a non-nil return from fn cancels the
+// rest of the replay and surfaces from Execute as a *TaskError. Infallible
+// arithmetic should keep using Bind; BindE exists for the failure paths —
+// collectives that retry and may give up, fault-injected kernels.
+func (g *Graph) BindE(id int, fn func() error) {
 	if id < 0 || id >= len(g.Tasks) {
 		panic(fmt.Sprintf("sim: Bind of unknown task %d", id))
 	}
@@ -165,6 +186,14 @@ func (g *Graph) Bind(id int, fn func()) {
 func (g *Graph) BindRW(id int, reads, writes []BufID, fn func()) {
 	g.Declare(id, reads, writes)
 	g.Bind(id, fn)
+}
+
+// BindRWE is BindRW for fallible closures: access declaration plus BindE.
+// The declared sets describe what fn touches when it runs to completion;
+// a closure that fails before moving data simply leaves them untouched.
+func (g *Graph) BindRWE(id int, reads, writes []BufID, fn func() error) {
+	g.Declare(id, reads, writes)
+	g.BindE(id, fn)
 }
 
 // Declare records task id's access sets without binding a closure —

@@ -17,7 +17,8 @@
 //
 //	ds, _ := mggcn.LoadDataset("reddit", false)
 //	tr, _ := mggcn.NewTrainer(ds, mggcn.DefaultOptions(mggcn.DGXA100(), 8))
-//	for _, s := range tr.Train(100) {
+//	stats, _ := tr.Train(100)
+//	for _, s := range stats {
 //	    fmt.Println(s.Loss, s.TrainAcc, s.EpochSeconds)
 //	}
 package mggcn
@@ -262,11 +263,15 @@ func NewTrainer(ds *Dataset, o Options) (*Trainer, error) {
 	return &Trainer{inner: inner, ds: ds}, nil
 }
 
-// RunEpoch performs one full-batch training step.
-func (t *Trainer) RunEpoch() *EpochStats { return t.inner.RunEpoch() }
+// RunEpoch performs one full-batch training step. A non-nil error means
+// the epoch did not complete (a failed task or numeric corruption) and the
+// model state is suspect.
+func (t *Trainer) RunEpoch() (*EpochStats, error) { return t.inner.RunEpoch() }
 
-// Train runs the given number of epochs and returns per-epoch stats.
-func (t *Trainer) Train(epochs int) []*EpochStats { return t.inner.Train(epochs) }
+// Train runs the given number of epochs and returns per-epoch stats. The
+// first epoch failure stops the run, returning the completed epochs' stats
+// alongside the error.
+func (t *Trainer) Train(epochs int) ([]*EpochStats, error) { return t.inner.Train(epochs) }
 
 // SaveCheckpoint writes the model weights and optimizer state to w so a
 // later run can resume exactly where this one stopped.
@@ -308,7 +313,10 @@ func Timeline(ds *Dataset, o Options, phase string, width int) (string, float64,
 	if err != nil {
 		return "", 0, err
 	}
-	stats := tr.RunEpoch()
+	stats, err := tr.RunEpoch()
+	if err != nil {
+		return "", 0, err
+	}
 	spans := trace.Extract(stats.Tasks, stats.Sched, phase)
 	return trace.Gantt(spans, o.GPUs, width), stats.EpochSeconds, nil
 }

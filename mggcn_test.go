@@ -47,7 +47,7 @@ func TestTrainerEndToEnd(t *testing.T) {
 	if tr.BufferCount() != o.Layers+3 {
 		t.Fatalf("buffer count %d", tr.BufferCount())
 	}
-	stats := tr.Train(30)
+	stats := mustTrain(tr, 30)
 	if len(stats) != 30 {
 		t.Fatalf("epochs %d", len(stats))
 	}
@@ -280,7 +280,7 @@ func TestDatasetBinaryRoundTripPublicAPI(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	l1, l2 := tr1.RunEpoch().Loss, tr2.RunEpoch().Loss
+	l1, l2 := mustEpoch(tr1).Loss, mustEpoch(tr2).Loss
 	if l1 != l2 {
 		t.Fatalf("reloaded dataset trains differently: %v vs %v", l1, l2)
 	}
@@ -294,7 +294,7 @@ func TestCheckpointPublicAPI(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	tr.Train(3)
+	mustTrain(tr, 3)
 	var buf bytes.Buffer
 	if err := tr.SaveCheckpoint(&buf); err != nil {
 		t.Fatal(err)
@@ -306,7 +306,7 @@ func TestCheckpointPublicAPI(t *testing.T) {
 	if err := tr2.LoadCheckpoint(&buf); err != nil {
 		t.Fatal(err)
 	}
-	if a, b := tr.RunEpoch().Loss, tr2.RunEpoch().Loss; a != b {
+	if a, b := mustEpoch(tr).Loss, mustEpoch(tr2).Loss; a != b {
 		t.Fatalf("restored trainer diverges: %v vs %v", a, b)
 	}
 }
@@ -352,7 +352,7 @@ func TestMultiNodePublicAPI(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	e8, e16 := tr8.RunEpoch().EpochSeconds, tr16.RunEpoch().EpochSeconds
+	e8, e16 := mustEpoch(tr8).EpochSeconds, mustEpoch(tr16).EpochSeconds
 	if e16 < e8 {
 		t.Fatalf("crossing the node boundary should not speed Reddit up: %g -> %g", e8, e16)
 	}
@@ -369,7 +369,7 @@ func TestStrategiesPublicAPI(t *testing.T) {
 		if err != nil {
 			t.Fatalf("%v: %v", s, err)
 		}
-		loss := tr.RunEpoch().Loss
+		loss := mustEpoch(tr).Loss
 		if base < 0 {
 			base = loss
 		} else if math.Abs(loss-base) > 1e-3 {

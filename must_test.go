@@ -1,0 +1,20 @@
+package mggcn
+
+// Fault-free test helpers: epochs in these tests must not fail, so any
+// error is a test-infrastructure bug and panics.
+
+func mustEpoch(tr *Trainer) *EpochStats {
+	s, err := tr.RunEpoch()
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+func mustTrain(tr *Trainer, epochs int) []*EpochStats {
+	out, err := tr.Train(epochs)
+	if err != nil {
+		panic(err)
+	}
+	return out
+}
