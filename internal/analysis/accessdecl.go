@@ -102,11 +102,11 @@ func runAccessDecl(pass *Pass) {
 				return true
 			}
 			if isMethod(info, call, "mggcn/internal/sim", "Graph", "Bind", "BindE") {
-				pass.Report(call, "Bind closure captures buffer view %q but declares no access set; use BindRW/BindRWE so the sanitizer can order and shadow this task", captured[0].Name())
+				pass.Report(call, "Bind closure captures buffer view %q but declares no access set; use BindShaped/BindShapedE so the sanitizer can order and shadow this task", captured[0].Name())
 				return true
 			}
-			// BindRW/BindRWE(id, reads, writes, fn): the two access-set
-			// expressions.
+			// BindRW/BindRWE/BindShaped/BindShapedE(id, reads, writes, fn):
+			// the two access-set expressions.
 			if len(call.Args) < 4 {
 				return true
 			}

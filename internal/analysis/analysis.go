@@ -4,8 +4,10 @@
 // golang.org/x/tools dependency). Each rule encodes one invariant of the
 // MG-GCN design that the Go type system cannot express — dropped scheduling
 // dependencies (§4.3), aliased shared-buffer views (§4.2), unguarded
-// data-touching kernels in phantom mode, nondeterministic RNG seeding, and
-// exact float comparison. See DESIGN.md "Static analysis".
+// data-touching kernels in phantom mode, nondeterministic RNG seeding,
+// exact float comparison, collectives issued from execution closures, and
+// Dense-touching binds that register no dims for the schedule verifier.
+// See DESIGN.md "Static analysis".
 package analysis
 
 import (
@@ -46,7 +48,7 @@ type Pass struct {
 
 // Analyzers returns the full mggcn-vet rule suite in report order.
 func Analyzers() []*Analyzer {
-	return []*Analyzer{TaskDep, BufAlias, PhantomGuard, RNGDeterminism, FloatEq, BindCapture, AccessDecl}
+	return []*Analyzer{TaskDep, BufAlias, PhantomGuard, RNGDeterminism, FloatEq, BindCapture, AccessDecl, GroupConsist, ShapeDecl}
 }
 
 // Run applies the analyzer to pkg and returns the surviving findings.

@@ -72,6 +72,8 @@ func TestRules(t *testing.T) {
 		{FloatEq, "floateq_pos", "floateq_ok"},
 		{BindCapture, "bindcapture_pos", "bindcapture_ok"},
 		{AccessDecl, "accessdecl_pos", "accessdecl_ok"},
+		{GroupConsist, "groupconsist_pos", "groupconsist_ok"},
+		{ShapeDecl, "shapedecl_pos", "shapedecl_ok"},
 	}
 
 	for _, tc := range cases {
@@ -121,6 +123,8 @@ func TestCrossRuleSilence(t *testing.T) {
 		"floateq_pos", "floateq_ok",
 		"bindcapture_pos", "bindcapture_ok",
 		"accessdecl_pos", "accessdecl_ok",
+		"groupconsist_pos", "groupconsist_ok",
+		"shapedecl_pos", "shapedecl_ok",
 	}
 	for _, name := range fixtures {
 		pkg := loadFixture(t, ld, name)

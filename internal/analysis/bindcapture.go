@@ -29,9 +29,9 @@ var BindCapture = &Analyzer{
 }
 
 // bindClosure returns the func-literal argument of a Graph Bind-family
-// call: Bind/BindRW and their error-returning variants BindE/BindRWE.
+// call: Bind/BindRW/BindShaped and their error-returning E variants.
 func bindClosure(pass *Pass, call *ast.CallExpr) *ast.FuncLit {
-	if !isMethod(pass.Pkg.Info, call, "mggcn/internal/sim", "Graph", "Bind", "BindRW", "BindE", "BindRWE") {
+	if !isMethod(pass.Pkg.Info, call, "mggcn/internal/sim", "Graph", "Bind", "BindRW", "BindE", "BindRWE", "BindShaped", "BindShapedE") {
 		return nil
 	}
 	for _, arg := range call.Args {

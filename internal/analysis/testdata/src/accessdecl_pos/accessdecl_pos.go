@@ -11,7 +11,7 @@ import (
 // A plain Bind whose closure captures buffer views declares nothing at all.
 func undeclaredBind(g *sim.Graph, dst, src *tensor.Dense, workers int) {
 	id := g.AddCompute(0, sim.KindGeMM, "copy", -1, 0, false)
-	g.Bind(id, func() { // want accessdecl
+	g.Bind(id, func() { // want accessdecl — vet:ok shapedecl: fixture exercises the unshaped bind form
 		dst.CopyFrom(src)
 	})
 	g.Execute(workers)
@@ -21,7 +21,7 @@ func undeclaredBind(g *sim.Graph, dst, src *tensor.Dense, workers int) {
 // exists but is blind to dst.
 func missingWrite(g *sim.Graph, dst, src *tensor.Dense, workers int) {
 	id := g.AddCompute(0, sim.KindGeMM, "gemm", -1, 0, false)
-	g.BindRW(id, sim.BufsOf(src), nil, func() { // want accessdecl
+	g.BindRW(id, sim.BufsOf(src), nil, func() { // want accessdecl — vet:ok shapedecl: fixture exercises the unshaped bind form
 		dst.CopyFrom(src)
 	})
 	g.Execute(workers)
@@ -31,7 +31,7 @@ func missingWrite(g *sim.Graph, dst, src *tensor.Dense, workers int) {
 // capturing views declares nothing.
 func undeclaredBindE(g *sim.Graph, dst, src *tensor.Dense, workers int) {
 	id := g.AddCompute(0, sim.KindGeMM, "copy", -1, 0, false)
-	g.BindE(id, func() error { // want accessdecl
+	g.BindE(id, func() error { // want accessdecl — vet:ok shapedecl: fixture exercises the unshaped bind form
 		dst.CopyFrom(src)
 		return nil
 	})
@@ -41,7 +41,7 @@ func undeclaredBindE(g *sim.Graph, dst, src *tensor.Dense, workers int) {
 // A BindRWE blind to one of its captures is the same drift as BindRW.
 func missingWriteE(g *sim.Graph, dst, src *tensor.Dense, workers int) {
 	id := g.AddCompute(0, sim.KindGeMM, "gemm", -1, 0, false)
-	g.BindRWE(id, sim.BufsOf(src), nil, func() error { // want accessdecl
+	g.BindRWE(id, sim.BufsOf(src), nil, func() error { // want accessdecl — vet:ok shapedecl: fixture exercises the unshaped bind form
 		dst.CopyFrom(src)
 		return nil
 	})
@@ -51,7 +51,7 @@ func missingWriteE(g *sim.Graph, dst, src *tensor.Dense, workers int) {
 // Slices of views are buffer captures too.
 func missingSlice(g *sim.Graph, out *tensor.Dense, parts []*tensor.Dense, workers int) {
 	id := g.AddCompute(0, sim.KindSpMM, "gather", -1, 0, true)
-	g.BindRW(id, nil, sim.BufsOf(out), func() { // want accessdecl
+	g.BindRW(id, nil, sim.BufsOf(out), func() { // want accessdecl — vet:ok shapedecl: fixture exercises the unshaped bind form
 		for _, p := range parts {
 			_ = p.Rows
 		}

@@ -15,7 +15,7 @@ func rebindStaging(g *sim.Graph, views []*tensor.Dense, workers int) {
 	for i := 0; i < len(views); i++ {
 		staging = views[i]
 		id := g.AddCompute(0, sim.KindGeMM, "copy", -1, 0, false)
-		g.BindRW(id, sim.BufsOf(staging), nil, func() { // want bindcapture
+		g.BindRW(id, sim.BufsOf(staging), nil, func() { // want bindcapture — vet:ok shapedecl: fixture exercises the unshaped bind form
 			_ = staging.Rows
 		})
 	}
@@ -29,7 +29,7 @@ func rebindScalar(g *sim.Graph, n, workers int) {
 	for i := 0; i < n; i++ {
 		off = i * 4
 		id := g.AddCompute(0, sim.KindActivation, "shift", -1, 0, true)
-		g.Bind(id, func() { // want bindcapture
+		g.Bind(id, func() { // want bindcapture — vet:ok shapedecl: fixture exercises the unshaped bind form
 			_ = off
 		})
 	}
@@ -43,7 +43,7 @@ func rebindStagingE(g *sim.Graph, views []*tensor.Dense, workers int) {
 	for i := 0; i < len(views); i++ {
 		staging = views[i]
 		id := g.AddCompute(0, sim.KindGeMM, "copy", -1, 0, false)
-		g.BindRWE(id, sim.BufsOf(staging), nil, func() error { // want bindcapture
+		g.BindRWE(id, sim.BufsOf(staging), nil, func() error { // want bindcapture — vet:ok shapedecl: fixture exercises the unshaped bind form
 			_ = staging.Rows
 			return nil
 		})
@@ -60,7 +60,7 @@ func rebindInner(g *sim.Graph, views []*tensor.Dense, workers int) {
 		for i := 0; i < len(views); i++ {
 			cur = views[i]
 			id := g.AddCompute(0, sim.KindSpMM, "agg", -1, 0, true)
-			g.BindRW(id, sim.BufsOf(cur), nil, func() { // want bindcapture
+			g.BindRW(id, sim.BufsOf(cur), nil, func() { // want bindcapture — vet:ok shapedecl: fixture exercises the unshaped bind form
 				_ = cur.Cols
 			})
 		}

@@ -67,7 +67,7 @@ func (r *runner) bindEGuard(g *sim.Graph, dst, src *tensor.Dense, workers int) {
 	if r.phantom {
 		return
 	}
-	g.BindRWE(id, sim.BufsOf(src), sim.BufsOf(dst), func() error {
+	g.BindRWE(id, sim.BufsOf(src), sim.BufsOf(dst), func() error { // vet:ok shapedecl: fixture exercises the unshaped bind form
 		dst.CopyFrom(src)
 		tensor.AddInPlace(dst, src)
 		return nil

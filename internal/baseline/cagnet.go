@@ -37,12 +37,20 @@ func NewCAGNET(spec sim.MachineSpec, p, memScale, hidden, layers int) CAGNETConf
 	}
 }
 
-// EpochSeconds builds and schedules one CAGNET epoch as a task graph: per
-// layer a P-stage SpMM at the input width (aggregate-then-transform), with
-// each stage's broadcast gating every device's stage compute (synchronous),
-// followed by the transform GeMM; the backward mirrors it with both SpMMs.
-// Tile nonzeros come from the graph's natural (unpermuted) ordering.
+// EpochSeconds builds and schedules one CAGNET epoch, returning its
+// simulated makespan.
 func (c CAGNETConfig) EpochSeconds(g *graph.Graph) float64 {
+	return c.EpochGraph(g).Run().Makespan
+}
+
+// EpochGraph builds one CAGNET epoch as a task graph: per layer a P-stage
+// SpMM at the input width (aggregate-then-transform), with each stage's
+// broadcast gating every device's stage compute (synchronous), followed by
+// the transform GeMM; the backward mirrors it with both SpMMs. Tile nonzeros
+// come from the graph's natural (unpermuted) ordering. Every collective
+// carries a sim.Collective annotation, so internal/schedcheck can certify
+// the baseline's communication volume like any shipped strategy.
+func (c CAGNETConfig) EpochGraph(g *graph.Graph) *sim.Graph {
 	spec := c.Spec
 	S := int64(c.MemScale)
 	tg := sim.NewGraph(spec, c.P)
@@ -68,6 +76,10 @@ func (c CAGNETConfig) EpochSeconds(g *graph.Graph) float64 {
 				bytes := int64(rootRows) * int64(width) * 4
 				secs := spec.CommLatency + float64(bytes)/(spec.CollectiveBW(c.P)*c.CommEfficiency)
 				bcast = tg.AddComm(devices, label+"/bcast", j, secs, prevStage...)
+				tg.AnnotateCollective(bcast, &sim.Collective{
+					Op: sim.CollBroadcast, Root: j, Group: devices,
+					Rows: vec.Size(j), Cols: width, Scale: S,
+				})
 			}
 			stage := make([]int, 0, c.P)
 			for i := 0; i < c.P; i++ {
@@ -137,6 +149,10 @@ func (c CAGNETConfig) EpochSeconds(g *graph.Graph) float64 {
 			// would start at t≈0 and underprice the epoch.
 			secs := spec.CommLatency + spec.AllReduceCost(params*4, c.P)/c.CommEfficiency
 			lastAllReduce = tg.AddComm(devices, fmt.Sprintf("bwd%d/allreduce", l), -1, secs, wgID...)
+			tg.AnnotateCollective(lastAllReduce, &sim.Collective{
+				Op: sim.CollAllReduce, Root: -1, Group: devices,
+				Rows: int(params), Cols: 1, Scale: 1,
+			})
 		}
 		addPerDevice(sim.KindGeMM, fmt.Sprintf("bwd%d/hgrad", l), func(rows int) float64 {
 			return spec.GemmCost(rows, dOut, dIn)
@@ -154,7 +170,7 @@ func (c CAGNETConfig) EpochSeconds(g *graph.Graph) float64 {
 	addPerDevice(sim.KindAdam, "adam", func(rows int) float64 {
 		return spec.AdamCost(params)
 	}, adamDeps...)
-	return tg.Run().Makespan
+	return tg
 }
 
 // MemoryBytes returns CAGNET's per-GPU footprint at full scale: the local

@@ -31,6 +31,9 @@ type Group struct {
 	Retry RetryPolicy
 	Clock Clock
 	Gate  CollectiveGate
+	// Meter, when set, counts the words every collective moves (Sub
+	// inherits it) — the measured side of schedcheck's cost certification.
+	Meter *Meter
 	// devices are the group members; nil means all of Graph's devices.
 	devices []int
 }
@@ -39,15 +42,39 @@ type Group struct {
 func New(g *sim.Graph) *Group { return &Group{Graph: g, BytesScale: 1} }
 
 // Sub returns a communicator over the given device subset, inheriting the
-// byte scale and the retry policy/clock/gate — a shrunken group recovers
-// from transient faults exactly like its parent. Collective costs use the
-// subset's link topology (§5.1: a 4-GPU group of a DGX-1 sees 4 links; a
-// cross-group pair sees 2).
+// byte scale, the retry policy/clock/gate and the meter — a shrunken group
+// recovers from transient faults exactly like its parent. Collective costs
+// use the subset's link topology (§5.1: a 4-GPU group of a DGX-1 sees 4
+// links; a cross-group pair sees 2).
+//
+// The subset is validated against the *parent's* membership, so a nested
+// Sub-of-Sub cannot silently re-admit a device the outer Sub removed (the
+// elastic path shrinks groups repeatedly; a resurrected rank would hang the
+// collective waiting on a device that no longer participates). Out-of-range,
+// duplicate, non-member or empty subsets panic, consistent with checkBufs.
 func (c *Group) Sub(devices []int) *Group {
+	if len(devices) == 0 {
+		panic("comm: Sub of empty device set")
+	}
+	parent := c.members()
+	member := make(map[int]bool, len(parent))
+	for _, d := range parent {
+		member[d] = true
+	}
 	ds := make([]int, len(devices))
-	copy(ds, devices)
+	seen := make(map[int]bool, len(devices))
+	for i, d := range devices {
+		if !member[d] {
+			panic(fmt.Sprintf("comm: Sub device %d is not a member of the parent group %v", d, parent))
+		}
+		if seen[d] {
+			panic(fmt.Sprintf("comm: Sub device %d listed twice in %v", d, devices))
+		}
+		seen[d] = true
+		ds[i] = d
+	}
 	return &Group{Graph: c.Graph, BytesScale: c.BytesScale,
-		Retry: c.Retry, Clock: c.Clock, Gate: c.Gate, devices: ds}
+		Retry: c.Retry, Clock: c.Clock, Gate: c.Gate, Meter: c.Meter, devices: ds}
 }
 
 // P returns the group size.
@@ -65,17 +92,17 @@ func (c *Group) members() []int {
 	return ds
 }
 
-// stamps collects the registry IDs of a per-device buffer set, skipping the
-// member at index skip (-1: none) — how collectives derive their access
-// declarations from the views they are handed, without the caller repeating
-// itself. Unregistered views contribute nothing.
-func stamps(bufs []*tensor.Dense, skip int) []sim.BufID {
-	var out []sim.BufID
+// shapes collects the registry IDs and extents of a per-device buffer set,
+// skipping the member at index skip (-1: none) — how collectives derive their
+// shaped access declarations from the views they are handed, without the
+// caller repeating itself. Unregistered views contribute nothing.
+func shapes(bufs []*tensor.Dense, skip int) []sim.ViewShape {
+	var out []sim.ViewShape
 	for i, b := range bufs {
 		if i == skip || b == nil || b.Buf == 0 {
 			continue
 		}
-		out = append(out, sim.BufID(b.Buf))
+		out = append(out, sim.ViewShape{Buf: sim.BufID(b.Buf), Rows: b.Rows, Cols: b.Cols})
 	}
 	return out
 }
@@ -117,12 +144,18 @@ func (c *Group) Broadcast(root int, src *tensor.Dense, dst []*tensor.Dense, labe
 	}
 	seconds := c.Graph.Spec.BroadcastCost(src.Bytes()*c.BytesScale, c.P())
 	id := c.Graph.AddComm(c.members(), label, stage, seconds, deps...)
+	c.Graph.AnnotateCollective(id, &sim.Collective{
+		Op: sim.CollBroadcast, Root: c.members()[root], Group: c.members(),
+		Rows: src.Rows, Cols: src.Cols, Scale: c.BytesScale,
+	})
+	c.Meter.Add(sim.CollBroadcast,
+		int64(c.P()-1)*int64(src.Rows)*int64(src.Cols)*c.BytesScale)
 	if !src.IsPhantom() {
 		// Reads the root's resident block, writes every other destination;
 		// dst[root] is untouched and stays out of the declaration. The
 		// movement runs under the group's retry loop: failed attempts leave
 		// every destination untouched (retry.go).
-		c.Graph.BindRWE(id, sim.BufsOf(src), stamps(dst, root), func() error {
+		c.Graph.BindShapedE(id, sim.ShapesOf(src), shapes(dst, root), func() error {
 			return c.retry(id, label, func() {
 				for i, d := range dst {
 					if i == root || d.IsPhantom() {
@@ -145,6 +178,7 @@ func (c *Group) AllReduceSum(bufs []*tensor.Dense, label string, deps ...int) in
 	c.checkBufs("allreduce", bufs)
 	seconds := c.Graph.Spec.AllReduceCost(bufs[0].Bytes(), c.P())
 	id := c.Graph.AddComm(c.members(), label, -1, seconds, deps...)
+	c.annotateAllReduce(id, bufs, 1)
 	c.bindAllReduce(id, bufs, label)
 	return id
 }
@@ -156,8 +190,20 @@ func (c *Group) AllReduceSumScaled(bufs []*tensor.Dense, label string, deps ...i
 	c.checkBufs("allreduce", bufs)
 	seconds := c.Graph.Spec.AllReduceCost(bufs[0].Bytes()*c.BytesScale, c.P())
 	id := c.Graph.AddComm(c.members(), label, -1, seconds, deps...)
+	c.annotateAllReduce(id, bufs, c.BytesScale)
 	c.bindAllReduce(id, bufs, label)
 	return id
+}
+
+// annotateAllReduce attaches the collective annotation shared by both
+// all-reduce flavours and meters the 2·(g−1)·payload ring volume.
+func (c *Group) annotateAllReduce(id int, bufs []*tensor.Dense, scale int64) {
+	c.Graph.AnnotateCollective(id, &sim.Collective{
+		Op: sim.CollAllReduce, Root: -1, Group: c.members(),
+		Rows: bufs[0].Rows, Cols: bufs[0].Cols, Scale: scale,
+	})
+	c.Meter.Add(sim.CollAllReduce,
+		2*int64(c.P()-1)*int64(bufs[0].Rows)*int64(bufs[0].Cols)*scale)
 }
 
 // bindAllReduce attaches the elementwise sum-and-replicate closure to task
@@ -170,7 +216,7 @@ func (c *Group) bindAllReduce(id int, bufs []*tensor.Dense, label string) {
 	// movement is not idempotent (after the write-back every buffer holds
 	// the total), which is exactly why the retry gate sits *before* it:
 	// failed attempts never start the reduction.
-	c.Graph.BindRWE(id, nil, stamps(bufs, -1), func() error {
+	c.Graph.BindShapedE(id, nil, shapes(bufs, -1), func() error {
 		return c.retry(id, label, func() {
 			total := bufs[0].Clone()
 			for i := 1; i < len(bufs); i++ {
@@ -191,11 +237,17 @@ func (c *Group) ReduceSum(root int, bufs []*tensor.Dense, label string, deps ...
 	c.checkBufs("reduce", bufs)
 	seconds := c.Graph.Spec.ReduceCost(bufs[0].Bytes()*c.BytesScale, c.P())
 	id := c.Graph.AddComm(c.members(), label, -1, seconds, deps...)
+	c.Graph.AnnotateCollective(id, &sim.Collective{
+		Op: sim.CollReduce, Root: c.members()[root], Group: c.members(),
+		Rows: bufs[0].Rows, Cols: bufs[0].Cols, Scale: c.BytesScale,
+	})
+	c.Meter.Add(sim.CollReduce,
+		int64(c.P()-1)*int64(bufs[0].Rows)*int64(bufs[0].Cols)*c.BytesScale)
 	if !bufs[0].IsPhantom() {
 		// Non-root contributions are read-only; the root accumulates. Like
 		// the all-reduce, the accumulation is not idempotent — the retry
 		// gate fires before it, never between partial additions.
-		c.Graph.BindRWE(id, stamps(bufs, root), sim.BufsOf(bufs[root]), func() error {
+		c.Graph.BindShapedE(id, shapes(bufs, root), sim.ShapesOf(bufs[root]), func() error {
 			return c.retry(id, label, func() {
 				for i, b := range bufs {
 					if i == root {

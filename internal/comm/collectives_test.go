@@ -1,7 +1,9 @@
 package comm
 
 import (
+	"fmt"
 	"math/rand"
+	"strings"
 	"testing"
 
 	"mggcn/internal/sim"
@@ -256,4 +258,130 @@ func TestPhantomCollectivesPricedLikeReal(t *testing.T) {
 	if got, want := len(phantom.Graph.Tasks), len(real.Graph.Tasks); got != want {
 		t.Fatalf("phantom run emitted %d tasks, real %d", got, want)
 	}
+}
+
+func mustPanic(t *testing.T, want string, fn func()) {
+	t.Helper()
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatalf("expected panic containing %q", want)
+		}
+		if msg := fmt.Sprint(r); !strings.Contains(msg, want) {
+			t.Fatalf("panic %q does not mention %q", msg, want)
+		}
+	}()
+	fn()
+}
+
+// Regression: a nested Sub used to accept any device list, so Sub-of-Sub
+// could silently re-admit a rank the outer Sub removed — exactly the elastic
+// shrink path, where a "resurrected" rank would hang the real collective.
+func TestSubOfSubRejectsRemovedRank(t *testing.T) {
+	c := newGroup(4)
+	survivors := c.Sub([]int{0, 1, 2}) // rank 3 lost
+	mustPanic(t, "not a member", func() {
+		survivors.Sub([]int{1, 3})
+	})
+}
+
+func TestSubValidation(t *testing.T) {
+	c := newGroup(4)
+	mustPanic(t, "empty", func() { c.Sub(nil) })
+	mustPanic(t, "not a member", func() { c.Sub([]int{0, 4}) })
+	mustPanic(t, "twice", func() { c.Sub([]int{1, 2, 1}) })
+	// Legal nesting still works, including reordering.
+	pair := c.Sub([]int{3, 1, 0}).Sub([]int{1, 3})
+	if got := pair.members(); got[0] != 1 || got[1] != 3 {
+		t.Fatalf("nested sub members = %v, want [1 3]", got)
+	}
+}
+
+// Every collective must carry a sim.Collective annotation whose Words()
+// equals the independently-computed meter count — the invariant schedcheck's
+// golden certification test relies on.
+func TestCollectivesAnnotatedAndMetered(t *testing.T) {
+	c := newGroup(3)
+	c.BytesScale = 5
+	c.Meter = NewMeter()
+	bufs := make([]*tensor.Dense, 3)
+	for i := range bufs {
+		bufs[i] = tensor.NewDense(4, 2)
+	}
+
+	bID := c.Broadcast(1, bufs[1], bufs, "bc", 0)
+	rID := c.ReduceSum(0, bufs, "red")
+	aID := c.AllReduceSum(bufs, "ar")         // unscaled: weight grads
+	sID := c.AllReduceSumScaled(bufs, "ar-s") // scaled: feature payloads
+
+	want := map[int]struct {
+		op    sim.CollOp
+		root  int
+		words int64
+	}{
+		bID: {sim.CollBroadcast, 1, 2 * 4 * 2 * 5},
+		rID: {sim.CollReduce, 0, 2 * 4 * 2 * 5},
+		aID: {sim.CollAllReduce, -1, 2 * 2 * 4 * 2},
+		sID: {sim.CollAllReduce, -1, 2 * 2 * 4 * 2 * 5},
+	}
+	var annotated int64
+	perOp := map[sim.CollOp]int64{}
+	for id, w := range want {
+		coll := c.Graph.Tasks[id].Coll
+		if coll == nil {
+			t.Fatalf("task %d has no collective annotation", id)
+		}
+		if coll.Op != w.op || coll.Root != w.root {
+			t.Fatalf("task %d annotated %v root %d, want %v root %d", id, coll.Op, coll.Root, w.op, w.root)
+		}
+		if len(coll.Group) != 3 {
+			t.Fatalf("task %d group %v, want all 3 devices", id, coll.Group)
+		}
+		if got := coll.Words(); got != w.words {
+			t.Fatalf("task %d Words() = %d, want %d", id, got, w.words)
+		}
+		annotated += w.words
+		perOp[w.op] += w.words
+	}
+	if got := c.Meter.TotalWords(); got != annotated {
+		t.Fatalf("meter total %d != annotated total %d", got, annotated)
+	}
+	for op, w := range perOp {
+		if got := c.Meter.Words(op); got != w {
+			t.Fatalf("meter %v = %d, want %d", op, got, w)
+		}
+	}
+	c.Meter.Reset()
+	if c.Meter.TotalWords() != 0 {
+		t.Fatalf("meter not cleared by Reset")
+	}
+
+	// Shaped declarations: the broadcast reads the root view and writes the
+	// other members at the same extent... but these views are unregistered
+	// (Buf == 0) here, so the shape sets stay empty. Register one and check.
+	reg := sim.NewBufRegistry()
+	c.Graph.Reg = reg
+	for i, b := range bufs {
+		b.Buf = int(reg.Register(fmt.Sprintf("b%d", i)))
+	}
+	c.Meter = nil // nil-safe metering
+	id := c.Broadcast(0, bufs[0], bufs, "bc2", 0)
+	task := c.Graph.Tasks[id]
+	if len(task.InShapes) != 1 || len(task.OutShapes) != 2 {
+		t.Fatalf("broadcast shapes in=%d out=%d, want 1/2", len(task.InShapes), len(task.OutShapes))
+	}
+	for _, s := range append(task.InShapes, task.OutShapes...) {
+		if s.Rows != 4 || s.Cols != 2 {
+			t.Fatalf("shape %+v, want 4x2", s)
+		}
+	}
+}
+
+func TestMeterNilSafe(t *testing.T) {
+	var m *Meter
+	m.Add(sim.CollBroadcast, 10)
+	if m.Words(sim.CollBroadcast) != 0 || m.TotalWords() != 0 {
+		t.Fatalf("nil meter returned nonzero")
+	}
+	m.Reset()
 }

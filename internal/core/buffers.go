@@ -37,6 +37,9 @@ func newBuffer(reg *sim.BufRegistry, dev int, pool *sim.Pool, label string, capE
 	}
 	b.id = reg.Register(fmt.Sprintf("d%d/%s", dev, label))
 	reg.Track(b.id, b.data)
+	// Slab: views of any shape up to the capacity are legal (schedcheck
+	// bounds-checks against this, not an exact extent).
+	reg.SetCapacity(b.id, capElems)
 	return b, nil
 }
 
@@ -127,6 +130,8 @@ func registerDense(reg *sim.BufRegistry, name string, t *tensor.Dense) {
 	if t.Data != nil {
 		reg.Track(id, t.Data)
 	}
+	// Whole matrix: the exact extent seeds schedcheck's shape dataflow.
+	reg.SetShape(id, t.Rows, t.Cols)
 	t.Buf = int(id)
 }
 

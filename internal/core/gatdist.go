@@ -93,6 +93,7 @@ func (d *GATDist) Forward() (*tensor.Dense, *EpochStats, error) {
 	if gate, ok := d.Cfg.Fault.(comm.CollectiveGate); ok {
 		cg.Gate = gate
 	}
+	cg.Meter = d.Cfg.CommMeter
 	scale := func(x int) int { return x * d.Cfg.MemScale }
 
 	L := d.Model.Layers()
@@ -141,10 +142,10 @@ func (d *GATDist) Forward() (*tensor.Dense, *EpochStats, error) {
 				2*spec.GemmCost(scale(d.part.devs[i].rows), dOut, 1), false, gemmID)
 			if !d.phantom {
 				in, w := inputView(i, l), d.Model.Weights[l]
-				tg.BindRW(gemmID, sim.BufsOf(in, w), sim.BufsOf(z),
+				tg.BindShaped(gemmID, sim.ShapesOf(in, w), sim.ShapesOf(z),
 					func() { tensor.ParallelGemm(1, in, w, 0, z, d.Cfg.Workers) })
 				aSrc, aDst := d.Model.AttnSrc[l], d.Model.AttnDst[l]
-				tg.BindRW(id, sim.BufsOf(z, aSrc, aDst), sim.BufsOf(s1, s2), func() {
+				tg.BindShaped(id, sim.ShapesOf(z, aSrc, aDst), sim.ShapesOf(s1, s2), func() {
 					tensor.Gemm(1, z, aSrc, 0, s1)
 					tensor.Gemm(1, z, aDst, 0, s2)
 				})
@@ -163,8 +164,17 @@ func (d *GATDist) Forward() (*tensor.Dense, *EpochStats, error) {
 			allDevs[i] = i
 		}
 		gatherID := tg.AddComm(allDevs, fmt.Sprintf("gat%d/allgather-s1", l), -1, gatherSecs, zID...)
+		// This collective is issued raw (the s1 gather is a concatenation,
+		// not one of comm.Group's shape-uniform primitives), so it carries
+		// its annotation and meter count by hand. Rows x Cols is the total
+		// gathered extent: n scalars.
+		tg.AnnotateCollective(gatherID, &sim.Collective{
+			Op: sim.CollAllGather, Root: -1, Group: allDevs,
+			Rows: d.graph.N(), Cols: 1, Scale: int64(d.Cfg.MemScale),
+		})
+		cg.Meter.Add(sim.CollAllGather, int64(p-1)*int64(d.graph.N())*int64(d.Cfg.MemScale))
 		if !d.phantom {
-			tg.BindRW(gatherID, sim.BufsOf(s1Local...), sim.BufsOf(s1Full), func() {
+			tg.BindShaped(gatherID, sim.ShapesOf(s1Local...), sim.ShapesOf(s1Full), func() {
 				for i := 0; i < p; i++ {
 					ds := d.part.devs[i]
 					for r := 0; r < ds.rows; r++ {
@@ -196,7 +206,7 @@ func (d *GATDist) Forward() (*tensor.Dense, *EpochStats, error) {
 				alphaIDs[i] = d.reg.Register(fmt.Sprintf("gat%d/alpha-d%d", l, i))
 				// The aggregation closures below read alphaTiles[i] at
 				// replay time, after this task (their scoreID dep).
-				tg.BindRW(scoreID[i], sim.BufsOf(s1Full, s2), []sim.BufID{alphaIDs[i]}, func() {
+				tg.BindShaped(scoreID[i], sim.ShapesOf(s1Full, s2), []sim.ViewShape{sim.OpaqueShape(alphaIDs[i])}, func() {
 					alphaTiles[i] = attentionRow(ds, s1Full, s2, d.part.vec, d.Model.LeakySlope)
 				})
 			} else {
@@ -245,7 +255,7 @@ func (d *GATDist) Forward() (*tensor.Dense, *EpochStats, error) {
 				if !d.phantom {
 					// alphaTiles[i] materializes when scoreID[i] (a dep)
 					// replays, so index it inside the closure.
-					tg.BindRW(id, append(sim.BufsOf(xin), alphaIDs[i]), sim.BufsOf(out),
+					tg.BindShaped(id, append(sim.ShapesOf(xin), sim.OpaqueShape(alphaIDs[i])), sim.ShapesOf(out),
 						func() { sparse.ParallelSpMM(alphaTiles[i][j], xin, beta, out, d.Cfg.Workers) })
 				}
 				stage = append(stage, id)
@@ -261,7 +271,7 @@ func (d *GATDist) Forward() (*tensor.Dense, *EpochStats, error) {
 				id := tg.AddCompute(i, sim.KindActivation, fmt.Sprintf("gat%d/relu", l), -1,
 					spec.ElementwiseCost(int64(scale(ds.rows))*int64(dOut), 1), true, last[i])
 				if !d.phantom {
-					tg.BindRW(id, nil, sim.BufsOf(act), func() { tensor.ReLU(act, act) })
+					tg.BindShaped(id, nil, sim.ShapesOf(act), func() { tensor.ReLU(act, act) })
 				}
 				last[i] = id
 			}

@@ -112,7 +112,7 @@ func (tr *Trainer) stagedSpMM(tg *sim.Graph, cg *comm.Group, a spmmArgs) []int {
 				dst := a.dst(i)
 				// dst is Writes even at beta=0: Writes means read-and-write,
 				// and the accumulating stages (beta=1) do read it.
-				tg.BindRW(id, sim.BufsOf(xin), sim.BufsOf(dst),
+				tg.BindShaped(id, sim.ShapesOf(xin), sim.ShapesOf(dst),
 					func() { sparse.ParallelSpMM(tile, xin, beta, dst, tr.Cfg.Workers) })
 			}
 			stage = append(stage, id)

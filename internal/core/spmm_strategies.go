@@ -60,7 +60,7 @@ func (tr *Trainer) stagedSpMMCol(tg *sim.Graph, cg *comm.Group, a spmmArgs) []in
 			id := tg.AddCompute(j, sim.KindSpMM, a.label, i, cost, true, deps...)
 			if !tr.phantom {
 				src := a.src(j)
-				tg.BindRW(id, sim.BufsOf(src), sim.BufsOf(out),
+				tg.BindShaped(id, sim.ShapesOf(src), sim.ShapesOf(out),
 					func() { sparse.ParallelSpMM(tile, src, 0, out, tr.Cfg.Workers) })
 			}
 			stageIDs = append(stageIDs, id)
@@ -155,7 +155,7 @@ func (tr *Trainer) stagedSpMM15D(tg *sim.Graph, cg *comm.Group, a spmmArgs) []in
 				id := tg.AddCompute(d, sim.KindSpMM, a.label, j, cost, true, deps...)
 				if !tr.phantom {
 					dst := a.dst(d)
-					tg.BindRW(id, sim.BufsOf(xin), sim.BufsOf(dst),
+					tg.BindShaped(id, sim.ShapesOf(xin), sim.ShapesOf(dst),
 						func() { sparse.ParallelSpMM(tile, xin, beta, dst, tr.Cfg.Workers) })
 				}
 				stage = append(stage, id)
@@ -177,7 +177,7 @@ func (tr *Trainer) stagedSpMM15D(tg *sim.Graph, cg *comm.Group, a spmmArgs) []in
 			id := tg.AddCompute(d, sim.KindSpMM, a.label+"/zerofill", -1, 0, false)
 			if !tr.phantom {
 				dst := a.dst(d)
-				tg.BindRW(id, nil, sim.BufsOf(dst), func() { dst.Zero() })
+				tg.BindShaped(id, nil, sim.ShapesOf(dst), func() { dst.Zero() })
 			}
 			lastLocal[d] = id
 		}

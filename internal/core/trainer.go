@@ -63,6 +63,9 @@ type Config struct {
 	// (nil: wall clock).
 	Retry      comm.RetryPolicy
 	RetryClock comm.Clock
+	// CommMeter, when set, counts the words every collective moves — the
+	// measured side of internal/schedcheck's cost certification.
+	CommMeter *comm.Meter
 }
 
 // DefaultConfig returns the full MG-GCN configuration (all optimizations
@@ -198,6 +201,7 @@ func (tr *Trainer) newComm(tg *sim.Graph) *comm.Group {
 	cg.BytesScale = int64(tr.Cfg.MemScale)
 	cg.Retry = tr.Cfg.Retry
 	cg.Clock = tr.Cfg.RetryClock
+	cg.Meter = tr.Cfg.CommMeter
 	if gate, ok := tr.Cfg.Fault.(comm.CollectiveGate); ok {
 		cg.Gate = gate
 	}
@@ -210,6 +214,15 @@ func (tr *Trainer) LastGraph() *sim.Graph { return tr.lastGraph }
 
 // Registry returns the trainer's buffer registry.
 func (tr *Trainer) Registry() *sim.BufRegistry { return tr.reg }
+
+// ParamCount returns the model's parameter count (one replica).
+func (tr *Trainer) ParamCount() int64 { return tr.paramCount }
+
+// Blocks returns the partition's block count (P for 1D, P/2 for 1.5D).
+func (tr *Trainer) Blocks() int { return tr.part.blocks }
+
+// BlockRows returns the vertex count of partition block b.
+func (tr *Trainer) BlockRows(b int) int { return tr.part.vec.Size(b) }
 
 // s maps an actual (scaled-down) row/element count to its full-scale
 // equivalent: all task costs are priced at paper scale so that simulated
@@ -308,7 +321,7 @@ func (tr *Trainer) RunEpoch() (*EpochStats, error) {
 					spec.GemmCost(tr.s(ds.rows), dIn, dOut), false, last[i])
 				if !tr.phantom {
 					w := tr.weights[i][l]
-					tg.BindRW(id, sim.BufsOf(ah, w), sim.BufsOf(out),
+					tg.BindShaped(id, sim.ShapesOf(ah, w), sim.ShapesOf(out),
 						func() { tensor.ParallelGemm(1, ah, w, 0, out, tr.Cfg.Workers) })
 				}
 				next[i] = id
@@ -326,7 +339,7 @@ func (tr *Trainer) RunEpoch() (*EpochStats, error) {
 					spec.GemmCost(tr.s(ds.rows), dIn, dOut), false, deps...)
 				if !tr.phantom {
 					in, w := tr.inputView(i, l), tr.weights[i][l]
-					tg.BindRW(gemmID[i], sim.BufsOf(in, w), sim.BufsOf(hw),
+					tg.BindShaped(gemmID[i], sim.ShapesOf(in, w), sim.ShapesOf(hw),
 						func() { tensor.ParallelGemm(1, in, w, 0, hw, tr.Cfg.Workers) })
 				}
 			}
@@ -351,7 +364,7 @@ func (tr *Trainer) RunEpoch() (*EpochStats, error) {
 				if !tr.phantom {
 					// In-place: the destination is also read, so Writes
 					// (read-and-write) alone covers it.
-					tg.BindRW(id, nil, sim.BufsOf(act), func() { tensor.ReLU(act, act) })
+					tg.BindShaped(id, nil, sim.ShapesOf(act), func() { tensor.ReLU(act, act) })
 				}
 				next[i] = id
 			}
@@ -378,7 +391,7 @@ func (tr *Trainer) RunEpoch() (*EpochStats, error) {
 			// The loss writes the gradient over its logits in place; the
 			// label/mask shards and per-device loss slots are host-side and
 			// unregistered.
-			tg.BindRW(lossID[i], nil, sim.BufsOf(logits), func() {
+			tg.BindShaped(lossID[i], nil, sim.ShapesOf(logits), func() {
 				lossCorrect[i], _ = nn.CorrectCount(logits, ds.labels, ds.mask)
 				if ds.testMask != nil {
 					lossTestCorrect[i], _ = nn.CorrectCount(logits, ds.labels, ds.testMask)
@@ -403,7 +416,7 @@ func (tr *Trainer) RunEpoch() (*EpochStats, error) {
 				id := tg.AddCompute(i, sim.KindActivation, fmt.Sprintf("bwd%d/relu", l), -1,
 					spec.ElementwiseCost(int64(tr.s(ds.rows))*int64(dOut), 2), true, gReady[i])
 				if !tr.phantom {
-					tg.BindRW(id, sim.BufsOf(gIn), sim.BufsOf(act),
+					tg.BindShaped(id, sim.ShapesOf(gIn), sim.ShapesOf(act),
 						func() { tensor.ReLUBackward(act, gIn, act) })
 				}
 				next[i] = id
@@ -440,7 +453,7 @@ func (tr *Trainer) RunEpoch() (*EpochStats, error) {
 				spec.GemmCost(dIn, tr.s(ds.rows), dOut), false, hwgReady[i])
 			if !tr.phantom {
 				in, hg, grad := tr.inputView(i, l), hwg(i), tr.grads[i][l]
-				tg.BindRW(wgID[i], sim.BufsOf(in, hg), sim.BufsOf(grad),
+				tg.BindShaped(wgID[i], sim.ShapesOf(in, hg), sim.ShapesOf(grad),
 					func() { tensor.ParallelGemmTA(1, in, hg, 0, grad, tr.Cfg.Workers) })
 			}
 		}
@@ -459,7 +472,7 @@ func (tr *Trainer) RunEpoch() (*EpochStats, error) {
 					spec.GemmCost(tr.s(ds.rows), dOut, dIn), false, hwgReady[i])
 				if !tr.phantom {
 					hg, w := hwg(i), tr.weights[i][l]
-					tg.BindRW(id, sim.BufsOf(hg, w), sim.BufsOf(hgOut),
+					tg.BindShaped(id, sim.ShapesOf(hg, w), sim.ShapesOf(hgOut),
 						func() { tensor.ParallelGemmTB(1, hg, w, 0, hgOut, tr.Cfg.Workers) })
 				}
 				next[i] = id
@@ -478,7 +491,7 @@ func (tr *Trainer) RunEpoch() (*EpochStats, error) {
 		if !tr.phantom {
 			opt, ws, gs := tr.opts[i], tr.weights[i], tr.grads[i]
 			// Adam's moment buffers are optimizer-private and unregistered.
-			tg.BindRW(id, sim.BufsOf(gs...), sim.BufsOf(ws...), func() { opt.Step(ws, gs) })
+			tg.BindShaped(id, sim.ShapesOf(gs...), sim.ShapesOf(ws...), func() { opt.Step(ws, gs) })
 		}
 	}
 
@@ -586,7 +599,7 @@ func (tr *Trainer) ForwardOnly() (*tensor.Dense, error) {
 			gemmID[i] = tg.AddCompute(i, sim.KindGeMM, "f/gemm", -1, 1e-6, false, deps...)
 			if !tr.phantom {
 				in, w := tr.inputView(i, l), tr.weights[i][l]
-				tg.BindRW(gemmID[i], sim.BufsOf(in, w), sim.BufsOf(hw),
+				tg.BindShaped(gemmID[i], sim.ShapesOf(in, w), sim.ShapesOf(hw),
 					func() { tensor.ParallelGemm(1, in, w, 0, hw, tr.Cfg.Workers) })
 			}
 		}
@@ -606,7 +619,7 @@ func (tr *Trainer) ForwardOnly() (*tensor.Dense, error) {
 				act := ds.bufs.AHW[l].View(ds.rows, dOut)
 				id := tg.AddCompute(i, sim.KindActivation, "f/relu", -1, 1e-6, true, last[i])
 				if !tr.phantom {
-					tg.BindRW(id, nil, sim.BufsOf(act), func() { tensor.ReLU(act, act) })
+					tg.BindShaped(id, nil, sim.ShapesOf(act), func() { tensor.ReLU(act, act) })
 				}
 				last[i] = id
 			}

@@ -1,0 +1,270 @@
+package schedcheck
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"mggcn/internal/sim"
+)
+
+// Volume is a strategy's certified communication cost: one closed-form
+// expression per collective class, in exact words over the atoms N (total
+// vertices), P (devices), S (dataset scale) and F0..FL (layer widths).
+// Partition unevenness cancels in every shipped form — the per-block row
+// counts always sum to N — which is why the forms need no per-block atoms.
+type Volume struct {
+	PerOp map[sim.CollOp]*Expr
+}
+
+// Model is what a closed form may depend on: the strategy's layer widths
+// and the trainer options that change which collectives are issued. The
+// widths double as concrete values (for branch decisions like the §4.4
+// order switch, which symbolic atoms cannot express) and as atom indices.
+type Model struct {
+	Dims              []int // layer widths F0..FL
+	OrderSwitch       bool
+	SkipFirstBackward bool
+}
+
+// VolumeFormFunc builds a strategy's closed form for one model.
+type VolumeFormFunc func(Model) *Volume
+
+var (
+	formsMu sync.Mutex
+	forms   = map[string]VolumeFormFunc{}
+)
+
+// RegisterVolumeForm registers (or replaces) the closed form for a strategy
+// name. The shipped strategies self-register; new strategies plug in the
+// same way — the CAGNET-style analysis lives with the strategy, the checker
+// stays generic.
+func RegisterVolumeForm(strategy string, f VolumeFormFunc) {
+	formsMu.Lock()
+	defer formsMu.Unlock()
+	forms[strategy] = f
+}
+
+// VolumeForm returns the registered closed form for strategy under model.
+func VolumeForm(strategy string, m Model) (*Volume, error) {
+	formsMu.Lock()
+	f, ok := forms[strategy]
+	formsMu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("schedcheck: no volume form registered for strategy %q (RegisterVolumeForm)", strategy)
+	}
+	return f(m), nil
+}
+
+// Strategies returns the registered strategy names, sorted.
+func Strategies() []string {
+	formsMu.Lock()
+	defer formsMu.Unlock()
+	out := make([]string, 0, len(forms))
+	for s := range forms {
+		out = append(out, s)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// EnvFor binds the standard atoms: N, P, S and F0..F{len(dims)-1}.
+func EnvFor(n, p int, scale int64, dims []int) Env {
+	env := Env{"N": int64(n), "P": int64(p), "S": scale}
+	for i, d := range dims {
+		env[fmt.Sprintf("F%d", i)] = int64(d)
+	}
+	return env
+}
+
+// AnnotatedWords sums the graph's collective annotations per operation —
+// the volume the recorded schedule claims to move. Unannotated comm tasks
+// contribute nothing (CheckCollectives flags them separately).
+func AnnotatedWords(g *sim.Graph) map[sim.CollOp]int64 {
+	out := make(map[sim.CollOp]int64)
+	for _, t := range g.Tasks {
+		if t.Kind == sim.KindComm && t.Coll != nil {
+			out[t.Coll.Op] += t.Coll.Words()
+		}
+	}
+	return out
+}
+
+// CertifyVolume proves the schedule's annotated communication volume equals
+// the closed form, per collective class, with exact integer equality. A
+// mismatch in either direction — schedule moves words the form does not
+// predict, or the form predicts volume the schedule never issues — is a
+// finding naming the class, both values, and the symbolic form.
+func CertifyVolume(g *sim.Graph, vol *Volume, env Env) []Finding {
+	var out []Finding
+	measured := AnnotatedWords(g)
+	for _, op := range sim.CollOps() {
+		form := vol.PerOp[op]
+		var want int64
+		if form != nil {
+			var err error
+			want, err = form.Eval(env)
+			if err != nil {
+				out = append(out, Finding{Check: "cost", Task: -1,
+					Msg: fmt.Sprintf("%s form %q: %v", op, form, err)})
+				continue
+			}
+		}
+		got := measured[op]
+		if got != want {
+			out = append(out, Finding{Check: "cost", Task: -1,
+				Msg: fmt.Sprintf("%s volume: schedule moves %d words, closed form %q = %d under %s",
+					op, got, formString(form), want, envString(env))})
+		}
+	}
+	return out
+}
+
+func formString(e *Expr) string {
+	if e == nil {
+		return "0"
+	}
+	return e.String()
+}
+
+func envString(env Env) string {
+	keys := make([]string, 0, len(env))
+	for k := range env {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	parts := make([]string, len(keys))
+	for i, k := range keys {
+		parts[i] = fmt.Sprintf("%s=%d", k, env[k])
+	}
+	return "{" + strings.Join(parts, " ") + "}"
+}
+
+// ---- Shipped closed forms ------------------------------------------------
+//
+// Notation: pm1 = P-1, every distributed SpMM over width w moves N·w rows
+// of full-scale features (Σ_j rows_j = N regardless of partition balance),
+// and the weight all-reduce is unscaled (gradients are model-sized, not
+// dataset-sized). Derivations in DESIGN.md §6.3.
+
+func atomF(l int) *Expr { return Atom(fmt.Sprintf("F%d", l)) }
+
+// spmmWidths lists the dense widths of every distributed SpMM one epoch of
+// the Trainer issues under model m: forward per layer (the §4.4 order switch
+// picks min(F_l, F_{l+1})), backward per layer at F_{l+1} except layer 0
+// when the §4.4 skip applies.
+func spmmWidths(m Model) []*Expr {
+	L := len(m.Dims) - 1
+	var ws []*Expr
+	for l := 0; l < L; l++ {
+		w := atomF(l + 1)
+		if m.OrderSwitch && m.Dims[l] < m.Dims[l+1] {
+			w = atomF(l)
+		}
+		ws = append(ws, w)
+	}
+	for l := L - 1; l >= 0; l-- {
+		if l == 0 && m.SkipFirstBackward {
+			continue
+		}
+		ws = append(ws, atomF(l+1))
+	}
+	return ws
+}
+
+// weightAllReduce is Σ_l 2·(P-1)·F_l·F_{l+1}: one unscaled gradient
+// all-reduce per layer, issued by the Trainer under every strategy.
+func weightAllReduce(m Model) *Expr {
+	pm1 := Atom("P").Sub(Const(1))
+	total := Const(0)
+	for l := 0; l+1 < len(m.Dims); l++ {
+		total = total.Add(Const(2).Mul(pm1).Mul(atomF(l)).Mul(atomF(l + 1)))
+	}
+	return total
+}
+
+func sumWidths(m Model) *Expr {
+	total := Const(0)
+	for _, w := range spmmWidths(m) {
+		total = total.Add(w)
+	}
+	return total
+}
+
+func init() {
+	NS := func() *Expr { return Atom("N").Mul(Atom("S")) }
+
+	// 1D-row (§4.1): every distributed SpMM broadcasts each block once to
+	// the other P-1 devices: (P-1)·N·w·S per SpMM of width w.
+	RegisterVolumeForm("1d-row", func(m Model) *Volume {
+		pm1 := Atom("P").Sub(Const(1))
+		return &Volume{PerOp: map[sim.CollOp]*Expr{
+			sim.CollBroadcast: pm1.Mul(NS()).Mul(sumWidths(m)),
+			sim.CollAllReduce: weightAllReduce(m),
+		}}
+	})
+
+	// 1D-col (§4.1 alternative): same volume per SpMM, moved as P output
+	// reductions instead of P input broadcasts.
+	RegisterVolumeForm("1d-col", func(m Model) *Volume {
+		pm1 := Atom("P").Sub(Const(1))
+		return &Volume{PerOp: map[sim.CollOp]*Expr{
+			sim.CollReduce:    pm1.Mul(NS()).Mul(sumWidths(m)),
+			sim.CollAllReduce: weightAllReduce(m),
+		}}
+	})
+
+	// 1.5D (§5.1, replication factor 2): broadcasts shrink to the P/2-sized
+	// replica groups — (P/2-1)·N·w·S per SpMM — and each SpMM adds a
+	// cross-group pairwise all-reduce of the full output, 2·N·w·S.
+	RegisterVolumeForm("1.5d", func(m Model) *Volume {
+		gm1 := Atom("P").Scale(1, 2).Sub(Const(1)) // group size P/2, minus 1
+		pair := Const(2).Mul(NS()).Mul(sumWidths(m))
+		return &Volume{PerOp: map[sim.CollOp]*Expr{
+			sim.CollBroadcast: gm1.Mul(NS()).Mul(sumWidths(m)),
+			sim.CollAllReduce: pair.Add(weightAllReduce(m)),
+		}}
+	})
+
+	// GAT forward (§7): per layer one all-gather of the n per-vertex source
+	// scores — total extent N·1, so (P-1)·N·S — plus the staged broadcast of
+	// Z at the output width, (P-1)·N·F_{l+1}·S.
+	RegisterVolumeForm("gat", func(m Model) *Volume {
+		pm1 := Atom("P").Sub(Const(1))
+		L := len(m.Dims) - 1
+		bc := Const(0)
+		ag := Const(0)
+		for l := 0; l < L; l++ {
+			bc = bc.Add(pm1.Mul(NS()).Mul(atomF(l + 1)))
+			ag = ag.Add(pm1.Mul(NS()))
+		}
+		return &Volume{PerOp: map[sim.CollOp]*Expr{
+			sim.CollBroadcast: bc,
+			sim.CollAllGather: ag,
+		}}
+	})
+
+	// CAGNET 1D baseline: aggregate-then-transform at min(F_l, F_{l+1})
+	// forward, full-width backward SpMM on every layer (no §4.4 savings),
+	// and one full-model gradient all-reduce per layer.
+	RegisterVolumeForm("cagnet", func(m Model) *Volume {
+		pm1 := Atom("P").Sub(Const(1))
+		L := len(m.Dims) - 1
+		bc := Const(0)
+		params := Const(0)
+		for l := 0; l < L; l++ {
+			w := atomF(l + 1)
+			if m.Dims[l] < m.Dims[l+1] {
+				w = atomF(l)
+			}
+			bc = bc.Add(pm1.Mul(NS()).Mul(w.Add(atomF(l + 1))))
+			params = params.Add(atomF(l).Mul(atomF(l + 1)))
+		}
+		ar := Const(2 * int64(L)).Mul(pm1).Mul(params)
+		return &Volume{PerOp: map[sim.CollOp]*Expr{
+			sim.CollBroadcast: bc,
+			sim.CollAllReduce: ar,
+		}}
+	})
+}

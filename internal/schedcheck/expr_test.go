@@ -1,0 +1,63 @@
+package schedcheck
+
+import (
+	"strings"
+	"testing"
+)
+
+func mustEval(t *testing.T, e *Expr, env Env) int64 {
+	t.Helper()
+	v, err := e.Eval(env)
+	if err != nil {
+		t.Fatalf("Eval(%v): %v", e, err)
+	}
+	return v
+}
+
+func TestExprAlgebra(t *testing.T) {
+	env := Env{"N": 61, "P": 4, "S": 3}
+	// (P-1)*N*S
+	e := Atom("P").Sub(Const(1)).Mul(Atom("N")).Mul(Atom("S"))
+	if got := mustEval(t, e, env); got != 3*61*3 {
+		t.Fatalf("(P-1)*N*S = %d, want %d", got, 3*61*3)
+	}
+	// P/2 - 1 at P=4
+	if got := mustEval(t, Atom("P").Scale(1, 2).Sub(Const(1)), env); got != 1 {
+		t.Fatalf("P/2-1 = %d, want 1", got)
+	}
+	// Like terms cancel: N + N - 2N == 0
+	zero := Atom("N").Add(Atom("N")).Sub(Const(2).Mul(Atom("N")))
+	if got := mustEval(t, zero, env); got != 0 {
+		t.Fatalf("cancelled expression = %d, want 0", got)
+	}
+	if zero.String() != "0" {
+		t.Fatalf("cancelled expression renders %q, want 0", zero.String())
+	}
+	// Powers collect: N*N renders N^2
+	if s := Atom("N").Mul(Atom("N")).String(); s != "N^2" {
+		t.Fatalf("N*N renders %q", s)
+	}
+}
+
+func TestExprEvalErrors(t *testing.T) {
+	if _, err := Atom("Q").Eval(Env{"N": 1}); err == nil || !strings.Contains(err.Error(), "unbound") {
+		t.Fatalf("unbound atom error = %v", err)
+	}
+	// P/2 at odd P is not an integer — the exactness contract.
+	if _, err := Atom("P").Scale(1, 2).Eval(Env{"P": 3}); err == nil || !strings.Contains(err.Error(), "non-integer") {
+		t.Fatalf("non-integer error = %v", err)
+	}
+}
+
+func TestExprString(t *testing.T) {
+	e := Const(2).Mul(Atom("F0")).Mul(Atom("F1")).Add(Atom("N").Mul(Atom("S")))
+	if s := e.String(); s != "2*F0*F1 + N*S" {
+		t.Fatalf("render = %q", s)
+	}
+	if s := Const(0).String(); s != "0" {
+		t.Fatalf("zero renders %q", s)
+	}
+	if s := Const(1).Sub(Atom("P")).String(); s != "1 - P" {
+		t.Fatalf("negative term renders %q", s)
+	}
+}

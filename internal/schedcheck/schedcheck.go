@@ -1,0 +1,37 @@
+package schedcheck
+
+import (
+	"fmt"
+
+	"mggcn/internal/sim"
+)
+
+// Finding is one verification failure. Findings are diagnostics, not errors:
+// a verified schedule yields none, and every finding names the offending
+// task and says what to change.
+type Finding struct {
+	Check string // "collective", "shape" or "cost"
+	Task  int    // offending task ID, -1 when not task-specific
+	Label string // offending task's label ("" when not task-specific)
+	Msg   string
+}
+
+func (f Finding) String() string {
+	if f.Task >= 0 {
+		return fmt.Sprintf("[%s] task %d %q: %s", f.Check, f.Task, f.Label, f.Msg)
+	}
+	return fmt.Sprintf("[%s] %s", f.Check, f.Msg)
+}
+
+// Check runs the structural passes — collective matching/deadlock-freedom
+// and shape-flow typing — over one recorded graph. Cost certification needs
+// a strategy's closed form and runs separately via CertifyVolume.
+func Check(g *sim.Graph) []Finding {
+	out := CheckCollectives(g)
+	out = append(out, CheckShapes(g)...)
+	return out
+}
+
+func finding(t *sim.Task, check, format string, args ...interface{}) Finding {
+	return Finding{Check: check, Task: t.ID, Label: t.Label, Msg: fmt.Sprintf(format, args...)}
+}

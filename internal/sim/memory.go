@@ -24,6 +24,12 @@ type BufRegistry struct {
 	names  []string // index = int(id) - 1
 	data   [][]float32
 	byName map[string]BufID
+	// caps holds each buffer's element capacity (0: unknown); dims holds an
+	// exact matrix extent for buffers that are whole matrices rather than
+	// reshapeable slabs ({0,0}: none). Both feed schedcheck's bounds and
+	// seed-shape checks; the executor and sanitizer ignore them.
+	caps []int64
+	dims [][2]int
 }
 
 // NewBufRegistry returns an empty registry.
@@ -40,9 +46,51 @@ func (r *BufRegistry) Register(name string) BufID {
 	}
 	r.names = append(r.names, name)
 	r.data = append(r.data, nil)
+	r.caps = append(r.caps, 0)
+	r.dims = append(r.dims, [2]int{})
 	id := BufID(len(r.names))
 	r.byName[name] = id
 	return id
+}
+
+// SetCapacity records a slab buffer's element capacity: views of any shape
+// are legal as long as rows x cols fits. Re-setting replaces the value.
+func (r *BufRegistry) SetCapacity(id BufID, elems int64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.caps[id-1] = elems
+	r.dims[id-1] = [2]int{}
+}
+
+// SetShape records a whole-matrix buffer's exact extent (weights, feature
+// shards): the capacity follows as rows x cols, and schedcheck seeds the
+// buffer's live shape from it.
+func (r *BufRegistry) SetShape(id BufID, rows, cols int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.caps[id-1] = int64(rows) * int64(cols)
+	r.dims[id-1] = [2]int{rows, cols}
+}
+
+// Capacity returns the buffer's element capacity (0: unknown / zero ID).
+func (r *BufRegistry) Capacity(id BufID) int64 {
+	if id == 0 {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.caps[id-1]
+}
+
+// Shape returns the buffer's exact extent when one was declared.
+func (r *BufRegistry) Shape(id BufID) (rows, cols int, ok bool) {
+	if id == 0 {
+		return 0, 0, false
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	d := r.dims[id-1]
+	return d[0], d[1], d != [2]int{}
 }
 
 // Track attaches backing storage to a registered buffer so the shadow

@@ -1,0 +1,170 @@
+package sim
+
+import (
+	"fmt"
+
+	"mggcn/internal/tensor"
+)
+
+// This file is the schedule-metadata layer internal/schedcheck interprets:
+// shaped access declarations (which buffer a task touches *and* at what
+// matrix extent) and collective annotations (which ranks a comm task spans,
+// what payload it moves, and its operation class). Both are recorded
+// alongside the graph and never consulted by the executor — they exist so a
+// recorded schedule can be verified symbolically without running a single
+// closure.
+
+// CollOp classifies a collective for matching and cost certification.
+type CollOp int
+
+const (
+	CollBroadcast CollOp = iota
+	CollReduce
+	CollAllReduce
+	CollAllGather
+)
+
+func (o CollOp) String() string {
+	switch o {
+	case CollBroadcast:
+		return "broadcast"
+	case CollReduce:
+		return "reduce"
+	case CollAllReduce:
+		return "allreduce"
+	case CollAllGather:
+		return "allgather"
+	default:
+		return fmt.Sprintf("CollOp(%d)", int(o))
+	}
+}
+
+// CollOps lists every collective operation in display order.
+func CollOps() []CollOp {
+	return []CollOp{CollBroadcast, CollReduce, CollAllReduce, CollAllGather}
+}
+
+// Collective annotates one comm task with the facts a symbolic verifier
+// needs: the operation, the participating devices (global IDs, in group
+// order), the root's global device ID (-1 for rootless ops), and the payload
+// extent. Rows x Cols is the per-member payload for broadcast/reduce/
+// all-reduce and the *total gathered* extent for all-gather; Scale is the
+// dataset byte-scale multiplier the words metric carries (DESIGN.md §2).
+type Collective struct {
+	Op    CollOp
+	Root  int // global device ID; -1 for rootless collectives
+	Group []int
+	Rows  int
+	Cols  int
+	Scale int64
+}
+
+// Words returns the exact number of full-scale float32 words the collective
+// moves over the interconnect — the integer volume metric the cost
+// certification sums (no bandwidth division, no rounding):
+//
+//	broadcast:  (g-1) · Rows·Cols · Scale   (root sends to each other rank)
+//	reduce:     (g-1) · Rows·Cols · Scale   (each non-root sends to root)
+//	allreduce:  2·(g-1) · Rows·Cols · Scale (reduce-scatter + all-gather ring)
+//	allgather:  (g-1) · Rows·Cols · Scale   (Rows·Cols is the total gathered
+//	                                         extent; each word leaves its
+//	                                         owner once per other rank)
+func (c *Collective) Words() int64 {
+	g := int64(len(c.Group))
+	payload := int64(c.Rows) * int64(c.Cols) * c.Scale
+	switch c.Op {
+	case CollAllReduce:
+		return 2 * (g - 1) * payload
+	default:
+		return (g - 1) * payload
+	}
+}
+
+// AnnotateCollective attaches a collective annotation to comm task id. The
+// group is copied; annotating twice replaces the previous annotation.
+func (g *Graph) AnnotateCollective(id int, c *Collective) {
+	if id < 0 || id >= len(g.Tasks) {
+		panic(fmt.Sprintf("sim: AnnotateCollective of unknown task %d", id))
+	}
+	t := g.Tasks[id]
+	if t.Kind != KindComm {
+		panic(fmt.Sprintf("sim: AnnotateCollective of non-comm task %q", t.Label))
+	}
+	cp := *c
+	cp.Group = append([]int(nil), c.Group...)
+	t.Coll = &cp
+}
+
+// ViewShape is one entry of a shaped access declaration: a registered buffer
+// plus the matrix extent the closure touches it at. Rows == 0 marks an
+// *opaque* access (a pseudo-buffer with no dense extent, e.g. the GAT
+// attention tiles): it participates in happens-before ordering but is
+// skipped by shape-flow typing.
+type ViewShape struct {
+	Buf  BufID
+	Rows int
+	Cols int
+}
+
+// Opaque reports whether the entry declares no dense extent.
+func (v ViewShape) Opaque() bool { return v.Rows == 0 }
+
+// ShapesOf collects the registry stamps and extents of the given views,
+// skipping nil and unregistered (zero-stamped) ones — the shaped counterpart
+// of BufsOf.
+func ShapesOf(views ...*tensor.Dense) []ViewShape {
+	var out []ViewShape
+	for _, v := range views {
+		if v != nil && v.Buf != 0 {
+			out = append(out, ViewShape{Buf: BufID(v.Buf), Rows: v.Rows, Cols: v.Cols})
+		}
+	}
+	return out
+}
+
+// OpaqueShape declares an access to a registered pseudo-buffer that has no
+// dense extent (GAT's attention-tile handoff): ordered by the sanitizer,
+// ignored by shape typing.
+func OpaqueShape(id BufID) ViewShape { return ViewShape{Buf: id} }
+
+// BindShaped is BindRW with extents: the declaration both names the buffers
+// fn touches and records the matrix shapes it touches them at, so
+// internal/schedcheck can type the schedule without executing it. This is
+// the binding form production code should use for Dense-touching closures
+// (the shapedecl vet rule flags shape-blind BindRW calls).
+func (g *Graph) BindShaped(id int, reads, writes []ViewShape, fn func()) {
+	g.DeclareShaped(id, reads, writes)
+	g.Bind(id, fn)
+}
+
+// BindShapedE is BindShaped for fallible closures.
+func (g *Graph) BindShapedE(id int, reads, writes []ViewShape, fn func() error) {
+	g.DeclareShaped(id, reads, writes)
+	g.BindE(id, fn)
+}
+
+// DeclareShaped records shaped access sets without binding a closure. The
+// flat BufID sets (Task.Reads/Writes) are derived from the shapes, so the
+// sanitizer and the shape checker always agree on what is accessed.
+func (g *Graph) DeclareShaped(id int, reads, writes []ViewShape) {
+	if id < 0 || id >= len(g.Tasks) {
+		panic(fmt.Sprintf("sim: DeclareShaped of unknown task %d", id))
+	}
+	t := g.Tasks[id]
+	t.Reads, t.InShapes = shapeBufs(reads)
+	t.Writes, t.OutShapes = shapeBufs(writes)
+}
+
+// shapeBufs splits a shape list into the flat BufID set and the kept shape
+// entries, dropping zero-stamped entries like appendBufs does.
+func shapeBufs(shapes []ViewShape) ([]BufID, []ViewShape) {
+	var ids []BufID
+	var kept []ViewShape
+	for _, s := range shapes {
+		if s.Buf != 0 {
+			ids = append(ids, s.Buf)
+			kept = append(kept, s)
+		}
+	}
+	return ids, kept
+}

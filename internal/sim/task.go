@@ -91,6 +91,16 @@ type Task struct {
 	// Declare them with Graph.BindRW or Graph.Declare.
 	Reads  []BufID
 	Writes []BufID
+	// InShapes and OutShapes are the shaped forms of Reads and Writes —
+	// the same buffers plus the matrix extents the closure touches them at,
+	// recorded by Graph.BindShaped/DeclareShaped for internal/schedcheck's
+	// shape-flow typing. Empty when the task was declared unshaped.
+	InShapes  []ViewShape
+	OutShapes []ViewShape
+	// Coll, on KindComm tasks, annotates the collective's operation, group
+	// and payload for schedcheck's matching and cost-certification passes.
+	// Attach it with Graph.AnnotateCollective.
+	Coll *Collective
 }
 
 // Graph accumulates the tasks of one training step/epoch in issue order.

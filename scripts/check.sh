@@ -22,6 +22,29 @@ go build ./...
 echo "==> mggcn-vet (domain rules)"
 go run ./cmd/mggcn-vet ./...
 
+echo "==> staticcheck"
+# Pinned in CI (see .github/workflows/ci.yml); locally the toolchain may be
+# offline, so skip with a warning rather than failing on a missing binary.
+if command -v staticcheck > /dev/null 2>&1; then
+	staticcheck ./...
+else
+	echo "staticcheck not installed; skipping (CI runs it pinned)" >&2
+fi
+
+echo "==> govulncheck"
+if command -v govulncheck > /dev/null 2>&1; then
+	govulncheck ./...
+else
+	echo "govulncheck not installed; skipping (CI runs it pinned)" >&2
+fi
+
+echo "==> mggcn-schedcheck (symbolic schedule verifier)"
+# Collective matching / deadlock freedom, shape-flow typing, and exact
+# closed-form communication-cost certification over every shipped strategy
+# and its elastic P-1 degradation path.
+go run ./cmd/mggcn-schedcheck
+go run ./cmd/mggcn-schedcheck -gpus 8 -memscale 3
+
 echo "==> mggcn-san (task-graph sanitizer)"
 # Static happens-before check, shadow replay, and adversarial parity over
 # every shipped strategy; then the fence-removal regression (removing the
