@@ -16,18 +16,24 @@
 //
 // Two further sections feed the performance story:
 //
-//   - "kernels": microbenchmarks of the cache-blocked SpMM/GeMM against the
-//     retained flat reference kernels (SpMMFlat/GemmFlat) at the benchmark
-//     hidden width, so kernel-level regressions are visible without running
-//     epochs.
+//   - "kernels": microbenchmarks of the optimized SpMM/GeMM paths (cache
+//     blocking + SIMD dispatch, and the SELL-C-σ layout) against the
+//     retained flat reference kernels (SpMMFlat/GemmFlat). GeMM runs a
+//     shape set straddling the flat-fallback threshold and records each
+//     shape's winner; the active dispatch table (scalar/avx2/neon) is
+//     recorded as kernel_impl.
 //
 //   - "sweep": a workers x exec_workers grid at the largest device count,
 //     showing how the two pool knobs trade off on this host.
+//
+// -tune applies an mggcn-tune choice file before measuring, so a recorded
+// run reflects the host's tuned policy rather than the defaults.
 //
 // Usage:
 //
 //	mggcn-epochbench                      # full matrix -> BENCH_epoch.json
 //	mggcn-epochbench -devices 8 -epochs 3 -out -   # one row, JSON to stdout
+//	mggcn-epochbench -tune TUNE.json      # measure under a tuned policy
 package main
 
 import (
@@ -43,8 +49,10 @@ import (
 	"time"
 
 	"mggcn"
+	"mggcn/internal/kernel"
 	"mggcn/internal/sparse"
 	"mggcn/internal/tensor"
+	"mggcn/internal/tune"
 )
 
 // cell is one (devices, workers, execWorkers) measurement.
@@ -66,14 +74,17 @@ type row struct {
 	Warning  string  `json:"warning,omitempty"`
 }
 
-// kernelBench compares one blocked kernel against its flat reference on a
-// fixed shape.
+// kernelBench compares one optimized kernel against its flat reference on
+// a fixed shape. Winner names the faster side ("flat" or the optimized
+// kernel's label) — the per-shape record the autotuner's policy is judged
+// against.
 type kernelBench struct {
 	Kernel    string  `json:"kernel"`
 	Shape     string  `json:"shape"`
 	FlatMS    float64 `json:"flat_ms"`
 	BlockedMS float64 `json:"blocked_ms"`
 	Speedup   float64 `json:"speedup"`
+	Winner    string  `json:"winner"`
 }
 
 type result struct {
@@ -84,6 +95,8 @@ type result struct {
 	Layers     int           `json:"layers"`
 	GoMaxProcs int           `json:"gomaxprocs"`
 	NumCPU     int           `json:"numcpu"`
+	KernelImpl string        `json:"kernel_impl"` // dispatch table: scalar | avx2 | neon
+	TuneFile   string        `json:"tune_file,omitempty"`
 	Warnings   []string      `json:"warnings,omitempty"`
 	Kernels    []kernelBench `json:"kernels"`
 	Rows       []row         `json:"rows"`
@@ -93,15 +106,26 @@ type result struct {
 
 func main() {
 	var (
-		dataset = flag.String("dataset", "products", "catalog dataset to train (non-phantom)")
-		devices = flag.String("devices", "1,4,8", "comma-separated device counts")
-		hidden  = flag.Int("hidden", 128, "hidden layer width")
-		epochs  = flag.Int("epochs", 3, "epochs per cell (median reported)")
-		workers = flag.Int("workers", 0, "kernel lanes per Parallel* call in the matrix rows (0: GOMAXPROCS)")
-		sweep   = flag.String("sweep", "1,0", "comma-separated workers and exec_workers values for the grid at the largest device count (empty: skip)")
-		out     = flag.String("out", "BENCH_epoch.json", "output path, or - for stdout")
+		dataset  = flag.String("dataset", "products", "catalog dataset to train (non-phantom)")
+		devices  = flag.String("devices", "1,4,8", "comma-separated device counts")
+		hidden   = flag.Int("hidden", 128, "hidden layer width")
+		epochs   = flag.Int("epochs", 3, "epochs per cell (median reported)")
+		workers  = flag.Int("workers", 0, "kernel lanes per Parallel* call in the matrix rows (0: GOMAXPROCS)")
+		sweep    = flag.String("sweep", "1,0", "comma-separated workers and exec_workers values for the grid at the largest device count (empty: skip)")
+		tuneFile = flag.String("tune", "", "autotuner choice file (mggcn-tune output) to Apply before benchmarking")
+		out      = flag.String("out", "BENCH_epoch.json", "output path, or - for stdout")
 	)
 	flag.Parse()
+
+	if *tuneFile != "" {
+		choice, err := tune.Load(*tuneFile)
+		if err != nil {
+			log.Fatal(err)
+		}
+		choice.Apply()
+		fmt.Fprintf(os.Stderr, "applied %s: blockK=%d flatMax=%d colTile=%d\n",
+			*tuneFile, choice.BlockK, choice.FlatMaxBytes, choice.SpMMColTile)
+	}
 
 	ds, err := mggcn.LoadDataset(*dataset, false)
 	if err != nil {
@@ -111,13 +135,14 @@ func main() {
 		Dataset: ds.Name(), N: ds.N(), M: ds.M(),
 		Hidden: *hidden, Layers: 2,
 		GoMaxProcs: runtime.GOMAXPROCS(0), NumCPU: runtime.NumCPU(),
+		KernelImpl: kernel.Impl(), TuneFile: *tuneFile,
 	}
 	start := time.Now()
 
 	res.Kernels = benchKernels(*hidden)
 	for _, k := range res.Kernels {
-		fmt.Fprintf(os.Stderr, "kernel %-8s %-24s flat=%.2fms blocked=%.2fms speedup=%.2fx\n",
-			k.Kernel, k.Shape, k.FlatMS, k.BlockedMS, k.Speedup)
+		fmt.Fprintf(os.Stderr, "kernel %-9s %-24s flat=%.2fms opt=%.2fms speedup=%.2fx winner=%s\n",
+			k.Kernel, k.Shape, k.FlatMS, k.BlockedMS, k.Speedup, k.Winner)
 	}
 
 	counts := parseInts(*devices, "-devices")
@@ -213,9 +238,13 @@ func measure(ds *mggcn.Dataset, p, hidden, workers, execWorkers, epochs int) cel
 	}
 }
 
-// benchKernels times the blocked SpMM/GeMM against the flat reference
-// kernels on GCN-shaped operands at the benchmark hidden width. Serial
-// kernels on both sides: this isolates cache blocking from pool scheduling.
+// benchKernels times the optimized SpMM/GeMM paths against the flat
+// reference kernels on GCN-shaped operands. Serial kernels on both sides:
+// this isolates cache blocking, SIMD dispatch, and layout from pool
+// scheduling. GeMM runs a shape set straddling the flat-fallback
+// threshold — including 2048x128x128, the shape that regressed to 0.87x
+// before the policy existed — and every shape's winner is recorded. SpMM
+// additionally races the SELL-C-σ layout against CSR on the same matrix.
 func benchKernels(hidden int) []kernelBench {
 	const reps = 5
 
@@ -226,21 +255,41 @@ func benchKernels(hidden int) []kernelBench {
 	spmmShape := fmt.Sprintf("n=%d deg=%d d=%d", n, deg, hidden)
 	spmmFlat := bestOf(reps, func() { sparse.SpMMFlat(a, x, 0, c) })
 	spmmBlocked := bestOf(reps, func() { sparse.SpMM(a, x, 0, c) })
+	sell := sparse.ToSELLCS(a, sparse.DefaultSellC, sparse.DefaultSellSigma)
+	spmmSell := bestOf(reps, func() { sparse.SpMMSell(sell, x, 0, c) })
 
-	m := 2048
-	ga := randDense(m, hidden, 2)
-	gb := randDense(hidden, hidden, 3)
-	gc := tensor.NewDense(m, hidden)
-	gemmShape := fmt.Sprintf("%dx%dx%d", m, hidden, hidden)
-	gemmFlat := bestOf(reps, func() { tensor.GemmFlat(1, ga, gb, 0, gc) })
-	gemmBlocked := bestOf(reps, func() { tensor.Gemm(1, ga, gb, 0, gc) })
-
-	return []kernelBench{
+	out := []kernelBench{
 		{Kernel: "spmm", Shape: spmmShape, FlatMS: spmmFlat, BlockedMS: spmmBlocked,
-			Speedup: spmmFlat / spmmBlocked},
-		{Kernel: "gemm", Shape: gemmShape, FlatMS: gemmFlat, BlockedMS: gemmBlocked,
-			Speedup: gemmFlat / gemmBlocked},
+			Speedup: spmmFlat / spmmBlocked, Winner: winner(spmmFlat, spmmBlocked, "blocked")},
+		{Kernel: "spmm-sell", Shape: spmmShape, FlatMS: spmmFlat, BlockedMS: spmmSell,
+			Speedup: spmmFlat / spmmSell, Winner: winner(spmmFlat, spmmSell, "sell")},
 	}
+	shapes := [][3]int{{2048, hidden, hidden}, {2048, 128, 128}, {1024, 512, 512}}
+	seen := map[string]bool{}
+	for _, s := range shapes {
+		m, k, nn := s[0], s[1], s[2]
+		gemmShape := fmt.Sprintf("%dx%dx%d", m, k, nn)
+		if seen[gemmShape] {
+			continue
+		}
+		seen[gemmShape] = true
+		ga := randDense(m, k, 2)
+		gb := randDense(k, nn, 3)
+		gc := tensor.NewDense(m, nn)
+		gemmFlat := bestOf(reps, func() { tensor.GemmFlat(1, ga, gb, 0, gc) })
+		gemmOpt := bestOf(reps, func() { tensor.Gemm(1, ga, gb, 0, gc) })
+		out = append(out, kernelBench{Kernel: "gemm", Shape: gemmShape,
+			FlatMS: gemmFlat, BlockedMS: gemmOpt,
+			Speedup: gemmFlat / gemmOpt, Winner: winner(gemmFlat, gemmOpt, "blocked")})
+	}
+	return out
+}
+
+func winner(flatMS, optMS float64, optName string) string {
+	if flatMS < optMS {
+		return "flat"
+	}
+	return optName
 }
 
 // bestOf returns the fastest of reps timed runs in milliseconds — minimum,

@@ -1,0 +1,78 @@
+// Command mggcn-tune derives this host's kernel blocking parameters — the
+// GeMM k-panel and flat-fallback threshold, the SpMM feature tile, and the
+// SELL-C-σ defaults — and writes the choice file other tools load and
+// Apply at startup.
+//
+// Two modes:
+//
+//	mggcn-tune                               # deterministic -> TUNE.json
+//	mggcn-tune -mode measured -reps 5        # wall-clock timed candidates
+//	mggcn-tune -check TUNE.json              # validate + print a file
+//
+// Deterministic mode is a pure function of the host profile (dispatch
+// impl, lanes, CPU counts): rerunning it produces a byte-identical file,
+// which CI pins. Measured mode times the candidate grid on seeded
+// synthetic operands; its winners may vary run to run and the file says
+// so in its mode field. Every candidate is result-neutral — blocking
+// boundaries never change kernel accumulation order — so tuning affects
+// speed only.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"mggcn/internal/tune"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("mggcn-tune: ")
+	var (
+		out   = flag.String("out", "TUNE.json", "output choice file ('-' for stdout)")
+		mode  = flag.String("mode", "deterministic", "deterministic | measured")
+		seed  = flag.Int64("seed", 1, "operand seed for measured mode")
+		reps  = flag.Int("reps", 3, "repetitions per candidate in measured mode (best-of)")
+		check = flag.String("check", "", "validate an existing choice file and exit")
+	)
+	flag.Parse()
+
+	if *check != "" {
+		c, err := tune.Load(*check)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%s: valid %s choice for impl=%s lanes=%d: blockK=%d flatMax=%d colTile=%d\n",
+			*check, c.Mode, c.Profile.Impl, c.Profile.Lanes, c.BlockK, c.FlatMaxBytes, c.SpMMColTile)
+		return
+	}
+
+	var c tune.Choice
+	switch *mode {
+	case "deterministic":
+		c = tune.DeterministicChoice(tune.HostProfile())
+	case "measured":
+		c = tune.MeasuredChoice(*seed, *reps)
+	default:
+		log.Fatalf("unknown -mode %q (want deterministic or measured)", *mode)
+	}
+	if err := c.Validate(); err != nil {
+		log.Fatal(err)
+	}
+	if *out == "-" {
+		data, err := c.JSON()
+		if err != nil {
+			log.Fatal(err)
+		}
+		os.Stdout.Write(data)
+	} else if err := c.Save(*out); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "tuned (%s, impl=%s lanes=%d): blockK=%d flatMax=%d colTile=%d sell C=%d sigma=%d\n",
+		c.Mode, c.Profile.Impl, c.Profile.Lanes, c.BlockK, c.FlatMaxBytes, c.SpMMColTile, c.SellC, c.SellSigma)
+	for _, s := range c.GemmShapes {
+		fmt.Fprintf(os.Stderr, "  gemm %dx%dx%d -> %s\n", s.M, s.K, s.N, s.Winner)
+	}
+}

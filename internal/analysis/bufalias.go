@@ -40,7 +40,8 @@ func isNoAliasKernel(pass *Pass, call *ast.CallExpr) bool {
 	return isPkgFunc(info, call, "mggcn/internal/tensor",
 		"Gemm", "GemmFlat", "GemmTA", "GemmTB",
 		"ParallelGemm", "ParallelGemmTA", "ParallelGemmTB") ||
-		isPkgFunc(info, call, "mggcn/internal/sparse", "SpMM", "SpMMFlat", "ParallelSpMM")
+		isPkgFunc(info, call, "mggcn/internal/sparse",
+			"SpMM", "SpMMFlat", "ParallelSpMM", "SpMMSell", "ParallelSpMMSell")
 }
 
 // isElementwise covers the in-place ops whose first argument is the

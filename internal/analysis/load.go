@@ -3,6 +3,7 @@ package analysis
 import (
 	"fmt"
 	"go/ast"
+	"go/build"
 	"go/importer"
 	"go/parser"
 	"go/token"
@@ -201,6 +202,14 @@ func (l *Loader) LoadDir(rel string) (*Package, error) {
 	for _, e := range ents {
 		name := e.Name()
 		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		// Honor build constraints (GOOS/GOARCH filename suffixes and
+		// //go:build lines) for the default build, so e.g. the per-arch
+		// `simd`-tagged kernel dispatch files don't collide in one package.
+		// The export data above is also from the default build, so the two
+		// views stay consistent.
+		if ok, err := build.Default.MatchFile(dir, name); err != nil || !ok {
 			continue
 		}
 		file, err := parser.ParseFile(l.fset, filepath.Join(dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)

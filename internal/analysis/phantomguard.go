@@ -42,7 +42,8 @@ func isDataTouchingOp(pass *Pass, call *ast.CallExpr) (string, bool) {
 		"ParallelGemm", "ParallelGemmTA", "ParallelGemmTB",
 		"AddInPlace", "AxpyInPlace", "ScaleInPlace", "ReLU", "ReLUBackward") ||
 		isPkgFunc(info, call, "mggcn/internal/sparse",
-			"SpMM", "SpMMFlat", "ParallelSpMM", "SDDMM", "ParallelSDDMM") {
+			"SpMM", "SpMMFlat", "ParallelSpMM", "SpMMSell", "ParallelSpMMSell",
+			"SDDMM", "ParallelSDDMM") {
 		fn := calleeFunc(info, call)
 		return fn.Name(), true
 	}

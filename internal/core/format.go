@@ -1,0 +1,86 @@
+package core
+
+import (
+	"fmt"
+
+	"mggcn/internal/sparse"
+)
+
+// SparseFormat selects the device-resident layout of the adjacency tiles.
+// The CSR and SELL-C-σ SpMM kernels are bit-identical (both accumulate in
+// SpMMFlat's order), so the choice affects speed and memory only — never
+// results. GAT's attention tiles always stay CSR: they are rebuilt every
+// epoch from SDDMM output, so a conversion would be paid per epoch rather
+// than once at partition time.
+type SparseFormat int
+
+const (
+	// FormatCSR keeps every tile in CSR — the default and the paper's
+	// baseline layout.
+	FormatCSR SparseFormat = iota
+	// FormatSELL converts every tile to SELL-C-σ.
+	FormatSELL
+	// FormatAuto decides per tile with sparse.ChooseSell: shards whose
+	// row-length skew SELL fixes get converted, uniform shards stay CSR.
+	// Under 1D/1.5D partitioning different shards of one graph routinely
+	// make different choices — hub-block tiles convert, tail tiles don't.
+	FormatAuto
+)
+
+func (f SparseFormat) String() string {
+	switch f {
+	case FormatCSR:
+		return "csr"
+	case FormatSELL:
+		return "sell"
+	case FormatAuto:
+		return "auto"
+	default:
+		return fmt.Sprintf("SparseFormat(%d)", int(f))
+	}
+}
+
+func (f SparseFormat) validate() error {
+	switch f {
+	case FormatCSR, FormatSELL, FormatAuto:
+		return nil
+	default:
+		return fmt.Errorf("core: unknown sparse format %d", int(f))
+	}
+}
+
+// sellFor converts one tile per the format policy, returning nil when the
+// tile stays CSR (nil tile, CSR format, or auto declining).
+func sellFor(t *sparse.CSR, format SparseFormat) *sparse.SELLCS {
+	if t == nil || format == FormatCSR {
+		return nil
+	}
+	if format == FormatAuto && !sparse.ChooseSell(t, sparse.DefaultSellC, sparse.DefaultSellSigma) {
+		return nil
+	}
+	return sparse.ToSELLCS(t, sparse.DefaultSellC, sparse.DefaultSellSigma)
+}
+
+// sellTiles maps sellFor over a tile row/column, keeping slice positions
+// aligned with the CSR tiles (nil where CSR stays the resident format).
+func sellTiles(tiles []*sparse.CSR, format SparseFormat) []*sparse.SELLCS {
+	out := make([]*sparse.SELLCS, len(tiles))
+	for i, t := range tiles {
+		out[i] = sellFor(t, format)
+	}
+	return out
+}
+
+// tileBytes returns the device-memory charge for one tile slot: the SELL
+// footprint when that layout is resident, the CSR footprint otherwise.
+// (The CSR tile is retained host-side as cost-model metadata either way;
+// the pool models device memory.)
+func tileBytes(csr *sparse.CSR, sell *sparse.SELLCS) int64 {
+	if sell != nil {
+		return sell.Bytes()
+	}
+	if csr != nil {
+		return csr.Bytes()
+	}
+	return 0
+}

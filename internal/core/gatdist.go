@@ -38,7 +38,10 @@ func NewGATDist(g *graph.Graph, model *nn.GAT, cfg Config) (*GATDist, error) {
 		return nil, fmt.Errorf("core: distributed GAT supports only the 1D-row strategy")
 	}
 	machine := sim.NewMachine(cfg.Spec, cfg.P, cfg.MemScale)
-	p, err := partitionGraph(g, machine, cfg.Strategy, cfg.Ordering, cfg.Permute, cfg.BalancedPartition, cfg.PermSeed)
+	// GAT always keeps CSR tiles: its attention-weighted tiles are rebuilt
+	// from SDDMM output every epoch, so a SELL conversion would recur
+	// per epoch instead of amortizing over the run.
+	p, err := partitionGraph(g, machine, cfg.Strategy, cfg.Ordering, cfg.Permute, cfg.BalancedPartition, cfg.PermSeed, FormatCSR)
 	if err != nil {
 		return nil, err
 	}

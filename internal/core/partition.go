@@ -23,8 +23,14 @@ type deviceState struct {
 	//   1D-row / 1.5D: atTiles[j] = Âᵀ[lo:hi, p(j):p(j+1)] — my tile row
 	//     (1.5D stores only the stages of my replica group; others nil).
 	//   1D-col:        atTiles[i] = Âᵀ[p(i):p(i+1), lo:hi] — my tile column.
-	atTiles  []*sparse.CSR
-	aTiles   []*sparse.CSR // same layout for Â (backward pass)
+	atTiles []*sparse.CSR
+	aTiles  []*sparse.CSR // same layout for Â (backward pass)
+	// atSell/aSell mirror atTiles/aTiles positionally: entry j is the
+	// SELL-C-σ layout of tile j when that format is device-resident, nil
+	// when the tile stays CSR (per-tile under FormatAuto). The SpMM bind
+	// sites dispatch on nil-ness; results are bit-identical either way.
+	atSell   []*sparse.SELLCS
+	aSell    []*sparse.SELLCS
 	x        *tensor.Dense // local input features (nil in phantom mode)
 	labels   []int32
 	mask     []bool // training mask shard
@@ -47,7 +53,7 @@ type partitioned struct {
 // feature storage to each device's memory pool. For 1.5D, device d owns
 // block d mod (P/2) in replica group d div (P/2) — every block is stored
 // twice, the strategy's 2x feature memory.
-func partitionGraph(g *graph.Graph, machine *sim.Machine, strategy Strategy, ordering Ordering, permute, balanced bool, permSeed uint64) (*partitioned, error) {
+func partitionGraph(g *graph.Graph, machine *sim.Machine, strategy Strategy, ordering Ordering, permute, balanced bool, permSeed uint64, format SparseFormat) (*partitioned, error) {
 	n := g.N()
 	blocks := machine.P / strategy.replicationFactor()
 	p := &partitioned{blocks: blocks}
@@ -107,15 +113,13 @@ func partitionGraph(g *graph.Graph, machine *sim.Machine, strategy Strategy, ord
 				}
 			}
 		}
-		for _, t := range ds.atTiles {
-			if t != nil {
-				ds.adjBytes += t.Bytes()
-			}
+		ds.atSell = sellTiles(ds.atTiles, format)
+		ds.aSell = sellTiles(ds.aTiles, format)
+		for j := range ds.atTiles {
+			ds.adjBytes += tileBytes(ds.atTiles[j], ds.atSell[j])
 		}
-		for _, t := range ds.aTiles {
-			if t != nil {
-				ds.adjBytes += t.Bytes()
-			}
+		for j := range ds.aTiles {
+			ds.adjBytes += tileBytes(ds.aTiles[j], ds.aSell[j])
 		}
 		pool := machine.Pools[d]
 		if err := pool.Alloc("adjacency", ds.adjBytes); err != nil {

@@ -37,6 +37,10 @@ type Config struct {
 	Overlap           bool // §4.3 comm/compute overlap
 	OrderSwitch       bool // §4.4 GeMM/SpMM order selection
 	SkipFirstBackward bool // §4.4 saved first-layer backward SpMM
+	// Format selects the device-resident adjacency tile layout: FormatCSR
+	// (default), FormatSELL, or FormatAuto (per-tile via sparse.ChooseSell).
+	// Bit-identical results at any setting.
+	Format SparseFormat
 
 	Seed    int64 // weight initialization seed
 	Workers int   // CPU workers for the real kernels (<=0: GOMAXPROCS)
@@ -116,8 +120,11 @@ func NewTrainer(g *graph.Graph, cfg Config) (*Trainer, error) {
 	if err := cfg.Strategy.validate(cfg.P); err != nil {
 		return nil, err
 	}
+	if err := cfg.Format.validate(); err != nil {
+		return nil, err
+	}
 	machine := sim.NewMachine(cfg.Spec, cfg.P, cfg.MemScale)
-	p, err := partitionGraph(g, machine, cfg.Strategy, cfg.Ordering, cfg.Permute, cfg.BalancedPartition, cfg.PermSeed)
+	p, err := partitionGraph(g, machine, cfg.Strategy, cfg.Ordering, cfg.Permute, cfg.BalancedPartition, cfg.PermSeed, cfg.Format)
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,185 @@
+//go:build simd && amd64
+
+#include "textflag.h"
+
+// AVX2 bodies of the dispatch-table kernels. Bit-identity contract (see
+// kernel.go): the amd64 Go compiler never fuses float32 mul+add, so every
+// multiply is a separate VMULPS and every add a separate VADDPS — never
+// VFMADD* — and each rounds exactly like the scalar expression. The Vec8
+// entry points require n to be a positive multiple of 8 (one YMM of
+// float32); dot4Vec/dot4PairVec require a positive multiple of 4 (the XMM
+// accumulator reproduces dot4's four scalar partial sums lane for lane).
+// Tails are the Go wrappers' job.
+
+// func addVec8(dst, x *float32, n int)
+// dst[j] += x[j]
+TEXT ·addVec8(SB), NOSPLIT, $0-24
+	MOVQ dst+0(FP), DI
+	MOVQ x+8(FP), SI
+	MOVQ n+16(FP), CX
+
+addloop:
+	VMOVUPS (SI), Y0
+	VADDPS  (DI), Y0, Y0
+	VMOVUPS Y0, (DI)
+	ADDQ    $32, SI
+	ADDQ    $32, DI
+	SUBQ    $8, CX
+	JNE     addloop
+	VZEROUPPER
+	RET
+
+// func add2Vec8(dst, x0, x1 *float32, n int)
+// dst[j] = (dst[j] + x0[j]) + x1[j], left-associated like the scalar body.
+TEXT ·add2Vec8(SB), NOSPLIT, $0-32
+	MOVQ dst+0(FP), DI
+	MOVQ x0+8(FP), SI
+	MOVQ x1+16(FP), DX
+	MOVQ n+24(FP), CX
+
+add2loop:
+	VMOVUPS (DI), Y0
+	VADDPS  (SI), Y0, Y0
+	VADDPS  (DX), Y0, Y0
+	VMOVUPS Y0, (DI)
+	ADDQ    $32, SI
+	ADDQ    $32, DX
+	ADDQ    $32, DI
+	SUBQ    $8, CX
+	JNE     add2loop
+	VZEROUPPER
+	RET
+
+// func axpyVec8(a float32, x, dst *float32, n int)
+// dst[j] += a*x[j]: one rounded multiply then one rounded add per element.
+TEXT ·axpyVec8(SB), NOSPLIT, $0-32
+	VBROADCASTSS a+0(FP), Y3
+	MOVQ         x+8(FP), SI
+	MOVQ         dst+16(FP), DI
+	MOVQ         n+24(FP), CX
+
+axpyloop:
+	VMULPS  (SI), Y3, Y0
+	VADDPS  (DI), Y0, Y0
+	VMOVUPS Y0, (DI)
+	ADDQ    $32, SI
+	ADDQ    $32, DI
+	SUBQ    $8, CX
+	JNE     axpyloop
+	VZEROUPPER
+	RET
+
+// func axpy2Vec8(a0, a1 float32, x0, x1, dst *float32, n int)
+// dst[j] = ((dst[j] + a0*x0[j]) + a1*x1[j]): each product rounds, each add
+// rounds, left-associated — the same order as two sequential axpys.
+TEXT ·axpy2Vec8(SB), NOSPLIT, $0-40
+	VBROADCASTSS a0+0(FP), Y4
+	VBROADCASTSS a1+4(FP), Y5
+	MOVQ         x0+8(FP), SI
+	MOVQ         x1+16(FP), DX
+	MOVQ         dst+24(FP), DI
+	MOVQ         n+32(FP), CX
+
+axpy2loop:
+	VMULPS  (SI), Y4, Y0
+	VADDPS  (DI), Y0, Y0
+	VMULPS  (DX), Y5, Y1
+	VADDPS  Y1, Y0, Y0
+	VMOVUPS Y0, (DI)
+	ADDQ    $32, SI
+	ADDQ    $32, DX
+	ADDQ    $32, DI
+	SUBQ    $8, CX
+	JNE     axpy2loop
+	VZEROUPPER
+	RET
+
+// func panel2x2Vec8(s00, s01, s10, s11 float32, b0, b1, c0, c1 *float32, n int)
+// The 2x2 GeMM micro-kernel: both loaded B vectors feed both C rows,
+// c0 = (c0 + s00*b0) + s01*b1 and c1 = (c1 + s10*b0) + s11*b1.
+TEXT ·panel2x2Vec8(SB), NOSPLIT, $0-56
+	VBROADCASTSS s00+0(FP), Y4
+	VBROADCASTSS s01+4(FP), Y5
+	VBROADCASTSS s10+8(FP), Y6
+	VBROADCASTSS s11+12(FP), Y7
+	MOVQ         b0+16(FP), SI
+	MOVQ         b1+24(FP), DX
+	MOVQ         c0+32(FP), DI
+	MOVQ         c1+40(FP), R8
+	MOVQ         n+48(FP), CX
+
+panelloop:
+	VMOVUPS (SI), Y0
+	VMOVUPS (DX), Y1
+	VMULPS  Y0, Y4, Y2
+	VADDPS  (DI), Y2, Y2
+	VMULPS  Y1, Y5, Y3
+	VADDPS  Y3, Y2, Y2
+	VMOVUPS Y2, (DI)
+	VMULPS  Y0, Y6, Y2
+	VADDPS  (R8), Y2, Y2
+	VMULPS  Y1, Y7, Y3
+	VADDPS  Y3, Y2, Y2
+	VMOVUPS Y2, (R8)
+	ADDQ    $32, SI
+	ADDQ    $32, DX
+	ADDQ    $32, DI
+	ADDQ    $32, R8
+	SUBQ    $8, CX
+	JNE     panelloop
+	VZEROUPPER
+	RET
+
+// func dot4Vec(a, b *float32, n int) float32
+// One XMM accumulator holds dot4's four scalar partials lane for lane
+// (lane l sums a[4p+l]*b[4p+l]); the reduction adds them in the scalar
+// order (d0+d1)+(d2+d3) via two horizontal adds.
+TEXT ·dot4Vec(SB), NOSPLIT, $0-28
+	MOVQ   a+0(FP), SI
+	MOVQ   b+8(FP), DX
+	MOVQ   n+16(FP), CX
+	VXORPS X0, X0, X0
+
+dotloop:
+	VMOVUPS (SI), X1
+	VMULPS  (DX), X1, X1
+	VADDPS  X1, X0, X0
+	ADDQ    $16, SI
+	ADDQ    $16, DX
+	SUBQ    $4, CX
+	JNE     dotloop
+	VHADDPS X0, X0, X0
+	VHADDPS X0, X0, X0
+	VMOVSS  X0, ret+24(FP)
+	RET
+
+// func dot4PairVec(a0, a1, b *float32, n int) (d0, d1 float32)
+// Two dot4Vec accumulations sharing each loaded b vector.
+TEXT ·dot4PairVec(SB), NOSPLIT, $0-40
+	MOVQ   a0+0(FP), SI
+	MOVQ   a1+8(FP), DX
+	MOVQ   b+16(FP), R8
+	MOVQ   n+24(FP), CX
+	VXORPS X0, X0, X0
+	VXORPS X1, X1, X1
+
+pairloop:
+	VMOVUPS (R8), X2
+	VMOVUPS (SI), X3
+	VMULPS  X2, X3, X3
+	VADDPS  X3, X0, X0
+	VMOVUPS (DX), X3
+	VMULPS  X2, X3, X3
+	VADDPS  X3, X1, X1
+	ADDQ    $16, SI
+	ADDQ    $16, DX
+	ADDQ    $16, R8
+	SUBQ    $4, CX
+	JNE     pairloop
+	VHADDPS X0, X0, X0
+	VHADDPS X0, X0, X0
+	VHADDPS X1, X1, X1
+	VHADDPS X1, X1, X1
+	VMOVSS  X0, d0+32(FP)
+	VMOVSS  X1, d1+36(FP)
+	RET

@@ -1,0 +1,186 @@
+//go:build simd && arm64
+
+#include "textflag.h"
+
+// NEON bodies of the dispatch-table kernels. Bit-identity contract (see
+// kernel.go): the arm64 Go compiler fuses float32 mul+add into FMADDS, so
+// these kernels use VFMLA — fused per lane — wherever the scalar expression
+// is a multiply-add, and express plain adds as VFMLA against a broadcast
+// 1.0 (x*1.0 is exact, so the fused add rounds once exactly like FADD).
+// Dot reductions extract the four accumulator lanes and add them with
+// scalar FADDS in the scalar order (d0+d1)+(d2+d3). All entry points
+// require n to be a positive multiple of 4; tails are the Go wrappers'
+// job. Go's Fn registers alias the low 32 bits of Vn, which is what lets
+// the reductions FADDS straight out of lane moves.
+
+// func addVec4(dst, x *float32, n int)
+// dst[j] += x[j], as fma(x, 1.0, dst).
+TEXT ·addVec4(SB), NOSPLIT, $0-24
+	MOVD  dst+0(FP), R0
+	MOVD  x+8(FP), R1
+	MOVD  n+16(FP), R2
+	FMOVS $(1.0), F9
+	VDUP  V9.S[0], V9.S4
+
+addloop:
+	VLD1.P 16(R1), [V1.S4]
+	VLD1   (R0), [V0.S4]
+	VFMLA  V9.S4, V1.S4, V0.S4
+	VST1.P [V0.S4], 16(R0)
+	SUBS   $4, R2, R2
+	BNE    addloop
+	RET
+
+// func add2Vec4(dst, x0, x1 *float32, n int)
+// dst[j] = (dst[j] + x0[j]) + x1[j], left-associated like the scalar body.
+TEXT ·add2Vec4(SB), NOSPLIT, $0-32
+	MOVD  dst+0(FP), R0
+	MOVD  x0+8(FP), R1
+	MOVD  x1+16(FP), R2
+	MOVD  n+24(FP), R3
+	FMOVS $(1.0), F9
+	VDUP  V9.S[0], V9.S4
+
+add2loop:
+	VLD1.P 16(R1), [V1.S4]
+	VLD1.P 16(R2), [V2.S4]
+	VLD1   (R0), [V0.S4]
+	VFMLA  V9.S4, V1.S4, V0.S4
+	VFMLA  V9.S4, V2.S4, V0.S4
+	VST1.P [V0.S4], 16(R0)
+	SUBS   $4, R3, R3
+	BNE    add2loop
+	RET
+
+// func axpyVec4(a float32, x, dst *float32, n int)
+// dst[j] += a*x[j]: the scalar path fuses to FMADDS, so one VFMLA per step.
+TEXT ·axpyVec4(SB), NOSPLIT, $0-32
+	MOVWU a+0(FP), R3
+	VDUP  R3, V8.S4
+	MOVD  x+8(FP), R1
+	MOVD  dst+16(FP), R0
+	MOVD  n+24(FP), R2
+
+axpyloop:
+	VLD1.P 16(R1), [V1.S4]
+	VLD1   (R0), [V0.S4]
+	VFMLA  V8.S4, V1.S4, V0.S4
+	VST1.P [V0.S4], 16(R0)
+	SUBS   $4, R2, R2
+	BNE    axpyloop
+	RET
+
+// func axpy2Vec4(a0, a1 float32, x0, x1, dst *float32, n int)
+// dst[j] = fma(a1, x1[j], fma(a0, x0[j], dst[j])) — the scalar chain of
+// two fused multiply-adds.
+TEXT ·axpy2Vec4(SB), NOSPLIT, $0-40
+	MOVWU a0+0(FP), R3
+	VDUP  R3, V8.S4
+	MOVWU a1+4(FP), R3
+	VDUP  R3, V9.S4
+	MOVD  x0+8(FP), R1
+	MOVD  x1+16(FP), R2
+	MOVD  dst+24(FP), R0
+	MOVD  n+32(FP), R4
+
+axpy2loop:
+	VLD1.P 16(R1), [V1.S4]
+	VLD1.P 16(R2), [V2.S4]
+	VLD1   (R0), [V0.S4]
+	VFMLA  V8.S4, V1.S4, V0.S4
+	VFMLA  V9.S4, V2.S4, V0.S4
+	VST1.P [V0.S4], 16(R0)
+	SUBS   $4, R4, R4
+	BNE    axpy2loop
+	RET
+
+// func panel2x2Vec4(s00, s01, s10, s11 float32, b0, b1, c0, c1 *float32, n int)
+// Both loaded B vectors feed both C rows via fused accumulates.
+TEXT ·panel2x2Vec4(SB), NOSPLIT, $0-56
+	MOVWU s00+0(FP), R3
+	VDUP  R3, V4.S4
+	MOVWU s01+4(FP), R3
+	VDUP  R3, V5.S4
+	MOVWU s10+8(FP), R3
+	VDUP  R3, V6.S4
+	MOVWU s11+12(FP), R3
+	VDUP  R3, V7.S4
+	MOVD  b0+16(FP), R0
+	MOVD  b1+24(FP), R1
+	MOVD  c0+32(FP), R2
+	MOVD  c1+40(FP), R4
+	MOVD  n+48(FP), R5
+
+panelloop:
+	VLD1.P 16(R0), [V0.S4]
+	VLD1.P 16(R1), [V1.S4]
+	VLD1   (R2), [V2.S4]
+	VLD1   (R4), [V3.S4]
+	VFMLA  V4.S4, V0.S4, V2.S4
+	VFMLA  V5.S4, V1.S4, V2.S4
+	VFMLA  V6.S4, V0.S4, V3.S4
+	VFMLA  V7.S4, V1.S4, V3.S4
+	VST1.P [V2.S4], 16(R2)
+	VST1.P [V3.S4], 16(R4)
+	SUBS   $4, R5, R5
+	BNE    panelloop
+	RET
+
+// func dot4Vec(a, b *float32, n int) float32
+// Lane l of the accumulator reproduces scalar partial d_l (the scalar path
+// fuses each d_l += a*b into FMADDS); the reduction is (d0+d1)+(d2+d3)
+// with scalar FADDS.
+TEXT ·dot4Vec(SB), NOSPLIT, $0-28
+	MOVD a+0(FP), R0
+	MOVD b+8(FP), R1
+	MOVD n+16(FP), R2
+	VEOR V0.B16, V0.B16, V0.B16
+
+dotloop:
+	VLD1.P 16(R0), [V1.S4]
+	VLD1.P 16(R1), [V2.S4]
+	VFMLA  V2.S4, V1.S4, V0.S4
+	SUBS   $4, R2, R2
+	BNE    dotloop
+	VMOV   V0.S[1], V1.S[0]
+	FADDS  F1, F0, F10
+	VMOV   V0.S[2], V2.S[0]
+	VMOV   V0.S[3], V3.S[0]
+	FADDS  F3, F2, F11
+	FADDS  F11, F10, F0
+	FMOVS  F0, ret+24(FP)
+	RET
+
+// func dot4PairVec(a0, a1, b *float32, n int) (d0, d1 float32)
+// Two dot4Vec accumulations sharing each loaded b vector.
+TEXT ·dot4PairVec(SB), NOSPLIT, $0-40
+	MOVD a0+0(FP), R0
+	MOVD a1+8(FP), R1
+	MOVD b+16(FP), R2
+	MOVD n+24(FP), R3
+	VEOR V0.B16, V0.B16, V0.B16
+	VEOR V1.B16, V1.B16, V1.B16
+
+pairloop:
+	VLD1.P 16(R2), [V2.S4]
+	VLD1.P 16(R0), [V3.S4]
+	VFMLA  V2.S4, V3.S4, V0.S4
+	VLD1.P 16(R1), [V3.S4]
+	VFMLA  V2.S4, V3.S4, V1.S4
+	SUBS   $4, R3, R3
+	BNE    pairloop
+	VMOV   V0.S[1], V2.S[0]
+	FADDS  F2, F0, F10
+	VMOV   V0.S[2], V2.S[0]
+	VMOV   V0.S[3], V3.S[0]
+	FADDS  F3, F2, F11
+	FADDS  F11, F10, F12
+	FMOVS  F12, d0+32(FP)
+	VMOV   V1.S[1], V2.S[0]
+	FADDS  F2, F1, F10
+	VMOV   V1.S[2], V2.S[0]
+	VMOV   V1.S[3], V3.S[0]
+	FADDS  F3, F2, F11
+	FADDS  F11, F10, F12
+	FMOVS  F12, d1+36(FP)
+	RET

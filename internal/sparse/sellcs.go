@@ -1,0 +1,321 @@
+package sparse
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Default SELL-C-σ parameters. C = 8 keeps one chunk's output segments
+// (8 rows x one SpMM column tile) resident in L1 while the chunk's
+// gathered X rows stream; σ = 512 sorts within windows two orders of
+// magnitude wider than a chunk, which flattens the hub-versus-tail length
+// skew of BTER-style graphs without the global reordering cost (and
+// without destroying locality the partitioner's ordering established).
+const (
+	DefaultSellC     = 8
+	DefaultSellSigma = 512
+)
+
+// SELLCS is a sparse matrix in SELL-C-σ (sliced ELLPACK) format: rows are
+// sorted by descending length inside windows of σ rows, grouped into
+// chunks of C consecutive sorted rows, and each chunk is padded to its
+// longest row and stored entry-index-major:
+//
+//	entry q of sorted row (chunk ch, lane r) lives at
+//	ColIdx[ChunkPtr[ch] + q*h + r], h = the chunk's height
+//	(C, or Rows%C for a short tail chunk).
+//
+// Scanning q outward therefore walks ColIdx/Vals sequentially while all h
+// output rows of the chunk accumulate in lockstep — the layout SELL-C-σ
+// was designed around. Padding entries (lanes past a row's length) store
+// column 0 and value 0 but are never read: the kernels bound each lane by
+// RowLen. Vals == nil marks a structure-only matrix, exactly as in CSR.
+//
+// The σ-sorting is exposed as an ordinary permutation (RowPerm), so it
+// composes with the §5.2 permutation machinery: a SELLCS built from a
+// PermuteSymmetric'd CSR simply stacks its local row sort on top.
+type SELLCS struct {
+	Rows, Cols int
+	C, Sigma   int
+	// RowPerm[sellRow] = original row; the inverse of the σ-sort
+	// permutation in the perm[old]=new convention used everywhere else.
+	RowPerm []int32
+	// RowLen[sellRow] is that sorted row's true nonzero count.
+	RowLen []int32
+	// ChunkPtr has ceil(Rows/C)+1 entries; chunk ch's padded rectangle
+	// occupies ColIdx[ChunkPtr[ch]:ChunkPtr[ch+1]] (and Vals alike).
+	ChunkPtr []int64
+	ColIdx   []int32
+	Vals     []float32
+}
+
+// SigmaSortPerm returns the σ-sorting permutation of a's rows in the
+// perm[old]=new convention: inside every window of sigma consecutive
+// rows, rows are ordered by descending nonzero count, ties by ascending
+// original index (so the sort is deterministic and stable). sigma <= 0
+// sorts globally (one window).
+func SigmaSortPerm(a *CSR, sigma int) []int32 {
+	if sigma <= 0 {
+		sigma = a.Rows
+	}
+	perm := make([]int32, a.Rows)
+	order := make([]int32, 0, sigma)
+	for w0 := 0; w0 < a.Rows; w0 += sigma {
+		w1 := w0 + sigma
+		if w1 > a.Rows {
+			w1 = a.Rows
+		}
+		order = order[:0]
+		for r := w0; r < w1; r++ {
+			order = append(order, int32(r))
+		}
+		sort.SliceStable(order, func(i, j int) bool {
+			return a.RowNNZ(int(order[i])) > a.RowNNZ(int(order[j]))
+		})
+		for rank, orig := range order {
+			perm[orig] = int32(w0 + rank)
+		}
+	}
+	return perm
+}
+
+// chunkHeight returns chunk ch's height: C, except for a short tail chunk.
+func (s *SELLCS) chunkHeight(ch int) int {
+	h := s.Rows - ch*s.C
+	if h > s.C {
+		h = s.C
+	}
+	return h
+}
+
+// Chunks returns the number of row chunks.
+func (s *SELLCS) Chunks() int { return (s.Rows + s.C - 1) / s.C }
+
+// NNZ returns the number of stored (unpadded) entries.
+func (s *SELLCS) NNZ() int64 {
+	var nnz int64
+	for _, l := range s.RowLen {
+		nnz += int64(l)
+	}
+	return nnz
+}
+
+// Padded returns the number of stored entries including padding — the
+// format's true storage and streaming cost.
+func (s *SELLCS) Padded() int64 { return s.ChunkPtr[len(s.ChunkPtr)-1] }
+
+// HasVals reports whether the matrix stores explicit values.
+func (s *SELLCS) HasVals() bool { return s.Vals != nil }
+
+// Bytes returns the storage footprint in bytes: chunk pointers (8B),
+// per-row length and permutation entries (4B each), and padded column
+// indices plus values (4B each; values counted even when structure-only,
+// matching CSR.Bytes' accounting convention).
+func (s *SELLCS) Bytes() int64 {
+	return int64(len(s.ChunkPtr))*8 + int64(s.Rows)*8 + s.Padded()*8
+}
+
+// PaddingRatio returns padded/nnz - 1: the fraction of wasted entries the
+// chunk padding introduces after σ-sorting (0 = perfectly rectangular
+// chunks). Empty matrices report 0.
+func (s *SELLCS) PaddingRatio() float64 {
+	nnz := s.NNZ()
+	if nnz == 0 {
+		return 0
+	}
+	return float64(s.Padded()-nnz) / float64(nnz)
+}
+
+// ToSELLCS converts a CSR matrix to SELL-C-σ with chunk height c and
+// sorting window sigma (<= 0: sort globally). Within each row the
+// nonzeros keep their ascending-column CSR order, so SpMM accumulation
+// order — and therefore bit-identity with the CSR kernels — is preserved.
+func ToSELLCS(a *CSR, c, sigma int) *SELLCS {
+	if c <= 0 {
+		panic(fmt.Sprintf("sparse: ToSELLCS chunk height %d: must be positive", c))
+	}
+	s := &SELLCS{Rows: a.Rows, Cols: a.Cols, C: c, Sigma: sigma}
+	perm := SigmaSortPerm(a, sigma)
+	s.RowPerm = InversePerm(perm)
+	s.RowLen = make([]int32, a.Rows)
+	for sr, orig := range s.RowPerm {
+		s.RowLen[sr] = int32(a.RowNNZ(int(orig)))
+	}
+	chunks := s.Chunks()
+	s.ChunkPtr = make([]int64, chunks+1)
+	for ch := 0; ch < chunks; ch++ {
+		h := s.chunkHeight(ch)
+		var w int32
+		for r := 0; r < h; r++ {
+			if l := s.RowLen[ch*c+r]; l > w {
+				w = l
+			}
+		}
+		s.ChunkPtr[ch+1] = s.ChunkPtr[ch] + int64(w)*int64(h)
+	}
+	padded := s.ChunkPtr[chunks]
+	s.ColIdx = make([]int32, padded)
+	if a.Vals != nil {
+		s.Vals = make([]float32, padded)
+	}
+	for ch := 0; ch < chunks; ch++ {
+		h := s.chunkHeight(ch)
+		base := s.ChunkPtr[ch]
+		for r := 0; r < h; r++ {
+			sr := ch*c + r
+			cols, vals := a.Row(int(s.RowPerm[sr]))
+			for q, col := range cols {
+				at := base + int64(q)*int64(h) + int64(r)
+				s.ColIdx[at] = col
+				if vals != nil {
+					s.Vals[at] = vals[q]
+				}
+			}
+		}
+	}
+	return s
+}
+
+// ToCSR converts back to CSR in the original row order; the round trip
+// through ToSELLCS is exact (structure, values, and row order).
+func (s *SELLCS) ToCSR() *CSR {
+	m := &CSR{Rows: s.Rows, Cols: s.Cols, RowPtr: make([]int64, s.Rows+1)}
+	for sr, orig := range s.RowPerm {
+		m.RowPtr[orig+1] = int64(s.RowLen[sr])
+	}
+	for r := 0; r < s.Rows; r++ {
+		m.RowPtr[r+1] += m.RowPtr[r]
+	}
+	nnz := m.RowPtr[s.Rows]
+	m.ColIdx = make([]int32, nnz)
+	if s.Vals != nil {
+		m.Vals = make([]float32, nnz)
+	}
+	for ch := 0; ch < s.Chunks(); ch++ {
+		h := s.chunkHeight(ch)
+		base := s.ChunkPtr[ch]
+		for r := 0; r < h; r++ {
+			sr := ch*s.C + r
+			lo := m.RowPtr[s.RowPerm[sr]]
+			for q := 0; q < int(s.RowLen[sr]); q++ {
+				at := base + int64(q)*int64(h) + int64(r)
+				m.ColIdx[lo+int64(q)] = s.ColIdx[at]
+				if s.Vals != nil {
+					m.Vals[lo+int64(q)] = s.Vals[at]
+				}
+			}
+		}
+	}
+	return m
+}
+
+// Validate checks structural invariants and returns an error describing
+// the first violation found, or nil.
+func (s *SELLCS) Validate() error {
+	if s.C <= 0 {
+		return fmt.Errorf("sparse: SELLCS chunk height %d", s.C)
+	}
+	if len(s.RowPerm) != s.Rows || len(s.RowLen) != s.Rows {
+		return fmt.Errorf("sparse: SELLCS RowPerm/RowLen lengths %d/%d, want %d", len(s.RowPerm), len(s.RowLen), s.Rows)
+	}
+	seen := make([]bool, s.Rows)
+	for sr, orig := range s.RowPerm {
+		if int(orig) < 0 || int(orig) >= s.Rows || seen[orig] {
+			return fmt.Errorf("sparse: SELLCS RowPerm not a bijection at %d -> %d", sr, orig)
+		}
+		seen[orig] = true
+	}
+	chunks := s.Chunks()
+	if len(s.ChunkPtr) != chunks+1 {
+		return fmt.Errorf("sparse: SELLCS ChunkPtr length %d, want %d", len(s.ChunkPtr), chunks+1)
+	}
+	if chunks > 0 && s.ChunkPtr[0] != 0 {
+		return fmt.Errorf("sparse: SELLCS ChunkPtr[0] = %d, want 0", s.ChunkPtr[0])
+	}
+	for ch := 0; ch < chunks; ch++ {
+		h := s.chunkHeight(ch)
+		ext := s.ChunkPtr[ch+1] - s.ChunkPtr[ch]
+		if ext < 0 || ext%int64(h) != 0 {
+			return fmt.Errorf("sparse: SELLCS chunk %d extent %d not a multiple of height %d", ch, ext, h)
+		}
+		w := ext / int64(h)
+		for r := 0; r < h; r++ {
+			if l := int64(s.RowLen[ch*s.C+r]); l > w {
+				return fmt.Errorf("sparse: SELLCS row %d length %d exceeds chunk width %d", ch*s.C+r, l, w)
+			}
+		}
+	}
+	if int64(len(s.ColIdx)) != s.Padded() {
+		return fmt.Errorf("sparse: SELLCS ColIdx length %d, want %d", len(s.ColIdx), s.Padded())
+	}
+	if s.Vals != nil && int64(len(s.Vals)) != s.Padded() {
+		return fmt.Errorf("sparse: SELLCS Vals length %d, want %d", len(s.Vals), s.Padded())
+	}
+	for ch := 0; ch < chunks; ch++ {
+		h := s.chunkHeight(ch)
+		base := s.ChunkPtr[ch]
+		for r := 0; r < h; r++ {
+			sr := ch*s.C + r
+			var prev int32 = -1
+			for q := 0; q < int(s.RowLen[sr]); q++ {
+				col := s.ColIdx[base+int64(q)*int64(h)+int64(r)]
+				if int(col) < 0 || int(col) >= s.Cols {
+					return fmt.Errorf("sparse: SELLCS row %d col %d out of range", sr, col)
+				}
+				if col <= prev {
+					return fmt.Errorf("sparse: SELLCS row %d columns not strictly ascending at entry %d", sr, q)
+				}
+				prev = col
+			}
+		}
+	}
+	return nil
+}
+
+// ChooseSell reports whether converting a tile to SELL-C-σ is likely to
+// pay: the tile needs enough rows to fill chunks, a hub-heavy length
+// skew (lockstep chunks fix exactly the short-row bookkeeping overhead
+// that skewed tiles suffer under CSR), and modest padding after
+// σ-sorting. The padding estimate sorts only row lengths, so choosing
+// costs O(rows log σ) — far below conversion cost.
+func ChooseSell(a *CSR, c, sigma int) bool {
+	if a.Rows < 4*c {
+		return false
+	}
+	nnz := a.NNZ()
+	if nnz == 0 {
+		return false
+	}
+	mean := float64(nnz) / float64(a.Rows)
+	var maxLen int64
+	if sigma <= 0 {
+		sigma = a.Rows
+	}
+	var padded int64
+	lens := make([]int64, 0, sigma)
+	for w0 := 0; w0 < a.Rows; w0 += sigma {
+		w1 := w0 + sigma
+		if w1 > a.Rows {
+			w1 = a.Rows
+		}
+		lens = lens[:0]
+		for r := w0; r < w1; r++ {
+			l := a.RowNNZ(r)
+			lens = append(lens, l)
+			if l > maxLen {
+				maxLen = l
+			}
+		}
+		sort.Slice(lens, func(i, j int) bool { return lens[i] > lens[j] })
+		for lo := 0; lo < len(lens); lo += c {
+			hi := lo + c
+			if hi > len(lens) {
+				hi = len(lens)
+			}
+			padded += lens[lo] * int64(hi-lo)
+		}
+	}
+	overhead := float64(padded-nnz) / float64(nnz)
+	skewed := float64(maxLen) >= 4*mean
+	return skewed && overhead <= 0.25
+}

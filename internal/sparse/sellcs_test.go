@@ -1,0 +1,318 @@
+package sparse
+
+import (
+	"math/rand"
+	"testing"
+
+	"mggcn/internal/tensor"
+)
+
+// hubHeavyCSR builds a power-law-flavored matrix: a handful of hub rows
+// with degree near cols, a long tail of sparse rows, and some empty rows —
+// the shape SELL-C-σ exists for and the shape that stresses its padding.
+func hubHeavyCSR(rng *rand.Rand, rows, cols, hubs int, withVals bool) *CSR {
+	var entries []Coo
+	for i := 0; i < rows; i++ {
+		var deg int
+		switch {
+		case i < hubs:
+			deg = cols/2 + rng.Intn(cols/2)
+		case i%7 == 0:
+			deg = 0 // empty rows interleaved through the tail
+		default:
+			deg = 1 + rng.Intn(4)
+		}
+		for d := 0; d < deg; d++ {
+			e := Coo{Row: int32(i), Col: int32(rng.Intn(cols)), Val: 1}
+			if withVals {
+				e.Val = float32(rng.NormFloat64())
+			}
+			entries = append(entries, e)
+		}
+	}
+	return FromCoo(rows, cols, entries, withVals)
+}
+
+func csrEqual(t *testing.T, a, b *CSR) {
+	t.Helper()
+	if a.Rows != b.Rows || a.Cols != b.Cols {
+		t.Fatalf("shape %dx%d vs %dx%d", a.Rows, a.Cols, b.Rows, b.Cols)
+	}
+	if (a.Vals == nil) != (b.Vals == nil) {
+		t.Fatalf("structure-only mismatch: %v vs %v", a.Vals == nil, b.Vals == nil)
+	}
+	for r := 0; r < a.Rows; r++ {
+		ca, va := a.Row(r)
+		cb, vb := b.Row(r)
+		if len(ca) != len(cb) {
+			t.Fatalf("row %d nnz %d vs %d", r, len(ca), len(cb))
+		}
+		for q := range ca {
+			if ca[q] != cb[q] {
+				t.Fatalf("row %d entry %d col %d vs %d", r, q, ca[q], cb[q])
+			}
+			if va != nil && va[q] != vb[q] {
+				t.Fatalf("row %d entry %d val %v vs %v", r, q, va[q], vb[q])
+			}
+		}
+	}
+}
+
+// TestSellRoundTrip: CSR -> SELL-C-σ -> CSR is exact for random, hub-heavy
+// (empty rows included), and structure-only matrices across chunk heights
+// and sorting windows, including C and σ that don't divide the row count.
+func TestSellRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	mats := []*CSR{
+		randomCSR(rng, 37, 23, 0.2, true),
+		hubHeavyCSR(rng, 61, 40, 3, true),
+		hubHeavyCSR(rng, 61, 40, 3, false),
+		FromCoo(9, 9, nil, true), // all rows empty
+	}
+	for mi, a := range mats {
+		for _, c := range []int{1, 4, 8} {
+			for _, sigma := range []int{0, 8, 16, 1 << 20} {
+				s := ToSELLCS(a, c, sigma)
+				if err := s.Validate(); err != nil {
+					t.Fatalf("mat %d C=%d sigma=%d: %v", mi, c, sigma, err)
+				}
+				if s.NNZ() != a.NNZ() {
+					t.Fatalf("mat %d C=%d sigma=%d: nnz %d, want %d", mi, c, sigma, s.NNZ(), a.NNZ())
+				}
+				csrEqual(t, a, s.ToCSR())
+			}
+		}
+	}
+}
+
+// TestSellDuplicateEntries: duplicates are FromCoo's job (it sums them);
+// a matrix built from duplicated coordinates must round-trip through SELL
+// with the summed values intact.
+func TestSellDuplicateEntries(t *testing.T) {
+	entries := []Coo{
+		{Row: 0, Col: 2, Val: 1}, {Row: 0, Col: 2, Val: 3}, {Row: 0, Col: 0, Val: 5},
+		{Row: 2, Col: 1, Val: -2}, {Row: 2, Col: 1, Val: 2},
+	}
+	a := FromCoo(3, 3, entries, true)
+	s := ToSELLCS(a, 2, 0)
+	csrEqual(t, a, s.ToCSR())
+	cols, vals := s.ToCSR().Row(0)
+	if len(cols) != 2 || vals[1] != 4 {
+		t.Fatalf("duplicate sum lost: cols=%v vals=%v", cols, vals)
+	}
+}
+
+// TestSigmaSortPerm: within every σ window the sorted lengths must be
+// non-increasing, the permutation a bijection, and equal-length rows must
+// keep their original relative order (stability — determinism rides on it).
+func TestSigmaSortPerm(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	a := hubHeavyCSR(rng, 100, 50, 4, true)
+	for _, sigma := range []int{1, 7, 32, 100, 0} {
+		perm := SigmaSortPerm(a, sigma)
+		inv := InversePerm(perm)
+		win := sigma
+		if win <= 0 {
+			win = a.Rows
+		}
+		for w0 := 0; w0 < a.Rows; w0 += win {
+			w1 := w0 + win
+			if w1 > a.Rows {
+				w1 = a.Rows
+			}
+			for sr := w0; sr < w1; sr++ {
+				if int(perm[inv[sr]]) != sr {
+					t.Fatalf("sigma=%d: perm not inverse of inv at %d", sigma, sr)
+				}
+				if int(inv[sr]) < w0 || int(inv[sr]) >= w1 {
+					t.Fatalf("sigma=%d: row escaped its window: sorted %d <- orig %d", sigma, sr, inv[sr])
+				}
+				if sr > w0 {
+					la, lb := a.RowNNZ(int(inv[sr-1])), a.RowNNZ(int(inv[sr]))
+					if la < lb {
+						t.Fatalf("sigma=%d: lengths not sorted at %d: %d < %d", sigma, sr, la, lb)
+					}
+					if la == lb && inv[sr-1] > inv[sr] {
+						t.Fatalf("sigma=%d: unstable tie at %d: %d before %d", sigma, sr, inv[sr-1], inv[sr])
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestSellComposesWithPermutation: σ-sorting stacks on top of an existing
+// symmetric permutation — a SELLCS built from a PermuteSymmetric'd matrix
+// must round-trip back to it exactly and its SpMM must stay bit-identical
+// to the CSR flat kernel on that permuted matrix. (Against the *unpermuted*
+// matrix only numerical equality holds: renumbering columns reorders each
+// row's nonzeros and float addition doesn't commute bitwise.)
+func TestSellComposesWithPermutation(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	n := 48
+	a := hubHeavyCSR(rng, n, n, 3, true)
+	perm := make([]int32, n)
+	for i, p := range rng.Perm(n) {
+		perm[i] = int32(p)
+	}
+	ap := PermuteSymmetric(a, perm)
+	s := ToSELLCS(ap, 8, 16)
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	csrEqual(t, ap, s.ToCSR())
+	xp := randomDense(rng, n, 19)
+	want := tensor.NewDense(n, 19)
+	SpMMFlat(ap, xp, 0, want)
+	got := tensor.NewDense(n, 19)
+	SpMMSell(s, xp, 0, got)
+	if !tensor.Equal(want, got, 0) {
+		t.Fatalf("sell on permuted matrix != flat CSR on permuted matrix")
+	}
+
+	// And numerically (per element within float tolerance) the permuted
+	// pipeline agrees with the original: P(A x) == (P A P^T)(P x).
+	x := randomDense(rng, n, 19)
+	xpp := tensor.NewDense(n, 19)
+	for i := 0; i < n; i++ {
+		copy(xpp.Row(int(perm[i])), x.Row(i))
+	}
+	orig := tensor.NewDense(n, 19)
+	SpMMFlat(a, x, 0, orig)
+	permuted := tensor.NewDense(n, 19)
+	SpMMSell(ToSELLCS(ap, 8, 16), xpp, 0, permuted)
+	for i := 0; i < n; i++ {
+		ro, rp := orig.Row(i), permuted.Row(int(perm[i]))
+		for j := range ro {
+			d := float64(ro[j] - rp[j])
+			if d > 1e-4 || d < -1e-4 {
+				t.Fatalf("row %d col %d: %v vs %v", i, j, ro[j], rp[j])
+			}
+		}
+	}
+}
+
+// TestSpMMSellBitIdenticalToFlat pins the tentpole contract: the SELL
+// kernel's per-row accumulation order is SpMMFlat's order, so results
+// match bit for bit across chunk heights, sorting windows, feature widths
+// straddling the column tile, and both beta modes.
+func TestSpMMSellBitIdenticalToFlat(t *testing.T) {
+	rng := rand.New(rand.NewSource(44))
+	a := hubHeavyCSR(rng, 53, 53, 3, true)
+	for _, c := range []int{1, 3, 8} {
+		for _, sigma := range []int{0, 8} {
+			s := ToSELLCS(a, c, sigma)
+			for _, width := range []int{1, 7, spmmColTile + 5} {
+				for _, beta := range []float32{0, 1} {
+					x := randomDense(rng, 53, width)
+					sell := randomDense(rng, 53, width)
+					flat := sell.Clone()
+					SpMMSell(s, x, beta, sell)
+					SpMMFlat(a, x, beta, flat)
+					if !tensor.Equal(sell, flat, 0) {
+						t.Fatalf("C=%d sigma=%d width=%d beta=%g: sell != flat", c, sigma, width, beta)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestSpMMSellStructureOnly: the Vals == nil path (entries of 1) must match
+// the flat structure-only kernel bit for bit, odd row lengths included so
+// the pair loop's single tail runs.
+func TestSpMMSellStructureOnly(t *testing.T) {
+	rng := rand.New(rand.NewSource(45))
+	a := hubHeavyCSR(rng, 40, 40, 2, false)
+	s := ToSELLCS(a, 8, 16)
+	x := randomDense(rng, 40, spmmColTile+3)
+	sell := tensor.NewDense(40, spmmColTile+3)
+	flat := tensor.NewDense(40, spmmColTile+3)
+	SpMMSell(s, x, 0, sell)
+	SpMMFlat(a, x, 0, flat)
+	if !tensor.Equal(sell, flat, 0) {
+		t.Fatalf("structure-only sell != flat")
+	}
+}
+
+// TestParallelSpMMSellBitIdentical: chunk-span parallelism may not change a
+// bit at any worker count (each output row lives in exactly one chunk).
+func TestParallelSpMMSellBitIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(46))
+	a := hubHeavyCSR(rng, 96, 96, 5, true)
+	s := ToSELLCS(a, 8, 32)
+	x := randomDense(rng, 96, 33)
+	want := tensor.NewDense(96, 33)
+	SpMMSell(s, x, 0, want)
+	for _, w := range []int{1, 2, 5, 16} {
+		got := tensor.NewDense(96, 33)
+		ParallelSpMMSell(s, x, 0, got, w)
+		if !tensor.Equal(want, got, 0) {
+			t.Fatalf("workers=%d: parallel sell != serial sell", w)
+		}
+	}
+}
+
+// TestPaddedSpanBounds: boundaries are monotone, cover all chunks, and
+// never split a chunk.
+func TestPaddedSpanBounds(t *testing.T) {
+	rng := rand.New(rand.NewSource(47))
+	s := ToSELLCS(hubHeavyCSR(rng, 90, 90, 6, true), 8, 16)
+	for _, spans := range []int{1, 2, 3, 7} {
+		b := paddedSpanBounds(s, spans)
+		if b[0] != 0 || b[spans] != s.Chunks() {
+			t.Fatalf("spans=%d: bounds %v don't cover [0,%d]", spans, b, s.Chunks())
+		}
+		for k := 1; k <= spans; k++ {
+			if b[k] < b[k-1] {
+				t.Fatalf("spans=%d: bounds not monotone: %v", spans, b)
+			}
+		}
+	}
+}
+
+// TestSellPaddingAndChooser: σ-sorting must shrink padding on a hub-heavy
+// matrix relative to no sorting (σ=1 keeps original order), and ChooseSell
+// must take the skewed matrix while declining a uniform one and a tiny one.
+func TestSellPaddingAndChooser(t *testing.T) {
+	rng := rand.New(rand.NewSource(48))
+	hub := hubHeavyCSR(rng, 256, 256, 8, true)
+	sorted := ToSELLCS(hub, 8, 64)
+	unsorted := ToSELLCS(hub, 8, 1)
+	if sorted.PaddingRatio() >= unsorted.PaddingRatio() {
+		t.Fatalf("sigma-sorting didn't reduce padding: %v >= %v", sorted.PaddingRatio(), unsorted.PaddingRatio())
+	}
+	if !ChooseSell(hub, 8, 64) {
+		t.Fatalf("ChooseSell declined a hub-heavy matrix (padding %v)", sorted.PaddingRatio())
+	}
+	uniform := randomCSR(rng, 256, 64, 0.1, true)
+	if ChooseSell(uniform, 8, 64) {
+		t.Fatalf("ChooseSell took a uniform-degree matrix")
+	}
+	if ChooseSell(hubHeavyCSR(rng, 16, 16, 2, true), 8, 64) {
+		t.Fatalf("ChooseSell took a matrix with fewer than 4 chunks of rows")
+	}
+}
+
+// TestSellValidateCatchesCorruption: Validate must reject a broken
+// permutation, an out-of-range column, and a row longer than its chunk.
+func TestSellValidateCatchesCorruption(t *testing.T) {
+	rng := rand.New(rand.NewSource(49))
+	fresh := func() *SELLCS { return ToSELLCS(randomCSR(rng, 24, 24, 0.3, true), 8, 0) }
+
+	s := fresh()
+	s.RowPerm[0] = s.RowPerm[1]
+	if s.Validate() == nil {
+		t.Fatalf("Validate accepted a non-bijective RowPerm")
+	}
+	s = fresh()
+	s.ColIdx[0] = int32(s.Cols)
+	if s.Validate() == nil {
+		t.Fatalf("Validate accepted an out-of-range column")
+	}
+	s = fresh()
+	s.RowLen[0] = int32((s.ChunkPtr[1]-s.ChunkPtr[0])/int64(s.chunkHeight(0))) + 1
+	if s.Validate() == nil {
+		t.Fatalf("Validate accepted a row length beyond its chunk width")
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 
+	"mggcn/internal/kernel"
 	"mggcn/internal/pool"
 	"mggcn/internal/tensor"
 )
@@ -12,8 +13,24 @@ import (
 // segments of this many columns stay resident (registers + L1) while the
 // gathered X rows stream past, so wide-feature multiplies (input layers,
 // hidden 512) never evict the accumulator between nonzeros. 256 floats =
-// 1 KB per row segment.
-const spmmColTile = 256
+// 1 KB per row segment. The autotuner (internal/tune) may retarget it per
+// host via SetSpMMColTile; any tile yields bit-identical results because
+// column segmentation never changes the per-element accumulation order.
+var spmmColTile = 256
+
+// SpMMColTile returns the active feature-dimension tile of the blocked
+// SpMM kernels.
+func SpMMColTile() int { return spmmColTile }
+
+// SetSpMMColTile retargets the feature-dimension tile. Call it before
+// kernels run (it is not synchronized); the autotuner applies it at
+// startup. Panics on non-positive tiles.
+func SetSpMMColTile(tile int) {
+	if tile <= 0 {
+		panic(fmt.Sprintf("sparse: SetSpMMColTile(%d): tile must be positive", tile))
+	}
+	spmmColTile = tile
+}
 
 // SpMM computes C = A*X + beta*C where A is sparse (m x k), X dense (k x n),
 // C dense (m x n). beta is either 0 (overwrite) or 1 (accumulate); the GCN
@@ -168,53 +185,32 @@ func spmmRows(a *CSR, x *tensor.Dense, beta float32, c *tensor.Dense, lo, hi int
 }
 
 // spmmSeg accumulates seg += sum_k vals[k] * x[cols[k]][j0:j1], two
-// nonzeros per pass. seg[j] = seg[j] + a0*x0[j] + a1*x1[j] associates
-// left — the same per-element order as two separate axpys.
+// nonzeros per pass through the dispatched kernel.Axpy2 — left-associated,
+// the same per-element order as two separate axpys, SIMD when the build
+// carries the `simd` tag and the CPU qualifies.
 func spmmSeg(seg []float32, x *tensor.Dense, cols []int32, vals []float32, j0, j1 int) {
-	n := j1 - j0
-	seg = seg[:n]
 	k := 0
 	for ; k+2 <= len(cols); k += 2 {
-		a0, a1 := vals[k], vals[k+1]
 		x0 := x.Row(int(cols[k]))[j0:j1]
 		x1 := x.Row(int(cols[k+1]))[j0:j1]
-		x0 = x0[:n]
-		x1 = x1[:n]
-		for j := 0; j < n; j++ {
-			seg[j] = seg[j] + a0*x0[j] + a1*x1[j]
-		}
+		kernel.Axpy2(vals[k], vals[k+1], x0, x1, seg)
 	}
 	if k < len(cols) {
-		av := vals[k]
-		rx := x.Row(int(cols[k]))[j0:j1]
-		rx = rx[:n]
-		for j := 0; j < n; j++ {
-			seg[j] += av * rx[j]
-		}
+		kernel.Axpy(vals[k], x.Row(int(cols[k]))[j0:j1], seg)
 	}
 }
 
 // spmmSeg1 is spmmSeg for structure-only tiles (entries of 1), skipping
 // the multiplies.
 func spmmSeg1(seg []float32, x *tensor.Dense, cols []int32, j0, j1 int) {
-	n := j1 - j0
-	seg = seg[:n]
 	k := 0
 	for ; k+2 <= len(cols); k += 2 {
 		x0 := x.Row(int(cols[k]))[j0:j1]
 		x1 := x.Row(int(cols[k+1]))[j0:j1]
-		x0 = x0[:n]
-		x1 = x1[:n]
-		for j := 0; j < n; j++ {
-			seg[j] = seg[j] + x0[j] + x1[j]
-		}
+		kernel.Add2(x0, x1, seg)
 	}
 	if k < len(cols) {
-		rx := x.Row(int(cols[k]))[j0:j1]
-		rx = rx[:n]
-		for j := 0; j < n; j++ {
-			seg[j] += rx[j]
-		}
+		kernel.Add(x.Row(int(cols[k]))[j0:j1], seg)
 	}
 }
 

@@ -1,0 +1,167 @@
+package sparse
+
+import (
+	"fmt"
+	"sort"
+
+	"mggcn/internal/kernel"
+	"mggcn/internal/pool"
+	"mggcn/internal/tensor"
+)
+
+// SpMMSell computes C = A*X + beta*C for a SELL-C-σ matrix A, writing C in
+// the original (unsorted) row order — callers are oblivious to the σ-sort.
+// beta is 0 (overwrite) or 1 (accumulate), structure-only A treats entries
+// as 1, and phantom dense operands make the call shape-check-only, exactly
+// matching the CSR SpMM contract.
+//
+// Per output row the accumulation order is ascending nonzero index with
+// left-associated adds — SpMMFlat's order — so SELL results are
+// bit-identical to both CSR kernels for all finite inputs: within a chunk
+// the kernel walks entry index q outward, and row r's entry q is the same
+// nonzero CSR row r stores at position q (per-row order is preserved by
+// the conversion).
+func SpMMSell(s *SELLCS, x *tensor.Dense, beta float32, c *tensor.Dense) {
+	checkSpMMSellShapes(s, x, c)
+	if x.IsPhantom() || c.IsPhantom() {
+		return
+	}
+	spmmSellChunks(s, x, beta, c, 0, s.Chunks())
+}
+
+// ParallelSpMMSell is SpMMSell with chunks split into padded-entry-balanced
+// spans drawn from the shared worker pool (workers <= 0 caps lanes at
+// GOMAXPROCS). Each output row belongs to exactly one SELL chunk and each
+// chunk to exactly one span, so results are bit-identical to SpMMSell at
+// any worker count. ChunkPtr is already the prefix sum of padded entries —
+// the format's true streaming cost, including the lanes the kernel skips —
+// so span boundaries are binary searches in it, mirroring nnzChunkBounds.
+func ParallelSpMMSell(s *SELLCS, x *tensor.Dense, beta float32, c *tensor.Dense, workers int) {
+	checkSpMMSellShapes(s, x, c)
+	if x.IsPhantom() || c.IsPhantom() {
+		return
+	}
+	chunks := s.Chunks()
+	lanes := workers
+	if lanes <= 0 {
+		lanes = pool.Size()
+	}
+	if lanes > chunks {
+		lanes = chunks
+	}
+	if lanes <= 1 {
+		spmmSellChunks(s, x, beta, c, 0, chunks)
+		return
+	}
+	spans := lanes * 4
+	if spans > chunks {
+		spans = chunks
+	}
+	bounds := paddedSpanBounds(s, spans)
+	pool.ForChunks(spans, lanes, func(sp int) {
+		if bounds[sp] < bounds[sp+1] {
+			spmmSellChunks(s, x, beta, c, bounds[sp], bounds[sp+1])
+		}
+	})
+}
+
+// paddedSpanBounds returns spans+1 chunk boundaries splitting s's chunks
+// into spans of near-equal padded-entry count.
+func paddedSpanBounds(s *SELLCS, spans int) []int {
+	chunks := s.Chunks()
+	bounds := make([]int, spans+1)
+	bounds[spans] = chunks
+	total := s.Padded()
+	for k := 1; k < spans; k++ {
+		target := total * int64(k) / int64(spans)
+		ch := sort.Search(chunks, func(i int) bool { return s.ChunkPtr[i+1] > target })
+		if ch < chunks && target-s.ChunkPtr[ch] >= s.ChunkPtr[ch+1]-target {
+			ch++
+		}
+		if ch < bounds[k-1] {
+			ch = bounds[k-1]
+		}
+		bounds[k] = ch
+	}
+	return bounds
+}
+
+func checkSpMMSellShapes(s *SELLCS, x, c *tensor.Dense) {
+	if s.Cols != x.Rows || c.Rows != s.Rows || c.Cols != x.Cols {
+		panic(fmt.Sprintf("sparse: SpMMSell shape mismatch (%dx%d)*(%dx%d) -> %dx%d",
+			s.Rows, s.Cols, x.Rows, x.Cols, c.Rows, c.Cols))
+	}
+}
+
+// spmmSellChunks processes chunks [ch0,ch1). Within a chunk the feature
+// dimension is tiled by spmmColTile so all h output-row segments stay
+// resident together (h * tile floats — 8 KiB at the defaults, an L1-sized
+// working set), then entry index q walks outward two at a time: ColIdx and
+// Vals stream sequentially (the whole point of the entry-index-major
+// layout) while every live lane fuses its q and q+1 nonzeros through one
+// dispatched kernel.Axpy2/Add2. Lanes whose rows end before the chunk
+// width drop out via RowLen; padding is never read.
+func spmmSellChunks(s *SELLCS, x *tensor.Dense, beta float32, c *tensor.Dense, ch0, ch1 int) {
+	width := c.Cols
+	var segs [][]float32
+	for ch := ch0; ch < ch1; ch++ {
+		h := s.chunkHeight(ch)
+		base := s.ChunkPtr[ch]
+		w := int((s.ChunkPtr[ch+1] - base) / int64(h))
+		segs = segs[:0]
+		for r := 0; r < h; r++ {
+			segs = append(segs, c.Row(int(s.RowPerm[ch*s.C+r])))
+		}
+		for j0 := 0; j0 < width; j0 += spmmColTile {
+			j1 := j0 + spmmColTile
+			if j1 > width {
+				j1 = width
+			}
+			if beta == 0 {
+				for _, rc := range segs {
+					seg := rc[j0:j1]
+					for j := range seg {
+						seg[j] = 0
+					}
+				}
+			}
+			for q := 0; q+2 <= w; q += 2 {
+				o0 := base + int64(q)*int64(h)
+				o1 := o0 + int64(h)
+				for r := 0; r < h; r++ {
+					l := int(s.RowLen[ch*s.C+r])
+					if q+1 < l {
+						x0 := x.Row(int(s.ColIdx[o0+int64(r)]))[j0:j1]
+						x1 := x.Row(int(s.ColIdx[o1+int64(r)]))[j0:j1]
+						if s.Vals == nil {
+							kernel.Add2(x0, x1, segs[r][j0:j1])
+						} else {
+							kernel.Axpy2(s.Vals[o0+int64(r)], s.Vals[o1+int64(r)], x0, x1, segs[r][j0:j1])
+						}
+					} else if q < l {
+						x0 := x.Row(int(s.ColIdx[o0+int64(r)]))[j0:j1]
+						if s.Vals == nil {
+							kernel.Add(x0, segs[r][j0:j1])
+						} else {
+							kernel.Axpy(s.Vals[o0+int64(r)], x0, segs[r][j0:j1])
+						}
+					}
+				}
+			}
+			if w%2 == 1 {
+				q := w - 1
+				o0 := base + int64(q)*int64(h)
+				for r := 0; r < h; r++ {
+					if q < int(s.RowLen[ch*s.C+r]) {
+						x0 := x.Row(int(s.ColIdx[o0+int64(r)]))[j0:j1]
+						if s.Vals == nil {
+							kernel.Add(x0, segs[r][j0:j1])
+						} else {
+							kernel.Axpy(s.Vals[o0+int64(r)], x0, segs[r][j0:j1])
+						}
+					}
+				}
+			}
+		}
+	}
+}

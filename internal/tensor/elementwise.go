@@ -1,6 +1,10 @@
 package tensor
 
-import "fmt"
+import (
+	"fmt"
+
+	"mggcn/internal/kernel"
+)
 
 // ReLU writes max(x, 0) elementwise from src into dst (aliasing allowed;
 // dst may be src itself). Shapes must match.
@@ -48,10 +52,7 @@ func AddInPlace(dst, src *Dense) {
 		return
 	}
 	for i := 0; i < dst.Rows; i++ {
-		rd, rs := dst.Row(i), src.Row(i)
-		for j := range rd {
-			rd[j] += rs[j]
-		}
+		kernel.Add(src.Row(i), dst.Row(i))
 	}
 }
 
@@ -75,10 +76,7 @@ func AxpyInPlace(dst *Dense, alpha float32, src *Dense) {
 		return
 	}
 	for i := 0; i < dst.Rows; i++ {
-		rd, rs := dst.Row(i), src.Row(i)
-		for j := range rd {
-			rd[j] += alpha * rs[j]
-		}
+		kernel.Axpy(alpha, src.Row(i), dst.Row(i))
 	}
 }
 

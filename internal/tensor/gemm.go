@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sync"
 
+	"mggcn/internal/kernel"
 	"mggcn/internal/pool"
 )
 
@@ -11,7 +12,48 @@ import (
 // B rows stay hot in cache while C rows accumulate across it. 64 rows x
 // (n x 4 bytes) keeps a hidden-512 panel inside L2 and a hidden-128 panel
 // inside L1.
-const blockK = 64
+var blockK = 64
+
+// gemmFlatMaxBytes is the whole-B-footprint threshold below which panel
+// blocking is skipped: when all of B (k x n x 4 bytes) fits in cache, the
+// panel loop only re-reads each C row k/blockK times for nothing — the
+// regression the pre-tuner BENCH_epoch.json showed at 2048x128x128
+// (blocked 0.87x flat). Under the threshold gemmRows runs one panel of
+// the full k extent, which is exactly the flat traversal order with the
+// 2x2 micro-kernel kept. Panel boundaries never change the per-element
+// accumulation order, so both regimes are bit-identical to GemmFlat.
+var gemmFlatMaxBytes = 64 << 10
+
+// GemmPolicy returns the active blocking policy: the k-panel height and
+// the B footprint (bytes) below which blocking is skipped.
+func GemmPolicy() (blockKRows, flatMaxBytes int) { return blockK, gemmFlatMaxBytes }
+
+// SetGemmPolicy retargets the blocking policy; the autotuner
+// (internal/tune) applies the host's measured or modeled choice at
+// startup. Not synchronized — call before kernels run. blockKRows must be
+// a positive multiple of 2 (the micro-kernel consumes k steps in pairs
+// from each panel start, and an odd panel height would shift pair
+// boundaries); flatMaxBytes may be 0 to always block.
+func SetGemmPolicy(blockKRows, flatMaxBytes int) {
+	if blockKRows <= 0 || blockKRows%2 != 0 {
+		panic(fmt.Sprintf("tensor: SetGemmPolicy blockK=%d: must be positive and even", blockKRows))
+	}
+	if flatMaxBytes < 0 {
+		panic(fmt.Sprintf("tensor: SetGemmPolicy flatMaxBytes=%d: must be non-negative", flatMaxBytes))
+	}
+	blockK = blockKRows
+	gemmFlatMaxBytes = flatMaxBytes
+}
+
+// effBlockK resolves the panel height for a k x n multiply: the full k
+// extent (one panel — flat traversal) when B fits the flat threshold,
+// otherwise the configured panel height.
+func effBlockK(k, n int) int {
+	if k*n*4 <= gemmFlatMaxBytes {
+		return k
+	}
+	return blockK
+}
 
 // Gemm computes C = alpha*A*B + beta*C with A (m x k), B (k x n), C (m x n).
 // It is the sequential kernel; use ParallelGemm to split rows across the
@@ -70,11 +112,7 @@ func GemmTA(alpha float32, a, b *Dense, beta float32, c *Dense) {
 			if av == 0 {
 				continue
 			}
-			s := alpha * av
-			rc := c.Row(p)
-			for q, bv := range rb {
-				rc[q] += s * bv
-			}
+			kernel.Axpy(alpha*av, rb, c.Row(p))
 		}
 	}
 }
@@ -118,14 +156,15 @@ func applyBeta(rc []float32, beta float32) {
 // bit-identical to GemmFlat for all finite inputs.
 func gemmRows(alpha float32, a, b *Dense, beta float32, c *Dense, lo, hi int) {
 	k := a.Cols
+	bk := effBlockK(k, c.Cols)
 	i := lo
 	for ; i+2 <= hi; i += 2 {
 		rc0, rc1 := c.Row(i), c.Row(i+1)
 		applyBeta(rc0, beta)
 		applyBeta(rc1, beta)
 		ra0, ra1 := a.Row(i), a.Row(i+1)
-		for k0 := 0; k0 < k; k0 += blockK {
-			k1 := k0 + blockK
+		for k0 := 0; k0 < k; k0 += bk {
+			k1 := k0 + bk
 			if k1 > k {
 				k1 = k
 			}
@@ -136,8 +175,8 @@ func gemmRows(alpha float32, a, b *Dense, beta float32, c *Dense, lo, hi int) {
 		rc := c.Row(i)
 		applyBeta(rc, beta)
 		ra := a.Row(i)
-		for k0 := 0; k0 < k; k0 += blockK {
-			k1 := k0 + blockK
+		for k0 := 0; k0 < k; k0 += bk {
+			k1 := k0 + bk
 			if k1 > k {
 				k1 = k
 			}
@@ -147,8 +186,9 @@ func gemmRows(alpha float32, a, b *Dense, beta float32, c *Dense, lo, hi int) {
 }
 
 // gemmPanel2 accumulates the k-panel [k0,k1) into two C rows, two k steps
-// per pass. rc[j] = rc[j] + s0*rb0[j] + s1*rb1[j] associates left, which
-// is the same per-element order as two separate += statements.
+// per pass through the dispatched kernel.Panel2x2 — left-associated per
+// element, the same order as four separate axpys, SIMD when the build
+// carries the `simd` tag and the CPU qualifies.
 func gemmPanel2(alpha float32, ra0, ra1 []float32, b *Dense, rc0, rc1 []float32, k0, k1 int) {
 	n := len(rc0)
 	p := k0
@@ -160,13 +200,7 @@ func gemmPanel2(alpha float32, ra0, ra1 []float32, b *Dense, rc0, rc1 []float32,
 		}
 		rb0 := b.Row(p)[:n]
 		rb1 := b.Row(p + 1)[:n]
-		c0 := rc0[:n]
-		c1 := rc1[:n]
-		for j := 0; j < n; j++ {
-			b0, b1 := rb0[j], rb1[j]
-			c0[j] = c0[j] + s00*b0 + s01*b1
-			c1[j] = c1[j] + s10*b0 + s11*b1
-		}
+		kernel.Panel2x2(s00, s01, s10, s11, rb0, rb1, rc0[:n], rc1[:n])
 	}
 	for ; p < k1; p++ {
 		s0, s1 := alpha*ra0[p], alpha*ra1[p]
@@ -174,13 +208,8 @@ func gemmPanel2(alpha float32, ra0, ra1 []float32, b *Dense, rc0, rc1 []float32,
 			continue
 		}
 		rb := b.Row(p)[:n]
-		c0 := rc0[:n]
-		c1 := rc1[:n]
-		for j := 0; j < n; j++ {
-			bv := rb[j]
-			c0[j] += s0 * bv
-			c1[j] += s1 * bv
-		}
+		kernel.Axpy(s0, rb, rc0[:n])
+		kernel.Axpy(s1, rb, rc1[:n])
 	}
 }
 
@@ -195,21 +224,14 @@ func gemmPanel1(alpha float32, ra []float32, b *Dense, rc []float32, k0, k1 int)
 		}
 		rb0 := b.Row(p)[:n]
 		rb1 := b.Row(p + 1)[:n]
-		c0 := rc[:n]
-		for j := 0; j < n; j++ {
-			c0[j] = c0[j] + s0*rb0[j] + s1*rb1[j]
-		}
+		kernel.Axpy2(s0, s1, rb0, rb1, rc[:n])
 	}
 	for ; p < k1; p++ {
 		s := alpha * ra[p]
 		if s == 0 {
 			continue
 		}
-		rb := b.Row(p)[:n]
-		c0 := rc[:n]
-		for j := 0; j < n; j++ {
-			c0[j] += s * rb[j]
-		}
+		kernel.Axpy(s, b.Row(p)[:n], rc[:n])
 	}
 }
 
@@ -224,7 +246,7 @@ func gemmTBRows(alpha float32, a, b *Dense, beta float32, c *Dense, lo, hi int) 
 		rc0, rc1 := c.Row(i), c.Row(i+1)
 		for j := 0; j < b.Rows; j++ {
 			rb := b.Row(j)
-			d0, d1 := dot4Pair(ra0, ra1, rb)
+			d0, d1 := kernel.Dot4Pair(ra0, ra1, rb)
 			if beta == 0 {
 				rc0[j] = alpha * d0
 				rc1[j] = alpha * d1
@@ -239,7 +261,7 @@ func gemmTBRows(alpha float32, a, b *Dense, beta float32, c *Dense, lo, hi int) 
 		rc := c.Row(i)
 		for j := 0; j < b.Rows; j++ {
 			rb := b.Row(j)
-			dot := dot4(ra, rb)
+			dot := kernel.Dot4(ra, rb)
 			if beta == 0 {
 				rc[j] = alpha * dot
 			} else {
@@ -247,57 +269,6 @@ func gemmTBRows(alpha float32, a, b *Dense, beta float32, c *Dense, lo, hi int) 
 			}
 		}
 	}
-}
-
-// dot4 computes the ra·rb dot product with four independent partial sums,
-// freeing the FP adds from one serial dependency chain. The summation order
-// differs from a single running sum, which is fine at GeMM's usual fp32
-// tolerance — and deterministic: the split depends only on the length.
-func dot4(ra, rb []float32) float32 {
-	n := len(ra)
-	rb = rb[:n]
-	var d0, d1, d2, d3 float32
-	p := 0
-	for ; p+4 <= n; p += 4 {
-		d0 += ra[p] * rb[p]
-		d1 += ra[p+1] * rb[p+1]
-		d2 += ra[p+2] * rb[p+2]
-		d3 += ra[p+3] * rb[p+3]
-	}
-	dot := (d0 + d1) + (d2 + d3)
-	for ; p < n; p++ {
-		dot += ra[p] * rb[p]
-	}
-	return dot
-}
-
-// dot4Pair computes ra0·rb and ra1·rb together so rb is loaded once. Each
-// dot keeps dot4's exact partial-sum split.
-func dot4Pair(ra0, ra1, rb []float32) (float32, float32) {
-	n := len(ra0)
-	ra1 = ra1[:n]
-	rb = rb[:n]
-	var a0, a1, a2, a3 float32
-	var b0, b1, b2, b3 float32
-	p := 0
-	for ; p+4 <= n; p += 4 {
-		r0, r1, r2, r3 := rb[p], rb[p+1], rb[p+2], rb[p+3]
-		a0 += ra0[p] * r0
-		a1 += ra0[p+1] * r1
-		a2 += ra0[p+2] * r2
-		a3 += ra0[p+3] * r3
-		b0 += ra1[p] * r0
-		b1 += ra1[p+1] * r1
-		b2 += ra1[p+2] * r2
-		b3 += ra1[p+3] * r3
-	}
-	d0 := (a0 + a1) + (a2 + a3)
-	d1 := (b0 + b1) + (b2 + b3)
-	for ; p < n; p++ {
-		d0 += ra0[p] * rb[p]
-		d1 += ra1[p] * rb[p]
-	}
-	return d0, d1
 }
 
 // ParallelGemm is Gemm with row ranges drawn from the shared worker pool

@@ -73,6 +73,16 @@ const (
 // Ordering selects the vertex ordering applied before partitioning.
 type Ordering = core.Ordering
 
+// SparseFormat selects the device-resident sparse tile layout.
+type SparseFormat = core.SparseFormat
+
+// Sparse tile formats for Options.SparseFormat.
+const (
+	FormatCSR  = core.FormatCSR  // CSR everywhere (default)
+	FormatSELL = core.FormatSELL // SELL-C-σ everywhere
+	FormatAuto = core.FormatAuto // per-tile: SELL where the skew pays
+)
+
 // The available vertex orderings (§5.2 ablation). OrderingDefault honors
 // the Permute flag.
 const (
@@ -201,6 +211,12 @@ type Options struct {
 
 	// Ordering overrides Permute with a specific vertex ordering when set.
 	Ordering Ordering
+	// SparseFormat selects the device-resident adjacency tile layout:
+	// FormatCSR (default), FormatSELL, or FormatAuto (per-tile heuristic —
+	// hub-heavy shards convert to SELL-C-σ, uniform shards stay CSR).
+	// Results are bit-identical at any setting; only speed and the
+	// adjacency memory charge change.
+	SparseFormat SparseFormat
 	// BalancedPartition cuts partitions at equal total degree instead of
 	// equal vertex counts — an alternative load balancer to permutation.
 	BalancedPartition bool
@@ -254,7 +270,8 @@ func NewTrainer(ds *Dataset, o Options) (*Trainer, error) {
 		Strategy: o.Strategy, Ordering: o.Ordering, BalancedPartition: o.BalancedPartition,
 		Permute: o.Permute, PermSeed: o.PermSeed, Overlap: o.Overlap,
 		OrderSwitch: o.OrderSwitch, SkipFirstBackward: o.SkipFirstBackwardSpMM,
-		Seed: o.Seed, Workers: o.Workers, ExecWorkers: o.ExecWorkers,
+		Format: o.SparseFormat,
+		Seed:   o.Seed, Workers: o.Workers, ExecWorkers: o.ExecWorkers,
 	}
 	inner, err := core.NewTrainer(ds.g, cfg)
 	if err != nil {

@@ -2,10 +2,13 @@
 # bench.sh — regenerate the epoch wall-clock benchmark matrix.
 #
 # Runs cmd/mggcn-epochbench (real non-phantom training, serial vs parallel
-# epoch replay at several device counts) and writes BENCH_epoch.json at the
-# repository root. The JSON records GOMAXPROCS and the CPU count of the host
-# it ran on; the parallel executor's speedup is only demonstrable when the
-# host has at least as many cores as simulated devices.
+# epoch replay at several device counts, plus the kernel microbenches with
+# per-shape winners) and writes BENCH_epoch.json at the repository root.
+# Built with -tags simd so the assembly microkernels are eligible; runtime
+# dispatch falls back to scalar on hosts without the required ISA. The JSON
+# records GOMAXPROCS, the CPU count, and the active kernel implementation;
+# the parallel executor's speedup is only demonstrable when the host has at
+# least as many cores as simulated devices.
 #
 #   scripts/bench.sh                 # full matrix -> BENCH_epoch.json
 #   scripts/bench.sh -devices 8     # any mggcn-epochbench flags pass through
@@ -13,4 +16,14 @@ set -eu
 
 cd "$(dirname "$0")/.."
 
-go run ./cmd/mggcn-epochbench "$@"
+echo "==> autotuner deterministic smoke" >&2
+# Two deterministic runs must produce byte-identical choice files before we
+# trust the tuner anywhere near a benchmark.
+tune_a=$(mktemp) tune_b=$(mktemp)
+trap 'rm -f "$tune_a" "$tune_b"' EXIT
+go run -tags simd ./cmd/mggcn-tune -out "$tune_a"
+go run -tags simd ./cmd/mggcn-tune -out "$tune_b"
+cmp "$tune_a" "$tune_b"
+
+echo "==> epoch benchmark matrix" >&2
+go run -tags simd ./cmd/mggcn-epochbench "$@"

@@ -79,6 +79,29 @@ go test -race -short -timeout 30m ./...
 echo "==> go test (full, no race)"
 go test -timeout 30m ./...
 
+echo "==> SIMD kernel suite (-tags simd)"
+# The same kernel-adjacent suites with the assembly microkernels installed:
+# dispatch + bit-identity tables, sparse formats (CSR and SELL-C-sigma),
+# dense kernels, autotuner, and the end-to-end format parity tests. The
+# default (tags-off) build of these packages is covered by the full runs
+# above; -race stays on the scalar path because the detector cannot see
+# assembly.
+go vet -tags simd ./...
+go build -tags simd ./...
+go test -tags simd -timeout 30m ./internal/kernel/ ./internal/sparse/ ./internal/tensor/ ./internal/tune/ ./internal/core/
+
+echo "==> arm64 cross-compile (NEON path)"
+GOOS=linux GOARCH=arm64 go build -tags simd ./...
+
+echo "==> autotuner determinism"
+# The deterministic mode is a pure function of the host profile: two runs
+# must produce byte-identical choice files.
+tune_a=$(mktemp) tune_b=$(mktemp)
+trap 'rm -f "$tune_a" "$tune_b"' EXIT
+go run ./cmd/mggcn-tune -out "$tune_a"
+go run ./cmd/mggcn-tune -out "$tune_b"
+cmp "$tune_a" "$tune_b"
+
 echo "==> benchmark smoke"
 # One iteration per benchmark, no tests: keeps the kernel benchmarks
 # (flat-vs-blocked pairs, pool scaling) compiling and runnable so they
