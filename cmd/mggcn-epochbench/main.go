@@ -29,11 +29,19 @@
 // -tune applies an mggcn-tune choice file before measuring, so a recorded
 // run reflects the host's tuned policy rather than the defaults.
 //
+// -mode selects the sections: "epoch" is the full-batch matrix above,
+// "sample" sweeps the sampled minibatch pipeline (cache fraction x
+// pipelining at one device count, DESIGN.md §8) into BENCH_sample.json
+// with simulated epoch seconds, stream overlap ratios, pipeline speedups,
+// and the extract stage's gather hit/miss words; "all" (default) runs
+// both.
+//
 // Usage:
 //
-//	mggcn-epochbench                      # full matrix -> BENCH_epoch.json
+//	mggcn-epochbench                      # both matrices -> BENCH_*.json
 //	mggcn-epochbench -devices 8 -epochs 3 -out -   # one row, JSON to stdout
 //	mggcn-epochbench -tune TUNE.json      # measure under a tuned policy
+//	mggcn-epochbench -mode sample -samplefracs 0,0.5   # sampled sweep only
 package main
 
 import (
@@ -49,7 +57,11 @@ import (
 	"time"
 
 	"mggcn"
+	"mggcn/internal/comm"
+	"mggcn/internal/core"
+	"mggcn/internal/gen"
 	"mggcn/internal/kernel"
+	"mggcn/internal/sim"
 	"mggcn/internal/sparse"
 	"mggcn/internal/tensor"
 	"mggcn/internal/tune"
@@ -114,6 +126,13 @@ func main() {
 		sweep    = flag.String("sweep", "1,0", "comma-separated workers and exec_workers values for the grid at the largest device count (empty: skip)")
 		tuneFile = flag.String("tune", "", "autotuner choice file (mggcn-tune output) to Apply before benchmarking")
 		out      = flag.String("out", "BENCH_epoch.json", "output path, or - for stdout")
+
+		mode          = flag.String("mode", "all", "sections to run: all | epoch | sample")
+		sampleOut     = flag.String("sampleout", "BENCH_sample.json", "sampled-pipeline output path, or - for stdout")
+		sampleDevices = flag.Int("sampledevices", 4, "device count for the sampled-pipeline matrix")
+		sampleBatch   = flag.Int("samplebatch", 512, "sampled minibatch size")
+		sampleFanouts = flag.String("samplefanouts", "5,10,15", "comma-separated per-layer fanouts, outermost first")
+		sampleFracs   = flag.String("samplefracs", "0,0.25,0.5,0.75", "comma-separated feature-cache fractions")
 	)
 	flag.Parse()
 
@@ -123,8 +142,20 @@ func main() {
 			log.Fatal(err)
 		}
 		choice.Apply()
-		fmt.Fprintf(os.Stderr, "applied %s: blockK=%d flatMax=%d colTile=%d\n",
-			*tuneFile, choice.BlockK, choice.FlatMaxBytes, choice.SpMMColTile)
+		fmt.Fprintf(os.Stderr, "applied %s: blockK=%d flatMax=%d colTile=%d sell=%d/%d\n",
+			*tuneFile, choice.BlockK, choice.FlatMaxBytes, choice.SpMMColTile, choice.SellC, choice.SellSigma)
+	}
+
+	if *mode != "all" && *mode != "epoch" && *mode != "sample" {
+		log.Fatalf("bad -mode %q: want all, epoch, or sample", *mode)
+	}
+	if *mode != "epoch" {
+		benchSampled(*dataset, *sampleDevices, *hidden, *sampleBatch,
+			parseInts(*sampleFanouts, "-samplefanouts"),
+			parseFloats(*sampleFracs, "-samplefracs"), *epochs, *sampleOut)
+	}
+	if *mode == "sample" {
+		return
 	}
 
 	ds, err := mggcn.LoadDataset(*dataset, false)
@@ -194,6 +225,144 @@ func main() {
 		log.Fatal(err)
 	}
 	fmt.Fprintf(os.Stderr, "wrote %s (gomaxprocs=%d)\n", *out, res.GoMaxProcs)
+}
+
+// sampleCell is one (cacheFrac, pipeline) sampled-pipeline measurement:
+// simulated epoch seconds on the machine plus the extract stage's gather
+// accounting. SpeedupVsUnpipelined is filled on pipelined cells from the
+// matching pipeline-off cell at the same cache fraction.
+type sampleCell struct {
+	Devices              int     `json:"devices"`
+	Batch                int     `json:"batch"`
+	Fanouts              []int   `json:"fanouts"`
+	CacheFrac            float64 `json:"cache_frac"`
+	Pipeline             bool    `json:"pipeline"`
+	Epochs               int     `json:"epochs"`
+	SimEpochSeconds      float64 `json:"sim_epoch_seconds"`
+	OverlapRatio         float64 `json:"overlap_ratio"`
+	SpeedupVsUnpipelined float64 `json:"speedup_vs_unpipelined,omitempty"`
+	GatherHitWords       int64   `json:"gather_hit_words"`
+	GatherMissWords      int64   `json:"gather_miss_words"`
+	CacheHitRate         float64 `json:"cache_hit_rate"`
+	Loss                 float64 `json:"loss"`
+	WallMS               float64 `json:"wall_epoch_ms"`
+}
+
+type sampleResult struct {
+	Dataset    string       `json:"dataset"`
+	N          int          `json:"n"`
+	M          int64        `json:"m"`
+	TrainVerts int          `json:"train_verts"`
+	Hidden     int          `json:"hidden"`
+	Layers     int          `json:"layers"`
+	GoMaxProcs int          `json:"gomaxprocs"`
+	NumCPU     int          `json:"numcpu"`
+	KernelImpl string       `json:"kernel_impl"`
+	Cells      []sampleCell `json:"cells"`
+	WallSecs   float64      `json:"wall_seconds"`
+}
+
+// benchSampled measures the factored sampler/trainer pipeline: a cache
+// fraction x pipeline on/off matrix at one device count, reporting
+// simulated epoch time, stream overlap, and gather hit/miss words. The
+// simulated times are the deterministic output of the cost model, so the
+// pipeline speedup and cache traffic cuts they show are reproducible on
+// any host; wall_epoch_ms is the only host-dependent column.
+func benchSampled(name string, devices, hidden, batch int, fanouts []int, fracs []float64, epochs int, outPath string) {
+	g, spec, err := gen.Load(name, false)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res := sampleResult{
+		Dataset: name, N: g.N(), M: g.M(),
+		Hidden: hidden, Layers: len(fanouts),
+		GoMaxProcs: runtime.GOMAXPROCS(0), NumCPU: runtime.NumCPU(),
+		KernelImpl: kernel.Impl(),
+	}
+	start := time.Now()
+	for _, frac := range fracs {
+		var offSim float64
+		for _, pipeline := range []bool{false, true} {
+			cfg := core.DefaultSampledConfig(sim.DGXA100(), devices, spec.Scale)
+			cfg.Hidden = hidden
+			cfg.Layers = len(fanouts)
+			cfg.Fanouts = fanouts
+			cfg.Batch = batch
+			cfg.CacheFrac = frac
+			cfg.Pipeline = pipeline
+			cfg.CommMeter = comm.NewMeter()
+			tr, err := core.NewSampledTrainer(g, cfg)
+			if err != nil {
+				log.Fatal(err)
+			}
+			res.TrainVerts = tr.TrainVertexCount()
+			sims := make([]float64, 0, epochs)
+			walls := make([]float64, 0, epochs)
+			var last *core.SampledEpochStats
+			for e := 0; e < epochs; e++ {
+				t0 := time.Now()
+				s, err := tr.RunEpoch()
+				if err != nil {
+					log.Fatal(err)
+				}
+				walls = append(walls, float64(time.Since(t0).Microseconds())/1e3)
+				sims = append(sims, s.EpochSeconds)
+				last = s
+			}
+			sort.Float64s(sims)
+			sort.Float64s(walls)
+			c := sampleCell{
+				Devices: devices, Batch: batch, Fanouts: fanouts,
+				CacheFrac: frac, Pipeline: pipeline, Epochs: epochs,
+				SimEpochSeconds: sims[len(sims)/2],
+				OverlapRatio:    last.OverlapRatio,
+				GatherHitWords:  cfg.CommMeter.Words(sim.CollGatherHit),
+				GatherMissWords: cfg.CommMeter.Words(sim.CollGatherMiss),
+				Loss:            last.Loss,
+				WallMS:          walls[len(walls)/2],
+			}
+			if tot := c.GatherHitWords + c.GatherMissWords; tot > 0 {
+				c.CacheHitRate = float64(c.GatherHitWords) / float64(tot)
+			}
+			if pipeline {
+				c.SpeedupVsUnpipelined = offSim / c.SimEpochSeconds
+			} else {
+				offSim = c.SimEpochSeconds
+			}
+			res.Cells = append(res.Cells, c)
+			fmt.Fprintf(os.Stderr,
+				"sample frac=%.2f pipeline=%-5t sim=%.1fms overlap=%.2f speedup=%.2fx hit=%.2f wall=%.0fms\n",
+				frac, pipeline, c.SimEpochSeconds*1e3, c.OverlapRatio,
+				c.SpeedupVsUnpipelined, c.CacheHitRate, c.WallMS)
+		}
+	}
+	res.WallSecs = time.Since(start).Seconds()
+
+	buf, err := json.MarshalIndent(res, "", "  ")
+	if err != nil {
+		log.Fatal(err)
+	}
+	buf = append(buf, '\n')
+	if outPath == "-" {
+		os.Stdout.Write(buf)
+		return
+	}
+	if err := os.WriteFile(outPath, buf, 0o644); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "wrote %s\n", outPath)
+}
+
+func parseFloats(csv, flagName string) []float64 {
+	var vals []float64
+	for _, field := range strings.Split(csv, ",") {
+		v, err := strconv.ParseFloat(strings.TrimSpace(field), 64)
+		if err != nil {
+			log.Fatalf("bad %s entry %q: %v", flagName, field, err)
+		}
+		vals = append(vals, v)
+	}
+	return vals
 }
 
 func starvedWarning(numCPU, devices int) string {

@@ -1,0 +1,599 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"mggcn/internal/comm"
+	"mggcn/internal/graph"
+	"mggcn/internal/nn"
+	"mggcn/internal/sample"
+	"mggcn/internal/sim"
+	"mggcn/internal/sparse"
+	"mggcn/internal/tensor"
+)
+
+// This file is the factored sampler/trainer minibatch pipeline: the sampled
+// counterpart of trainer.go's full-batch step, built from the same
+// record-then-replay machinery. Each device runs three stages per step —
+//
+//	sample (StreamSample):  k-hop fanout blocks from the batch's seed
+//	extract (StreamSample): feature gather through the device's static cache
+//	train (StreamCompute):  per-layer SpMM→GeMM→ReLU forward, loss, backward
+//	allreduce (StreamComm): per-layer gradient sum across the full group
+//
+// — with a double-buffered handoff slot between the sampler stage and the
+// trainer (GNNLab's factored architecture): step s's sample task depends on
+// step s-depth's Adam, so with depth 2 the sampler runs one step ahead of
+// training and sim.Graph.Execute overlaps the stages. Every handoff is a
+// recorded Deps edge (the sampler stream neither issues nor receives
+// cross-stream fences), and blocks/seeds are pure functions of
+// (Seed, epoch, batch), so fixed-seed runs are bit-identical at any replay
+// parallelism — the same parity bar the full-batch trainer meets.
+
+// SampledConfig selects the machine, parallelism and sampling schedule of a
+// sampled minibatch run.
+type SampledConfig struct {
+	Spec     sim.MachineSpec
+	P        int // number of GPUs
+	MemScale int // memory divisor matching the dataset scale
+
+	Hidden int // hidden layer width
+	Layers int // layer count L (== len(Fanouts))
+	LR     float64
+
+	Batch int // minibatch size (target vertices per batch)
+	// Fanouts[l] is layer l's neighbor sample bound, outermost (input
+	// layer) first — GNNLab's [5,10,15] convention.
+	Fanouts []int
+	// CacheFrac is the fraction of vertices whose feature rows each device
+	// caches, hottest (highest in-degree) first. 0 disables caching.
+	CacheFrac float64
+	// Pipeline enables the double-buffered sampler handoff: the sampler
+	// stage runs one step ahead of training (depth 2). Off, the handoff
+	// slot is single-buffered and the stages serialize per device. Results
+	// are bit-identical either way.
+	Pipeline bool
+
+	Seed    int64 // weight init, epoch shuffles, and all sampler streams
+	Workers int   // CPU workers for the real kernels (<=0: GOMAXPROCS)
+	// ExecWorkers / ExecSeed / ExecObserver mirror Config: host replay
+	// parallelism, adversarial replay seed, and the sanitizer's observer.
+	ExecWorkers  int
+	ExecSeed     int64
+	ExecObserver sim.ExecObserver
+	// CommMeter counts collective words plus the extract stage's gather
+	// traffic (sim.CollGatherHit / sim.CollGatherMiss).
+	CommMeter *comm.Meter
+}
+
+// DefaultSampledConfig returns the GNNLab-style sampled configuration:
+// 3 layers at fanout [5,10,15], half the vertices cached, pipelining on.
+func DefaultSampledConfig(spec sim.MachineSpec, p, memScale int) SampledConfig {
+	return SampledConfig{
+		Spec: spec, P: p, MemScale: memScale,
+		Hidden: 128, Layers: 3, LR: 0.01,
+		Batch: 512, Fanouts: []int{5, 10, 15},
+		CacheFrac: 0.5, Pipeline: true, Seed: 1,
+	}
+}
+
+// SampledTrainer is a distributed sampled-minibatch training run. Create
+// with NewSampledTrainer; each RunEpoch consumes one deterministic epoch
+// plan (shuffled batches round-robined over devices) and returns the
+// epoch's statistics.
+type SampledTrainer struct {
+	Cfg     SampledConfig
+	Graph   *graph.Graph
+	Machine *sim.Machine
+	Dims    []int
+
+	weights [][]*tensor.Dense // [device][layer]: replicated weights
+	grads   [][]*tensor.Dense
+	opts    []*nn.Adam
+	// caches[d] is device d's degree-ordered static feature cache; feat is
+	// the host-resident feature store (a registered view of the dataset's
+	// matrix — misses gather from it over the host link).
+	caches []*sample.FeatureCache
+	feat   *tensor.Dense
+	// slotBufs[d][k] is the opaque pseudo-buffer naming handoff slot k of
+	// device d for the sanitizer: sample/extract/train tasks declare it, so
+	// a missing double-buffer dependency shows up as an unordered
+	// conflicting access in san.Check.
+	slotBufs [][]sim.BufID
+
+	degrees    []int64
+	avgDeg     float64
+	trainVerts []int32
+	reg        *sim.BufRegistry
+	lastGraph  *sim.Graph
+	paramCount int64
+	epoch      int
+}
+
+// NewSampledTrainer allocates the replicated model, builds the per-device
+// feature caches, and registers every device-resident buffer with the
+// sanitizer. Sampling needs real features and labels, so phantom datasets
+// are rejected.
+func NewSampledTrainer(g *graph.Graph, cfg SampledConfig) (*SampledTrainer, error) {
+	if cfg.Layers < 1 {
+		return nil, fmt.Errorf("core: need at least 1 layer")
+	}
+	if len(cfg.Fanouts) != cfg.Layers {
+		return nil, fmt.Errorf("core: %d fanouts for %d layers", len(cfg.Fanouts), cfg.Layers)
+	}
+	for _, f := range cfg.Fanouts {
+		if f < 1 {
+			return nil, fmt.Errorf("core: fanout %d < 1", f)
+		}
+	}
+	if cfg.Batch < 1 {
+		return nil, fmt.Errorf("core: batch %d < 1", cfg.Batch)
+	}
+	if cfg.CacheFrac < 0 || cfg.CacheFrac > 1 {
+		return nil, fmt.Errorf("core: cache fraction %v outside [0,1]", cfg.CacheFrac)
+	}
+	if g.IsPhantom() {
+		return nil, fmt.Errorf("core: sampled training needs materialized features")
+	}
+	machine := sim.NewMachine(cfg.Spec, cfg.P, cfg.MemScale)
+	tr := &SampledTrainer{
+		Cfg: cfg, Graph: g, Machine: machine,
+		Dims:    nn.LayerDims(g.FeatDim, cfg.Hidden, cfg.Layers, g.Classes),
+		degrees: g.InDegrees(),
+		avgDeg:  g.AvgDegree(),
+		reg:     sim.NewBufRegistry(),
+	}
+	init := nn.InitWeights(tr.Dims, cfg.Seed)
+	for _, w := range init {
+		tr.paramCount += int64(w.Rows) * int64(w.Cols)
+	}
+	// The host feature store: a fresh view struct over the dataset's
+	// storage, registered under its own name so the dataset matrix itself
+	// is never stamped (other trainers may register the same storage).
+	fv := *g.Features
+	tr.feat = &fv
+	registerDense(tr.reg, "host/x", tr.feat)
+	depth := 1
+	if cfg.Pipeline {
+		depth = 2
+	}
+	for d := 0; d < machine.P; d++ {
+		if err := machine.Pools[d].Alloc("model", tr.paramCount*4*4); err != nil {
+			return nil, err
+		}
+		var ws, gs []*tensor.Dense
+		for l, w := range init {
+			ws = append(ws, w.Clone())
+			gs = append(gs, tensor.NewDense(w.Rows, w.Cols))
+			registerDense(tr.reg, fmt.Sprintf("d%d/w%d", d, l), ws[l])
+			registerDense(tr.reg, fmt.Sprintf("d%d/g%d", d, l), gs[l])
+		}
+		tr.weights = append(tr.weights, ws)
+		tr.grads = append(tr.grads, gs)
+		tr.opts = append(tr.opts, nn.NewAdam(cfg.LR, ws))
+		cache := sample.NewFeatureCache(g.Features, tr.degrees, cfg.CacheFrac)
+		if err := machine.Pools[d].Alloc("cache", cache.Slab.Bytes()); err != nil {
+			return nil, err
+		}
+		registerDense(tr.reg, fmt.Sprintf("d%d/cache", d), cache.Slab)
+		tr.caches = append(tr.caches, cache)
+		var slots []sim.BufID
+		for k := 0; k < depth; k++ {
+			slots = append(slots, tr.reg.Register(fmt.Sprintf("d%d/slot%d", d, k)))
+		}
+		tr.slotBufs = append(tr.slotBufs, slots)
+	}
+	for v := 0; v < g.N(); v++ {
+		if g.TrainMask == nil || g.TrainMask[v] {
+			tr.trainVerts = append(tr.trainVerts, int32(v))
+		}
+	}
+	return tr, nil
+}
+
+// depth returns the handoff slot count: 2 when pipelined, 1 otherwise.
+func (tr *SampledTrainer) depth() int {
+	if tr.Cfg.Pipeline {
+		return 2
+	}
+	return 1
+}
+
+// s maps a scaled-down count to its full-scale equivalent for task pricing,
+// exactly like Trainer.s (DESIGN.md §2).
+func (tr *SampledTrainer) sc(x int) int { return x * tr.Cfg.MemScale }
+
+// frontierEstimate returns the record-time expected frontier sizes
+// (verts[l] = source-frontier rows of block l, verts[L] = the batch) and
+// per-block sampled edge counts (self-loops included) for a batch of
+// batchLen targets — the analytic inputs of the sample/extract/train task
+// costs. The closures compute the real blocks; these only price the tasks.
+func (tr *SampledTrainer) frontierEstimate(batchLen int) (verts []int, edges []int64) {
+	L := len(tr.Cfg.Fanouts)
+	verts = make([]int, L+1)
+	edges = make([]int64, L)
+	verts[L] = batchLen
+	n := tr.Graph.N()
+	for h := L - 1; h >= 0; h-- {
+		f := float64(tr.Cfg.Fanouts[h])
+		if tr.avgDeg < f {
+			f = tr.avgDeg
+		}
+		e := float64(verts[h+1]) * (1 + f) // + self-loops
+		edges[h] = int64(e)
+		v := int(e)
+		if v > n {
+			v = n
+		}
+		verts[h] = v
+	}
+	return verts, edges
+}
+
+// slotState is one handoff slot's host-side payload: what the sampler stage
+// produces and the trainer consumes. The recorded closures read and write
+// it through the slot pointer at replay time; the opaque slot pseudo-buffer
+// is its sanitizer-visible name.
+type slotState struct {
+	blocks []*sample.Block
+	h      []*tensor.Dense // h[0] gathered input, h[l+1] layer l output
+	aggs   []*tensor.Dense // aggs[l] = blocks[l].Adj x h[l]
+	grad   *tensor.Dense   // backward gradient flowing down the layers
+}
+
+// SampledEpochStats reports one sampled epoch.
+type SampledEpochStats struct {
+	EpochSeconds float64
+	KindBusy     map[sim.Kind]float64
+	Loss         float64
+	TrainAcc     float64
+	Batches      int
+	// OverlapRatio is the mean over devices of summed per-stream busy time
+	// divided by the makespan: ~1 when the stages serialize, >1 when the
+	// sampler stream genuinely overlaps training.
+	OverlapRatio float64
+	Tasks        []*sim.Task
+	Sched        *sim.Schedule
+}
+
+// RunEpoch performs one sampled epoch: the epoch plan's batches are
+// round-robined over devices step by step; each step samples, extracts,
+// trains, all-reduces the summed step-mean gradient across the full group,
+// and applies Adam on every replica. Devices left without a batch on the
+// tail step contribute zero gradients, so weights stay replicated.
+func (tr *SampledTrainer) RunEpoch() (*SampledEpochStats, error) {
+	// NewSampledTrainer rejects phantom datasets, but every closure bound
+	// below touches real storage — keep the guarantee local too.
+	if tr.feat.IsPhantom() {
+		return nil, fmt.Errorf("core: sampled training needs real features")
+	}
+	p := tr.Machine.P
+	spec := tr.Machine.Spec
+	L := tr.Cfg.Layers
+	d0 := tr.Dims[0]
+	classes := tr.Dims[L]
+	workers := tr.Cfg.Workers
+	depth := tr.depth()
+
+	plan := sample.PlanEpoch(tr.trainVerts, tr.Cfg.Batch, tr.Cfg.Seed, tr.epoch)
+	tr.epoch++
+	B := len(plan.Batches)
+	stats := &SampledEpochStats{Batches: B}
+	if B == 0 {
+		return stats, nil
+	}
+	steps := (B + p - 1) / p
+
+	tg := sim.NewGraph(spec, p)
+	cg := tr.newSampledComm(tg)
+
+	slots := make([][]slotState, p)
+	for d := range slots {
+		slots[d] = make([]slotState, depth)
+	}
+	// Per-batch loss slots, folded in batch order after the replay so
+	// concurrent execution stays deterministic.
+	lossSum := make([]float64, B)
+	correct := make([]int, B)
+	prevAdam := make([][]int, steps) // prevAdam[s][d]
+
+	for s := 0; s < steps; s++ {
+		stepRows := 0
+		for d := 0; d < p; d++ {
+			if b := s*p + d; b < B {
+				stepRows += len(plan.Batches[b])
+			}
+		}
+		wgradID := make([][]int, L) // per layer: tasks the all-reduce waits on
+		for d := 0; d < p; d++ {
+			b := s*p + d
+			if b >= B {
+				// Tail step without a batch for this device: contribute
+				// zero gradients so the full-group all-reduce still sums a
+				// step-mean gradient and replicas stay identical.
+				gs := tr.grads[d]
+				id := tg.AddCompute(d, sim.KindActivation, fmt.Sprintf("s%d/zerograd", s), -1,
+					spec.ElementwiseCost(tr.paramCount, 0), true)
+				tg.BindShaped(id, nil, sim.ShapesOf(gs...), func() {
+					for _, g := range gs {
+						g.Zero()
+					}
+				})
+				for l := 0; l < L; l++ {
+					wgradID[l] = append(wgradID[l], id)
+				}
+				continue
+			}
+			slot := &slots[d][s%depth]
+			slotBuf := tr.slotBufs[d][s%depth]
+			slotShape := []sim.ViewShape{sim.OpaqueShape(slotBuf)}
+			batch := plan.Batches[b]
+			seed := plan.Seeds[b]
+			verts, edges := tr.frontierEstimate(len(batch))
+			var totalEdges int64
+			for _, e := range edges {
+				totalEdges += e
+			}
+
+			// --- Sampler stage: sample ---
+			// The slot-recycle dependency: slot s%depth is free once step
+			// s-depth's Adam (the last compute-stream task of that step on
+			// this device) has run — FIFO order covers every earlier reader.
+			var sampDeps []int
+			if s >= depth {
+				sampDeps = append(sampDeps, prevAdam[s-depth][d])
+			}
+			adj := tr.Graph.Adj
+			fanouts := tr.Cfg.Fanouts
+			sampID := tg.AddStage(d, sim.StreamSample, sim.KindSample,
+				fmt.Sprintf("s%d/sample", s), -1,
+				spec.SampleCost(int64(tr.sc(int(totalEdges)))), true, sampDeps...)
+			tg.BindShaped(sampID, nil, slotShape, func() {
+				slot.blocks = sample.BuildBlocks(adj, batch, fanouts, seed)
+			})
+
+			// --- Sampler stage: extract (feature gather through cache) ---
+			cache := tr.caches[d]
+			meter := tr.Cfg.CommMeter
+			feat := tr.feat
+			expHit := int64(float64(tr.sc(verts[0])) * cache.MassFraction)
+			extID := tg.AddStage(d, sim.StreamSample, sim.KindExtract,
+				fmt.Sprintf("s%d/extract", s), -1,
+				spec.GatherCost(expHit, int64(tr.sc(verts[0]))-expHit, d0), true, sampID)
+			tg.BindShaped(extID,
+				append(sim.ShapesOf(cache.Slab, feat), sim.OpaqueShape(slotBuf)),
+				slotShape, func() {
+					src := slot.blocks[0].Src
+					h0 := tensor.NewDense(len(src), d0)
+					hit, miss := cache.Gather(h0, feat, src)
+					meter.Add(sim.CollGatherHit, int64(hit)*int64(d0))
+					meter.Add(sim.CollGatherMiss, int64(miss)*int64(d0))
+					slot.h = make([]*tensor.Dense, L+1)
+					slot.aggs = make([]*tensor.Dense, L)
+					slot.h[0] = h0
+				})
+
+			// --- Trainer stage: forward ---
+			prev := extID
+			for l := 0; l < L; l++ {
+				dIn, dOut := tr.Dims[l], tr.Dims[l+1]
+				spmmID := tg.AddCompute(d, sim.KindSpMM, fmt.Sprintf("s%d/fwd%d/spmm", s, l), -1,
+					spec.SpMMCost(int64(tr.sc(int(edges[l]))), tr.sc(verts[l+1]), tr.sc(verts[l]), dIn), true, prev)
+				tg.BindShaped(spmmID, slotShape, slotShape, func() {
+					blk := slot.blocks[l]
+					ah := tensor.NewDense(blk.Adj.Rows, dIn)
+					sparse.ParallelSpMM(blk.Adj, slot.h[l], 0, ah, workers)
+					slot.aggs[l] = ah
+				})
+				w := tr.weights[d][l]
+				gemmID := tg.AddCompute(d, sim.KindGeMM, fmt.Sprintf("s%d/fwd%d/gemm", s, l), -1,
+					spec.GemmCost(tr.sc(verts[l+1]), dIn, dOut), false, spmmID)
+				tg.BindShaped(gemmID, append(sim.ShapesOf(w), sim.OpaqueShape(slotBuf)), slotShape, func() {
+					z := tensor.NewDense(slot.aggs[l].Rows, dOut)
+					tensor.ParallelGemm(1, slot.aggs[l], w, 0, z, workers)
+					slot.h[l+1] = z
+				})
+				prev = gemmID
+				if l < L-1 {
+					reluID := tg.AddCompute(d, sim.KindActivation, fmt.Sprintf("s%d/fwd%d/relu", s, l), -1,
+						spec.ElementwiseCost(int64(tr.sc(verts[l+1]))*int64(dOut), 1), true, prev)
+					tg.BindShaped(reluID, nil, slotShape, func() {
+						tensor.ReLU(slot.h[l+1], slot.h[l+1])
+					})
+					prev = reluID
+				}
+			}
+
+			// --- Loss: sum over the batch, gradient scaled 1/stepRows so
+			// the all-reduced sum is the exact step-mean gradient. ---
+			labels := tr.Graph.Labels
+			norm := stepRows
+			lossID := tg.AddCompute(d, sim.KindLoss, fmt.Sprintf("s%d/loss", s), -1,
+				spec.LossCost(tr.sc(len(batch)), classes), true, prev)
+			tg.BindShaped(lossID, nil, slotShape, func() {
+				logits := slot.h[L]
+				dst := slot.blocks[L-1].Dst
+				lb := make([]int32, len(dst))
+				for i, v := range dst {
+					lb[i] = labels[v]
+				}
+				g := tensor.NewDense(logits.Rows, logits.Cols)
+				lossSum[b] = nn.SoftmaxCrossEntropySum(logits, lb, nil, g, norm)
+				correct[b], _ = nn.CorrectCount(logits, lb, nil)
+				slot.grad = g
+			})
+			prev = lossID
+
+			// --- Backward ---
+			for l := L - 1; l >= 0; l-- {
+				dIn, dOut := tr.Dims[l], tr.Dims[l+1]
+				if l < L-1 {
+					// Mask the incoming gradient by the forward activation.
+					reluID := tg.AddCompute(d, sim.KindActivation, fmt.Sprintf("s%d/bwd%d/relu", s, l), -1,
+						spec.ElementwiseCost(int64(tr.sc(verts[l+1]))*int64(dOut), 2), true, prev)
+					tg.BindShaped(reluID, nil, slotShape, func() {
+						masked := tensor.NewDense(slot.grad.Rows, slot.grad.Cols)
+						tensor.ReLUBackward(masked, slot.grad, slot.h[l+1])
+						slot.grad = masked
+					})
+					prev = reluID
+				}
+				w := tr.weights[d][l]
+				grad := tr.grads[d][l]
+				wgID := tg.AddCompute(d, sim.KindGeMM, fmt.Sprintf("s%d/bwd%d/wgrad", s, l), -1,
+					spec.GemmCost(dIn, tr.sc(verts[l+1]), dOut), false, prev)
+				tg.BindShaped(wgID, append(sim.ShapesOf(w), sim.OpaqueShape(slotBuf)), sim.ShapesOf(grad), func() {
+					tensor.ParallelGemmTA(1, slot.aggs[l], slot.grad, 0, grad, workers)
+				})
+				wgradID[l] = append(wgradID[l], wgID)
+				if l > 0 {
+					hgID := tg.AddCompute(d, sim.KindGeMM, fmt.Sprintf("s%d/bwd%d/hgrad", s, l), -1,
+						spec.GemmCost(tr.sc(verts[l+1]), dOut, dIn), false, prev)
+					tg.BindShaped(hgID, append(sim.ShapesOf(w), sim.OpaqueShape(slotBuf)), slotShape, func() {
+						dAH := tensor.NewDense(slot.grad.Rows, dIn)
+						tensor.ParallelGemmTB(1, slot.grad, w, 0, dAH, workers)
+						slot.grad = dAH
+					})
+					spmmID := tg.AddCompute(d, sim.KindSpMM, fmt.Sprintf("s%d/bwd%d/spmm", s, l), -1,
+						spec.SpMMCost(int64(tr.sc(int(edges[l]))), tr.sc(verts[l]), tr.sc(verts[l+1]), dIn), true, hgID)
+					tg.BindShaped(spmmID, slotShape, slotShape, func() {
+						dH := tensor.NewDense(slot.blocks[l].Adj.Cols, dIn)
+						sparse.ParallelSpMM(slot.blocks[l].Adj.Transpose(), slot.grad, 0, dH, workers)
+						slot.grad = dH
+					})
+					prev = spmmID
+				} else {
+					prev = wgID
+				}
+			}
+		}
+
+		// --- Per-layer full-group gradient all-reduce, then Adam on every
+		// replica (weights stay identical across devices). ---
+		lastAR := -1
+		for l := L - 1; l >= 0; l-- {
+			perDev := make([]*tensor.Dense, p)
+			for i := range perDev {
+				perDev[i] = tr.grads[i][l]
+			}
+			lastAR = cg.AllReduceSum(perDev, fmt.Sprintf("s%d/allreduce%d", s, l), wgradID[l]...)
+		}
+		prevAdam[s] = make([]int, p)
+		for d := 0; d < p; d++ {
+			deps := []int{}
+			if lastAR >= 0 {
+				deps = append(deps, lastAR)
+			}
+			id := tg.AddCompute(d, sim.KindAdam, fmt.Sprintf("s%d/adam", s), -1,
+				spec.AdamCost(tr.paramCount), true, deps...) // vet:ok taskdep: last task of the step; step s+depth's sample task depends on it
+			opt, ws, gs := tr.opts[d], tr.weights[d], tr.grads[d]
+			tg.BindShaped(id, sim.ShapesOf(gs...), sim.ShapesOf(ws...), func() { opt.Step(ws, gs) })
+			prevAdam[s][d] = id
+		}
+	}
+
+	if err := tr.replaySampled(tg); err != nil {
+		return nil, err
+	}
+	var totalCorrect int
+	for b := 0; b < B; b++ {
+		stats.Loss += lossSum[b]
+		totalCorrect += correct[b]
+	}
+	stats.Loss /= float64(len(tr.trainVerts))
+	stats.TrainAcc = float64(totalCorrect) / float64(len(tr.trainVerts))
+	if err := tr.checkSampledFinite(stats.Loss); err != nil {
+		return nil, err
+	}
+
+	sched := tg.Run()
+	stats.EpochSeconds = sched.Makespan
+	stats.KindBusy = sched.KindBusy
+	stats.Tasks = tg.Tasks
+	stats.Sched = sched
+	if sched.Makespan > 0 {
+		var util float64
+		for d := 0; d < p; d++ {
+			var busy float64
+			for s := 0; s < int(sim.NumStreams); s++ {
+				busy += sched.DeviceBusy[d][s]
+			}
+			util += busy / sched.Makespan
+		}
+		stats.OverlapRatio = util / float64(p)
+	}
+	return stats, nil
+}
+
+// Train runs epochs sampled epochs, dropping the heavyweight task/schedule
+// payload except on the final one.
+func (tr *SampledTrainer) Train(epochs int) ([]*SampledEpochStats, error) {
+	out := make([]*SampledEpochStats, 0, epochs)
+	for e := 0; e < epochs; e++ {
+		s, err := tr.RunEpoch()
+		if err != nil {
+			return out, err
+		}
+		if e < epochs-1 {
+			s.Tasks, s.Sched = nil, nil
+		}
+		out = append(out, s)
+	}
+	return out, nil
+}
+
+// replaySampled mirrors Trainer.replay for the sampled graph.
+func (tr *SampledTrainer) replaySampled(tg *sim.Graph) error {
+	tg.Reg = tr.reg
+	tg.Observer = tr.Cfg.ExecObserver
+	tr.lastGraph = tg
+	if tr.Cfg.ExecSeed != 0 {
+		return tg.ExecuteAdversarial(tr.Cfg.ExecWorkers, tr.Cfg.ExecSeed)
+	}
+	return tg.Execute(tr.Cfg.ExecWorkers)
+}
+
+// newSampledComm builds the epoch's communicator with the trainer's byte
+// scale and meter.
+func (tr *SampledTrainer) newSampledComm(tg *sim.Graph) *comm.Group {
+	cg := comm.New(tg)
+	cg.BytesScale = int64(tr.Cfg.MemScale)
+	cg.Meter = tr.Cfg.CommMeter
+	return cg
+}
+
+// checkSampledFinite is RunEpoch's corruption guard over the loss and
+// device 0's weights (replicas are identical).
+func (tr *SampledTrainer) checkSampledFinite(loss float64) error {
+	if math.IsNaN(loss) || math.IsInf(loss, 0) {
+		return &NumericError{What: "loss"}
+	}
+	for l, w := range tr.weights[0] {
+		for i, v := range w.Data {
+			if math.IsNaN(float64(v)) || math.IsInf(float64(v), 0) {
+				return &NumericError{What: fmt.Sprintf("weight d0/w%d[%d]", l, i)}
+			}
+		}
+	}
+	return nil
+}
+
+// LastGraph returns the task graph of the most recent RunEpoch replay (nil
+// before the first), with Reg attached — the sanitizer's input.
+func (tr *SampledTrainer) LastGraph() *sim.Graph { return tr.lastGraph }
+
+// Registry returns the trainer's buffer registry.
+func (tr *SampledTrainer) Registry() *sim.BufRegistry { return tr.reg }
+
+// Weights returns device 0's weight stack (replicas are identical).
+func (tr *SampledTrainer) Weights() []*tensor.Dense { return tr.weights[0] }
+
+// Caches returns the per-device feature caches (read-only introspection).
+func (tr *SampledTrainer) Caches() []*sample.FeatureCache { return tr.caches }
+
+// TrainVertexCount returns the number of training vertices in the plan.
+func (tr *SampledTrainer) TrainVertexCount() int { return len(tr.trainVerts) }
+
+// ParamCount returns the model's parameter count (one replica).
+func (tr *SampledTrainer) ParamCount() int64 { return tr.paramCount }

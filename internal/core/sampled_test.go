@@ -1,0 +1,234 @@
+package core
+
+import (
+	"testing"
+
+	"mggcn/internal/comm"
+	"mggcn/internal/san"
+	"mggcn/internal/sim"
+)
+
+func testSampledConfig(p int) SampledConfig {
+	cfg := DefaultSampledConfig(sim.DGXA100(), p, 1)
+	cfg.Hidden = 16
+	cfg.Layers = 2
+	cfg.Fanouts = []int{4, 6}
+	// 96 train vertices at batch 8 → 12 batches → 3+ steps at P<=4, so the
+	// double-buffer dependency (step s sampling over step s-2's training)
+	// is genuinely exercised.
+	cfg.Batch = 8
+	cfg.CacheFrac = 0.5
+	cfg.Seed = 7
+	return cfg
+}
+
+// sampledFingerprint runs epochs and returns the per-epoch losses plus the
+// final weight bits.
+func sampledFingerprint(t *testing.T, cfg SampledConfig, epochs int) ([]float64, [][]float32) {
+	t.Helper()
+	tr, err := NewSampledTrainer(testGraph(t), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats, err := tr.Train(epochs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var losses []float64
+	for _, s := range stats {
+		losses = append(losses, s.Loss)
+	}
+	var bits [][]float32
+	for _, w := range tr.Weights() {
+		bits = append(bits, append([]float32(nil), w.Data...))
+	}
+	return losses, bits
+}
+
+func sameFingerprint(t *testing.T, name string, l1, l2 []float64, w1, w2 [][]float32) {
+	t.Helper()
+	if len(l1) != len(l2) {
+		t.Fatalf("%s: epoch counts differ", name)
+	}
+	for e := range l1 {
+		if l1[e] != l2[e] {
+			t.Fatalf("%s: epoch %d loss %v != %v", name, e, l1[e], l2[e])
+		}
+	}
+	for l := range w1 {
+		for i := range w1[l] {
+			if w1[l][i] != w2[l][i] {
+				t.Fatalf("%s: weight %d[%d] %v != %v", name, l, i, w1[l][i], w2[l][i])
+			}
+		}
+	}
+}
+
+// TestSampledReplayParity is the pipeline's bit-identity bar: fixed seed ⇒
+// identical losses and weights across serial replay, concurrent replay, and
+// adversarial worst-case orders, with pipelining both off and on.
+func TestSampledReplayParity(t *testing.T) {
+	for _, pipeline := range []bool{false, true} {
+		base := testSampledConfig(4)
+		base.Pipeline = pipeline
+		base.ExecWorkers = 1
+		refLoss, refW := sampledFingerprint(t, base, 3)
+
+		par := base
+		par.ExecWorkers = 8
+		l, w := sampledFingerprint(t, par, 3)
+		sameFingerprint(t, "parallel", refLoss, l, refW, w)
+
+		adv := base
+		adv.ExecWorkers = 8
+		adv.ExecSeed = 99
+		l, w = sampledFingerprint(t, adv, 3)
+		sameFingerprint(t, "adversarial", refLoss, l, refW, w)
+	}
+}
+
+// TestSampledPipelineInvariance: the double buffer changes the schedule,
+// never the arithmetic.
+func TestSampledPipelineInvariance(t *testing.T) {
+	off := testSampledConfig(3)
+	off.Pipeline = false
+	onCfg := testSampledConfig(3)
+	onCfg.Pipeline = true
+	l1, w1 := sampledFingerprint(t, off, 2)
+	l2, w2 := sampledFingerprint(t, onCfg, 2)
+	sameFingerprint(t, "pipeline on vs off", l1, l2, w1, w2)
+}
+
+// TestSampledCacheInvariance is the cached-vs-uncached property at trainer
+// level: any cache fraction must leave losses and weights bit-identical —
+// the cache is a verbatim copy of the hot rows.
+func TestSampledCacheInvariance(t *testing.T) {
+	base := testSampledConfig(4)
+	base.CacheFrac = 0
+	refLoss, refW := sampledFingerprint(t, base, 2)
+	for _, frac := range []float64{0.25, 0.5, 1} {
+		cfg := testSampledConfig(4)
+		cfg.CacheFrac = frac
+		l, w := sampledFingerprint(t, cfg, 2)
+		sameFingerprint(t, "cache", refLoss, l, refW, w)
+	}
+}
+
+// TestSampledSanClean runs the static happens-before check over the real
+// recorded sampled graphs: the slot pseudo-buffers, cache slabs, weights and
+// gradients must all be ordered by the recorded deps + FIFO + fences.
+func TestSampledSanClean(t *testing.T) {
+	for _, pipeline := range []bool{false, true} {
+		cfg := testSampledConfig(4)
+		cfg.Pipeline = pipeline
+		tr, err := NewSampledTrainer(testGraph(t), cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := tr.RunEpoch(); err != nil {
+			t.Fatal(err)
+		}
+		if got := san.Check(tr.LastGraph(), san.Options{}); len(got) != 0 {
+			t.Errorf("pipeline=%t: %d unordered conflicts, e.g. %v", pipeline, len(got), got[0])
+		}
+	}
+}
+
+// TestSampledShadowClean replays under the NaN-poisoning shadow: every
+// closure must stay inside its declared access sets (cache slabs included).
+func TestSampledShadowClean(t *testing.T) {
+	cfg := testSampledConfig(4)
+	tr, err := NewSampledTrainer(testGraph(t), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sh := san.NewShadow(tr.Registry())
+	tr.Cfg.ExecObserver = sh
+	if _, err := tr.RunEpoch(); err != nil {
+		t.Fatal(err)
+	}
+	if got := sh.Findings; len(got) != 0 {
+		t.Fatalf("shadow replay found %d undeclared accesses, e.g. %v", len(got), got[0])
+	}
+}
+
+// TestSampledMeterAccounting checks the extract stage's hit/miss words: the
+// two classes sum to the total gather volume, a warm cache absorbs most of
+// it, and no cache means all misses.
+func TestSampledMeterAccounting(t *testing.T) {
+	gatherWords := func(frac float64) (hit, miss int64) {
+		cfg := testSampledConfig(4)
+		cfg.CacheFrac = frac
+		cfg.CommMeter = comm.NewMeter()
+		tr, err := NewSampledTrainer(testGraph(t), cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := tr.RunEpoch(); err != nil {
+			t.Fatal(err)
+		}
+		return cfg.CommMeter.Words(sim.CollGatherHit), cfg.CommMeter.Words(sim.CollGatherMiss)
+	}
+	h0, m0 := gatherWords(0)
+	if h0 != 0 || m0 == 0 {
+		t.Fatalf("uncached epoch metered hit=%d miss=%d", h0, m0)
+	}
+	h5, m5 := gatherWords(0.5)
+	if h5 == 0 {
+		t.Fatal("50%% cache metered zero hits")
+	}
+	if h5+m5 != h0+m0 {
+		t.Fatalf("gather volume changed with caching: %d+%d != %d", h5, m5, h0+m0)
+	}
+	if m5*2 > m0 {
+		t.Fatalf("50%% degree-ordered cache only cut miss words from %d to %d (< 2x)", m0, m5)
+	}
+}
+
+// TestSampledLossDecreases: a few epochs of sampled training must reduce
+// the loss on the toy dataset — the end-to-end sanity check.
+func TestSampledLossDecreases(t *testing.T) {
+	cfg := testSampledConfig(2)
+	tr, err := NewSampledTrainer(testGraph(t), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats, err := tr.Train(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first, last := stats[0].Loss, stats[len(stats)-1].Loss
+	if !(last < first) {
+		t.Fatalf("loss did not decrease: %v -> %v", first, last)
+	}
+	if stats[0].Batches == 0 {
+		t.Fatal("epoch plan produced no batches")
+	}
+}
+
+// TestSampledPipelineOverlap: with pipelining on, the sampler stream's work
+// overlaps training — makespan strictly below the unpipelined run of the
+// identical task set, and the overlap ratio rises.
+func TestSampledPipelineOverlap(t *testing.T) {
+	run := func(pipeline bool) *SampledEpochStats {
+		cfg := testSampledConfig(4)
+		cfg.Pipeline = pipeline
+		tr, err := NewSampledTrainer(testGraph(t), cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s, err := tr.RunEpoch()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s
+	}
+	off := run(false)
+	on := run(true)
+	if on.EpochSeconds >= off.EpochSeconds {
+		t.Fatalf("pipelined makespan %v not below unpipelined %v", on.EpochSeconds, off.EpochSeconds)
+	}
+	if on.OverlapRatio <= off.OverlapRatio {
+		t.Fatalf("overlap ratio did not rise: %v -> %v", off.OverlapRatio, on.OverlapRatio)
+	}
+}

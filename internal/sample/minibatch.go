@@ -2,7 +2,6 @@ package sample
 
 import (
 	"fmt"
-	"math/rand"
 	"sort"
 
 	"mggcn/internal/graph"
@@ -26,7 +25,7 @@ type Block struct {
 // blocks[len-1] produces the batch vertices. Self-loops are added so a
 // vertex's own representation survives aggregation (GraphSAGE style).
 func BuildBlocks(adj *sparse.CSR, batch []int32, fanouts []int, seed int64) []*Block {
-	rng := rand.New(rand.NewSource(seed))
+	rng := NewRNG(seed)
 	dst := dedup(batch)
 	sort.Slice(dst, func(i, j int) bool { return dst[i] < dst[j] })
 	blocks := make([]*Block, len(fanouts))
@@ -48,7 +47,7 @@ func BuildBlocks(adj *sparse.CSR, batch []int32, fanouts []int, seed int64) []*B
 					edges = append(edges, edge{v, u})
 				}
 			} else {
-				for _, idx := range rng.Perm(len(cols))[:fanout] {
+				for _, idx := range rng.PickK(make([]int, fanout), len(cols)) {
 					u := cols[idx]
 					srcSet[u] = struct{}{}
 					edges = append(edges, edge{v, u})
@@ -91,7 +90,7 @@ type MiniBatchGCN struct {
 	Batch   int
 	Opt     *nn.Adam
 
-	rng *rand.Rand
+	rng *RNG
 	// trainVerts is the shuffled pool of training vertices.
 	trainVerts []int32
 	// EdgesTouched accumulates the sampled edge work across epochs.
@@ -109,7 +108,7 @@ func NewMiniBatchGCN(g *graph.Graph, dims []int, fanouts []int, batch int, lr fl
 	m := &MiniBatchGCN{
 		Graph: g, Dims: dims, Fanouts: fanouts, Batch: batch,
 		Weights: nn.InitWeights(dims, seed),
-		rng:     rand.New(rand.NewSource(seed + 1)),
+		rng:     NewRNG(seed + 1),
 	}
 	m.Opt = nn.NewAdam(lr, m.Weights)
 	for v := 0; v < g.N(); v++ {
@@ -143,6 +142,9 @@ func (m *MiniBatchGCN) TrainEpoch() float64 {
 }
 
 func (m *MiniBatchGCN) trainBatch(batch []int32) float64 {
+	if m.Graph.Features.IsPhantom() {
+		panic("sample: minibatch training needs real features")
+	}
 	blocks := BuildBlocks(m.Graph.Adj, batch, m.Fanouts, m.rng.Int63())
 	for _, b := range blocks {
 		m.EdgesTouched += b.Adj.NNZ()
@@ -209,6 +211,9 @@ func (m *MiniBatchGCN) TestAccuracy() float64 {
 // over the whole graph with mean aggregation plus self-loops, matching the
 // sampled blocks' semantics.
 func fullForward(g *graph.Graph, weights []*tensor.Dense, dims []int) *tensor.Dense {
+	if g.Features.IsPhantom() {
+		panic("sample: full forward needs real features")
+	}
 	// Self-looped mean aggregation.
 	entries := make([]sparse.Coo, 0, int(g.M())+g.N())
 	for v := 0; v < g.N(); v++ {

@@ -8,7 +8,6 @@ package sample
 
 import (
 	"fmt"
-	"math/rand"
 	"sort"
 
 	"mggcn/internal/sparse"
@@ -71,7 +70,7 @@ func (f *Frontier) TotalEdges() int64 {
 // the batch vertices, each hop samples up to fanouts[h] neighbors per
 // vertex (hop 0 is applied to the batch). Returns the frontier statistics.
 func FanoutSample(adj *sparse.CSR, batch []int32, fanouts []int, seed int64) *Frontier {
-	rng := rand.New(rand.NewSource(seed))
+	rng := NewRNG(seed)
 	cur := dedup(batch)
 	f := &Frontier{Vertices: []int{len(cur)}}
 	for _, fanout := range fanouts {
@@ -89,7 +88,7 @@ func FanoutSample(adj *sparse.CSR, batch []int32, fanouts []int, seed int64) *Fr
 				edges += int64(len(cols))
 				continue
 			}
-			for _, idx := range rng.Perm(len(cols))[:fanout] {
+			for _, idx := range rng.PickK(make([]int, fanout), len(cols)) {
 				seen[cols[idx]] = struct{}{}
 			}
 			edges += int64(fanout)
@@ -118,7 +117,7 @@ func EpochSampledEdges(adj *sparse.CSR, trainCount, batchSize int, fanouts []int
 	if batchSize < 1 {
 		panic("sample: batchSize < 1")
 	}
-	rng := rand.New(rand.NewSource(seed))
+	rng := NewRNG(seed)
 	perm := rng.Perm(adj.Rows)
 	var total int64
 	for start := 0; start < trainCount; start += batchSize {

@@ -143,9 +143,11 @@ func checkOrdering(g *sim.Graph, comms []*sim.Task) []Finding {
 	// mirroring Graph.Predecessors. prevSameGroup[key] chains same-
 	// communicator collectives (linking across interleaved other-group comm
 	// tasks, which the plain comm-queue FIFO would not credit).
-	lastStream := make([][2]int, g.P)
+	lastStream := make([][sim.NumStreams]int, g.P)
 	for d := range lastStream {
-		lastStream[d] = [2]int{-1, -1}
+		for s := range lastStream[d] {
+			lastStream[d][s] = -1
+		}
 	}
 	prevSameGroup := make(map[string]int)
 
@@ -166,12 +168,14 @@ func checkOrdering(g *sim.Graph, comms []*sim.Task) []Finding {
 		for _, d := range t.Deps {
 			absorb(d)
 		}
-		other := 1 - t.Stream
+		other := t.Stream.FencePeer()
 		for _, dev := range t.Devices {
-			if t.Stream == sim.StreamCompute {
-				absorb(lastStream[dev][t.Stream]) // compute-stream FIFO
+			if t.Stream != sim.StreamComm {
+				absorb(lastStream[dev][t.Stream]) // non-comm stream FIFO
 			}
-			absorb(lastStream[dev][other]) // cross-stream fence
+			if other >= 0 {
+				absorb(lastStream[dev][other]) // cross-stream fence
+			}
 		}
 		if t.Kind == sim.KindComm {
 			key := groupKey(t.Devices)

@@ -91,6 +91,30 @@ func (s MachineSpec) AllReduceCost(bytes int64, groupSize int) float64 {
 	return vol/s.CollectiveBW(groupSize) + 2*s.CommLatency
 }
 
+// SampleCost returns the duration of the sampler stage building one k-hop
+// block set that touches edges sampled edges in total: per edge, read the
+// adjacency entry, draw from the RNG, and write the compacted block entry
+// (~24 bytes of traffic) — a bandwidth-bound pass with no FLOP term.
+func (s MachineSpec) SampleCost(edges int64) float64 {
+	if edges <= 0 {
+		return s.KernelLaunch
+	}
+	return float64(edges)*24/s.MemBW + s.KernelLaunch
+}
+
+// GatherCost returns the duration of the extract stage materializing the
+// input-layer feature rows of one block: hitRows come from the device's
+// static cache at HBM speed, missRows cross the host link (HostBW), each
+// row d float32 wide. Both classes also write the gathered row to the
+// device-resident staging buffer.
+func (s MachineSpec) GatherCost(hitRows, missRows int64, d int) float64 {
+	row := float64(d) * 4
+	hit := float64(hitRows) * row * 2 / s.MemBW // read cache slab + write staging
+	miss := float64(missRows)*row/s.HostBW() +  // host link transfer
+		float64(missRows)*row/s.MemBW // write staging
+	return hit + miss + s.KernelLaunch
+}
+
 func roofline(memTime, computeTime float64) float64 {
 	if memTime > computeTime {
 		return memTime

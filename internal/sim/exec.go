@@ -28,8 +28,11 @@ import (
 //     issue order, like kernels launched on a CUDA stream. This is what
 //     serializes the stage-j and stage-j+1 SpMMs that accumulate into the
 //     same output block.
-//  3. Cross-stream fences — a task may not start before the latest
-//     earlier-issued task on the OTHER stream of each of its devices has
+//  3. Cross-stream fences — a compute or comm task may not start before
+//     the latest earlier-issued task on its fence-peer stream
+//     (StreamID.FencePeer: compute <-> comm; the sampler stream neither
+//     fences nor is fenced — its handoffs are recorded Deps edges) of each
+//     of its devices has
 //     completed (per-stream FIFO then transitively orders it after every
 //     earlier task on that queue). Both directions matter and neither is
 //     recorded as a Deps edge, because both are anti-dependencies the
@@ -137,21 +140,21 @@ func (g *Graph) ExecuteAdversarial(workers int, seed int64) error {
 func (g *Graph) Predecessors(fifo, fences bool) [][]int {
 	n := len(g.Tasks)
 	preds := make([][]int, n)
-	lastOn := make([][2]int, g.P)
+	lastOn := make([][NumStreams]int, g.P)
 	for d := range lastOn {
-		lastOn[d] = [2]int{-1, -1}
+		lastOn[d] = noTasks()
 	}
 	for i := 0; i < n; i++ {
 		t := g.Tasks[i]
 		preds[i] = append(preds[i], t.Deps...)
-		other := 1 - t.Stream
+		other := t.Stream.FencePeer()
 		for _, dev := range t.Devices {
 			if fifo {
 				if c := lastOn[dev][t.Stream]; c >= 0 {
 					preds[i] = append(preds[i], c)
 				}
 			}
-			if fences {
+			if fences && other >= 0 {
 				if c := lastOn[dev][other]; c >= 0 {
 					preds[i] = append(preds[i], c)
 				}
@@ -162,6 +165,15 @@ func (g *Graph) Predecessors(fifo, fences bool) [][]int {
 		}
 	}
 	return preds
+}
+
+// noTasks returns a per-stream "no task yet" marker set.
+func noTasks() [NumStreams]int {
+	var m [NumStreams]int
+	for s := range m {
+		m[s] = -1
+	}
+	return m
 }
 
 // ExecObserver brackets replayed closures in shadow-tracking mode; see
@@ -198,18 +210,19 @@ func (g *Graph) execute(workers int, pick func(ready []int) int, delay func() ti
 	// Per-(device, stream) FIFO queues in issue order, as in Run. Tasks
 	// before the watermark already ran: they join no queue and count as
 	// satisfied deps.
-	queues := make([][2][]int, g.P)
-	heads := make([][2]int, g.P)
-	// Cross-stream fences: task i waits for lastOn[dev][other stream] of
+	queues := make([][NumStreams][]int, g.P)
+	heads := make([][NumStreams]int, g.P)
+	// Cross-stream fences: task i waits for lastOn[dev][fence peer] of
 	// each of its devices (per-device, not a single max — completing the
 	// latest task on one device says nothing about another device's queue).
-	// fencesLeft[i] counts unfinished fences; fencedBy[c] lists the tasks
-	// fencing on c.
+	// Only the compute/comm pair fences (StreamID.FencePeer); the sampler
+	// stream is ordered purely by Deps and its own FIFO. fencesLeft[i]
+	// counts unfinished fences; fencedBy[c] lists the tasks fencing on c.
 	fencesLeft := make([]int, n)
 	fencedBy := make([][]int, n)
-	lastOn := make([][2]int, g.P) // latest-issued task per (device, stream)
+	lastOn := make([][NumStreams]int, g.P) // latest-issued task per (device, stream)
 	for d := range lastOn {
-		lastOn[d] = [2]int{-1, -1}
+		lastOn[d] = noTasks()
 	}
 	for i := start; i < n; i++ {
 		t := g.Tasks[i]
@@ -219,9 +232,12 @@ func (g *Graph) execute(workers int, pick func(ready []int) int, delay func() ti
 				dependents[d] = append(dependents[d], i)
 			}
 		}
-		other := 1 - t.Stream
+		other := t.Stream.FencePeer()
 		for _, dev := range t.Devices {
 			queues[dev][t.Stream] = append(queues[dev][t.Stream], i)
+			if other < 0 {
+				continue
+			}
 			if c := lastOn[dev][other]; c >= 0 {
 				// The same fence task may span several of i's devices;
 				// count it once (any earlier append for i is the tail).

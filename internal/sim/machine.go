@@ -38,6 +38,12 @@ type MachineSpec struct {
 	KernelLaunch float64 // fixed per-kernel overhead
 	CommLatency  float64 // fixed per-collective latency
 
+	// HostLinkBW is the host<->device link bandwidth (bytes/s, e.g. PCIe)
+	// that uncached feature-extraction traffic crosses in the sampled
+	// minibatch pipeline. Zero means "one NVLink's worth" (HostBW falls
+	// back to LinkBW) so pre-existing specs keep working unchanged.
+	HostLinkBW float64
+
 	// ContentionComputeRate is the relative progress rate of memory-bound
 	// kernels while communication is active on the same device
 	// (≈ 1 − aggregate link BW / HBM BW, §6.3); ContentionCommRate is the
@@ -64,6 +70,8 @@ func DGXV100() MachineSpec {
 		NVSwitch:       false,
 		KernelLaunch:   20e-6,
 		CommLatency:    30e-6,
+		// PCIe 3.0 x16: what host-resident feature rows cross on a miss.
+		HostLinkBW: 12e9,
 		// 150 GB/s of the 900 GB/s HBM feeds NVLink during overlap.
 		ContentionComputeRate: 1 - float64(links)*linkbw/membw,
 		ContentionCommRate:    0.9,
@@ -77,17 +85,19 @@ func DGXA100() MachineSpec {
 	const linkbw = 25e9
 	const links = 12
 	return MachineSpec{
-		Name:                  "DGX-A100",
-		NumGPUs:               8,
-		MemBytesPerGPU:        80 << 30,
-		MemBW:                 membw,
-		Flops:                 19.5e12,
-		L2Bytes:               40 << 20,
-		NVLinks:               links,
-		LinkBW:                linkbw,
-		NVSwitch:              true,
-		KernelLaunch:          20e-6,
-		CommLatency:           30e-6,
+		Name:           "DGX-A100",
+		NumGPUs:        8,
+		MemBytesPerGPU: 80 << 30,
+		MemBW:          membw,
+		Flops:          19.5e12,
+		L2Bytes:        40 << 20,
+		NVLinks:        links,
+		LinkBW:         linkbw,
+		NVSwitch:       true,
+		KernelLaunch:   20e-6,
+		CommLatency:    30e-6,
+		// PCIe 4.0 x16: what host-resident feature rows cross on a miss.
+		HostLinkBW:            25e9,
 		ContentionComputeRate: 1 - float64(links)*linkbw/membw,
 		ContentionCommRate:    0.95,
 	}
@@ -125,6 +135,15 @@ func MultiNode(spec MachineSpec, nodes int, interNodeBW float64) MachineSpec {
 	out.Nodes = nodes
 	out.InterNodeBW = interNodeBW
 	return out
+}
+
+// HostBW returns the host<->device link bandwidth feature-extraction
+// misses cross: HostLinkBW when the spec sets it, else one link's worth.
+func (s MachineSpec) HostBW() float64 {
+	if s.HostLinkBW > 0 {
+		return s.HostLinkBW
+	}
+	return s.LinkBW
 }
 
 // GroupLinks returns the NVLink count available to a collective spanning

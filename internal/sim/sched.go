@@ -15,7 +15,7 @@ type Schedule struct {
 	// profilers like nvprof attribute time in Fig 5).
 	KindBusy map[Kind]float64
 	// DeviceBusy[d][stream] sums the active time of each stream.
-	DeviceBusy [][2]float64
+	DeviceBusy [][NumStreams]float64
 }
 
 // epsilon guards float comparisons inside the event loop.
@@ -39,7 +39,7 @@ func (g *Graph) Run() *Schedule {
 		End:      make([]float64, n),
 		KindBusy: make(map[Kind]float64),
 	}
-	s.DeviceBusy = make([][2]float64, g.P)
+	s.DeviceBusy = make([][NumStreams]float64, g.P)
 	if n == 0 {
 		return s
 	}
@@ -57,8 +57,8 @@ func (g *Graph) Run() *Schedule {
 
 	// Per (device, stream) FIFO queues in issue order; head index advances
 	// as tasks finish.
-	queues := make([][2][]int, g.P)
-	heads := make([][2]int, g.P)
+	queues := make([][NumStreams][]int, g.P)
+	heads := make([][NumStreams]int, g.P)
 	for i, t := range g.Tasks {
 		for _, dev := range t.Devices {
 			queues[dev][t.Stream] = append(queues[dev][t.Stream], i)

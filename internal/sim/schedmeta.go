@@ -22,6 +22,14 @@ const (
 	CollReduce
 	CollAllReduce
 	CollAllGather
+	// CollGatherHit / CollGatherMiss are not collectives: they are the
+	// comm.Meter accounting keys for the sampled pipeline's feature-gather
+	// traffic (cache-hit words served from HBM vs. miss words crossing the
+	// host link). They are deliberately absent from CollOps() — the
+	// schedcheck cost-certification goldens iterate that list and gather
+	// traffic never appears on the comm stream.
+	CollGatherHit
+	CollGatherMiss
 )
 
 func (o CollOp) String() string {
@@ -34,6 +42,10 @@ func (o CollOp) String() string {
 		return "allreduce"
 	case CollAllGather:
 		return "allgather"
+	case CollGatherHit:
+		return "gather-hit"
+	case CollGatherMiss:
+		return "gather-miss"
 	default:
 		return fmt.Sprintf("CollOp(%d)", int(o))
 	}

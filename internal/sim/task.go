@@ -6,19 +6,48 @@ import (
 	"mggcn/internal/tensor"
 )
 
-// StreamID selects one of the two per-device CUDA-style streams of §4.3.
+// StreamID selects one of the per-device CUDA-style streams: the §4.3
+// compute/comm pair, plus a sampler stage stream for the factored minibatch
+// pipeline (GNNLab-style sample/extract overlapped with training).
 type StreamID int
 
 const (
 	StreamCompute StreamID = iota // stream 0: kernels
 	StreamComm                    // stream 1: collectives
+	StreamSample                  // stream 2: sampler stage (sample + extract)
+	// NumStreams sizes per-(device, stream) state in the scheduler,
+	// executor, and verifiers.
+	NumStreams
 )
 
 func (s StreamID) String() string {
-	if s == StreamCompute {
+	switch s {
+	case StreamCompute:
 		return "compute"
+	case StreamComm:
+		return "comm"
+	case StreamSample:
+		return "sample"
+	default:
+		return fmt.Sprintf("stream(%d)", int(s))
 	}
-	return "comm"
+}
+
+// FencePeer returns the stream s exchanges cross-stream fences with, or -1
+// when s carries no fences. Only the compute/comm pair fences (the
+// anti-dependencies of exec.go's edge contract); the sampler stream hands
+// data to trainers exclusively through recorded Deps edges — the
+// double-buffer slot dependencies — so fencing it would serialize exactly
+// the overlap the pipeline exists to create.
+func (s StreamID) FencePeer() StreamID {
+	switch s {
+	case StreamCompute:
+		return StreamComm
+	case StreamComm:
+		return StreamCompute
+	default:
+		return -1
+	}
 }
 
 // Kind classifies tasks for the Fig-5 runtime breakdown.
@@ -31,6 +60,8 @@ const (
 	KindLoss
 	KindAdam
 	KindComm
+	KindSample  // minibatch pipeline: fanout sampling + block compaction
+	KindExtract // minibatch pipeline: feature gather (cache hits + host misses)
 	numKinds
 )
 
@@ -48,6 +79,10 @@ func (k Kind) String() string {
 		return "Adam"
 	case KindComm:
 		return "Comm"
+	case KindSample:
+		return "Sample"
+	case KindExtract:
+		return "Extract"
 	default:
 		return fmt.Sprintf("Kind(%d)", int(k))
 	}
@@ -55,7 +90,7 @@ func (k Kind) String() string {
 
 // Kinds lists every task kind in display order.
 func Kinds() []Kind {
-	return []Kind{KindSpMM, KindGeMM, KindActivation, KindLoss, KindAdam, KindComm}
+	return []Kind{KindSpMM, KindGeMM, KindActivation, KindLoss, KindAdam, KindComm, KindSample, KindExtract}
 }
 
 // Task is one recorded operation in an epoch's task graph. A task occupies
@@ -138,6 +173,21 @@ func (g *Graph) AddCompute(device int, kind Kind, label string, stage int, secon
 	return g.add(&Task{
 		Kind: kind, Label: label, Stage: stage,
 		Devices: []int{device}, Stream: StreamCompute,
+		Seconds: seconds, MemBound: memBound, Deps: deps,
+	})
+}
+
+// AddStage appends a task on an explicit stream of one device — the
+// recording form for pipeline stages that are neither plain compute
+// (AddCompute pins StreamCompute) nor collectives (AddComm pins
+// StreamComm): sampler-stream sample/extract tasks.
+func (g *Graph) AddStage(device int, stream StreamID, kind Kind, label string, stage int, seconds float64, memBound bool, deps ...int) int {
+	if stream < 0 || stream >= NumStreams {
+		panic(fmt.Sprintf("sim: task %q on unknown stream %d", label, int(stream)))
+	}
+	return g.add(&Task{
+		Kind: kind, Label: label, Stage: stage,
+		Devices: []int{device}, Stream: stream,
 		Seconds: seconds, MemBound: memBound, Deps: deps,
 	})
 }

@@ -11,10 +11,30 @@ import (
 // magnitude wider than a chunk, which flattens the hub-versus-tail length
 // skew of BTER-style graphs without the global reordering cost (and
 // without destroying locality the partitioner's ordering established).
-const (
+// They are package state rather than constants so the autotuner's measured
+// mode can install per-host winners (tune.Choice.Apply); use SetSellDefaults
+// to retarget them and SellDefaults to read the current pair.
+var (
 	DefaultSellC     = 8
 	DefaultSellSigma = 512
 )
+
+// SellDefaults returns the current SELL-C-σ parameter pair.
+func SellDefaults() (c, sigma int) { return DefaultSellC, DefaultSellSigma }
+
+// SetSellDefaults retargets the SELL-C-σ parameters every conversion site
+// that doesn't pick its own C/σ will use. Call it before kernels run (the
+// tuner's Apply does); any valid pair yields bit-identical SpMM results
+// because SELL conversion is exact, so this only moves performance.
+func SetSellDefaults(c, sigma int) {
+	if c <= 0 {
+		panic(fmt.Sprintf("sparse: SetSellDefaults(%d, %d): chunk height must be positive", c, sigma))
+	}
+	if sigma <= 0 {
+		panic(fmt.Sprintf("sparse: SetSellDefaults(%d, %d): sort window must be positive", c, sigma))
+	}
+	DefaultSellC, DefaultSellSigma = c, sigma
+}
 
 // SELLCS is a sparse matrix in SELL-C-σ (sliced ELLPACK) format: rows are
 // sorted by descending length inside windows of σ rows, grouped into

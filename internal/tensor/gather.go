@@ -1,0 +1,19 @@
+package tensor
+
+import "fmt"
+
+// GatherRows copies src rows verts[i] into dst row i — the feature-gather
+// primitive of the sampled minibatch pipeline (extract stage). dst must be
+// len(verts) x src.Cols; phantom operands make it shape-only.
+func GatherRows(dst, src *Dense, verts []int32) {
+	if dst.Rows != len(verts) || dst.Cols != src.Cols {
+		panic(fmt.Sprintf("tensor: GatherRows %dx%d into %dx%d for %d verts",
+			src.Rows, src.Cols, dst.Rows, dst.Cols, len(verts)))
+	}
+	if dst.IsPhantom() || src.IsPhantom() {
+		return
+	}
+	for i, v := range verts {
+		copy(dst.Row(i), src.Row(int(v)))
+	}
+}

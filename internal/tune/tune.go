@@ -73,9 +73,11 @@ type Choice struct {
 // Candidate grids. Fixed and ordered: both modes enumerate these exactly,
 // and deterministic ties break toward the earlier entry.
 var (
-	blockKCandidates  = []int{32, 64, 128}
-	colTileCandidates = []int{128, 256, 512}
-	flatMaxCandidates = []int{16 << 10, 32 << 10, 64 << 10, 128 << 10}
+	blockKCandidates    = []int{32, 64, 128}
+	colTileCandidates   = []int{128, 256, 512}
+	flatMaxCandidates   = []int{16 << 10, 32 << 10, 64 << 10, 128 << 10}
+	sellCCandidates     = []int{4, 8, 16}
+	sellSigmaCandidates = []int{128, 512, 2048}
 )
 
 // probeShapes are the GeMM shapes whose flat-vs-blocked winner is recorded
@@ -232,6 +234,23 @@ func MeasuredChoice(seed int64, reps int) Choice {
 			break
 		}
 	}
+
+	// SELL C/σ: race the chunk-height x sort-window grid on a hub-skewed
+	// tile — the length distribution SELL-C-σ exists for, where σ decides
+	// how much padding the hubs inflict on their chunk-mates. Conversion
+	// happens outside the timed region; only the kernel is on the clock.
+	sa2 := syntheticSkewedCSR(seed+6, 4096, 4096, 6, 384)
+	sx := syntheticDense(seed+7, 4096, 128)
+	sout := tensor.NewDense(4096, 128)
+	best = 1<<62 - 1
+	for _, cc := range sellCCandidates {
+		for _, sg := range sellSigmaCandidates {
+			sm := sparse.ToSELLCS(sa2, cc, sg)
+			if d := bestOf(reps, func() { sparse.SpMMSell(sm, sx, 0, sout) }); d < best {
+				best, c.SellC, c.SellSigma = d, cc, sg
+			}
+		}
+	}
 	return c
 }
 
@@ -240,6 +259,7 @@ func MeasuredChoice(seed int64, reps int) Choice {
 func (c Choice) Apply() {
 	tensor.SetGemmPolicy(c.BlockK, c.FlatMaxBytes)
 	sparse.SetSpMMColTile(c.SpMMColTile)
+	sparse.SetSellDefaults(c.SellC, c.SellSigma)
 }
 
 // Validate rejects a choice file that would panic Apply or that carries
@@ -256,6 +276,9 @@ func (c Choice) Validate() error {
 	}
 	if c.FlatMaxBytes < 0 {
 		return fmt.Errorf("tune: flatMaxBytes %d must be non-negative", c.FlatMaxBytes)
+	}
+	if c.SellC <= 0 || c.SellSigma <= 0 {
+		return fmt.Errorf("tune: sellC %d / sellSigma %d must be positive", c.SellC, c.SellSigma)
 	}
 	return nil
 }
@@ -296,17 +319,19 @@ func Load(path string) (Choice, error) {
 }
 
 type policies struct {
-	blockK, flatMax, colTile int
+	blockK, flatMax, colTile, sellC, sellSigma int
 }
 
 func snapshotPolicies() policies {
 	bk, fm := tensor.GemmPolicy()
-	return policies{blockK: bk, flatMax: fm, colTile: sparse.SpMMColTile()}
+	sc, ss := sparse.SellDefaults()
+	return policies{blockK: bk, flatMax: fm, colTile: sparse.SpMMColTile(), sellC: sc, sellSigma: ss}
 }
 
 func restorePolicies(p policies) {
 	tensor.SetGemmPolicy(p.blockK, p.flatMax)
 	sparse.SetSpMMColTile(p.colTile)
+	sparse.SetSellDefaults(p.sellC, p.sellSigma)
 }
 
 // bestOf runs f reps times and returns the fastest wall-clock duration —
@@ -348,6 +373,28 @@ func syntheticCSR(seed int64, rows, cols, deg int) *sparse.CSR {
 	s := uint64(seed)*6364136223846793005 + 1442695040888963407
 	entries := make([]sparse.Coo, 0, rows*deg)
 	for r := 0; r < rows; r++ {
+		for d := 0; d < deg; d++ {
+			entries = append(entries, sparse.Coo{
+				Row: int32(r),
+				Col: int32(xorshift64(&s) % uint64(cols)),
+				Val: float32(int32(xorshift64(&s))) / (1 << 28),
+			})
+		}
+	}
+	return sparse.FromCoo(rows, cols, entries, true)
+}
+
+// syntheticSkewedCSR mixes hub rows (degree hubDeg, one per 64 rows) into
+// a tail of degree-tailDeg rows — the BTER-like length skew the SELL C/σ
+// race needs, since σ only matters when windows contain both classes.
+func syntheticSkewedCSR(seed int64, rows, cols, tailDeg, hubDeg int) *sparse.CSR {
+	s := uint64(seed)*6364136223846793005 + 1442695040888963407
+	entries := make([]sparse.Coo, 0, rows*tailDeg+rows/64*hubDeg)
+	for r := 0; r < rows; r++ {
+		deg := tailDeg
+		if r%64 == 0 {
+			deg = hubDeg
+		}
 		for d := 0; d < deg; d++ {
 			entries = append(entries, sparse.Coo{
 				Row: int32(r),

@@ -104,10 +104,14 @@ func TestApplyInstallsPolicies(t *testing.T) {
 	defer restorePolicies(snapshotPolicies())
 	c := DeterministicChoice(HostProfile())
 	c.BlockK, c.FlatMaxBytes, c.SpMMColTile = 32, 16<<10, 128
+	c.SellC, c.SellSigma = 4, 128
 	c.Apply()
 	bk, fm := tensor.GemmPolicy()
 	if bk != 32 || fm != 16<<10 || sparse.SpMMColTile() != 128 {
 		t.Fatalf("Apply landed blockK=%d flatMax=%d colTile=%d", bk, fm, sparse.SpMMColTile())
+	}
+	if sc, ss := sparse.SellDefaults(); sc != 4 || ss != 128 {
+		t.Fatalf("Apply landed sellC=%d sellSigma=%d", sc, ss)
 	}
 }
 
@@ -133,6 +137,41 @@ func TestMeasuredChoiceValid(t *testing.T) {
 	if len(c.GemmShapes) != len(probeShapes) {
 		t.Fatalf("%d shape winners, want %d", len(c.GemmShapes), len(probeShapes))
 	}
+	inGrid := func(v int, grid []int) bool {
+		for _, g := range grid {
+			if v == g {
+				return true
+			}
+		}
+		return false
+	}
+	if !inGrid(c.SellC, sellCCandidates) || !inGrid(c.SellSigma, sellSigmaCandidates) {
+		t.Fatalf("measured SELL pair (%d, %d) not from the candidate grids", c.SellC, c.SellSigma)
+	}
+}
+
+// TestMeasuredSellRecorded: the snapshot must carry the SELL pair through
+// a save/load cycle so Apply on a later run installs the measured winner.
+func TestMeasuredSellRecorded(t *testing.T) {
+	c := DeterministicChoice(HostProfile())
+	c.SellC, c.SellSigma = 16, 2048
+	path := filepath.Join(t.TempDir(), "choice.json")
+	if err := c.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.SellC != 16 || got.SellSigma != 2048 {
+		t.Fatalf("SELL pair lost in round trip: %+v", got)
+	}
+	if err := os.WriteFile(path, []byte(`{"mode":"measured","blockK":64,"spmmColTile":256}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(path); err == nil {
+		t.Fatalf("Load accepted a choice with no SELL pair (Apply would panic)")
+	}
 }
 
 // TestSyntheticOperandsDeterministic: the measured mode's operand streams
@@ -154,5 +193,18 @@ func TestSyntheticOperandsDeterministic(t *testing.T) {
 		if ca.ColIdx[i] != cb.ColIdx[i] || ca.Vals[i] != cb.Vals[i] {
 			t.Fatalf("syntheticCSR(3) diverged at entry %d", i)
 		}
+	}
+	sa := syntheticSkewedCSR(5, 256, 256, 4, 64)
+	sb := syntheticSkewedCSR(5, 256, 256, 4, 64)
+	if sa.NNZ() != sb.NNZ() {
+		t.Fatalf("syntheticSkewedCSR(5) nnz diverged")
+	}
+	for i := range sa.ColIdx {
+		if sa.ColIdx[i] != sb.ColIdx[i] {
+			t.Fatalf("syntheticSkewedCSR(5) diverged at entry %d", i)
+		}
+	}
+	if sa.RowPtr[1]-sa.RowPtr[0] <= sa.RowPtr[2]-sa.RowPtr[1] {
+		t.Fatalf("syntheticSkewedCSR row 0 is not a hub")
 	}
 }

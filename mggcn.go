@@ -315,6 +315,96 @@ func EstimateMemoryBytesPerDevice(ds *Dataset, o Options) int64 {
 	return core.EstimateMemoryBytesPerDevice(ds.g, cfg)
 }
 
+// SampledEpochStats reports one sampled-minibatch epoch: simulated epoch
+// seconds, per-kind busy time, mean training loss over the epoch's
+// batches, and the per-device stream overlap ratio (>1 means the sampler
+// stream genuinely ran concurrently with training).
+type SampledEpochStats = core.SampledEpochStats
+
+// SampledOptions configures a sampled-minibatch training run (the
+// factored sampler/trainer pipeline). Zero values are not usable; start
+// from DefaultSampledOptions.
+type SampledOptions struct {
+	Machine MachineSpec
+	GPUs    int
+
+	Hidden int
+	Layers int
+	LR     float64
+
+	// Batch is the number of target vertices per minibatch; batches are
+	// dealt round-robin across the GPUs, so one step trains GPUs batches.
+	Batch int
+	// Fanouts[l] bounds layer l's neighbor sample, outermost first; its
+	// length must equal Layers.
+	Fanouts []int
+	// CacheFrac is the fraction of vertices whose feature rows each device
+	// caches in a degree-ordered static slab (hottest first); misses
+	// gather from host memory over the host link. 0 disables caching.
+	CacheFrac float64
+	// Pipeline double-buffers the sampler→trainer handoff so sampling and
+	// feature extraction for step s+1 overlap step s's training. Results
+	// are bit-identical on or off; only the schedule changes.
+	Pipeline bool
+
+	Seed        int64
+	Workers     int
+	ExecWorkers int
+}
+
+// DefaultSampledOptions returns the GNNLab-style sampled configuration:
+// 3 layers at fanout [5,10,15], hidden 128, batch 512, half the vertices
+// cached, pipelining on.
+func DefaultSampledOptions(m MachineSpec, gpus int) SampledOptions {
+	return SampledOptions{
+		Machine: m, GPUs: gpus,
+		Hidden: 128, Layers: 3, LR: 0.01,
+		Batch: 512, Fanouts: []int{5, 10, 15},
+		CacheFrac: 0.5, Pipeline: true, Seed: 1,
+	}
+}
+
+// SampledTrainer is a distributed sampled-minibatch training run: a
+// sampler stage producing k-hop blocks feeds per-device trainer stages
+// through a double-buffered handoff, with feature gathers served from
+// degree-ordered per-device caches. Fixed seeds give bit-identical runs
+// at any replay parallelism, exactly like the full-batch Trainer.
+type SampledTrainer struct {
+	inner *core.SampledTrainer
+	ds    *Dataset
+}
+
+// NewSampledTrainer builds the replicated model and per-device feature
+// caches. Sampling gathers real feature rows and labels, so phantom
+// datasets are rejected.
+func NewSampledTrainer(ds *Dataset, o SampledOptions) (*SampledTrainer, error) {
+	if o.GPUs < 1 {
+		return nil, fmt.Errorf("mggcn: GPUs must be >= 1")
+	}
+	cfg := core.SampledConfig{
+		Spec: o.Machine, P: o.GPUs, MemScale: ds.scale,
+		Hidden: o.Hidden, Layers: o.Layers, LR: o.LR,
+		Batch: o.Batch, Fanouts: o.Fanouts,
+		CacheFrac: o.CacheFrac, Pipeline: o.Pipeline,
+		Seed: o.Seed, Workers: o.Workers, ExecWorkers: o.ExecWorkers,
+	}
+	inner, err := core.NewSampledTrainer(ds.g, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &SampledTrainer{inner: inner, ds: ds}, nil
+}
+
+// RunEpoch consumes one deterministic epoch plan — every training vertex
+// appears in exactly one batch — and returns the epoch's statistics.
+func (t *SampledTrainer) RunEpoch() (*SampledEpochStats, error) { return t.inner.RunEpoch() }
+
+// Train runs the given number of sampled epochs; the first failure stops
+// the run, returning the completed epochs' stats alongside the error.
+func (t *SampledTrainer) Train(epochs int) ([]*SampledEpochStats, error) {
+	return t.inner.Train(epochs)
+}
+
 // IsOOM reports whether err is a device out-of-memory failure.
 func IsOOM(err error) bool {
 	var oom *sim.OOMError

@@ -4,6 +4,8 @@
 # Runs cmd/mggcn-epochbench (real non-phantom training, serial vs parallel
 # epoch replay at several device counts, plus the kernel microbenches with
 # per-shape winners) and writes BENCH_epoch.json at the repository root.
+# The default -mode all also sweeps the sampled pipeline's cache-fraction x
+# pipelining matrix into BENCH_sample.json; -mode sample runs it alone.
 # Built with -tags simd so the assembly microkernels are eligible; runtime
 # dispatch falls back to scalar on hosts without the required ISA. The JSON
 # records GOMAXPROCS, the CPU count, and the active kernel implementation;

@@ -58,6 +58,13 @@ echo "==> mggcn-san adversarial replay under -race"
 # sees the interleavings a FIFO replay never produces.
 go test -race -short -timeout 30m -run 'Adversarial|San|Shadow' ./internal/sim/ ./internal/san/ ./internal/core/
 
+echo "==> mggcn-sample (sampled pipeline parity + sanitizer)"
+# Replay parity across serial/concurrent/adversarial orders with pipelining
+# on and off, cache bit-identity, block-building edge cases, and the
+# sanitizer's static + shadow passes over the sampled task graphs — run
+# under -race, where a broken double-buffered handoff would surface.
+go test -race -short -timeout 30m -run 'Sampled|Blocks|PlanEpoch|RNG|Cache' ./internal/sample/ ./internal/core/
+
 echo "==> mggcn-chaos (fault-injection smoke)"
 # Seeded fault matrix over every strategy: crash, transient (retried and
 # exhausted), straggler, poison. Exits non-zero if any scenario deviates
