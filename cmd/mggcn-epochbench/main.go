@@ -26,6 +26,12 @@
 //   - "sweep": a workers x exec_workers grid at the largest device count,
 //     showing how the two pool knobs trade off on this host.
 //
+// Every matrix row and sampled cell also carries a memory column: the
+// memcheck closed form's certified peak slab bytes next to the allocation
+// high-water sim.AllocMeter measured on one extra recorded epoch of the
+// same configuration (a fresh trainer, so the observer never pollutes the
+// timings), making memory regressions diffable alongside time.
+//
 // -tune applies an mggcn-tune choice file before measuring, so a recorded
 // run reflects the host's tuned policy rather than the defaults.
 //
@@ -60,7 +66,10 @@ import (
 	"mggcn/internal/comm"
 	"mggcn/internal/core"
 	"mggcn/internal/gen"
+	"mggcn/internal/graph"
 	"mggcn/internal/kernel"
+	"mggcn/internal/memcheck"
+	"mggcn/internal/nn"
 	"mggcn/internal/sim"
 	"mggcn/internal/sparse"
 	"mggcn/internal/tensor"
@@ -77,13 +86,29 @@ type cell struct {
 	MinMS       float64 `json:"min_epoch_ms"`
 }
 
+// rowMemory pairs the statically certified per-device memory with the
+// allocation high-water the meter measured during one recorded epoch at
+// the same device count, so memory regressions become diffable alongside
+// the timings. All values are worst-device, at generated scale; Certified
+// means the closed form, the meter, and the pool agreed byte-exactly on
+// every device (the mggcn-memcheck invariant holding on this very cell).
+type rowMemory struct {
+	CertifiedSlabBytes int64 `json:"certified_peak_slab_bytes"`
+	MeasuredSlabBytes  int64 `json:"measured_slab_high_water_bytes"`
+	SlabCount          int   `json:"certified_slab_count"`
+	ResidentBytes      int64 `json:"certified_resident_bytes"`
+	PoolBytes          int64 `json:"pool_used_bytes"`
+	Certified          bool  `json:"certified"`
+}
+
 // row pairs the serial and parallel cells at one device count.
 type row struct {
-	Devices  int     `json:"devices"`
-	Serial   cell    `json:"serial"`
-	Parallel cell    `json:"parallel"`
-	Speedup  float64 `json:"speedup"`
-	Warning  string  `json:"warning,omitempty"`
+	Devices  int       `json:"devices"`
+	Serial   cell      `json:"serial"`
+	Parallel cell      `json:"parallel"`
+	Speedup  float64   `json:"speedup"`
+	Memory   rowMemory `json:"memory"`
+	Warning  string    `json:"warning,omitempty"`
 }
 
 // kernelBench compares one optimized kernel against its flat reference on
@@ -176,18 +201,27 @@ func main() {
 			k.Kernel, k.Shape, k.FlatMS, k.BlockedMS, k.Speedup, k.Winner)
 	}
 
+	// The memory column works from the raw graph (the certifier's accessors
+	// live on the core trainer, below the top-level wrapper the timing
+	// cells use), so load it once alongside the dataset.
+	memG, memSpec, err := gen.Load(*dataset, false)
+	if err != nil {
+		log.Fatal(err)
+	}
+
 	counts := parseInts(*devices, "-devices")
 	for _, p := range counts {
 		serial := measure(ds, p, *hidden, *workers, 1, *epochs)
 		parallel := measure(ds, p, *hidden, *workers, 0, *epochs)
 		r := row{Devices: p, Serial: serial, Parallel: parallel,
-			Speedup: serial.MedianMS / parallel.MedianMS}
+			Speedup: serial.MedianMS / parallel.MedianMS,
+			Memory:  measureMemory(memG, memSpec.Scale, p, *hidden)}
 		if res.NumCPU < p {
 			r.Warning = starvedWarning(res.NumCPU, p)
 		}
 		res.Rows = append(res.Rows, r)
-		fmt.Fprintf(os.Stderr, "devices=%d serial=%.0fms parallel=%.0fms speedup=%.2fx\n",
-			p, serial.MedianMS, parallel.MedianMS, r.Speedup)
+		fmt.Fprintf(os.Stderr, "devices=%d serial=%.0fms parallel=%.0fms speedup=%.2fx slab=%dB certified=%t\n",
+			p, serial.MedianMS, parallel.MedianMS, r.Speedup, r.Memory.MeasuredSlabBytes, r.Memory.Certified)
 		if r.Warning != "" {
 			fmt.Fprintf(os.Stderr, "WARNING: %s\n", r.Warning)
 		}
@@ -246,6 +280,16 @@ type sampleCell struct {
 	CacheHitRate         float64 `json:"cache_hit_rate"`
 	Loss                 float64 `json:"loss"`
 	WallMS               float64 `json:"wall_epoch_ms"`
+
+	// Memory column: the slab high-water the allocation meter measured on
+	// one recorded epoch of this cell, next to the memcheck closed form's
+	// certified peak when the cell meets the form's preconditions (equal
+	// steps per device, enough of them); MemUncertified carries the reason
+	// otherwise, with the measured value still recorded.
+	CertifiedSlabBytes int64  `json:"certified_peak_slab_bytes,omitempty"`
+	MeasuredSlabBytes  int64  `json:"measured_slab_high_water_bytes"`
+	MemCertified       bool   `json:"memory_certified"`
+	MemUncertified     string `json:"memory_uncertified,omitempty"`
 }
 
 type sampleResult struct {
@@ -329,11 +373,12 @@ func benchSampled(name string, devices, hidden, batch int, fanouts []int, fracs 
 			} else {
 				offSim = c.SimEpochSeconds
 			}
+			c.CertifiedSlabBytes, c.MeasuredSlabBytes, c.MemCertified, c.MemUncertified = sampleMemory(g, cfg)
 			res.Cells = append(res.Cells, c)
 			fmt.Fprintf(os.Stderr,
-				"sample frac=%.2f pipeline=%-5t sim=%.1fms overlap=%.2f speedup=%.2fx hit=%.2f wall=%.0fms\n",
+				"sample frac=%.2f pipeline=%-5t sim=%.1fms overlap=%.2f speedup=%.2fx hit=%.2f wall=%.0fms slab=%dB\n",
 				frac, pipeline, c.SimEpochSeconds*1e3, c.OverlapRatio,
-				c.SpeedupVsUnpipelined, c.CacheHitRate, c.WallMS)
+				c.SpeedupVsUnpipelined, c.CacheHitRate, c.WallMS, c.MeasuredSlabBytes)
 		}
 	}
 	res.WallSecs = time.Since(start).Seconds()
@@ -351,6 +396,58 @@ func benchSampled(name string, devices, hidden, batch int, fanouts []int, fracs 
 		log.Fatal(err)
 	}
 	fmt.Fprintf(os.Stderr, "wrote %s\n", outPath)
+}
+
+// sampleMemory records one extra epoch of the cell's configuration on a
+// fresh metered trainer (so the observer and its epoch never touch the
+// timing or gather columns) and pairs the measured slab high-water with
+// the sampled closed form's certified peak. When the cell misses the
+// form's preconditions (too few steps per device for a steady-state
+// pipeline) the reason is returned and the measured value stands alone.
+func sampleMemory(g *graph.Graph, cfg core.SampledConfig) (certified, measured int64, ok bool, note string) {
+	meter := sim.NewAllocMeter()
+	cfg.CommMeter = nil
+	cfg.ExecObserver = meter
+	tr, err := core.NewSampledTrainer(g, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	stats, err := tr.RunEpoch()
+	if err != nil {
+		log.Fatal(err)
+	}
+	peaks := meter.SlabPeakBytes()
+	for _, b := range peaks {
+		if b > measured {
+			measured = b
+		}
+	}
+	// Batches deal round-robin, so the floor is the fewest steps any device
+	// runs; the form's precondition only needs every device past the
+	// pipeline's steady state, and the peak itself is step-count free.
+	dims := nn.LayerDims(g.FeatDim, cfg.Hidden, cfg.Layers, g.Classes)
+	caps := tr.FrontierCapacities()
+	fp, err := memcheck.PeakForm("sampled", memcheck.Model{
+		Dims: dims, P: cfg.P, Device: 0, Caps: caps,
+		Depth: tr.Depth(), Steps: stats.Batches / cfg.P,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if fp.Uncertified != "" {
+		return 0, measured, false, fp.Uncertified
+	}
+	certified, err = fp.SlabBytes.Eval(memcheck.SampledEnv(caps, tr.Caches()[0].Slab.Rows, dims))
+	if err != nil {
+		log.Fatal(err)
+	}
+	ok = true
+	for d := 0; d < cfg.P; d++ {
+		if peaks[fmt.Sprintf("d%d", d)] != certified {
+			ok = false
+		}
+	}
+	return certified, measured, ok, ""
 }
 
 func parseFloats(csv, flagName string) []float64 {
@@ -379,6 +476,64 @@ func parseInts(csv, flagName string) []int {
 		vals = append(vals, v)
 	}
 	return vals
+}
+
+// measureMemory records one full-batch epoch at p devices under the
+// allocation meter — on a fresh trainer, so the observer never pollutes
+// the timing cells — and pairs the measured slab high-water and pool
+// bytes with the memcheck closed forms evaluated on the same trainer.
+func measureMemory(g *graph.Graph, scale, p, hidden int) rowMemory {
+	cfg := core.DefaultConfig(sim.DGXA100(), p, scale)
+	cfg.Hidden = hidden
+	meter := sim.NewAllocMeter()
+	cfg.ExecObserver = meter
+	tr, err := core.NewTrainer(g, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if _, err := tr.RunEpoch(); err != nil {
+		log.Fatal(err)
+	}
+	mem := rowMemory{Certified: true}
+	for d := 0; d < p; d++ {
+		fp, err := memcheck.PeakForm("1d-row",
+			memcheck.Model{Dims: tr.Dims, P: p, Device: d, Overlap: cfg.Overlap})
+		if err != nil {
+			log.Fatal(err)
+		}
+		if fp.Uncertified != "" {
+			log.Fatalf("devices=%d d%d: uncertified: %s", p, d, fp.Uncertified)
+		}
+		env := memcheck.DeviceEnv(int64(tr.DeviceRows(d)), int64(tr.MaxTileRows()),
+			tr.AdjacencyBytes(d), tr.Dims)
+		certified, err := fp.SlabBytes.Eval(env)
+		if err != nil {
+			log.Fatal(err)
+		}
+		resident, err := fp.Resident.Eval(env)
+		if err != nil {
+			log.Fatal(err)
+		}
+		measured := meter.SlabPeakBytes()[fmt.Sprintf("d%d", d)]
+		pool := tr.PoolUsed(d)
+		if certified != measured || resident != pool {
+			mem.Certified = false
+		}
+		if certified > mem.CertifiedSlabBytes {
+			mem.CertifiedSlabBytes = certified
+			mem.SlabCount = fp.SlabCount
+		}
+		if measured > mem.MeasuredSlabBytes {
+			mem.MeasuredSlabBytes = measured
+		}
+		if resident > mem.ResidentBytes {
+			mem.ResidentBytes = resident
+		}
+		if pool > mem.PoolBytes {
+			mem.PoolBytes = pool
+		}
+	}
+	return mem
 }
 
 // measure trains epochs steps at the given kernel and replay parallelism

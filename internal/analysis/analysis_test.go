@@ -74,6 +74,7 @@ func TestRules(t *testing.T) {
 		{AccessDecl, "accessdecl_pos", "accessdecl_ok"},
 		{GroupConsist, "groupconsist_pos", "groupconsist_ok"},
 		{ShapeDecl, "shapedecl_pos", "shapedecl_ok"},
+		{SlotDecl, "slotdecl_pos", "slotdecl_ok"},
 	}
 
 	for _, tc := range cases {
@@ -125,6 +126,7 @@ func TestCrossRuleSilence(t *testing.T) {
 		"accessdecl_pos", "accessdecl_ok",
 		"groupconsist_pos", "groupconsist_ok",
 		"shapedecl_pos", "shapedecl_ok",
+		"slotdecl_pos", "slotdecl_ok",
 	}
 	for _, name := range fixtures {
 		pkg := loadFixture(t, ld, name)

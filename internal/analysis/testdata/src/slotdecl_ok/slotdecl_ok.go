@@ -1,0 +1,48 @@
+// Package slotdecl_ok is a mggcn-vet fixture: sampler/trainer handoff
+// tasks that declare the opaque slot pseudo-buffer on both sides, in the
+// idioms the sampled trainer uses — a direct sim.OpaqueShape call, a
+// slot-shape variable, and a conditionally appended read list.
+package slotdecl_ok
+
+import "mggcn/internal/sim"
+
+// The slot declaration may flow through a variable.
+func sampleDeclares(g *sim.Graph, slot sim.BufID, workers int) {
+	slotShape := []sim.ViewShape{sim.OpaqueShape(slot)}
+	id := g.AddStage(0, sim.StreamSample, sim.KindSample, "s0/sample", -1, 0, true)
+	g.BindShaped(id, nil, slotShape, func() {})
+	g.Execute(workers)
+}
+
+// Extract declares the slot in both sets, alongside its dense traffic.
+func extractDeclares(g *sim.Graph, slot, x sim.BufID, workers int) {
+	id := g.AddStage(0, sim.StreamSample, sim.KindExtract, "s0/extract", -1, 0, true)
+	g.BindShaped(id,
+		[]sim.ViewShape{sim.OpaqueShape(slot)},
+		[]sim.ViewShape{sim.OpaqueShape(slot), sim.OpaqueShape(x)}, func() {})
+	g.Execute(workers)
+}
+
+// The trainer appends the slot read conditionally (tail steps own no
+// batch); taint through the append keeps the declaration visible.
+func adamDeclares(g *sim.Graph, slot sim.BufID, haveBatch bool, workers int) {
+	sampID := g.AddStage(0, sim.StreamSample, sim.KindSample, "s0/sample", -1, 0, true)
+	g.BindShaped(sampID, nil, []sim.ViewShape{sim.OpaqueShape(slot)}, func() {})
+	var slotReads []sim.ViewShape
+	if haveBatch {
+		slotReads = append(slotReads, sim.OpaqueShape(slot))
+	}
+	id := g.AddCompute(0, sim.KindAdam, "s0/adam", -1, 0, true, sampID)
+	g.BindShaped(id, slotReads, nil, func() {})
+	g.Execute(workers)
+}
+
+// Outside a sampled pipeline (no sampler task in the file's functions
+// below), Adam has no handoff to declare — see slotdecl_plain.go.
+
+// Other kinds impose no slot contract.
+func gemmFree(g *sim.Graph, workers int) {
+	id := g.AddCompute(0, sim.KindGeMM, "gemm", -1, 0, false)
+	g.BindShaped(id, nil, nil, func() {})
+	g.Execute(workers)
+}

@@ -1,0 +1,12 @@
+// slotdecl_plain exercises the full-batch exemption: this file creates no
+// sampler tasks, so its Adam bind has no handoff slot to declare and the
+// rule stays quiet.
+package slotdecl_ok
+
+import "mggcn/internal/sim"
+
+func fullBatchAdam(g *sim.Graph, workers int) {
+	id := g.AddCompute(0, sim.KindAdam, "adam", -1, 0, true)
+	g.BindShaped(id, nil, nil, func() {})
+	g.Execute(workers)
+}

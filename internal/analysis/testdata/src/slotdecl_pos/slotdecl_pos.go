@@ -1,0 +1,33 @@
+// Package slotdecl_pos is a mggcn-vet fixture: sampler/trainer handoff
+// tasks whose declared access sets omit the opaque slot pseudo-buffer, so
+// the sanitizer cannot see the pipeline's recycle ordering.
+package slotdecl_pos
+
+import "mggcn/internal/sim"
+
+// A sample task that publishes blocks through a slot must declare the slot
+// in its writes; nil writes leave the handoff invisible.
+func sampleMissingSlot(g *sim.Graph, workers int) {
+	id := g.AddStage(0, sim.StreamSample, sim.KindSample, "s0/sample", -1, 0, true)
+	g.BindShaped(id, nil, nil, func() {}) // want slotdecl
+	g.Execute(workers)
+}
+
+// An extract task drains the slot and fills the gathered-feature slab: the
+// slot belongs in both sets. Declaring only the output slab is not enough.
+func extractMissingSlot(g *sim.Graph, x sim.BufID, workers int) {
+	id := g.AddStage(0, sim.StreamSample, sim.KindExtract, "s0/extract", -1, 0, true)
+	g.BindShaped(id, nil, []sim.ViewShape{sim.OpaqueShape(x)}, func() {}) // want slotdecl
+	g.Execute(workers)
+}
+
+// Adam is the slot-recycle point of a sampled pipeline (this file creates
+// sampler tasks): omitting the slot from its reads turns the recycle edge
+// into an unchecked write-after-read.
+func adamMissingSlot(g *sim.Graph, workers int) {
+	sampID := g.AddStage(0, sim.StreamSample, sim.KindSample, "s0/sample", -1, 0, true)
+	g.BindShaped(sampID, nil, nil, func() {}) // want slotdecl
+	id := g.AddCompute(0, sim.KindAdam, "s0/adam", -1, 0, true, sampID)
+	g.BindShapedE(id, nil, nil, func() error { return nil }) // want slotdecl
+	g.Execute(workers)
+}

@@ -323,6 +323,19 @@ func (d *GATDist) LastGraph() *sim.Graph { return d.lastGraph }
 // Registry returns the distributed GAT's buffer registry.
 func (d *GATDist) Registry() *sim.BufRegistry { return d.reg }
 
+// DeviceRows returns the number of vertices device dev owns.
+func (d *GATDist) DeviceRows(dev int) int { return d.part.devs[dev].rows }
+
+// MaxTileRows returns the largest partition block (BC slab row count).
+func (d *GATDist) MaxTileRows() int { return d.part.maxTileRows() }
+
+// AdjacencyBytes returns the bytes device dev's resident adjacency tiles
+// occupy (always CSR for GAT).
+func (d *GATDist) AdjacencyBytes(dev int) int64 { return d.part.devs[dev].adjBytes }
+
+// PoolUsed returns device dev's live pool bytes.
+func (d *GATDist) PoolUsed(dev int) int64 { return d.Machine.Pools[dev].Used() }
+
 // attentionRow computes device ds's attention-valued tiles: raw scores
 // e(v,u) = LeakyReLU(s1_u + s2_v) over its tile row, normalized by a
 // row-softmax spanning all of the row's tiles.

@@ -19,7 +19,7 @@ import (
 //
 //	sample (StreamSample):  k-hop fanout blocks from the batch's seed
 //	extract (StreamSample): feature gather through the device's static cache
-//	train (StreamCompute):  per-layer SpMM→GeMM→ReLU forward, loss, backward
+//	train (StreamCompute):  per-layer GeMM→SpMM→ReLU forward, loss, backward
 //	allreduce (StreamComm): per-layer gradient sum across the full group
 //
 // — with a double-buffered handoff slot between the sampler stage and the
@@ -30,6 +30,16 @@ import (
 // cross-stream fences), and blocks/seeds are pure functions of
 // (Seed, epoch, batch), so fixed-seed runs are bit-identical at any replay
 // parallelism — the same parity bar the full-batch trainer meets.
+//
+// All dense intermediates live in registered per-device slabs sized by the
+// provable frontier caps (sample.FrontierCaps), the sampled analogue of the
+// §4.2 buffer set: L+3 slabs (HW, G, OUT_1..L, cache) plus one gathered-
+// feature slab per handoff slot. Layers run transform-then-aggregate
+// (y = H·W, then Z = A·y) — equal to aggregate-then-transform by
+// associativity — so one shared HW slab carries every GeMM/SpMMᵀ
+// intermediate at width F_{l+1}; the price is one extra backward SpMM at
+// layer 0 (the full-batch §4.4 trade in reverse). internal/memcheck
+// certifies this slab set's peak statically.
 
 // SampledConfig selects the machine, parallelism and sampling schedule of a
 // sampled minibatch run.
@@ -78,6 +88,64 @@ func DefaultSampledConfig(spec sim.MachineSpec, p, memScale int) SampledConfig {
 	}
 }
 
+// sampledBuffers is one device's registered slab set — the minibatch
+// counterpart of DeviceBuffers. Capacities come from the frontier caps, so
+// any batch the epoch plan can produce fits:
+//
+//	HW:     max_l caps[l]·F_{l+1} — GeMM output y = H·W (forward) and
+//	        SpMMᵀ gradient u = Aᵀ·G (backward), both at width F_{l+1}
+//	G:      max_{l≥1} caps[l]·F_l — the gradient flowing down the layers
+//	OUT[l]: caps[l+1]·F_{l+1}    — layer l's post-aggregation output h_{l+1}
+//	X[k]:   caps[0]·F_0          — gathered input features, one per handoff
+//	                               slot so the pipelined extract never
+//	                               clobbers features the trainer still reads
+type sampledBuffers struct {
+	HW  *Buffer
+	G   *Buffer
+	OUT []*Buffer
+	X   []*Buffer
+}
+
+// newSampledBuffers allocates the slab set on pool for device dev, where
+// caps are the frontier bounds (len L+1) and dims the layer widths.
+func newSampledBuffers(reg *sim.BufRegistry, dev int, pool *sim.Pool, caps, dims []int, depth int) (*sampledBuffers, error) {
+	L := len(dims) - 1
+	var hwCap, gCap int64
+	for l := 0; l < L; l++ {
+		if c := int64(caps[l]) * int64(dims[l+1]); c > hwCap {
+			hwCap = c
+		}
+		if c := int64(caps[l+1]) * int64(dims[l+1]); c > gCap {
+			gCap = c
+		}
+	}
+	b := &sampledBuffers{}
+	var err error
+	if b.HW, err = newBuffer(reg, dev, pool, "buf/HW", hwCap, false); err != nil {
+		return nil, err
+	}
+	if b.G, err = newBuffer(reg, dev, pool, "buf/G", gCap, false); err != nil {
+		return nil, err
+	}
+	for l := 0; l < L; l++ {
+		buf, err := newBuffer(reg, dev, pool, fmt.Sprintf("buf/OUT%d", l+1),
+			int64(caps[l+1])*int64(dims[l+1]), false)
+		if err != nil {
+			return nil, err
+		}
+		b.OUT = append(b.OUT, buf)
+	}
+	for k := 0; k < depth; k++ {
+		buf, err := newBuffer(reg, dev, pool, fmt.Sprintf("buf/x%d", k),
+			int64(caps[0])*int64(dims[0]), false)
+		if err != nil {
+			return nil, err
+		}
+		b.X = append(b.X, buf)
+	}
+	return b, nil
+}
+
 // SampledTrainer is a distributed sampled-minibatch training run. Create
 // with NewSampledTrainer; each RunEpoch consumes one deterministic epoch
 // plan (shuffled batches round-robined over devices) and returns the
@@ -96,9 +164,13 @@ type SampledTrainer struct {
 	// matrix — misses gather from it over the host link).
 	caches []*sample.FeatureCache
 	feat   *tensor.Dense
+	// bufs[d] is device d's registered slab set; caps are the frontier
+	// bounds its capacities derive from.
+	bufs []*sampledBuffers
+	caps []int
 	// slotBufs[d][k] is the opaque pseudo-buffer naming handoff slot k of
-	// device d for the sanitizer: sample/extract/train tasks declare it, so
-	// a missing double-buffer dependency shows up as an unordered
+	// device d for the sanitizer: sample/extract/train/Adam tasks declare
+	// it, so a missing double-buffer dependency shows up as an unordered
 	// conflicting access in san.Check.
 	slotBufs [][]sim.BufID
 
@@ -112,9 +184,9 @@ type SampledTrainer struct {
 }
 
 // NewSampledTrainer allocates the replicated model, builds the per-device
-// feature caches, and registers every device-resident buffer with the
-// sanitizer. Sampling needs real features and labels, so phantom datasets
-// are rejected.
+// feature caches and frontier-capped slab sets, and registers every
+// device-resident buffer with the sanitizer. Sampling needs real features
+// and labels, so phantom datasets are rejected.
 func NewSampledTrainer(g *graph.Graph, cfg SampledConfig) (*SampledTrainer, error) {
 	if cfg.Layers < 1 {
 		return nil, fmt.Errorf("core: need at least 1 layer")
@@ -144,6 +216,7 @@ func NewSampledTrainer(g *graph.Graph, cfg SampledConfig) (*SampledTrainer, erro
 		avgDeg:  g.AvgDegree(),
 		reg:     sim.NewBufRegistry(),
 	}
+	tr.caps = sample.FrontierCaps(g.N(), cfg.Batch, cfg.Fanouts)
 	init := nn.InitWeights(tr.Dims, cfg.Seed)
 	for _, w := range init {
 		tr.paramCount += int64(w.Rows) * int64(w.Cols)
@@ -176,8 +249,15 @@ func NewSampledTrainer(g *graph.Graph, cfg SampledConfig) (*SampledTrainer, erro
 		if err := machine.Pools[d].Alloc("cache", cache.Slab.Bytes()); err != nil {
 			return nil, err
 		}
-		registerDense(tr.reg, fmt.Sprintf("d%d/cache", d), cache.Slab)
+		// The cache is a §4.2-style slab: registering it under buf/ puts it
+		// in the live-slab universe san.LiveHighWater and memcheck count.
+		registerDense(tr.reg, fmt.Sprintf("d%d/buf/cache", d), cache.Slab)
 		tr.caches = append(tr.caches, cache)
+		bufs, err := newSampledBuffers(tr.reg, d, machine.Pools[d], tr.caps, tr.Dims, depth)
+		if err != nil {
+			return nil, err
+		}
+		tr.bufs = append(tr.bufs, bufs)
 		var slots []sim.BufID
 		for k := 0; k < depth; k++ {
 			slots = append(slots, tr.reg.Register(fmt.Sprintf("d%d/slot%d", d, k)))
@@ -231,15 +311,21 @@ func (tr *SampledTrainer) frontierEstimate(batchLen int) (verts []int, edges []i
 	return verts, edges
 }
 
-// slotState is one handoff slot's host-side payload: what the sampler stage
-// produces and the trainer consumes. The recorded closures read and write
-// it through the slot pointer at replay time; the opaque slot pseudo-buffer
-// is its sanitizer-visible name.
+// slotState is one handoff slot's host-side payload: the sampled blocks the
+// sampler stage produces and every trainer closure sizes its slab views
+// from. The recorded closures read and write it through the slot pointer at
+// replay time; the opaque slot pseudo-buffer is its sanitizer-visible name.
 type slotState struct {
 	blocks []*sample.Block
-	h      []*tensor.Dense // h[0] gathered input, h[l+1] layer l output
-	aggs   []*tensor.Dense // aggs[l] = blocks[l].Adj x h[l]
-	grad   *tensor.Dense   // backward gradient flowing down the layers
+}
+
+// frontRows returns frontier l's actual row count for a sampled batch:
+// the source side of block l, or the batch itself for l == L.
+func frontRows(blocks []*sample.Block, l int) int {
+	if l < len(blocks) {
+		return blocks[l].Adj.Cols
+	}
+	return blocks[len(blocks)-1].Adj.Rows
 }
 
 // SampledEpochStats reports one sampled epoch.
@@ -328,6 +414,8 @@ func (tr *SampledTrainer) RunEpoch() (*SampledEpochStats, error) {
 			slot := &slots[d][s%depth]
 			slotBuf := tr.slotBufs[d][s%depth]
 			slotShape := []sim.ViewShape{sim.OpaqueShape(slotBuf)}
+			bufs := tr.bufs[d]
+			xBuf := bufs.X[s%depth]
 			batch := plan.Batches[b]
 			seed := plan.Seeds[b]
 			verts, edges := tr.frontierEstimate(len(batch))
@@ -353,7 +441,8 @@ func (tr *SampledTrainer) RunEpoch() (*SampledEpochStats, error) {
 				slot.blocks = sample.BuildBlocks(adj, batch, fanouts, seed)
 			})
 
-			// --- Sampler stage: extract (feature gather through cache) ---
+			// --- Sampler stage: extract (feature gather through cache into
+			// the slot's gathered-feature slab) ---
 			cache := tr.caches[d]
 			meter := tr.Cfg.CommMeter
 			feat := tr.feat
@@ -363,44 +452,58 @@ func (tr *SampledTrainer) RunEpoch() (*SampledEpochStats, error) {
 				spec.GatherCost(expHit, int64(tr.sc(verts[0]))-expHit, d0), true, sampID)
 			tg.BindShaped(extID,
 				append(sim.ShapesOf(cache.Slab, feat), sim.OpaqueShape(slotBuf)),
-				slotShape, func() {
+				append(slotShape, sim.OpaqueShape(xBuf.id)), func() {
 					src := slot.blocks[0].Src
-					h0 := tensor.NewDense(len(src), d0)
+					h0 := xBuf.View(len(src), d0)
 					hit, miss := cache.Gather(h0, feat, src)
 					meter.Add(sim.CollGatherHit, int64(hit)*int64(d0))
 					meter.Add(sim.CollGatherMiss, int64(miss)*int64(d0))
-					slot.h = make([]*tensor.Dense, L+1)
-					slot.aggs = make([]*tensor.Dense, L)
-					slot.h[0] = h0
 				})
 
-			// --- Trainer stage: forward ---
+			// --- Trainer stage: forward (transform-then-aggregate) ---
+			// hBuf(l) is layer l's input slab: the slot's gathered features
+			// for l == 0, the previous layer's OUT slab after.
+			hBuf := func(l int) *Buffer {
+				if l == 0 {
+					return xBuf
+				}
+				return bufs.OUT[l-1]
+			}
 			prev := extID
 			for l := 0; l < L; l++ {
+				l := l
 				dIn, dOut := tr.Dims[l], tr.Dims[l+1]
-				spmmID := tg.AddCompute(d, sim.KindSpMM, fmt.Sprintf("s%d/fwd%d/spmm", s, l), -1,
-					spec.SpMMCost(int64(tr.sc(int(edges[l]))), tr.sc(verts[l+1]), tr.sc(verts[l]), dIn), true, prev)
-				tg.BindShaped(spmmID, slotShape, slotShape, func() {
-					blk := slot.blocks[l]
-					ah := tensor.NewDense(blk.Adj.Rows, dIn)
-					sparse.ParallelSpMM(blk.Adj, slot.h[l], 0, ah, workers)
-					slot.aggs[l] = ah
-				})
 				w := tr.weights[d][l]
+				in := hBuf(l)
 				gemmID := tg.AddCompute(d, sim.KindGeMM, fmt.Sprintf("s%d/fwd%d/gemm", s, l), -1,
-					spec.GemmCost(tr.sc(verts[l+1]), dIn, dOut), false, spmmID)
-				tg.BindShaped(gemmID, append(sim.ShapesOf(w), sim.OpaqueShape(slotBuf)), slotShape, func() {
-					z := tensor.NewDense(slot.aggs[l].Rows, dOut)
-					tensor.ParallelGemm(1, slot.aggs[l], w, 0, z, workers)
-					slot.h[l+1] = z
-				})
-				prev = gemmID
+					spec.GemmCost(tr.sc(verts[l]), dIn, dOut), false, prev)
+				tg.BindShaped(gemmID,
+					append(sim.ShapesOf(w), sim.OpaqueShape(slotBuf), sim.OpaqueShape(in.id)),
+					[]sim.ViewShape{sim.OpaqueShape(bufs.HW.id)}, func() {
+						rows := frontRows(slot.blocks, l)
+						y := bufs.HW.View(rows, dOut)
+						tensor.ParallelGemm(1, in.View(rows, dIn), w, 0, y, workers)
+					})
+				spmmID := tg.AddCompute(d, sim.KindSpMM, fmt.Sprintf("s%d/fwd%d/spmm", s, l), -1,
+					spec.SpMMCost(int64(tr.sc(int(edges[l]))), tr.sc(verts[l+1]), tr.sc(verts[l]), dOut), true, gemmID)
+				tg.BindShaped(spmmID,
+					append(slotShape, sim.OpaqueShape(bufs.HW.id)),
+					[]sim.ViewShape{sim.OpaqueShape(bufs.OUT[l].id)}, func() {
+						blk := slot.blocks[l]
+						y := bufs.HW.View(blk.Adj.Cols, dOut)
+						z := bufs.OUT[l].View(blk.Adj.Rows, dOut)
+						sparse.ParallelSpMM(blk.Adj, y, 0, z, workers)
+					})
+				prev = spmmID
 				if l < L-1 {
 					reluID := tg.AddCompute(d, sim.KindActivation, fmt.Sprintf("s%d/fwd%d/relu", s, l), -1,
 						spec.ElementwiseCost(int64(tr.sc(verts[l+1]))*int64(dOut), 1), true, prev)
-					tg.BindShaped(reluID, nil, slotShape, func() {
-						tensor.ReLU(slot.h[l+1], slot.h[l+1])
-					})
+					tg.BindShaped(reluID,
+						append(slotShape, sim.OpaqueShape(bufs.OUT[l].id)),
+						[]sim.ViewShape{sim.OpaqueShape(bufs.OUT[l].id)}, func() {
+							z := bufs.OUT[l].View(frontRows(slot.blocks, l+1), dOut)
+							tensor.ReLU(z, z)
+						})
 					prev = reluID
 				}
 			}
@@ -411,58 +514,75 @@ func (tr *SampledTrainer) RunEpoch() (*SampledEpochStats, error) {
 			norm := stepRows
 			lossID := tg.AddCompute(d, sim.KindLoss, fmt.Sprintf("s%d/loss", s), -1,
 				spec.LossCost(tr.sc(len(batch)), classes), true, prev)
-			tg.BindShaped(lossID, nil, slotShape, func() {
-				logits := slot.h[L]
-				dst := slot.blocks[L-1].Dst
-				lb := make([]int32, len(dst))
-				for i, v := range dst {
-					lb[i] = labels[v]
-				}
-				g := tensor.NewDense(logits.Rows, logits.Cols)
-				lossSum[b] = nn.SoftmaxCrossEntropySum(logits, lb, nil, g, norm)
-				correct[b], _ = nn.CorrectCount(logits, lb, nil)
-				slot.grad = g
-			})
+			tg.BindShaped(lossID,
+				append(slotShape, sim.OpaqueShape(bufs.OUT[L-1].id)),
+				[]sim.ViewShape{sim.OpaqueShape(bufs.G.id)}, func() {
+					dst := slot.blocks[L-1].Dst
+					logits := bufs.OUT[L-1].View(len(dst), classes)
+					lb := make([]int32, len(dst))
+					for i, v := range dst {
+						lb[i] = labels[v]
+					}
+					g := bufs.G.View(len(dst), classes)
+					lossSum[b] = nn.SoftmaxCrossEntropySum(logits, lb, nil, g, norm)
+					correct[b], _ = nn.CorrectCount(logits, lb, nil)
+				})
 			prev = lossID
 
-			// --- Backward ---
+			// --- Backward: per layer mask → SpMMᵀ → wgrad (+ hgrad). The
+			// transpose SpMM u = A_lᵀ·G runs at every layer including l == 0
+			// (the transform-then-aggregate trade: wgrad needs ∂/∂y_l, not
+			// ∂/∂(A·h)_l), reusing the HW slab for u. ---
 			for l := L - 1; l >= 0; l-- {
+				l := l
 				dIn, dOut := tr.Dims[l], tr.Dims[l+1]
 				if l < L-1 {
-					// Mask the incoming gradient by the forward activation.
+					// Mask the gradient in place by the forward activation.
 					reluID := tg.AddCompute(d, sim.KindActivation, fmt.Sprintf("s%d/bwd%d/relu", s, l), -1,
 						spec.ElementwiseCost(int64(tr.sc(verts[l+1]))*int64(dOut), 2), true, prev)
-					tg.BindShaped(reluID, nil, slotShape, func() {
-						masked := tensor.NewDense(slot.grad.Rows, slot.grad.Cols)
-						tensor.ReLUBackward(masked, slot.grad, slot.h[l+1])
-						slot.grad = masked
-					})
+					tg.BindShaped(reluID,
+						append(slotShape, sim.OpaqueShape(bufs.OUT[l].id), sim.OpaqueShape(bufs.G.id)),
+						[]sim.ViewShape{sim.OpaqueShape(bufs.G.id)}, func() {
+							rows := frontRows(slot.blocks, l+1)
+							g := bufs.G.View(rows, dOut)
+							tensor.ReLUBackward(g, g, bufs.OUT[l].View(rows, dOut))
+						})
 					prev = reluID
 				}
+				spmmID := tg.AddCompute(d, sim.KindSpMM, fmt.Sprintf("s%d/bwd%d/spmm", s, l), -1,
+					spec.SpMMCost(int64(tr.sc(int(edges[l]))), tr.sc(verts[l]), tr.sc(verts[l+1]), dOut), true, prev)
+				tg.BindShaped(spmmID,
+					append(slotShape, sim.OpaqueShape(bufs.G.id)),
+					[]sim.ViewShape{sim.OpaqueShape(bufs.HW.id)}, func() {
+						blk := slot.blocks[l]
+						g := bufs.G.View(blk.Adj.Rows, dOut)
+						u := bufs.HW.View(blk.Adj.Cols, dOut)
+						sparse.ParallelSpMM(blk.Adj.Transpose(), g, 0, u, workers)
+					})
 				w := tr.weights[d][l]
 				grad := tr.grads[d][l]
+				in := hBuf(l)
 				wgID := tg.AddCompute(d, sim.KindGeMM, fmt.Sprintf("s%d/bwd%d/wgrad", s, l), -1,
-					spec.GemmCost(dIn, tr.sc(verts[l+1]), dOut), false, prev)
-				tg.BindShaped(wgID, append(sim.ShapesOf(w), sim.OpaqueShape(slotBuf)), sim.ShapesOf(grad), func() {
-					tensor.ParallelGemmTA(1, slot.aggs[l], slot.grad, 0, grad, workers)
-				})
+					spec.GemmCost(dIn, tr.sc(verts[l]), dOut), false, spmmID)
+				tg.BindShaped(wgID,
+					append(slotShape, sim.OpaqueShape(bufs.HW.id), sim.OpaqueShape(in.id)),
+					sim.ShapesOf(grad), func() {
+						rows := frontRows(slot.blocks, l)
+						u := bufs.HW.View(rows, dOut)
+						tensor.ParallelGemmTA(1, in.View(rows, dIn), u, 0, grad, workers)
+					})
 				wgradID[l] = append(wgradID[l], wgID)
 				if l > 0 {
 					hgID := tg.AddCompute(d, sim.KindGeMM, fmt.Sprintf("s%d/bwd%d/hgrad", s, l), -1,
-						spec.GemmCost(tr.sc(verts[l+1]), dOut, dIn), false, prev)
-					tg.BindShaped(hgID, append(sim.ShapesOf(w), sim.OpaqueShape(slotBuf)), slotShape, func() {
-						dAH := tensor.NewDense(slot.grad.Rows, dIn)
-						tensor.ParallelGemmTB(1, slot.grad, w, 0, dAH, workers)
-						slot.grad = dAH
-					})
-					spmmID := tg.AddCompute(d, sim.KindSpMM, fmt.Sprintf("s%d/bwd%d/spmm", s, l), -1,
-						spec.SpMMCost(int64(tr.sc(int(edges[l]))), tr.sc(verts[l]), tr.sc(verts[l+1]), dIn), true, hgID)
-					tg.BindShaped(spmmID, slotShape, slotShape, func() {
-						dH := tensor.NewDense(slot.blocks[l].Adj.Cols, dIn)
-						sparse.ParallelSpMM(slot.blocks[l].Adj.Transpose(), slot.grad, 0, dH, workers)
-						slot.grad = dH
-					})
-					prev = spmmID
+						spec.GemmCost(tr.sc(verts[l]), dOut, dIn), false, spmmID)
+					tg.BindShaped(hgID,
+						append(sim.ShapesOf(w), sim.OpaqueShape(slotBuf), sim.OpaqueShape(bufs.HW.id)),
+						[]sim.ViewShape{sim.OpaqueShape(bufs.G.id)}, func() {
+							rows := frontRows(slot.blocks, l)
+							u := bufs.HW.View(rows, dOut)
+							tensor.ParallelGemmTB(1, u, w, 0, bufs.G.View(rows, dIn), workers)
+						})
+					prev = hgID
 				} else {
 					prev = wgID
 				}
@@ -488,7 +608,15 @@ func (tr *SampledTrainer) RunEpoch() (*SampledEpochStats, error) {
 			id := tg.AddCompute(d, sim.KindAdam, fmt.Sprintf("s%d/adam", s), -1,
 				spec.AdamCost(tr.paramCount), true, deps...) // vet:ok taskdep: last task of the step; step s+depth's sample task depends on it
 			opt, ws, gs := tr.opts[d], tr.weights[d], tr.grads[d]
-			tg.BindShaped(id, sim.ShapesOf(gs...), sim.ShapesOf(ws...), func() { opt.Step(ws, gs) })
+			// Adam is the slot-recycle point: declaring the step's handoff
+			// slot in its reads makes the recycle edge (sample(s+depth)
+			// deps Adam(s)) a sanitizer-checked write-after-read — the
+			// slotdecl vet rule pins this convention.
+			var slotReads []sim.ViewShape
+			if s*p+d < B {
+				slotReads = append(slotReads, sim.OpaqueShape(tr.slotBufs[d][s%depth]))
+			}
+			tg.BindShaped(id, append(sim.ShapesOf(gs...), slotReads...), sim.ShapesOf(ws...), func() { opt.Step(ws, gs) })
 			prevAdam[s][d] = id
 		}
 	}
@@ -597,3 +725,15 @@ func (tr *SampledTrainer) TrainVertexCount() int { return len(tr.trainVerts) }
 
 // ParamCount returns the model's parameter count (one replica).
 func (tr *SampledTrainer) ParamCount() int64 { return tr.paramCount }
+
+// Depth returns the handoff slot count (2 pipelined, 1 not).
+func (tr *SampledTrainer) Depth() int { return tr.depth() }
+
+// FrontierCapacities returns the provable per-depth frontier bounds the
+// slab capacities derive from (sample.FrontierCaps of this config).
+func (tr *SampledTrainer) FrontierCapacities() []int {
+	return append([]int(nil), tr.caps...)
+}
+
+// PoolUsed returns device d's live pool bytes.
+func (tr *SampledTrainer) PoolUsed(d int) int64 { return tr.Machine.Pools[d].Used() }

@@ -232,3 +232,39 @@ func TestSampledPipelineOverlap(t *testing.T) {
 		t.Fatalf("overlap ratio did not rise: %v -> %v", off.OverlapRatio, on.OverlapRatio)
 	}
 }
+
+// TestSampledLiveHighWater pins the sampled pipeline's live-slab bound, the
+// minibatch analogue of §4.2's L+3: per device the slab set is HW, G, one
+// OUT buffer per layer, the feature cache, and one gathered-feature slab
+// per handoff slot — exactly L+5 buffers simultaneously live with the
+// double-buffered handoff, L+4 without, at every cache fraction (a 0-row
+// cache slab still counts: it is registered and accessed by every extract).
+func TestSampledLiveHighWater(t *testing.T) {
+	for _, pipeline := range []bool{true, false} {
+		for _, frac := range []float64{0, 0.25, 0.5, 1} {
+			cfg := testSampledConfig(2)
+			cfg.Pipeline = pipeline
+			cfg.CacheFrac = frac
+			tr, err := NewSampledTrainer(testGraph(t), cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := tr.RunEpoch(); err != nil {
+				t.Fatal(err)
+			}
+			want := cfg.Layers + 4
+			if pipeline {
+				want = cfg.Layers + 5
+			}
+			hw := san.LiveHighWater(tr.LastGraph())
+			if len(hw) != cfg.P {
+				t.Fatalf("pipeline=%v frac=%v: high-water covers %d devices, want %d", pipeline, frac, len(hw), cfg.P)
+			}
+			for dev, n := range hw {
+				if n != want {
+					t.Errorf("pipeline=%v frac=%v %s: %d slab buffers live at once, want exactly %d", pipeline, frac, dev, n, want)
+				}
+			}
+		}
+	}
+}

@@ -656,3 +656,19 @@ func (tr *Trainer) PeakMemoryBytes() int64 {
 // BufferCount returns the number of large shared/private buffers per
 // device — the paper's L+3.
 func (tr *Trainer) BufferCount() int { return tr.part.devs[0].bufs.Count() }
+
+// DeviceRows returns the number of vertices device d owns — the row count
+// its HW/AHW slabs are sized for.
+func (tr *Trainer) DeviceRows(d int) int { return tr.part.devs[d].rows }
+
+// MaxTileRows returns the largest partition block — the row count the
+// BC broadcast slabs are sized for.
+func (tr *Trainer) MaxTileRows() int { return tr.part.maxTileRows() }
+
+// AdjacencyBytes returns the bytes device d's resident adjacency tiles
+// occupy (both orientations, CSR or SELL-C-σ per tileBytes).
+func (tr *Trainer) AdjacencyBytes(d int) int64 { return tr.part.devs[d].adjBytes }
+
+// PoolUsed returns device d's live pool bytes — the resident footprint the
+// memory certifier's closed form must reproduce exactly.
+func (tr *Trainer) PoolUsed(d int) int64 { return tr.Machine.Pools[d].Used() }

@@ -1,0 +1,158 @@
+package memcheck
+
+import (
+	"fmt"
+
+	"mggcn/internal/gen"
+	"mggcn/internal/nn"
+	"mggcn/internal/schedcheck"
+	"mggcn/internal/sim"
+	"mggcn/internal/sparse"
+)
+
+// DeviceEnv binds the full-batch atoms for one concrete device: its row
+// count, the global maximum tile row count, its adjacency-tile bytes, and
+// the layer widths. Feed it a trainer's DeviceRows / MaxTileRows /
+// AdjacencyBytes accessors to certify a built trainer, or analytic values
+// (AnalyticDeviceEnv) to certify a machine fit without building one.
+func DeviceEnv(rows, tileRows, adjBytes int64, dims []int) schedcheck.Env {
+	env := schedcheck.Env{"R": rows, "T": tileRows, "A": adjBytes}
+	bindDims(env, dims)
+	return env
+}
+
+// SampledEnv binds the sampled-pipeline atoms: the frontier capacities per
+// hop (outermost first, len L+1), the feature-cache row count, and the
+// layer widths.
+func SampledEnv(caps []int, cacheRows int, dims []int) schedcheck.Env {
+	env := schedcheck.Env{"C": int64(cacheRows)}
+	for h, c := range caps {
+		env[fmt.Sprintf("V%d", h)] = int64(c)
+	}
+	bindDims(env, dims)
+	return env
+}
+
+// CagnetEnv binds the CAGNET baseline's atoms: the per-device row count and
+// nonzero share at full scale, plus the layer widths.
+func CagnetEnv(rows, nnzShare int64, dims []int) schedcheck.Env {
+	env := schedcheck.Env{"R": rows, "Z": nnzShare}
+	bindDims(env, dims)
+	return env
+}
+
+func bindDims(env schedcheck.Env, dims []int) {
+	for l, d := range dims {
+		env[fmt.Sprintf("F%d", l)] = int64(d)
+	}
+}
+
+// AnalyticAdjacencyBytes estimates one device's adjacency-tile bytes under
+// balanced (permuted) 1D partitioning: both orientations, each split into p
+// tiles holding this device's 1/p nonzero share. CSR charges one row
+// pointer array per tile; SELL-C-σ replaces it with a chunk-pointer array
+// plus the σ permutation (8 bytes per tile row) and, analytically, assumes
+// padding-free chunks — the true SELL footprint exceeds it by the padding
+// of skewed tiles, which only a built partition can know.
+func AnalyticAdjacencyBytes(n, m int64, p int, format string) (int64, error) {
+	if p < 1 {
+		return 0, fmt.Errorf("memcheck: analytic adjacency needs p >= 1, got %d", p)
+	}
+	rows := (n + int64(p) - 1) / int64(p)
+	nnzShare := m / int64(p)
+	switch format {
+	case "csr", "auto", "":
+		// Auto decides per tile from measured skew; the analytic estimate
+		// uses CSR, whose row-pointer cost upper-bounds the padding-free
+		// SELL layout auto would pick instead.
+		return 2 * (int64(p)*(rows+1)*8 + nnzShare*8), nil
+	case "sell":
+		chunks := (rows+int64(sparse.DefaultSellC)-1)/int64(sparse.DefaultSellC) + 1
+		return 2 * (int64(p)*(chunks+rows)*8 + nnzShare*8), nil
+	default:
+		return 0, fmt.Errorf("memcheck: unknown sparse format %q", format)
+	}
+}
+
+// AnalyticDeviceEnv is DeviceEnv for an unbuilt, balanced partition at full
+// scale: rows = ceil(n/p) on every device, tile rows likewise, adjacency
+// from AnalyticAdjacencyBytes.
+func AnalyticDeviceEnv(n, m int64, p int, format string, dims []int) (schedcheck.Env, error) {
+	adj, err := AnalyticAdjacencyBytes(n, m, p, format)
+	if err != nil {
+		return nil, err
+	}
+	rows := (n + int64(p) - 1) / int64(p)
+	return DeviceEnv(rows, rows, adj, dims), nil
+}
+
+// FitVerdict is one (dataset, strategy) fit check: does the certified
+// resident footprint per device fit the machine's per-GPU memory?
+type FitVerdict struct {
+	Dataset  string `json:"dataset"`
+	Strategy string `json:"strategy"`
+	N        int64  `json:"n"`
+	M        int64  `json:"m"`
+	P        int    `json:"gpus"`
+	Scale    int    `json:"scale"`
+	Bytes    int64  `json:"resident_bytes_per_gpu"`
+	Budget   int64  `json:"budget_bytes_per_gpu"`
+	Fits     bool   `json:"fits"`
+}
+
+// FitCatalog evaluates each strategy's resident closed form for every
+// catalog dataset — including Papers, which the figure-order catalog
+// omits — at the given scale divisor (scale 1 is the paper-scale graph:
+// the ROADMAP's "does Papers fit at Scale 1?" question) and returns fit
+// verdicts against spec.MemBytesPerGPU. Strategies default to every
+// registered full-batch form plus the CAGNET baseline; the sampled
+// pipeline is excluded (its footprint needs a batch/fanout plan, not just
+// a dataset). 1.5D replicates each of its p/2 blocks across two devices,
+// so its analytic environment uses the block count, not the device count.
+func FitCatalog(spec sim.MachineSpec, p, scale, hidden, layers int, format string, strategies []string) ([]FitVerdict, error) {
+	if scale < 1 {
+		return nil, fmt.Errorf("memcheck: scale must be >= 1, got %d", scale)
+	}
+	if len(strategies) == 0 {
+		strategies = []string{"1d-row", "1d-col", "1.5d", "gat", "cagnet"}
+	}
+	catalog := gen.Catalog()
+	var out []FitVerdict
+	for _, name := range gen.AllNames() {
+		ds := catalog[name]
+		n, m := ds.FullN/int64(scale), ds.FullM/int64(scale)
+		dims := nn.LayerDims(ds.FeatDim, hidden, layers, ds.Classes)
+		for _, strat := range strategies {
+			if strat == "1.5d" && p%2 != 0 {
+				continue
+			}
+			fp, err := PeakForm(strat, Model{Dims: dims, P: p, Device: 0, Overlap: true})
+			if err != nil {
+				return nil, fmt.Errorf("%s/%s: %w", name, strat, err)
+			}
+			var env schedcheck.Env
+			if strat == "cagnet" {
+				rows := (n + int64(p) - 1) / int64(p)
+				env = CagnetEnv(rows, m/int64(p), dims)
+			} else {
+				blocks := p
+				if strat == "1.5d" && p > 1 {
+					blocks = p / 2
+				}
+				env, err = AnalyticDeviceEnv(n, m, blocks, format, dims)
+				if err != nil {
+					return nil, fmt.Errorf("%s/%s: %w", name, strat, err)
+				}
+			}
+			bytes, err := fp.Resident.Eval(env)
+			if err != nil {
+				return nil, fmt.Errorf("%s/%s: %w", name, strat, err)
+			}
+			out = append(out, FitVerdict{
+				Dataset: name, Strategy: strat, N: n, M: m, P: p, Scale: scale,
+				Bytes: bytes, Budget: spec.MemBytesPerGPU, Fits: bytes <= spec.MemBytesPerGPU,
+			})
+		}
+	}
+	return out, nil
+}

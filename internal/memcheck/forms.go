@@ -1,0 +1,323 @@
+package memcheck
+
+import (
+	"fmt"
+
+	"mggcn/internal/schedcheck"
+)
+
+// Atoms the footprints are written over. R and A are per-device (the row
+// count and adjacency-tile bytes of Model.Device); T is the global maximum
+// tile row count (every broadcast slab is sized for the largest partition
+// part); F0..FL are the layer widths; C and V0..VL are the sampled
+// pipeline's cache row count and frontier capacities.
+func atomR() *schedcheck.Expr { return schedcheck.Atom("R") }
+func atomT() *schedcheck.Expr { return schedcheck.Atom("T") }
+func atomA() *schedcheck.Expr { return schedcheck.Atom("A") }
+func atomC() *schedcheck.Expr { return schedcheck.Atom("C") }
+
+func atomF(l int) *schedcheck.Expr { return schedcheck.Atom(fmt.Sprintf("F%d", l)) }
+func atomV(h int) *schedcheck.Expr { return schedcheck.Atom(fmt.Sprintf("V%d", h)) }
+
+func init() {
+	RegisterPeakForm("1d-row", func(m Model) (*Footprint, error) { return fullBatchFootprint(m, "1d-row") })
+	RegisterPeakForm("1d-col", func(m Model) (*Footprint, error) { return fullBatchFootprint(m, "1d-col") })
+	RegisterPeakForm("1.5d", func(m Model) (*Footprint, error) { return fullBatchFootprint(m, "1.5d") })
+	RegisterPeakForm("gat", gatFootprint)
+	RegisterPeakForm("sampled", sampledFootprint)
+	RegisterPeakForm("cagnet", cagnetFootprint)
+}
+
+// maxDimIdx returns the index of the widest layer dimension (first winner
+// on ties, matching the View the trainers take of the maxDim-sized slabs).
+func maxDimIdx(dims []int) int {
+	best := 0
+	for i, d := range dims {
+		if d > dims[best] {
+			best = i
+		}
+	}
+	return best
+}
+
+// wideIdx returns the index of the wider of dims[l] and dims[l+1] — the
+// capacity AHW[l] is allocated at (forward holds F(l+1) columns, the
+// backward hgrad re-views it at F(l)).
+func wideIdx(dims []int, l int) int {
+	if dims[l] > dims[l+1] {
+		return l
+	}
+	return l + 1
+}
+
+// kBroadcast returns how many distinct broadcast staging slabs the device
+// ever touches under the 1D stage schedule: the slab for global stage j is
+// BC1 or BC2 by stage parity when comm/compute overlap double-buffers them,
+// always BC1 otherwise, and the device's own stage is skipped (the root
+// reads its source directly, and comm.Group.Broadcast leaves the root's dst
+// out of the declared write set). Every touched slab is provably live
+// across the loss task once L >= 2, so "touched" equals "simultaneously
+// live at the peak".
+func kBroadcast(p, dev int, overlap bool) int {
+	seen := map[int]bool{}
+	for j := 0; j < p; j++ {
+		if j == dev {
+			continue
+		}
+		if overlap {
+			seen[j%2] = true
+		} else {
+			seen[0] = true
+		}
+	}
+	return len(seen)
+}
+
+// kBroadcast15D is the 1.5D analogue: the device participates only in the
+// stages of its replication group (j = group, group+2, ... < blocks, with a
+// local stage counter selecting the slab parity), broadcasts exist only
+// when the group spans more than one block, and the stage whose root block
+// is the device's own is skipped.
+func kBroadcast15D(p, dev int, overlap bool) int {
+	blocks := p / 2
+	if blocks <= 1 {
+		return 0
+	}
+	group, block := dev/blocks, dev%blocks
+	seen := map[int]bool{}
+	local := 0
+	for j := group; j < blocks; j += 2 {
+		if j != block {
+			if overlap {
+				seen[local%2] = true
+			} else {
+				seen[0] = true
+			}
+		}
+		local++
+	}
+	return len(seen)
+}
+
+// params returns the symbolic weight-parameter count sum F(l)*F(l+1).
+func params(layers int) *schedcheck.Expr {
+	e := schedcheck.Const(0)
+	for l := 0; l < layers; l++ {
+		e = e.Add(atomF(l).Mul(atomF(l + 1)))
+	}
+	return e
+}
+
+// fullBatchFootprint certifies the GCN trainer's §4.2 slab set: the shared
+// HW slab, k broadcast staging slabs, and one AHW activation slab per
+// layer. All of them are provably live at the loss task in every legal
+// replay order — each slab's first access is in the forward pass and its
+// last in the backward pass — so the peak is exactly their capacity sum and
+// the count is L+1+k, the paper's L+3 bound when k = 2 (overlapped
+// broadcasts touching both parities).
+func fullBatchFootprint(m Model, kind string) (*Footprint, error) {
+	layers := len(m.Dims) - 1
+	if layers < 1 {
+		return nil, fmt.Errorf("memcheck: %s needs at least 1 layer, got dims %v", kind, m.Dims)
+	}
+	if err := checkDevice(m, kind); err != nil {
+		return nil, err
+	}
+	if kind == "1.5d" && m.P%2 != 0 {
+		return nil, fmt.Errorf("memcheck: 1.5d needs even P, got %d", m.P)
+	}
+	k := kBroadcast(m.P, m.Device, m.Overlap)
+	if kind == "1.5d" {
+		k = kBroadcast15D(m.P, m.Device, m.Overlap)
+	}
+	maxI := maxDimIdx(m.Dims)
+
+	slab := atomR().Mul(atomF(maxI))
+	slab = slab.Add(atomT().Mul(atomF(maxI)).Scale(int64(k), 1))
+	for l := 0; l < layers; l++ {
+		slab = slab.Add(atomR().Mul(atomF(wideIdx(m.Dims, l))))
+	}
+
+	resident := atomA()
+	resident = resident.Add(atomR().Mul(atomF(0)).Scale(4, 1))
+	resident = resident.Add(params(layers).Scale(16, 1))
+	alloc := atomR().Mul(atomF(maxI)).Add(atomT().Mul(atomF(maxI)).Scale(2, 1))
+	for l := 0; l < layers; l++ {
+		alloc = alloc.Add(atomR().Mul(atomF(wideIdx(m.Dims, l))))
+	}
+	resident = resident.Add(alloc.Scale(4, 1))
+
+	fp := &Footprint{
+		SlabBytes: slab.Scale(4, 1),
+		SlabCount: layers + 1 + k,
+		Resident:  resident,
+	}
+	if m.P > 1 && layers < 2 {
+		// With one layer (and the layer-0 backward SpMM skipped, §4.4) the
+		// broadcast slabs' last access is inside the forward pass, so
+		// whether both parities are charged at once depends on the replay
+		// order — there is no order-independent slab peak to certify.
+		fp.SlabBytes, fp.SlabCount = nil, 0
+		fp.Uncertified = fmt.Sprintf("%s at P=%d needs L >= 2: broadcast slabs release mid-forward at L=1, so the slab peak is order-dependent", kind, m.P)
+	}
+	return fp, nil
+}
+
+// gatFootprint certifies the GAT forward pass. Unlike the GCN trainer there
+// is no backward pass to pin every activation slab across a loss task: the
+// AHW slabs are provably exclusive (AHW[l]'s last reader, the layer-l+1
+// GeMM, precedes AHW[l+1]'s first writer on the same device FIFO), so the
+// peak holds HW, the k touched broadcast slabs, and the single widest AHW.
+// Certification requires the widest AHW to be layer 0's (max(F0,F1) equals
+// the global max width) and L >= 2, which makes the instant "layer-0 SpMM
+// at the later of the two slab parities' first stages" carry the full set
+// in every order: both staging slabs are then re-read by layer 1, so
+// neither can release mid-layer-0.
+func gatFootprint(m Model) (*Footprint, error) {
+	layers := len(m.Dims) - 1
+	if layers < 1 {
+		return nil, fmt.Errorf("memcheck: gat needs at least 1 layer, got dims %v", m.Dims)
+	}
+	if err := checkDevice(m, "gat"); err != nil {
+		return nil, err
+	}
+	maxI := maxDimIdx(m.Dims)
+	uncertified := ""
+	if layers < 2 {
+		uncertified = "gat needs L >= 2: single-layer broadcast slabs release mid-forward, so the slab peak is order-dependent"
+	} else if wide := wideIdx(m.Dims, 0); m.Dims[wide] != m.Dims[maxI] {
+		uncertified = fmt.Sprintf("gat slab form needs max(F0,F1) == max width (argmax activation slab at layer 0), got dims %v", m.Dims)
+	}
+	k := kBroadcast(m.P, m.Device, m.Overlap)
+
+	slab := atomR().Mul(atomF(maxI)).Scale(2, 1)
+	slab = slab.Add(atomT().Mul(atomF(maxI)).Scale(int64(k), 1))
+
+	// gat-model holds weights plus the two attention vectors per layer at
+	// 4 bytes each (no optimizer moments: forward only); gat-attn charges
+	// half the adjacency bytes for the per-edge score storage.
+	gatParams := schedcheck.Const(0)
+	for l := 0; l < layers; l++ {
+		gatParams = gatParams.Add(atomF(l).Mul(atomF(l + 1)))
+		gatParams = gatParams.Add(atomF(l+1).Scale(2, 1))
+	}
+	resident := atomA().Add(atomA().Scale(1, 2))
+	resident = resident.Add(atomR().Mul(atomF(0)).Scale(4, 1))
+	resident = resident.Add(gatParams.Scale(4, 1))
+	alloc := atomR().Mul(atomF(maxI)).Add(atomT().Mul(atomF(maxI)).Scale(2, 1))
+	for l := 0; l < layers; l++ {
+		alloc = alloc.Add(atomR().Mul(atomF(wideIdx(m.Dims, l))))
+	}
+	resident = resident.Add(alloc.Scale(4, 1))
+
+	fp := &Footprint{
+		SlabBytes: slab.Scale(4, 1),
+		SlabCount: 2 + k,
+		Resident:  resident,
+	}
+	if uncertified != "" {
+		fp.SlabBytes, fp.SlabCount, fp.Uncertified = nil, 0, uncertified
+	}
+	return fp, nil
+}
+
+// sampledFootprint certifies the sampled minibatch pipeline. Every slab the
+// device owns — the degree-ordered feature cache, HW, the gradient slab G,
+// one OUT slab per layer, and one gathered-feature slab per handoff slot —
+// is live at the instant "step s, layer-0 weight gradient" for any s with
+// 1 <= s and s + Depth < Steps: each slab was charged by step s or s-1
+// (forced by the sampler stream's FIFO and the Adam chain) and each has a
+// later access gated on step s's Adam. The peak is therefore the full
+// capacity sum, forced in every order; too few steps leave the cache and
+// the second handoff slab releasable early, which is order luck, not a
+// certificate.
+func sampledFootprint(m Model) (*Footprint, error) {
+	layers := len(m.Dims) - 1
+	if layers < 1 {
+		return nil, fmt.Errorf("memcheck: sampled needs at least 1 layer, got dims %v", m.Dims)
+	}
+	if len(m.Caps) != layers+1 {
+		return nil, fmt.Errorf("memcheck: sampled needs len(Caps) == L+1, got %d caps for %d layers", len(m.Caps), layers)
+	}
+	if m.Depth != 1 && m.Depth != 2 {
+		return nil, fmt.Errorf("memcheck: sampled Depth must be 1 or 2, got %d", m.Depth)
+	}
+	minSteps := 2
+	if m.Depth > 1 {
+		minSteps = m.Depth + 2
+	}
+	uncertified := ""
+	if m.Steps < minSteps {
+		uncertified = fmt.Sprintf("sampled at depth %d needs >= %d steps per device for an order-independent slab peak, got %d", m.Depth, minSteps, m.Steps)
+	}
+
+	// HW is sized for the widest GeMM output (frontier l rows at F(l+1)
+	// columns), G for the widest propagated gradient (frontier l+1 rows at
+	// F(l+1) columns). The argmax indices are concrete; the expression
+	// stays symbolic in the chosen V and F atoms.
+	hwIdx, gIdx := 0, 0
+	for l := 1; l < layers; l++ {
+		if int64(m.Caps[l])*int64(m.Dims[l+1]) > int64(m.Caps[hwIdx])*int64(m.Dims[hwIdx+1]) {
+			hwIdx = l
+		}
+		if int64(m.Caps[l+1])*int64(m.Dims[l+1]) > int64(m.Caps[gIdx+1])*int64(m.Dims[gIdx+1]) {
+			gIdx = l
+		}
+	}
+
+	slab := atomC().Mul(atomF(0))
+	slab = slab.Add(atomV(hwIdx).Mul(atomF(hwIdx + 1)))
+	slab = slab.Add(atomV(gIdx + 1).Mul(atomF(gIdx + 1)))
+	for l := 1; l <= layers; l++ {
+		slab = slab.Add(atomV(l).Mul(atomF(l)))
+	}
+	slab = slab.Add(atomV(0).Mul(atomF(0)).Scale(int64(m.Depth), 1))
+
+	resident := params(layers).Scale(16, 1).Add(slab.Scale(4, 1))
+
+	fp := &Footprint{
+		SlabBytes: slab.Scale(4, 1),
+		SlabCount: layers + 3 + m.Depth,
+		Resident:  resident,
+	}
+	if uncertified != "" {
+		fp.SlabBytes, fp.SlabCount, fp.Uncertified = nil, 0, uncertified
+	}
+	return fp, nil
+}
+
+// cagnetFootprint covers the CAGNET baseline, whose epoch graph is a pure
+// cost model (phantom buffers, no declared access sets), so there is no
+// slab universe to certify: SlabBytes is nil and only the resident form —
+// the local adjacency slice (Z nonzeros), feature shard, three persistent
+// buffers per layer, two stage-receive buffers, and replicated model state
+// — is emitted, cross-checked against baseline.CAGNETConfig.MemoryBytes.
+func cagnetFootprint(m Model) (*Footprint, error) {
+	layers := len(m.Dims) - 1
+	if layers < 1 {
+		return nil, fmt.Errorf("memcheck: cagnet needs at least 1 layer, got dims %v", m.Dims)
+	}
+	maxI := maxDimIdx(m.Dims)
+	resident := atomR().Scale(8, 1).Add(schedcheck.Const(8))
+	resident = resident.Add(schedcheck.Atom("Z").Scale(8, 1))
+	resident = resident.Add(atomR().Mul(atomF(0)).Scale(4, 1))
+	for l := 0; l < layers; l++ {
+		resident = resident.Add(atomR().Mul(atomF(l+1)).Scale(12, 1))
+	}
+	resident = resident.Add(atomR().Mul(atomF(maxI)).Scale(8, 1))
+	resident = resident.Add(params(layers).Scale(16, 1))
+	return &Footprint{
+		Resident:    resident,
+		Uncertified: "cagnet is a phantom cost model: its graph declares no buffer access sets, so there is no slab universe to certify",
+	}, nil
+}
+
+func checkDevice(m Model, kind string) error {
+	if m.P < 1 {
+		return fmt.Errorf("memcheck: %s needs P >= 1, got %d", kind, m.P)
+	}
+	if m.Device < 0 || m.Device >= m.P {
+		return fmt.Errorf("memcheck: %s device %d out of range for P=%d", kind, m.Device, m.P)
+	}
+	return nil
+}

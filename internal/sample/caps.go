@@ -1,0 +1,35 @@
+package sample
+
+// FrontierCaps returns provable upper bounds on the per-depth frontier
+// sizes BuildBlocks can produce for any batch of at most batch vertices of
+// an n-vertex graph: caps[len(fanouts)] bounds the innermost (batch)
+// frontier and caps[h] bounds |blocks[h].Src|. The bounds follow directly
+// from BuildBlocks' construction — dst is deduplicated (≤ min(batch, n))
+// and each hop's source set is the self-loops plus at most fanout sampled
+// neighbours per destination, deduplicated against the n vertices:
+//
+//	caps[L] = min(batch, n)
+//	caps[h] = min(n, caps[h+1]·(1+fanouts[h]))
+//
+// These are the slab capacities internal/memcheck certifies against;
+// intermediate products use int64 so hub-free bounds don't overflow before
+// the min() clamps them.
+func FrontierCaps(n, batch int, fanouts []int) []int {
+	if n < 0 || batch < 0 {
+		panic("sample: FrontierCaps needs non-negative n and batch")
+	}
+	caps := make([]int, len(fanouts)+1)
+	cur := int64(batch)
+	if int64(n) < cur {
+		cur = int64(n)
+	}
+	caps[len(fanouts)] = int(cur)
+	for h := len(fanouts) - 1; h >= 0; h-- {
+		cur = cur * int64(1+fanouts[h])
+		if int64(n) < cur {
+			cur = int64(n)
+		}
+		caps[h] = int(cur)
+	}
+	return caps
+}

@@ -1,0 +1,208 @@
+package sim
+
+import (
+	"strings"
+	"sync"
+)
+
+// GraphExecObserver is an ExecObserver that also wants graph-scope
+// bracketing: BeginGraph runs once per Execute call, before any task,
+// with the half-open task-index range [start, end) the replay will cover.
+// The executor detects the interface by type assertion on Graph.Observer,
+// so plain ExecObservers keep working unchanged.
+type GraphExecObserver interface {
+	ExecObserver
+	BeginGraph(g *Graph, start, end int)
+}
+
+// AllocMeter is a byte-accurate allocation high-water meter over a replayed
+// task graph: the measured leg of internal/memcheck's three-way memory
+// cross-check (closed form == static liveness == this meter). Installed as
+// a Graph's Observer (which forces serial replay, so charge order is a
+// real topological execution order), it charges each registered buffer's
+// full capacity (BufRegistry.Capacity x 4 bytes) to its device at the
+// buffer's first executed access and releases it after its last, tracking
+// the per-device high-water in bytes and in simultaneously-charged slab
+// count. Buffers are attributed to devices by registration name ("d<N>/"
+// prefix); the §4.2 slab universe is the "d<N>/buf/" names that
+// san.LiveHighWater counts. Unregistered or capacity-zero buffers (handoff
+// slot pseudo-buffers, host-side stores) charge zero bytes and are not
+// slabs, so they never move the high-water.
+type AllocMeter struct {
+	mu  sync.Mutex
+	reg *BufRegistry
+	// remaining[id] counts the not-yet-executed tasks accessing the buffer
+	// (each task counted once even when it both reads and writes).
+	remaining map[BufID]int
+	charged   map[BufID]bool
+	liveBytes map[string]int64 // device -> charged bytes, all registered buffers
+	slabBytes map[string]int64 // device -> charged bytes, slab universe only
+	slabCount map[string]int
+	peakBytes map[string]int64
+	peakSlab  map[string]int64
+	peakCount map[string]int
+}
+
+// NewAllocMeter returns a meter ready to install as Graph.Observer.
+func NewAllocMeter() *AllocMeter {
+	return &AllocMeter{
+		remaining: make(map[BufID]int),
+		charged:   make(map[BufID]bool),
+		liveBytes: make(map[string]int64),
+		slabBytes: make(map[string]int64),
+		slabCount: make(map[string]int),
+		peakBytes: make(map[string]int64),
+		peakSlab:  make(map[string]int64),
+		peakCount: make(map[string]int),
+	}
+}
+
+// bufDevice splits a registration name into its device key ("d0", "d1",
+// ...) and whether the buffer is a §4.2 slab ("d<N>/buf/..."). Names
+// without a device prefix (host stores, shared model parameters) return
+// ok == false and are not metered.
+func bufDevice(name string) (dev string, slab, ok bool) {
+	cut := strings.IndexByte(name, '/')
+	if cut < 2 || name[0] != 'd' {
+		return "", false, false
+	}
+	for _, c := range name[1:cut] {
+		if c < '0' || c > '9' {
+			return "", false, false
+		}
+	}
+	return name[:cut], strings.HasPrefix(name[cut:], "/buf/"), true
+}
+
+// BeginGraph precomputes each buffer's access count over the tasks this
+// Execute call will replay. Live state resets (an epoch boundary releases
+// everything); the running peaks persist so multi-epoch runs report the
+// run-wide high-water.
+func (m *AllocMeter) BeginGraph(g *Graph, start, end int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.reg = g.Reg
+	m.remaining = make(map[BufID]int)
+	m.charged = make(map[BufID]bool)
+	m.liveBytes = make(map[string]int64)
+	m.slabBytes = make(map[string]int64)
+	m.slabCount = make(map[string]int)
+	for i := start; i < end; i++ {
+		for _, b := range taskBuffers(g.Tasks[i]) {
+			m.remaining[b]++
+		}
+	}
+}
+
+// taskBuffers returns the task's accessed buffer set: Reads ∪ Writes with
+// each buffer listed once.
+func taskBuffers(t *Task) []BufID {
+	out := make([]BufID, 0, len(t.Reads)+len(t.Writes))
+	seen := make(map[BufID]bool, len(t.Reads)+len(t.Writes))
+	for _, ids := range [2][]BufID{t.Reads, t.Writes} {
+		for _, b := range ids {
+			if b != 0 && !seen[b] {
+				seen[b] = true
+				out = append(out, b)
+			}
+		}
+	}
+	return out
+}
+
+// Before charges every buffer the task touches for the first time.
+func (m *AllocMeter) Before(t *Task) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.reg == nil {
+		return
+	}
+	for _, b := range taskBuffers(t) {
+		if m.charged[b] {
+			continue
+		}
+		m.charged[b] = true
+		dev, slab, ok := bufDevice(m.reg.Name(b))
+		if !ok {
+			continue
+		}
+		bytes := m.reg.Capacity(b) * 4
+		m.liveBytes[dev] += bytes
+		if m.liveBytes[dev] > m.peakBytes[dev] {
+			m.peakBytes[dev] = m.liveBytes[dev]
+		}
+		if slab {
+			m.slabBytes[dev] += bytes
+			m.slabCount[dev]++
+			if m.slabBytes[dev] > m.peakSlab[dev] {
+				m.peakSlab[dev] = m.slabBytes[dev]
+			}
+			if m.slabCount[dev] > m.peakCount[dev] {
+				m.peakCount[dev] = m.slabCount[dev]
+			}
+		}
+	}
+}
+
+// After releases every buffer whose last access the task was.
+func (m *AllocMeter) After(t *Task) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.reg == nil {
+		return
+	}
+	for _, b := range taskBuffers(t) {
+		m.remaining[b]--
+		if m.remaining[b] > 0 || !m.charged[b] {
+			continue
+		}
+		m.charged[b] = false
+		dev, slab, ok := bufDevice(m.reg.Name(b))
+		if !ok {
+			continue
+		}
+		bytes := m.reg.Capacity(b) * 4
+		m.liveBytes[dev] -= bytes
+		if slab {
+			m.slabBytes[dev] -= bytes
+			m.slabCount[dev]--
+		}
+	}
+}
+
+// PeakBytes returns the per-device high-water over all registered
+// device-resident buffers ("d<N>/..." names), in bytes.
+func (m *AllocMeter) PeakBytes() map[string]int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return copyI64(m.peakBytes)
+}
+
+// SlabPeakBytes returns the per-device high-water over the §4.2 slab
+// universe ("d<N>/buf/..." names), in bytes — the quantity the closed-form
+// and liveness certifier legs must match.
+func (m *AllocMeter) SlabPeakBytes() map[string]int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return copyI64(m.peakSlab)
+}
+
+// SlabPeakCount returns the per-device high-water of simultaneously
+// charged slabs — the replay-measured twin of san.LiveHighWater.
+func (m *AllocMeter) SlabPeakCount() map[string]int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make(map[string]int, len(m.peakCount))
+	for k, v := range m.peakCount {
+		out[k] = v
+	}
+	return out
+}
+
+func copyI64(in map[string]int64) map[string]int64 {
+	out := make(map[string]int64, len(in))
+	for k, v := range in {
+		out[k] = v
+	}
+	return out
+}

@@ -204,6 +204,9 @@ func (g *Graph) execute(workers int, pick func(ready []int) int, delay func() ti
 	if start == n {
 		return nil
 	}
+	if gobs, ok := g.Observer.(GraphExecObserver); ok {
+		gobs.BeginGraph(g, start, n)
+	}
 
 	depsLeft := make([]int, n)
 	dependents := make([][]int, n)

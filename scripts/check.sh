@@ -45,6 +45,14 @@ echo "==> mggcn-schedcheck (symbolic schedule verifier)"
 go run ./cmd/mggcn-schedcheck
 go run ./cmd/mggcn-schedcheck -gpus 8 -memscale 3
 
+echo "==> mggcn-memcheck (static peak-memory certifier)"
+# Three-way byte-exact cross-check — closed-form certified peak, graph
+# liveness high-water, replay-time allocation meter — over every strategy
+# (full-batch, GAT, sampled pipeline) and each elastic P-1 degradation,
+# plus paper-scale fit verdicts; exits 1 on any disagreement.
+go run ./cmd/mggcn-memcheck
+go run ./cmd/mggcn-memcheck -gpus 8 -machine v100
+
 echo "==> mggcn-san (task-graph sanitizer)"
 # Static happens-before check, shadow replay, and adversarial parity over
 # every shipped strategy; then the fence-removal regression (removing the
