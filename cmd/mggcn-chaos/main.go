@@ -1,17 +1,20 @@
 // Command mggcn-chaos sweeps seeded fault scenarios across the shipped SpMM
-// strategies (1D-row, 1D-col, 1.5D) and the distributed GAT forward,
-// reporting each scenario's outcome as JSON: did the run survive (recover
-// and match the fault-free result), abort (fail with a clean error), or
-// corrupt (finish with wrong or non-finite numbers)?
+// strategies (1D-row, 1D-col, 1.5D), the distributed GAT forward, and the
+// sampled-minibatch pipeline, reporting each scenario's outcome as JSON: did
+// the run survive (recover and match the fault-free result), abort (fail
+// with a clean error), or corrupt (finish with wrong or non-finite
+// numbers)?
 //
 //	mggcn-chaos                     # full matrix, 2 seeds each
 //	mggcn-chaos -seeds 4 -epochs 6
 //	mggcn-chaos -strategy 1d-row -fault crash
+//	mggcn-chaos -strategy sampled -fault flaky-sampler
 //
 // Every scenario carries an expected outcome — crash and retried-transient
-// runs must survive, exhausted-retry runs must abort cleanly, nothing may
-// ever corrupt — and the process exits 1 if any scenario deviates, so the
-// CI chaos job is a real gate, not a report.
+// runs must survive, exhausted-retry runs must abort cleanly (except the
+// sampled pipeline, whose suspect-eviction rule survives them at P-1),
+// nothing may ever corrupt — and the process exits 1 if any scenario
+// deviates, so the CI chaos job is a real gate, not a report.
 package main
 
 import (
@@ -68,14 +71,27 @@ var gcnStrategies = map[string]core.Strategy{
 // "transient-exhaust" exceeds it and must abort cleanly.
 var faultKinds = []string{"crash", "transient", "transient-exhaust", "straggler", "poison"}
 
+// sampledFaultKinds adds "flaky-sampler" — a transient sampler-stage
+// failure only the minibatch pipeline can experience.
+var sampledFaultKinds = []string{"crash", "flaky-sampler", "transient", "transient-exhaust", "straggler", "poison"}
+
+func inKinds(kinds []string, fk string) bool {
+	for _, k := range kinds {
+		if k == fk {
+			return true
+		}
+	}
+	return false
+}
+
 func main() {
 	var (
 		machine  = flag.String("machine", "a100", "machine: v100 or a100")
 		gpus     = flag.Int("gpus", 4, "number of GPUs (2-8)")
 		epochs   = flag.Int("epochs", 4, "effective training epochs per scenario")
 		seeds    = flag.Int("seeds", 2, "fault seeds per scenario")
-		strategy = flag.String("strategy", "all", "1d-row, 1d-col, 1.5d, gat, or all")
-		kind     = flag.String("fault", "all", strings.Join(faultKinds, ", ")+", or all")
+		strategy = flag.String("strategy", "all", "1d-row, 1d-col, 1.5d, gat, sampled, or all")
+		kind     = flag.String("fault", "all", strings.Join(sampledFaultKinds, ", ")+", or all")
 		expect   = flag.Bool("expect", true, "exit 1 when an outcome deviates from its expectation")
 	)
 	flag.Parse()
@@ -96,7 +112,7 @@ func main() {
 	g := gen.Generate("chaos", gen.DefaultBTER(160, 8, 99), 12, 4, false)
 	rep := report{Machine: spec.Name, GPUs: *gpus, Epochs: *epochs}
 
-	kinds := faultKinds
+	kinds := sampledFaultKinds // superset; each matrix filters to its own kinds
 	if *kind != "all" {
 		kinds = []string{*kind}
 	}
@@ -105,6 +121,9 @@ func main() {
 			continue
 		}
 		for _, fk := range kinds {
+			if !inKinds(faultKinds, fk) {
+				continue
+			}
 			for s := int64(1); s <= int64(*seeds); s++ {
 				rep.Scenarios = append(rep.Scenarios, runGCN(g, spec, *gpus, *epochs, name, fk, s))
 			}
@@ -112,13 +131,23 @@ func main() {
 	}
 	if *strategy == "all" || *strategy == "gat" {
 		for _, fk := range kinds {
-			if fk == "poison" {
+			if fk == "poison" || !inKinds(faultKinds, fk) {
 				// The GAT forward has no numeric-recovery loop to exercise;
 				// poison coverage lives in the GCN scenarios.
 				continue
 			}
 			for s := int64(1); s <= int64(*seeds); s++ {
 				rep.Scenarios = append(rep.Scenarios, runGAT(g, spec, *gpus, fk, s))
+			}
+		}
+	}
+	if *strategy == "all" || *strategy == "sampled" {
+		for _, fk := range kinds {
+			if !inKinds(sampledFaultKinds, fk) {
+				continue
+			}
+			for s := int64(1); s <= int64(*seeds); s++ {
+				rep.Scenarios = append(rep.Scenarios, runSampled(g, spec, *gpus, *epochs, fk, s))
 			}
 		}
 	}
@@ -245,6 +274,123 @@ func runGCN(g *graph.Graph, spec sim.MachineSpec, p, epochs int, name, fk string
 			}
 		}
 	default: // crash: degraded but alive, one device down
+		if sc.FinalP == p-1 {
+			sc.Outcome = "survive"
+		} else {
+			sc.Outcome = "corrupt"
+			sc.Detail = fmt.Sprintf("expected group of %d after device loss, got %d", p-1, sc.FinalP)
+		}
+	}
+	return sc
+}
+
+// sampledChaosConfig is the sampled pipeline's scenario configuration —
+// small model, small fanouts, real math, pipelining on.
+func sampledChaosConfig(spec sim.MachineSpec, p int) core.SampledConfig {
+	cfg := core.DefaultSampledConfig(spec, p, 1)
+	cfg.Hidden = 16
+	cfg.Layers = 2
+	cfg.Fanouts = []int{4, 6}
+	cfg.Batch = 8
+	cfg.CacheFrac = 0.5
+	cfg.LR = 0.01
+	cfg.Seed = 7
+	return cfg
+}
+
+// sampledPlan builds the injector plan for one sampled fault kind. The
+// crash and straggler scope to the sampler stream — the failure mode the
+// full-batch matrix cannot reach.
+func sampledPlan(fk string, seed int64, p int) fault.Plan {
+	pl := fault.Plan{Seed: seed}
+	switch fk {
+	case "crash":
+		pl.Crash = &fault.CrashSpec{Device: p - 1, OnLabel: "sample", Stream: fault.OnStream(sim.StreamSample)}
+	case "flaky-sampler":
+		pl.TransientTask = &fault.TransientTaskSpec{
+			Device: 0, OnLabel: "s1/sample", Failures: 1,
+			Stream: fault.OnStream(sim.StreamSample),
+		}
+	case "transient":
+		pl.Transient = &fault.TransientSpec{Every: 2, Failures: 2}
+	case "transient-exhaust":
+		pl.Transient = &fault.TransientSpec{Every: 2, Failures: 100}
+	case "straggler":
+		pl.Straggler = &fault.StragglerSpec{
+			Device: 1, Delay: 50 * time.Microsecond, Every: 5,
+			Stream: fault.OnStream(sim.StreamSample),
+		}
+	case "poison":
+		pl.Poison = &fault.PoisonSpec{Label: "s0/fwd1/gemm", Stage: -1, Device: 0, Occurrence: 1}
+	default:
+		log.Fatalf("unknown sampled fault kind %q", fk)
+	}
+	return pl
+}
+
+// sampledBaseline caches the fault-free sampled loss curve per group size.
+var sampledBaselines = map[int][]float64{}
+
+func sampledBaseline(g *graph.Graph, spec sim.MachineSpec, p, epochs int) []float64 {
+	if c, ok := sampledBaselines[p]; ok {
+		return c
+	}
+	tr, err := core.NewSampledTrainer(g, sampledChaosConfig(spec, p))
+	if err != nil {
+		log.Fatalf("sampled baseline P=%d: %v", p, err)
+	}
+	var curve []float64
+	for e := 0; e < epochs; e++ {
+		s, err := tr.RunEpoch()
+		if err != nil {
+			log.Fatalf("sampled baseline P=%d epoch %d: %v", p, e, err)
+		}
+		curve = append(curve, s.Loss)
+	}
+	sampledBaselines[p] = curve
+	return curve
+}
+
+func runSampled(g *graph.Graph, spec sim.MachineSpec, p, epochs int, fk string, seed int64) scenario {
+	// Unlike the full-batch matrix, exhausted collectives survive here: the
+	// suspect-eviction rule converts retry exhaustion into a device loss at
+	// P-1 instead of aborting.
+	sc := scenario{Strategy: "sampled", Fault: fk, Seed: seed, Expected: "survive"}
+	clean := sampledBaseline(g, spec, p, epochs)
+
+	inj := fault.New(sampledPlan(fk, seed, p))
+	cfg := sampledChaosConfig(spec, p)
+	cfg.Fault = inj
+	cfg.Retry = comm.RetryPolicy{MaxAttempts: 4, BaseDelay: 10 * time.Microsecond, Multiplier: 2}
+	res, err := core.TrainSampledElastic(g, cfg, epochs)
+	sc.Injected = inj.Stats()
+	if res != nil {
+		sc.FinalP = res.FinalP
+		sc.Epochs = len(res.Stats)
+		sc.Events = res.Events
+		if n := len(res.Stats); n > 0 {
+			sc.Loss = res.Stats[n-1].Loss
+		}
+	}
+	switch {
+	case err != nil:
+		sc.Outcome = "abort"
+		sc.Detail = err.Error()
+	case len(res.Stats) != epochs || math.IsNaN(sc.Loss) || math.IsInf(sc.Loss, 0):
+		sc.Outcome = "corrupt"
+		sc.Detail = fmt.Sprintf("finished %d/%d epochs, final loss %v", len(res.Stats), epochs, sc.Loss)
+	case fk == "transient" || fk == "straggler" || fk == "poison" || fk == "flaky-sampler":
+		// Same-P recoveries: the deterministic batch replay must leave the
+		// run bit-identical to fault-free.
+		sc.Outcome = "survive"
+		for e := range clean {
+			if res.Stats[e].Loss != clean[e] { // vet:ok floateq: deterministic replay parity is bit-exact by contract
+				sc.Outcome = "corrupt"
+				sc.Detail = fmt.Sprintf("epoch %d loss %v != fault-free %v", e, res.Stats[e].Loss, clean[e])
+				break
+			}
+		}
+	default: // crash, transient-exhaust: degraded but alive, one device down
 		if sc.FinalP == p-1 {
 			sc.Outcome = "survive"
 		} else {

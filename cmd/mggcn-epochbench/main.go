@@ -65,6 +65,7 @@ import (
 	"mggcn"
 	"mggcn/internal/comm"
 	"mggcn/internal/core"
+	"mggcn/internal/fault"
 	"mggcn/internal/gen"
 	"mggcn/internal/graph"
 	"mggcn/internal/kernel"
@@ -303,7 +304,27 @@ type sampleResult struct {
 	NumCPU     int          `json:"numcpu"`
 	KernelImpl string       `json:"kernel_impl"`
 	Cells      []sampleCell `json:"cells"`
-	WallSecs   float64      `json:"wall_seconds"`
+	// Recovery is the elastic pipeline's overhead column: one injected
+	// fault per row, the run's effective simulated time against the
+	// fault-free baseline at the starting device count.
+	Recovery []recoveryCell `json:"recovery,omitempty"`
+	WallSecs float64        `json:"wall_seconds"`
+}
+
+// recoveryCell measures one elastic sampled run under an injected fault:
+// how many recoveries it took, the surviving group size, and the ratio of
+// its effective simulated time to the fault-free run's. The ratio counts
+// completed (possibly degraded-P) epochs; voided partial replays carry no
+// simulated time, so it isolates the cost of retrying and of running on
+// fewer devices.
+type recoveryCell struct {
+	Fault            string  `json:"fault"`
+	FinalP           int     `json:"final_p"`
+	Recoveries       int     `json:"recoveries"`
+	EffectiveEpochs  int     `json:"effective_epochs"`
+	SimSeconds       float64 `json:"sim_seconds"`
+	FaultFreeSeconds float64 `json:"fault_free_sim_seconds"`
+	RecoveryOverhead float64 `json:"recovery_overhead_ratio"`
 }
 
 // benchSampled measures the factored sampler/trainer pipeline: a cache
@@ -381,6 +402,7 @@ func benchSampled(name string, devices, hidden, batch int, fanouts []int, fracs 
 				c.SpeedupVsUnpipelined, c.CacheHitRate, c.WallMS, c.MeasuredSlabBytes)
 		}
 	}
+	res.Recovery = benchSampledRecovery(g, spec, devices, hidden, batch, fanouts, epochs)
 	res.WallSecs = time.Since(start).Seconds()
 
 	buf, err := json.MarshalIndent(res, "", "  ")
@@ -396,6 +418,70 @@ func benchSampled(name string, devices, hidden, batch int, fanouts []int, fracs 
 		log.Fatal(err)
 	}
 	fmt.Fprintf(os.Stderr, "wrote %s\n", outPath)
+}
+
+// benchSampledRecovery runs the elastic sampled pipeline under one injected
+// fault per row and reports the recovery-overhead column: effective
+// simulated seconds against the fault-free baseline at the starting P.
+func benchSampledRecovery(g *graph.Graph, spec gen.DatasetSpec, devices, hidden, batch int, fanouts []int, epochs int) []recoveryCell {
+	base := func() core.SampledConfig {
+		cfg := core.DefaultSampledConfig(sim.DGXA100(), devices, spec.Scale)
+		cfg.Hidden = hidden
+		cfg.Layers = len(fanouts)
+		cfg.Fanouts = fanouts
+		cfg.Batch = batch
+		cfg.CacheFrac = 0.5
+		return cfg
+	}
+	tr, err := core.NewSampledTrainer(g, base())
+	if err != nil {
+		log.Fatal(err)
+	}
+	var faultFree float64
+	for e := 0; e < epochs; e++ {
+		s, err := tr.RunEpoch()
+		if err != nil {
+			log.Fatal(err)
+		}
+		faultFree += s.EpochSeconds
+	}
+
+	plans := []struct {
+		name string
+		plan fault.Plan
+	}{
+		{"crash", fault.Plan{Seed: 1, Crash: &fault.CrashSpec{
+			Device: devices - 1, OnLabel: "sample", Stream: fault.OnStream(sim.StreamSample)}}},
+		{"flaky-sampler", fault.Plan{Seed: 1, TransientTask: &fault.TransientTaskSpec{
+			Device: 0, OnLabel: "s1/sample", Failures: 1, Stream: fault.OnStream(sim.StreamSample)}}},
+		{"transient-exhaust", fault.Plan{Seed: 1, Transient: &fault.TransientSpec{Every: 2, Failures: 100}}},
+	}
+	var out []recoveryCell
+	for _, p := range plans {
+		cfg := base()
+		cfg.Fault = fault.New(p.plan)
+		cfg.Retry = comm.RetryPolicy{MaxAttempts: 4, BaseDelay: 10 * time.Microsecond, Multiplier: 2}
+		res, err := core.TrainSampledElastic(g, cfg, epochs)
+		if err != nil {
+			log.Fatalf("recovery bench %s: %v", p.name, err)
+		}
+		var sim float64
+		for _, s := range res.Stats {
+			sim += s.EpochSeconds
+		}
+		c := recoveryCell{
+			Fault: p.name, FinalP: res.FinalP,
+			Recoveries: len(res.Events), EffectiveEpochs: len(res.Stats),
+			SimSeconds: sim, FaultFreeSeconds: faultFree,
+		}
+		if faultFree > 0 {
+			c.RecoveryOverhead = sim / faultFree
+		}
+		fmt.Fprintf(os.Stderr, "recovery %-17s finalP=%d recoveries=%d overhead=%.3fx\n",
+			p.name, c.FinalP, c.Recoveries, c.RecoveryOverhead)
+		out = append(out, c)
+	}
+	return out
 }
 
 // sampleMemory records one extra epoch of the cell's configuration on a

@@ -5,6 +5,7 @@
 //	mggcn-train -dataset cora -gpus 4 -epochs 50
 //	mggcn-train -dataset products -gpus 8 -machine a100 -phantom
 //	mggcn-train -synthetic -n 2000 -degree 16 -classes 8 -features 32
+//	mggcn-train -dataset cora -gpus 4 -sampled -batch 256 -fanouts 5,10 -layers 2
 package main
 
 import (
@@ -12,7 +13,7 @@ import (
 	"fmt"
 	"log"
 	"os"
-	"path/filepath"
+	"strconv"
 	"strings"
 
 	"mggcn"
@@ -35,6 +36,11 @@ func main() {
 		balanced  = flag.Bool("balanced-cuts", false, "cut partitions at equal degree instead of equal vertices")
 		saveCkpt  = flag.String("save-checkpoint", "", "write model+optimizer state here after training")
 		loadCkpt  = flag.String("load-checkpoint", "", "restore model+optimizer state before training")
+		sampled   = flag.Bool("sampled", false, "sampled-minibatch training (GNNLab-style sampler pipeline)")
+		batch     = flag.Int("batch", 512, "sampled: target vertices per minibatch")
+		fanouts   = flag.String("fanouts", "5,10,15", "sampled: per-layer neighbor fanouts, outermost first (sets the layer count unless -layers is given)")
+		cacheFrac = flag.Float64("cache-frac", 0.5, "sampled: fraction of feature rows cached per device, hottest first")
+		patience  = flag.Int("patience", 0, "sampled: stop after this many epochs without val-accuracy improvement (0 disables)")
 		saveData  = flag.String("save-dataset", "", "write the dataset in binary form and exit")
 		synthetic = flag.Bool("synthetic", false, "train on a synthetic BTER graph instead of the catalog")
 		n         = flag.Int("n", 2000, "synthetic: vertex count")
@@ -80,6 +86,26 @@ func main() {
 			log.Fatal(err)
 		}
 		fmt.Printf("wrote dataset to %s\n", *saveData)
+		return
+	}
+
+	if *sampled {
+		// -layers and -fanouts must agree in sampled mode; when only one was
+		// given explicitly, the other follows it instead of fighting its
+		// default (the fanout list trims from the outermost hop).
+		explicit := map[string]bool{}
+		flag.Visit(func(f *flag.Flag) { explicit[f.Name] = true })
+		sampledLayers, fanoutStr := *layers, *fanouts
+		if explicit["layers"] && !explicit["fanouts"] {
+			parts := strings.Split(fanoutStr, ",")
+			if *layers < len(parts) {
+				fanoutStr = strings.Join(parts[len(parts)-*layers:], ",")
+			}
+		} else if !explicit["layers"] {
+			sampledLayers = len(strings.Split(fanoutStr, ","))
+		}
+		runSampled(ds, spec, *gpus, *epochs, *hidden, sampledLayers, *lr,
+			*batch, fanoutStr, *cacheFrac, *patience, *saveCkpt, *loadCkpt)
 		return
 	}
 
@@ -151,34 +177,74 @@ func main() {
 	}
 	fmt.Printf("total simulated training time: %.3fs (%.4fs/epoch)\n", total, total/float64(*epochs))
 	if *saveCkpt != "" {
-		if err := saveCheckpointAtomic(tr, *saveCkpt); err != nil {
+		if err := mggcn.SaveCheckpointAtomic(*saveCkpt, tr.SaveCheckpoint); err != nil {
 			log.Fatal(err)
 		}
 		fmt.Printf("saved checkpoint to %s\n", *saveCkpt)
 	}
 }
 
-// saveCheckpointAtomic writes the checkpoint to a temp file in the target's
-// directory, syncs it, and renames it into place — a crash mid-write leaves
-// the previous checkpoint intact instead of a truncated one.
-func saveCheckpointAtomic(tr *mggcn.Trainer, path string) error {
-	dir := filepath.Dir(path)
-	f, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
+// runSampled is the -sampled mode: the factored sampler/trainer pipeline,
+// with mid-epoch resumable checkpoints and optional early stopping on
+// validation accuracy.
+func runSampled(ds *mggcn.Dataset, spec mggcn.MachineSpec, gpus, epochs, hidden, layers int,
+	lr float64, batch int, fanoutStr string, cacheFrac float64, patience int,
+	saveCkpt, loadCkpt string) {
+	o := mggcn.DefaultSampledOptions(spec, gpus)
+	o.Hidden, o.Layers, o.LR = hidden, layers, lr
+	o.Batch, o.CacheFrac = batch, cacheFrac
+	o.EarlyStopPatience = patience
+	o.TrackVal = patience > 0
+	o.Fanouts = nil
+	for _, s := range strings.Split(fanoutStr, ",") {
+		f, err := strconv.Atoi(strings.TrimSpace(s))
+		if err != nil {
+			log.Fatalf("bad -fanouts %q: %v", fanoutStr, err)
+		}
+		o.Fanouts = append(o.Fanouts, f)
+	}
+	tr, err := mggcn.NewSampledTrainer(ds, o)
 	if err != nil {
-		return err
+		if mggcn.IsOOM(err) {
+			log.Fatalf("out of memory on %s with %d GPUs: %v", spec.Name, gpus, err)
+		}
+		log.Fatal(err)
 	}
-	tmp := f.Name()
-	defer os.Remove(tmp) // no-op after a successful rename
-	if err := tr.SaveCheckpoint(f); err != nil {
+	fmt.Printf("sampled training: %d layers (hidden %d) batch %d fanouts %v cache %.0f%% on %d GPUs of %s\n",
+		o.Layers, o.Hidden, o.Batch, o.Fanouts, o.CacheFrac*100, gpus, spec.Name)
+	if loadCkpt != "" {
+		f, err := os.Open(loadCkpt)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := tr.LoadCheckpoint(f); err != nil {
+			log.Fatal(err)
+		}
 		f.Close()
-		return err
+		fmt.Printf("restored sampled checkpoint from %s\n", loadCkpt)
 	}
-	if err := f.Sync(); err != nil {
-		f.Close()
-		return err
+
+	stats, trainErr := tr.Train(epochs)
+	var total float64
+	for e, s := range stats {
+		total += s.EpochSeconds
+		line := fmt.Sprintf("epoch %3d: loss %.4f train-acc %.4f", e+1, s.Loss, s.TrainAcc)
+		if o.TrackVal {
+			line += fmt.Sprintf(" val-acc %.4f", s.ValAcc)
+		}
+		fmt.Printf("%s sim %.4fs\n", line, s.EpochSeconds)
 	}
-	if err := f.Close(); err != nil {
-		return err
+	if trainErr != nil {
+		log.Fatalf("sampled training failed after %d epochs: %v", len(stats), trainErr)
 	}
-	return os.Rename(tmp, path)
+	if len(stats) < epochs {
+		fmt.Printf("early stop: no val-accuracy improvement in %d epochs\n", patience)
+	}
+	fmt.Printf("total simulated training time: %.3fs (%.4fs/epoch)\n", total, total/float64(len(stats)))
+	if saveCkpt != "" {
+		if err := mggcn.SaveCheckpointAtomic(saveCkpt, tr.SaveCheckpoint); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("saved sampled checkpoint to %s\n", saveCkpt)
+	}
 }

@@ -8,15 +8,20 @@ import (
 	"hash"
 	"hash/crc32"
 	"io"
+	"os"
+	"path/filepath"
 
 	"mggcn/internal/tensor"
 )
 
-// Checkpoint format (version 2): magic, version, layer dims, then per layer
-// the weights and the Adam first/second moments (device 0's copy — replicas
-// are identical), plus the optimizer step count, and finally a CRC32-IEEE
-// footer over everything before it. Restoring copies the state onto every
-// device so the replicated invariant holds.
+// Checkpoint framing, shared by the full-batch (version 2) and sampled
+// (version 3) formats: magic, version, layer dims, a version-specific
+// payload, and a CRC32-IEEE footer over everything before it. The
+// full-batch payload is the optimizer step plus per-layer weights and Adam
+// first/second moments (device 0's copy — replicas are identical); the
+// sampled payload prepends the sampler cursor (seed, epoch, next batch
+// index) so a mid-epoch kill resumes bit-identically. Restoring copies the
+// state onto every device so the replicated invariant holds.
 //
 // The footer is the corruption guard: a truncated file fails with a
 // truncation error (the payload or the footer is missing), and a bit-flipped
@@ -24,8 +29,9 @@ import (
 // silently restored. Version 1 (no footer) is no longer readable; retrain or
 // re-save rather than trusting an unverifiable file.
 const (
-	ckptMagic   = 0x4d474b50 // "MGKP"
-	ckptVersion = 2
+	ckptMagic          = 0x4d474b50 // "MGKP"
+	ckptVersion        = 2          // full-batch Trainer
+	ckptVersionSampled = 3          // SampledTrainer (adds the sampler cursor)
 )
 
 // CorruptCheckpointError reports a checkpoint whose checksum footer does not
@@ -36,6 +42,19 @@ type CorruptCheckpointError struct {
 
 func (e *CorruptCheckpointError) Error() string {
 	return fmt.Sprintf("core: checkpoint corrupted: stored checksum %08x, computed %08x", e.Stored, e.Computed)
+}
+
+// VersionError reports a checkpoint whose version field is not the one this
+// loader reads: full-batch trainers write version 2, sampled trainers
+// version 3, and version 1 predates the checksum footer entirely. The two
+// current formats deliberately refuse each other — a sampled resume without
+// its cursor would silently replay the wrong batches.
+type VersionError struct {
+	Got, Want uint32
+}
+
+func (e *VersionError) Error() string {
+	return fmt.Sprintf("core: checkpoint version %d, this loader reads version %d (full-batch trainers write v2, sampled trainers v3; version 1 files predate the checksum footer and cannot be verified)", e.Got, e.Want)
 }
 
 // crcWriter tees everything written through it into a running CRC.
@@ -71,6 +90,109 @@ func truncated(what string, err error) error {
 	return fmt.Errorf("core: reading checkpoint %s: %w", what, err)
 }
 
+// writeCheckpoint frames one checkpoint: magic, version, and the dims
+// vector flow through the CRC, body writes the version-specific payload
+// through the same summed stream, and the CRC32 footer lands last, outside
+// the sum.
+func writeCheckpoint(w io.Writer, version uint32, dims []int, body func(cw io.Writer, le binary.ByteOrder) error) error {
+	bw := bufio.NewWriter(w)
+	cw := &crcWriter{w: bw, sum: crc32.NewIEEE()}
+	le := binary.LittleEndian
+	for _, v := range []uint32{ckptMagic, version, uint32(len(dims))} {
+		if err := binary.Write(cw, le, v); err != nil {
+			return err
+		}
+	}
+	for _, d := range dims {
+		if err := binary.Write(cw, le, uint32(d)); err != nil {
+			return err
+		}
+	}
+	if err := body(cw, le); err != nil {
+		return err
+	}
+	if err := binary.Write(bw, le, cw.sum.Sum32()); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// readCheckpoint validates the frame writeCheckpoint produced: magic, the
+// exact expected version (anything else is a typed *VersionError), a dims
+// match, then body's payload, then the footer comparison. Body must stage
+// its reads and let the caller apply them only after readCheckpoint returns
+// nil — the footer verdict comes last, and a damaged file must never leave
+// a half-restored model.
+func readCheckpoint(r io.Reader, version uint32, dims []int, body func(cr io.Reader, le binary.ByteOrder) error) error {
+	br := bufio.NewReader(r)
+	cr := &crcReader{r: br, sum: crc32.NewIEEE()}
+	le := binary.LittleEndian
+	var magic, ver, nDims uint32
+	for _, dst := range []*uint32{&magic, &ver, &nDims} {
+		if err := binary.Read(cr, le, dst); err != nil {
+			return truncated("header", err)
+		}
+	}
+	if magic != ckptMagic {
+		return fmt.Errorf("core: not a checkpoint (magic %#x)", magic)
+	}
+	if ver != version {
+		return &VersionError{Got: ver, Want: version}
+	}
+	if int(nDims) != len(dims) {
+		return fmt.Errorf("core: checkpoint has %d dims, trainer has %d", nDims, len(dims))
+	}
+	for i := range dims {
+		var d uint32
+		if err := binary.Read(cr, le, &d); err != nil {
+			return truncated("layer dims", err)
+		}
+		if int(d) != dims[i] {
+			return fmt.Errorf("core: checkpoint dim[%d]=%d, trainer has %d", i, d, dims[i])
+		}
+	}
+	if err := body(cr, le); err != nil {
+		return err
+	}
+	// Footer: read the stored CRC outside the summed stream and compare.
+	computed := cr.sum.Sum32()
+	var stored uint32
+	if err := binary.Read(br, le, &stored); err != nil {
+		return truncated("checksum footer", err)
+	}
+	if stored != computed {
+		return &CorruptCheckpointError{Stored: stored, Computed: computed}
+	}
+	return nil
+}
+
+// SaveCheckpointAtomic writes a checkpoint through save to a temp file in
+// path's directory, syncs it, and renames it into place — the one shared
+// atomic path for full-batch (v2) and sampled (v3) checkpoints. A crash
+// mid-write leaves the previous checkpoint intact instead of a truncated
+// one.
+func SaveCheckpointAtomic(path string, save func(w io.Writer) error) error {
+	dir := filepath.Dir(path)
+	f, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
+	if err != nil {
+		return err
+	}
+	tmp := f.Name()
+	defer os.Remove(tmp) // no-op after a successful rename
+	if err := save(f); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
 // SaveCheckpoint writes the model and optimizer state to w, ending with the
 // CRC32 footer LoadCheckpoint verifies. Phantom-mode trainers have no state
 // to save and return an error.
@@ -78,36 +200,13 @@ func (tr *Trainer) SaveCheckpoint(w io.Writer) error {
 	if tr.phantom {
 		return fmt.Errorf("core: cannot checkpoint a phantom-mode trainer")
 	}
-	bw := bufio.NewWriter(w)
-	cw := &crcWriter{w: bw, sum: crc32.NewIEEE()}
-	le := binary.LittleEndian
-	for _, v := range []uint32{ckptMagic, ckptVersion, uint32(len(tr.Dims))} {
-		if err := binary.Write(cw, le, v); err != nil {
+	return writeCheckpoint(w, ckptVersion, tr.Dims, func(cw io.Writer, le binary.ByteOrder) error {
+		step, m, v := tr.opts[0].State()
+		if err := binary.Write(cw, le, uint64(step)); err != nil {
 			return err
 		}
-	}
-	for _, d := range tr.Dims {
-		if err := binary.Write(cw, le, uint32(d)); err != nil {
-			return err
-		}
-	}
-	step, m, v := tr.opts[0].State()
-	if err := binary.Write(cw, le, uint64(step)); err != nil {
-		return err
-	}
-	for l := range tr.weights[0] {
-		for _, mat := range []*tensor.Dense{tr.weights[0][l], m[l], v[l]} {
-			if err := binary.Write(cw, le, mat.Data); err != nil {
-				return err
-			}
-		}
-	}
-	// Footer: the CRC of everything above, written outside the summed
-	// stream.
-	if err := binary.Write(bw, le, cw.sum.Sum32()); err != nil {
-		return err
-	}
-	return bw.Flush()
+		return writeLayerTensors(cw, le, tr.weights[0], m, v)
+	})
 }
 
 // LoadCheckpoint restores model and optimizer state saved by
@@ -119,65 +218,55 @@ func (tr *Trainer) LoadCheckpoint(r io.Reader) error {
 	if tr.phantom {
 		return fmt.Errorf("core: cannot restore into a phantom-mode trainer")
 	}
-	br := bufio.NewReader(r)
-	cr := &crcReader{r: br, sum: crc32.NewIEEE()}
-	le := binary.LittleEndian
-	var magic, version, nDims uint32
-	for _, dst := range []*uint32{&magic, &version, &nDims} {
-		if err := binary.Read(cr, le, dst); err != nil {
-			return truncated("header", err)
-		}
-	}
-	if magic != ckptMagic {
-		return fmt.Errorf("core: not a checkpoint (magic %#x)", magic)
-	}
-	if version != ckptVersion {
-		return fmt.Errorf("core: unsupported checkpoint version %d (this build reads version %d; version 1 files predate the checksum footer and cannot be verified)", version, ckptVersion)
-	}
-	if int(nDims) != len(tr.Dims) {
-		return fmt.Errorf("core: checkpoint has %d dims, trainer has %d", nDims, len(tr.Dims))
-	}
-	for i := range tr.Dims {
-		var d uint32
-		if err := binary.Read(cr, le, &d); err != nil {
-			return truncated("layer dims", err)
-		}
-		if int(d) != tr.Dims[i] {
-			return fmt.Errorf("core: checkpoint dim[%d]=%d, trainer has %d", i, d, tr.Dims[i])
-		}
-	}
 	var step uint64
-	if err := binary.Read(cr, le, &step); err != nil {
-		return truncated("optimizer step", err)
-	}
-	L := len(tr.weights[0])
-	ws := make([]*tensor.Dense, L)
-	ms := make([]*tensor.Dense, L)
-	vs := make([]*tensor.Dense, L)
-	for l := 0; l < L; l++ {
-		shape := tr.weights[0][l]
-		for _, dst := range []**tensor.Dense{&ws[l], &ms[l], &vs[l]} {
-			mat := tensor.NewDense(shape.Rows, shape.Cols)
-			if err := binary.Read(cr, le, mat.Data); err != nil {
-				return truncated(fmt.Sprintf("layer %d tensors", l), err)
-			}
-			*dst = mat
+	var ws, ms, vs []*tensor.Dense
+	err := readCheckpoint(r, ckptVersion, tr.Dims, func(cr io.Reader, le binary.ByteOrder) error {
+		if err := binary.Read(cr, le, &step); err != nil {
+			return truncated("optimizer step", err)
 		}
-	}
-	// Footer: read the stored CRC outside the summed stream and compare.
-	computed := cr.sum.Sum32()
-	var stored uint32
-	if err := binary.Read(br, le, &stored); err != nil {
-		return truncated("checksum footer", err)
-	}
-	if stored != computed {
-		return &CorruptCheckpointError{Stored: stored, Computed: computed}
+		var err error
+		ws, ms, vs, err = readLayerTensors(cr, le, tr.weights[0])
+		return err
+	})
+	if err != nil {
+		return err
 	}
 	for d := 0; d < tr.Machine.P; d++ {
-		for l := 0; l < L; l++ {
+		for l := range ws {
 			tr.weights[d][l].CopyFrom(ws[l])
 		}
 		tr.opts[d].SetState(int(step), ms, vs)
 	}
 	return nil
+}
+
+// writeLayerTensors streams the per-layer weight/moment triples in layer
+// order — the payload tail both formats share.
+func writeLayerTensors(cw io.Writer, le binary.ByteOrder, ws, m, v []*tensor.Dense) error {
+	for l := range ws {
+		for _, mat := range []*tensor.Dense{ws[l], m[l], v[l]} {
+			if err := binary.Write(cw, le, mat.Data); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// readLayerTensors reads the triples back into fresh tensors shaped like
+// the trainer's replica — staged, so nothing touches device state before
+// the footer verdict.
+func readLayerTensors(cr io.Reader, le binary.ByteOrder, shapes []*tensor.Dense) (ws, ms, vs []*tensor.Dense, err error) {
+	L := len(shapes)
+	ws, ms, vs = make([]*tensor.Dense, L), make([]*tensor.Dense, L), make([]*tensor.Dense, L)
+	for l := 0; l < L; l++ {
+		for _, dst := range []*[]*tensor.Dense{&ws, &ms, &vs} {
+			mat := tensor.NewDense(shapes[l].Rows, shapes[l].Cols)
+			if err := binary.Read(cr, le, mat.Data); err != nil {
+				return nil, nil, nil, truncated(fmt.Sprintf("layer %d tensors", l), err)
+			}
+			(*dst)[l] = mat
+		}
+	}
+	return ws, ms, vs, nil
 }

@@ -1,0 +1,75 @@
+package core
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"mggcn/internal/tensor"
+)
+
+// Sampled checkpoints (version 3) extend the full-batch frame with the
+// sampler cursor: seed, cursor epoch, next batch index, then the optimizer
+// step and per-layer tensors the v2 payload carries. Because every batch is
+// a pure function of (seed, epoch, batch index) and the cursor only ever
+// parks on step boundaries, a trainer restored from a v3 file replays the
+// remainder of the epoch bit-identically to a run that was never killed —
+// the checkpoint is a resume point, not an approximation.
+
+// SaveCheckpoint writes the sampler cursor plus model and optimizer state
+// to w in the version-3 format.
+func (tr *SampledTrainer) SaveCheckpoint(w io.Writer) error {
+	return writeCheckpoint(w, ckptVersionSampled, tr.Dims, func(cw io.Writer, le binary.ByteOrder) error {
+		step, m, v := tr.opts[0].State()
+		for _, x := range []uint64{
+			uint64(tr.Cfg.Seed),
+			uint64(tr.cursor.Epoch),
+			uint64(tr.cursor.NextBatch),
+			uint64(step),
+		} {
+			if err := binary.Write(cw, le, x); err != nil {
+				return err
+			}
+		}
+		return writeLayerTensors(cw, le, tr.weights[0], m, v)
+	})
+}
+
+// LoadCheckpoint restores a version-3 checkpoint into every device replica
+// and parks the sampler cursor where the saved run left off. The trainer's
+// layer dims must match, and so must the sampling seed — the cursor indexes
+// into the (seed, epoch)-determined batch sequence, so resuming under a
+// different seed would silently train the wrong batches. Version-2
+// (full-batch) files are rejected with a *VersionError.
+func (tr *SampledTrainer) LoadCheckpoint(r io.Reader) error {
+	// NewSampledTrainer rejects phantom datasets; keep the guarantee local.
+	if tr.feat.IsPhantom() {
+		return fmt.Errorf("core: cannot restore into a phantom-mode trainer")
+	}
+	var seed, epoch, nextBatch, step uint64
+	var ws, ms, vs []*tensor.Dense
+	err := readCheckpoint(r, ckptVersionSampled, tr.Dims, func(cr io.Reader, le binary.ByteOrder) error {
+		for _, dst := range []*uint64{&seed, &epoch, &nextBatch, &step} {
+			if err := binary.Read(cr, le, dst); err != nil {
+				return truncated("sampler cursor", err)
+			}
+		}
+		var err error
+		ws, ms, vs, err = readLayerTensors(cr, le, tr.weights[0])
+		return err
+	})
+	if err != nil {
+		return err
+	}
+	if int64(seed) != tr.Cfg.Seed {
+		return fmt.Errorf("core: checkpoint sampling seed %d, trainer configured with %d — deterministic resume needs the same seed", int64(seed), tr.Cfg.Seed)
+	}
+	for d := range tr.weights {
+		for l := range ws {
+			tr.weights[d][l].CopyFrom(ws[l])
+		}
+		tr.opts[d].SetState(int(step), ms, vs)
+	}
+	tr.cursor = samplerCursor{Epoch: int(epoch), NextBatch: int(nextBatch)}
+	return nil
+}

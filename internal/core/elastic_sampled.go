@@ -1,0 +1,293 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"mggcn/internal/comm"
+	"mggcn/internal/graph"
+	"mggcn/internal/sim"
+	"mggcn/internal/tensor"
+)
+
+// This file is the sampled pipeline's elastic degraded-mode path — the
+// minibatch counterpart of elastic.go. The unit of recovery is a *segment*:
+// the batch range [cursor, end) one runSteps call trains. The cursor commits
+// only after a segment's replay succeeds and its numbers check finite, so on
+// any failure it still points at the segment start, and because every batch
+// is a pure function of (Seed, epoch, batch index), recovery re-derives the
+// lost work exactly — there is no partial-batch state to reconstruct. The
+// failure taxonomy maps onto four recoveries:
+//
+//   - a transient task failure (*sim.TransientTaskError — e.g. a sampler
+//     stage whose host thread hiccuped) voids the segment: restore the
+//     segment-start model state and replay the same batches bit-identically;
+//   - numeric corruption (*NumericError) recovers the same way — the poison
+//     is in the replayed buffers, not the sampling stream;
+//   - permanent device loss (*sim.DeviceLostError) resyncs the survivors
+//     from a consistent replica, repartitions at P-1 — the per-device
+//     feature caches rebuild from the surviving degree order, the handoff
+//     slot discipline re-registers per device — and replays the segment;
+//   - an exhausted collective (*comm.GiveUpError) applies the suspect-
+//     eviction rule: repeated retry exhaustion is attributed to the
+//     highest-indexed device (a flaky link rides with its endpoint), which
+//     is evicted exactly as if it had crashed. At P == 1 there is no one
+//     left to evict and the run aborts.
+//
+// Recoveries replay the voided segment, so a recovered run performs the same
+// effective optimizer steps on the same batches as a fault-free run — the
+// parity bar is bit-identity for same-P recoveries and 1e-6 agreement with a
+// fault-free P-1 run for device loss.
+
+// captureSampledState clones device dev's replica — weights plus Adam
+// moments and step.
+func (tr *SampledTrainer) captureSampledState(dev int) *modelState {
+	st := &modelState{step: tr.opts[dev].StepCount()}
+	_, m, v := tr.opts[dev].State()
+	for l, w := range tr.weights[dev] {
+		st.weights = append(st.weights, w.Clone())
+		st.m = append(st.m, m[l].Clone())
+		st.v = append(st.v, v[l].Clone())
+	}
+	return st
+}
+
+// restoreSampledState copies st onto every device replica.
+func (tr *SampledTrainer) restoreSampledState(st *modelState) {
+	// NewSampledTrainer rejects phantom datasets; keep the guarantee local.
+	if tr.feat.IsPhantom() {
+		return
+	}
+	for d := range tr.weights {
+		for l := range tr.weights[d] {
+			tr.weights[d][l].CopyFrom(st.weights[l])
+		}
+		tr.opts[d].SetState(st.step, st.m, st.v)
+	}
+}
+
+// sampledReplicaFinite reports whether device dev's weight replica is
+// all-finite — a corrupted survivor must not become the resync source.
+func (tr *SampledTrainer) sampledReplicaFinite(dev int) bool {
+	for _, w := range tr.weights[dev] {
+		for _, v := range w.Data {
+			if math.IsNaN(float64(v)) || math.IsInf(float64(v), 0) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// resyncSampledSurvivors broadcasts device src's replica to the other
+// survivors over a shrunken collective group, on a fresh graph wired with
+// the trainer's fault machinery — the same data movement as the full-batch
+// resync, over the sampled trainer's registry.
+func (tr *SampledTrainer) resyncSampledSurvivors(survivors []int, src int) error {
+	if len(survivors) < 2 {
+		return nil
+	}
+	tg := sim.NewGraph(tr.Machine.Spec, tr.Machine.P)
+	cg := tr.newSampledComm(tg)
+	sub := cg.Sub(survivors)
+	root := -1
+	for i, d := range survivors {
+		if d == src {
+			root = i
+		}
+	}
+	if root < 0 {
+		return fmt.Errorf("core: resync source %d not among survivors %v", src, survivors)
+	}
+	_, srcM, srcV := tr.opts[src].State()
+	for l := range tr.weights[src] {
+		wDst := make([]*tensor.Dense, len(survivors))
+		mDst := make([]*tensor.Dense, len(survivors))
+		vDst := make([]*tensor.Dense, len(survivors))
+		for i, d := range survivors {
+			wDst[i] = tr.weights[d][l]
+			_, dm, dv := tr.opts[d].State()
+			mDst[i], vDst[i] = dm[l], dv[l]
+		}
+		_ = sub.Broadcast(root, tr.weights[src][l], wDst, fmt.Sprintf("resync/w%d", l), -1) // vet:ok taskdep: independent terminal resync tasks; the graph replays immediately below
+		_ = sub.Broadcast(root, srcM[l], mDst, fmt.Sprintf("resync/m%d", l), -1)            // vet:ok taskdep: independent terminal resync tasks; the graph replays immediately below
+		_ = sub.Broadcast(root, srcV[l], vDst, fmt.Sprintf("resync/v%d", l), -1)            // vet:ok taskdep: independent terminal resync tasks; the graph replays immediately below
+	}
+	if err := tr.replaySampled(tg); err != nil {
+		return err
+	}
+	step := tr.opts[src].StepCount()
+	for _, d := range survivors {
+		tr.opts[d].SetStep(step)
+	}
+	return nil
+}
+
+// SampledElasticResult is TrainSampledElastic's report.
+type SampledElasticResult struct {
+	Stats  []*SampledEpochStats
+	Events []RecoveryEvent
+	FinalP int
+	// Trainer is the (possibly rebuilt, smaller) trainer that finished the
+	// run — the caller's handle for checkpointing or further epochs.
+	Trainer *SampledTrainer
+}
+
+// TrainSampledElastic trains the sampled pipeline for the given number of
+// effective epochs, recovering from recoverable faults along the way (see
+// the file comment for the taxonomy). On an unrecoverable failure it returns
+// the partial result alongside the error.
+func TrainSampledElastic(g *graph.Graph, cfg SampledConfig, epochs int) (*SampledElasticResult, error) {
+	tr, err := NewSampledTrainer(g, cfg)
+	if err != nil {
+		return nil, err
+	}
+	res := &SampledElasticResult{}
+	consecutive := 0
+	bestVal, sinceBest := -1.0, 0
+	for e := 0; e < epochs; {
+		snap := tr.captureSampledState(0)
+		s, runErr := tr.RunEpoch()
+		if runErr == nil {
+			if e < epochs-1 {
+				s.Tasks, s.Sched = nil, nil
+			}
+			res.Stats = append(res.Stats, s)
+			e++
+			consecutive = 0
+			if tr.Cfg.EarlyStopPatience > 0 && len(tr.valVerts) > 0 {
+				if s.ValAcc > bestVal {
+					bestVal, sinceBest = s.ValAcc, 0
+				} else if sinceBest++; sinceBest >= tr.Cfg.EarlyStopPatience {
+					break
+				}
+			}
+			continue
+		}
+		consecutive++
+		if consecutive > maxConsecutiveRecoveries {
+			res.FinalP, res.Trainer = tr.Machine.P, tr
+			return res, fmt.Errorf("core: epoch %d still failing after %d recoveries: %w", e, maxConsecutiveRecoveries, runErr)
+		}
+		// The cursor did not advance: it still points at the failed
+		// segment's start, so every branch below replays exactly the work
+		// that was voided.
+		var lost *sim.DeviceLostError
+		var transient *sim.TransientTaskError
+		var numeric *NumericError
+		var gaveUp *comm.GiveUpError
+		switch {
+		case errors.As(runErr, &lost):
+			nt, ev, recErr := tr.shrinkSampledAfterLoss(g, lost.Device, snap)
+			if recErr != nil {
+				res.FinalP, res.Trainer = tr.Machine.P, tr
+				return res, fmt.Errorf("core: recovering from %v: %w", runErr, recErr)
+			}
+			ev.Epoch = e
+			res.Events = append(res.Events, ev)
+			tr = nt
+		case errors.As(runErr, &gaveUp):
+			// Suspect eviction: the collective exhausted its retries, so its
+			// flakiest endpoint — by convention the highest-indexed device —
+			// leaves the group and the survivors carry on at P-1. Alone,
+			// there is no suspect to evict: abort with the collective's error.
+			if tr.Machine.P <= 1 {
+				res.FinalP, res.Trainer = tr.Machine.P, tr
+				return res, runErr
+			}
+			suspect := tr.Machine.P - 1
+			nt, ev, recErr := tr.shrinkSampledAfterLoss(g, suspect, snap)
+			if recErr != nil {
+				res.FinalP, res.Trainer = tr.Machine.P, tr
+				return res, fmt.Errorf("core: recovering from %v: %w", runErr, recErr)
+			}
+			ev.Epoch = e
+			ev.Detail = fmt.Sprintf("collective %q exhausted %d attempts; evicted suspect device %d; %s",
+				gaveUp.Label, gaveUp.Attempts, suspect, ev.Detail)
+			res.Events = append(res.Events, ev)
+			tr = nt
+		case errors.As(runErr, &transient):
+			tr.restoreSampledState(snap)
+			res.Events = append(res.Events, RecoveryEvent{
+				Epoch: e, Kind: "transient-task",
+				Detail: fmt.Sprintf("restored segment-start state after %v; replaying batches from cursor", transient),
+				P:      tr.Machine.P,
+			})
+		case errors.As(runErr, &numeric):
+			tr.restoreSampledState(snap)
+			res.Events = append(res.Events, RecoveryEvent{
+				Epoch: e, Kind: "numeric",
+				Detail: fmt.Sprintf("restored segment-start state after %v", numeric),
+				P:      tr.Machine.P,
+			})
+		default:
+			res.FinalP, res.Trainer = tr.Machine.P, tr
+			return res, runErr
+		}
+	}
+	res.FinalP, res.Trainer = tr.Machine.P, tr
+	return res, nil
+}
+
+// shrinkSampledAfterLoss rebuilds the sampled trainer over the survivors of
+// a permanent device loss: resync the survivors from a replica still at the
+// segment-start step and finite (falling back to the segment-start snapshot
+// when none qualifies), acknowledge the removal to the injector, rebuild at
+// P-1 — which re-derives the per-device feature caches from the surviving
+// degree order and re-registers the handoff slot discipline — and restore
+// the agreed state and cursor onto the new trainer. The voided segment then
+// replays from the cursor over the P-1 round-robin.
+func (tr *SampledTrainer) shrinkSampledAfterLoss(g *graph.Graph, lostDev int, snap *modelState) (*SampledTrainer, RecoveryEvent, error) {
+	p := tr.Machine.P
+	if p <= 1 {
+		return nil, RecoveryEvent{}, fmt.Errorf("core: last device lost, nothing to shrink to")
+	}
+	if lostDev < 0 || lostDev >= p {
+		return nil, RecoveryEvent{}, fmt.Errorf("core: lost device %d outside machine of %d", lostDev, p)
+	}
+	survivors := make([]int, 0, p-1)
+	for d := 0; d < p; d++ {
+		if d != lostDev {
+			survivors = append(survivors, d)
+		}
+	}
+
+	var state *modelState
+	var detail string
+	src := -1
+	for _, d := range survivors {
+		if tr.opts[d].StepCount() == snap.step && tr.sampledReplicaFinite(d) {
+			src = d
+			break
+		}
+	}
+	if src >= 0 {
+		if err := tr.resyncSampledSurvivors(survivors, src); err == nil {
+			state = tr.captureSampledState(src)
+			detail = fmt.Sprintf("resynced %d survivors from replica %d", len(survivors), src)
+		} else {
+			detail = fmt.Sprintf("replica resync failed (%v); ", err)
+		}
+	}
+	if state == nil {
+		state = snap
+		detail += "restored segment-start snapshot"
+	}
+
+	if obs, ok := tr.Cfg.Fault.(removalObserver); ok {
+		obs.ObserveRemoval(lostDev)
+	}
+
+	cfg := tr.Cfg
+	cfg.P = p - 1
+	nt, err := NewSampledTrainer(g, cfg)
+	if err != nil {
+		return nil, RecoveryEvent{}, fmt.Errorf("core: repartitioning over %d survivors: %w", cfg.P, err)
+	}
+	nt.restoreSampledState(state)
+	nt.cursor = tr.cursor
+	detail += fmt.Sprintf("; rebuilt caches and handoff slots at P=%d, cursor at (epoch %d, batch %d)",
+		cfg.P, tr.cursor.Epoch, tr.cursor.NextBatch)
+	return nt, RecoveryEvent{Kind: "device-lost", Detail: detail, P: cfg.P}, nil
+}

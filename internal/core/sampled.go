@@ -75,6 +75,24 @@ type SampledConfig struct {
 	// CommMeter counts collective words plus the extract stage's gather
 	// traffic (sim.CollGatherHit / sim.CollGatherMiss).
 	CommMeter *comm.Meter
+
+	// Fault brackets every bound task the replay executes (the fault
+	// injector's hook); when it also implements comm.CollectiveGate, the
+	// same instance gates collective attempts — mirroring Config.Fault.
+	Fault sim.FaultHook
+	// Retry bounds the collectives' transient-failure retry loop; the zero
+	// policy fails on the first error. RetryClock substitutes the backoff
+	// sleeps (nil uses the wall clock).
+	Retry      comm.RetryPolicy
+	RetryClock comm.Clock
+
+	// TrackVal computes per-epoch validation accuracy with a host-side
+	// sampled forward over the val mask after each completed epoch —
+	// statistics only, never part of the task graph or its determinism.
+	TrackVal bool
+	// EarlyStopPatience > 0 makes Train stop after that many consecutive
+	// epochs without a validation-accuracy improvement (implies TrackVal).
+	EarlyStopPatience int
 }
 
 // DefaultSampledConfig returns the GNNLab-style sampled configuration:
@@ -177,10 +195,24 @@ type SampledTrainer struct {
 	degrees    []int64
 	avgDeg     float64
 	trainVerts []int32
+	valVerts   []int32
 	reg        *sim.BufRegistry
 	lastGraph  *sim.Graph
 	paramCount int64
-	epoch      int
+	cursor     samplerCursor
+}
+
+// samplerCursor is the sampled run's resumable position: the epoch whose
+// plan is being consumed and the next batch index within it. NextBatch is
+// always a step boundary (a multiple of P), so a resumed run's step
+// grouping — and therefore its step-mean gradient normalization — matches
+// the uninterrupted run's exactly. The cursor advances only after a
+// successful replay: a failed segment leaves it at the segment start,
+// which is precisely where recovery re-derives the lost batches from
+// (Seed, epoch, batch) and replays them bit-identically.
+type samplerCursor struct {
+	Epoch     int
+	NextBatch int
 }
 
 // NewSampledTrainer allocates the replicated model, builds the per-device
@@ -268,6 +300,9 @@ func NewSampledTrainer(g *graph.Graph, cfg SampledConfig) (*SampledTrainer, erro
 		if g.TrainMask == nil || g.TrainMask[v] {
 			tr.trainVerts = append(tr.trainVerts, int32(v))
 		}
+		if g.ValMask != nil && g.ValMask[v] {
+			tr.valVerts = append(tr.valVerts, int32(v))
+		}
 	}
 	return tr, nil
 }
@@ -328,13 +363,19 @@ func frontRows(blocks []*sample.Block, l int) int {
 	return blocks[len(blocks)-1].Adj.Rows
 }
 
-// SampledEpochStats reports one sampled epoch.
+// SampledEpochStats reports one sampled epoch (or, after a mid-epoch
+// resume, the remaining segment of one): loss and accuracy are normalized
+// over the rows actually processed by the call.
 type SampledEpochStats struct {
 	EpochSeconds float64
 	KindBusy     map[sim.Kind]float64
 	Loss         float64
 	TrainAcc     float64
-	Batches      int
+	// ValAcc is the validation accuracy after the epoch completed, filled
+	// only when the config tracks validation (TrackVal or a patience) and
+	// the graph has validation vertices; otherwise it stays 0.
+	ValAcc  float64
+	Batches int
 	// OverlapRatio is the mean over devices of summed per-stream busy time
 	// divided by the makespan: ~1 when the stages serialize, >1 when the
 	// sampler stream genuinely overlaps training.
@@ -347,8 +388,22 @@ type SampledEpochStats struct {
 // round-robined over devices step by step; each step samples, extracts,
 // trains, all-reduces the summed step-mean gradient across the full group,
 // and applies Adam on every replica. Devices left without a batch on the
-// tail step contribute zero gradients, so weights stay replicated.
+// tail step contribute zero gradients, so weights stay replicated. After a
+// mid-epoch checkpoint restore, the first call completes the in-flight
+// epoch from the cursor's batch onward.
 func (tr *SampledTrainer) RunEpoch() (*SampledEpochStats, error) {
+	return tr.runSteps(-1)
+}
+
+// RunSteps records and replays at most maxSteps steps (one step trains P
+// batches) and then stops with the cursor parked on the next step boundary
+// — the seam mid-epoch checkpoints and their tests drive. A negative
+// maxSteps runs to the end of the epoch.
+func (tr *SampledTrainer) RunSteps(maxSteps int) (*SampledEpochStats, error) {
+	return tr.runSteps(maxSteps)
+}
+
+func (tr *SampledTrainer) runSteps(maxSteps int) (*SampledEpochStats, error) {
 	// NewSampledTrainer rejects phantom datasets, but every closure bound
 	// below touches real storage — keep the guarantee local too.
 	if tr.feat.IsPhantom() {
@@ -362,14 +417,29 @@ func (tr *SampledTrainer) RunEpoch() (*SampledEpochStats, error) {
 	workers := tr.Cfg.Workers
 	depth := tr.depth()
 
-	plan := sample.PlanEpoch(tr.trainVerts, tr.Cfg.Batch, tr.Cfg.Seed, tr.epoch)
-	tr.epoch++
+	epoch := tr.cursor.Epoch
+	plan := sample.PlanEpoch(tr.trainVerts, tr.Cfg.Batch, tr.Cfg.Seed, epoch)
 	B := len(plan.Batches)
-	stats := &SampledEpochStats{Batches: B}
-	if B == 0 {
+	start := tr.cursor.NextBatch
+	stats := &SampledEpochStats{}
+	if B == 0 || start >= B {
+		tr.cursor = samplerCursor{Epoch: epoch + 1}
 		return stats, nil
 	}
-	steps := (B + p - 1) / p
+	steps := (B - start + p - 1) / p
+	if maxSteps >= 0 && steps > maxSteps {
+		steps = maxSteps
+	}
+	if steps == 0 {
+		return stats, nil
+	}
+	// end is one past the last batch this segment trains; the cursor lands
+	// there (or rolls over) only after the replay succeeds.
+	end := start + steps*p
+	if end > B {
+		end = B
+	}
+	stats.Batches = end - start
 
 	tg := sim.NewGraph(spec, p)
 	cg := tr.newSampledComm(tg)
@@ -387,13 +457,13 @@ func (tr *SampledTrainer) RunEpoch() (*SampledEpochStats, error) {
 	for s := 0; s < steps; s++ {
 		stepRows := 0
 		for d := 0; d < p; d++ {
-			if b := s*p + d; b < B {
+			if b := start + s*p + d; b < B {
 				stepRows += len(plan.Batches[b])
 			}
 		}
 		wgradID := make([][]int, L) // per layer: tasks the all-reduce waits on
 		for d := 0; d < p; d++ {
-			b := s*p + d
+			b := start + s*p + d
 			if b >= B {
 				// Tail step without a batch for this device: contribute
 				// zero gradients so the full-group all-reduce still sums a
@@ -613,7 +683,7 @@ func (tr *SampledTrainer) RunEpoch() (*SampledEpochStats, error) {
 			// deps Adam(s)) a sanitizer-checked write-after-read — the
 			// slotdecl vet rule pins this convention.
 			var slotReads []sim.ViewShape
-			if s*p+d < B {
+			if start+s*p+d < B {
 				slotReads = append(slotReads, sim.OpaqueShape(tr.slotBufs[d][s%depth]))
 			}
 			tg.BindShaped(id, append(sim.ShapesOf(gs...), slotReads...), sim.ShapesOf(ws...), func() { opt.Step(ws, gs) })
@@ -624,15 +694,28 @@ func (tr *SampledTrainer) RunEpoch() (*SampledEpochStats, error) {
 	if err := tr.replaySampled(tg); err != nil {
 		return nil, err
 	}
-	var totalCorrect int
-	for b := 0; b < B; b++ {
+	var totalCorrect, rows int
+	for b := start; b < end; b++ {
+		rows += len(plan.Batches[b])
 		stats.Loss += lossSum[b]
 		totalCorrect += correct[b]
 	}
-	stats.Loss /= float64(len(tr.trainVerts))
-	stats.TrainAcc = float64(totalCorrect) / float64(len(tr.trainVerts))
+	// For a full epoch rows == len(trainVerts) (every train vertex appears
+	// in exactly one batch), so whole-epoch stats are unchanged by the
+	// segment refactor; a resumed segment normalizes over its own rows.
+	stats.Loss /= float64(rows)
+	stats.TrainAcc = float64(totalCorrect) / float64(rows)
 	if err := tr.checkSampledFinite(stats.Loss); err != nil {
 		return nil, err
+	}
+	// The replay succeeded and the numbers are sane: commit the cursor.
+	if end >= B {
+		tr.cursor = samplerCursor{Epoch: epoch + 1}
+		if (tr.Cfg.TrackVal || tr.Cfg.EarlyStopPatience > 0) && len(tr.valVerts) > 0 {
+			stats.ValAcc = tr.valAccuracy(epoch)
+		}
+	} else {
+		tr.cursor.NextBatch = end
 	}
 
 	sched := tg.Run()
@@ -654,27 +737,89 @@ func (tr *SampledTrainer) RunEpoch() (*SampledEpochStats, error) {
 	return stats, nil
 }
 
-// Train runs epochs sampled epochs, dropping the heavyweight task/schedule
-// payload except on the final one.
+// Train runs up to epochs sampled epochs, dropping the heavyweight
+// task/schedule payload except on the final one. With EarlyStopPatience > 0
+// and validation vertices present, the run stops once that many consecutive
+// epochs pass without improving the best validation accuracy — the
+// returned slice is then shorter than epochs.
 func (tr *SampledTrainer) Train(epochs int) ([]*SampledEpochStats, error) {
 	out := make([]*SampledEpochStats, 0, epochs)
+	bestVal := math.Inf(-1)
+	sinceBest := 0
 	for e := 0; e < epochs; e++ {
 		s, err := tr.RunEpoch()
 		if err != nil {
 			return out, err
 		}
-		if e < epochs-1 {
-			s.Tasks, s.Sched = nil, nil
+		if n := len(out); n > 0 {
+			out[n-1].Tasks, out[n-1].Sched = nil, nil
 		}
 		out = append(out, s)
+		if tr.Cfg.EarlyStopPatience > 0 && len(tr.valVerts) > 0 {
+			if s.ValAcc > bestVal {
+				bestVal, sinceBest = s.ValAcc, 0
+			} else if sinceBest++; sinceBest >= tr.Cfg.EarlyStopPatience {
+				break
+			}
+		}
 	}
 	return out, nil
 }
 
-// replaySampled mirrors Trainer.replay for the sampled graph.
+// valAccuracy evaluates the current model on the validation vertices with a
+// host-side sampled forward using device 0's replica (replicas are
+// identical at epoch boundaries). Validation batches run in natural order
+// at the training batch size; their sampler seeds come from
+// SplitSeed(seed, epoch, -2-b), disjoint from both the epoch shuffle (-1)
+// and every training batch (b >= 0), so tracking validation never perturbs
+// the training pipeline's sampling stream or its determinism.
+func (tr *SampledTrainer) valAccuracy(epoch int) float64 {
+	// NewSampledTrainer rejects phantom datasets; keep the guarantee local.
+	if tr.feat.IsPhantom() {
+		return 0
+	}
+	L := tr.Cfg.Layers
+	ws := tr.weights[0]
+	totalCorrect := 0
+	for b, lo := 0, 0; lo < len(tr.valVerts); b, lo = b+1, lo+tr.Cfg.Batch {
+		hi := lo + tr.Cfg.Batch
+		if hi > len(tr.valVerts) {
+			hi = len(tr.valVerts)
+		}
+		seed := sample.SplitSeed(tr.Cfg.Seed, epoch, -2-b)
+		blocks := sample.BuildBlocks(tr.Graph.Adj, tr.valVerts[lo:hi], tr.Cfg.Fanouts, seed)
+		h := tensor.NewDense(len(blocks[0].Src), tr.Dims[0])
+		for i, v := range blocks[0].Src {
+			copy(h.Row(i), tr.feat.Row(int(v)))
+		}
+		// Transform-then-aggregate, mirroring the device path's layer order.
+		for l := 0; l < L; l++ {
+			y := tensor.NewDense(blocks[l].Adj.Cols, tr.Dims[l+1])
+			tensor.Gemm(1, h, ws[l], 0, y)
+			z := tensor.NewDense(blocks[l].Adj.Rows, tr.Dims[l+1])
+			sparse.SpMM(blocks[l].Adj, y, 0, z)
+			if l < L-1 {
+				tensor.ReLU(z, z)
+			}
+			h = z
+		}
+		dst := blocks[L-1].Dst
+		lb := make([]int32, len(dst))
+		for i, v := range dst {
+			lb[i] = tr.Graph.Labels[v]
+		}
+		c, _ := nn.CorrectCount(h, lb, nil)
+		totalCorrect += c
+	}
+	return float64(totalCorrect) / float64(len(tr.valVerts))
+}
+
+// replaySampled mirrors Trainer.replay for the sampled graph, attaching
+// the registry, observer and fault hook.
 func (tr *SampledTrainer) replaySampled(tg *sim.Graph) error {
 	tg.Reg = tr.reg
 	tg.Observer = tr.Cfg.ExecObserver
+	tg.Fault = tr.Cfg.Fault
 	tr.lastGraph = tg
 	if tr.Cfg.ExecSeed != 0 {
 		return tg.ExecuteAdversarial(tr.Cfg.ExecWorkers, tr.Cfg.ExecSeed)
@@ -683,11 +828,18 @@ func (tr *SampledTrainer) replaySampled(tg *sim.Graph) error {
 }
 
 // newSampledComm builds the epoch's communicator with the trainer's byte
-// scale and meter.
+// scale, meter, and failure machinery — the retry policy/clock, and the
+// fault hook as the collective gate when it implements one (mirroring
+// Trainer.newComm).
 func (tr *SampledTrainer) newSampledComm(tg *sim.Graph) *comm.Group {
 	cg := comm.New(tg)
 	cg.BytesScale = int64(tr.Cfg.MemScale)
+	cg.Retry = tr.Cfg.Retry
+	cg.Clock = tr.Cfg.RetryClock
 	cg.Meter = tr.Cfg.CommMeter
+	if gate, ok := tr.Cfg.Fault.(comm.CollectiveGate); ok {
+		cg.Gate = gate
+	}
 	return cg
 }
 
@@ -722,6 +874,17 @@ func (tr *SampledTrainer) Caches() []*sample.FeatureCache { return tr.caches }
 
 // TrainVertexCount returns the number of training vertices in the plan.
 func (tr *SampledTrainer) TrainVertexCount() int { return len(tr.trainVerts) }
+
+// ValVertexCount returns the number of validation vertices.
+func (tr *SampledTrainer) ValVertexCount() int { return len(tr.valVerts) }
+
+// Cursor returns the sampler cursor — the epoch whose plan the next call
+// consumes and the batch index it starts at. Checkpoint v3 persists this
+// pair (with the seed and Adam step) so a mid-epoch kill resumes
+// bit-identically.
+func (tr *SampledTrainer) Cursor() (epoch, nextBatch int) {
+	return tr.cursor.Epoch, tr.cursor.NextBatch
+}
 
 // ParamCount returns the model's parameter count (one replica).
 func (tr *SampledTrainer) ParamCount() int64 { return tr.paramCount }

@@ -29,17 +29,42 @@ import (
 	"mggcn/internal/sim"
 )
 
-// CrashSpec kills one device permanently: the first task on Device whose
-// label contains OnLabel ("" matches any), after skipping the first After
-// matches, fails with *sim.DeviceLostError instead of running. From then on
-// every task on that device fails the same way until the machinery that
-// removed the device acknowledges the loss (Injector.ObserveRemoval) — a
-// crashed GPU does not come back, and renumbered survivor graphs must not
+// OnStream scopes a spec to tasks recorded on one stream — the structured
+// alternative to label substrings (a pointer because StreamCompute is the
+// zero StreamID; nil means "any stream").
+func OnStream(s sim.StreamID) *sim.StreamID { return &s }
+
+// OnKind scopes a spec to tasks of one kind (nil means "any kind").
+func OnKind(k sim.Kind) *sim.Kind { return &k }
+
+// matchStreamKind is the structured half of every spec's task filter: a nil
+// selector matches anything, a non-nil one must equal the task's recorded
+// stream/kind. Structured fields compose with the label fallback — a spec
+// matches when every selector it sets matches.
+func matchStreamKind(t *sim.Task, stream *sim.StreamID, kind *sim.Kind) bool {
+	if stream != nil && t.Stream != *stream {
+		return false
+	}
+	if kind != nil && t.Kind != *kind {
+		return false
+	}
+	return true
+}
+
+// CrashSpec kills one device permanently: the first task on Device matching
+// the spec's filters — label substring OnLabel ("" matches any), plus the
+// optional structured Stream/Kind selectors — after skipping the first
+// After matches, fails with *sim.DeviceLostError instead of running. From
+// then on every task on that device fails the same way until the machinery
+// that removed the device acknowledges the loss (Injector.ObserveRemoval) —
+// a crashed GPU does not come back, and renumbered survivor graphs must not
 // inherit the dead index.
 type CrashSpec struct {
 	Device  int
 	OnLabel string
 	After   int
+	Stream  *sim.StreamID
+	Kind    *sim.Kind
 }
 
 // TransientSpec fails collective attempts transiently: a collective task is
@@ -53,33 +78,58 @@ type TransientSpec struct {
 	Failures int
 }
 
-// StragglerSpec delays every Every-th bound task on Device by Delay before
-// its closure runs (Every <= 1 delays all) — the slow-device scenario.
-// Pure latency: results must stay bit-identical.
+// StragglerSpec delays every Every-th matching bound task on Device by
+// Delay before its closure runs (Every <= 1 delays all) — the slow-device
+// scenario. The optional Stream/Kind selectors narrow which tasks count
+// (e.g. only the sampler stream). Pure latency: results must stay
+// bit-identical.
 type StragglerSpec struct {
 	Device int
 	Delay  time.Duration
 	Every  int
+	Stream *sim.StreamID
+	Kind   *sim.Kind
 }
 
 // PoisonSpec overwrites the declared output buffers of one task with NaNs
 // after it completes: the Occurrence-th (1-based; 0 means first) completed
-// task matching Label exactly, Stage, and Device — silent data corruption
-// the numeric guards must catch.
+// task matching Label exactly, Stage, Device, and the optional Stream/Kind
+// selectors — silent data corruption the numeric guards must catch.
 type PoisonSpec struct {
 	Label      string
 	Stage      int
 	Device     int
 	Occurrence int
+	Stream     *sim.StreamID
+	Kind       *sim.Kind
+}
+
+// TransientTaskSpec fails individual bound tasks transiently — the
+// task-level analogue of TransientSpec for stages with no in-closure retry
+// loop, like the sampler stream. The first Failures executions of tasks
+// matching the filter (Device, label substring OnLabel, optional
+// Stream/Kind) fail with *sim.TransientTaskError before any execution
+// passes; the counter is global across graphs, so an elastic re-run of the
+// voided work finds the fault gone and replays bit-identically. Scope the
+// filter to a single task (label + device) when a deterministic recovery
+// count matters: with several matching tasks racing in one replay, which
+// one consumes the budget depends on executor interleaving.
+type TransientTaskSpec struct {
+	Device   int // -1 matches any device
+	OnLabel  string
+	Failures int
+	Stream   *sim.StreamID
+	Kind     *sim.Kind
 }
 
 // Plan is one seeded fault scenario. Nil specs inject nothing of that kind.
 type Plan struct {
-	Seed      int64
-	Crash     *CrashSpec
-	Transient *TransientSpec
-	Straggler *StragglerSpec
-	Poison    *PoisonSpec
+	Seed          int64
+	Crash         *CrashSpec
+	Transient     *TransientSpec
+	Straggler     *StragglerSpec
+	Poison        *PoisonSpec
+	TransientTask *TransientTaskSpec
 }
 
 // Stats counts what the injector actually did — the chaos harness reports
@@ -89,6 +139,7 @@ type Stats struct {
 	TransientFailures int // collective attempts failed transiently
 	Delays            int // straggler sleeps injected
 	Poisons           int // buffers NaN-poisoned
+	TaskFailures      int // task executions failed transiently
 }
 
 // Injector injects one Plan into a run. It implements sim.FaultHook and
@@ -103,6 +154,7 @@ type Injector struct {
 	crashSeen  int  // matching tasks observed before the crash fires
 	lateSeen   int  // straggler-device tasks observed
 	poisonSeen int  // poison-matching tasks observed
+	taskFails  int  // transient task failures injected so far
 	stats      Stats
 }
 
@@ -125,16 +177,23 @@ func (in *Injector) Stats() Stats {
 	return in.stats
 }
 
-// ObserveRemoval acknowledges that the crashed device was removed from the
-// machine (the elastic trainer repartitioned over the survivors): the
-// permanent-failure latch stops matching the now-recycled device index.
-// The crash spec stays spent — one plan kills at most one device.
+// ObserveRemoval acknowledges that a device was removed from the machine
+// (the elastic trainer repartitioned over the survivors). Two specs retire:
+//
+//   - the crash latch stops matching the now-recycled device index (the
+//     crash spec stays spent — one plan kills at most one device);
+//   - a collective-transient spec retires unconditionally: the elastic
+//     suspect-eviction rule attributes exhausted collectives to the removed
+//     device (a flaky link rides with its endpoint), so once the suspect is
+//     out of the group the injection stops and the survivors' re-run is
+//     fault-free.
 func (in *Injector) ObserveRemoval(device int) {
 	in.mu.Lock()
 	defer in.mu.Unlock()
 	if in.crashed && in.plan.Crash != nil && in.plan.Crash.Device == device {
 		in.plan.Crash = nil
 	}
+	in.plan.Transient = nil
 }
 
 // onDevice reports whether t runs on dev.
@@ -147,7 +206,8 @@ func onDevice(t *sim.Task, dev int) bool {
 	return false
 }
 
-// BeforeTask implements sim.FaultHook: the crash and straggler seams.
+// BeforeTask implements sim.FaultHook: the crash, transient-task, and
+// straggler seams.
 func (in *Injector) BeforeTask(g *sim.Graph, t *sim.Task) error {
 	var delay time.Duration
 	in.mu.Lock()
@@ -157,7 +217,7 @@ func (in *Injector) BeforeTask(g *sim.Graph, t *sim.Task) error {
 			in.mu.Unlock()
 			return &sim.DeviceLostError{Device: c.Device}
 		}
-		if c.OnLabel == "" || contains(t.Label, c.OnLabel) {
+		if (c.OnLabel == "" || contains(t.Label, c.OnLabel)) && matchStreamKind(t, c.Stream, c.Kind) {
 			in.crashSeen++
 			if in.crashSeen > c.After {
 				in.crashed = true
@@ -167,7 +227,20 @@ func (in *Injector) BeforeTask(g *sim.Graph, t *sim.Task) error {
 			}
 		}
 	}
-	if s := in.plan.Straggler; s != nil && onDevice(t, s.Device) {
+	if ts := in.plan.TransientTask; ts != nil && in.taskFails < ts.Failures &&
+		(ts.Device < 0 || onDevice(t, ts.Device)) &&
+		(ts.OnLabel == "" || contains(t.Label, ts.OnLabel)) &&
+		matchStreamKind(t, ts.Stream, ts.Kind) {
+		in.taskFails++
+		in.stats.TaskFailures++
+		dev := ts.Device
+		if dev < 0 && len(t.Devices) > 0 {
+			dev = t.Devices[0]
+		}
+		in.mu.Unlock()
+		return &sim.TransientTaskError{Device: dev, Label: t.Label}
+	}
+	if s := in.plan.Straggler; s != nil && onDevice(t, s.Device) && matchStreamKind(t, s.Stream, s.Kind) {
 		in.lateSeen++
 		every := s.Every
 		if every < 1 {
@@ -191,7 +264,8 @@ func (in *Injector) BeforeTask(g *sim.Graph, t *sim.Task) error {
 // the sanitizer's access-set story stays coherent even under injection.
 func (in *Injector) AfterTask(g *sim.Graph, t *sim.Task) error {
 	p := in.plan.Poison
-	if p == nil || t.Label != p.Label || t.Stage != p.Stage || !onDevice(t, p.Device) {
+	if p == nil || t.Label != p.Label || t.Stage != p.Stage || !onDevice(t, p.Device) ||
+		!matchStreamKind(t, p.Stream, p.Kind) {
 		return nil
 	}
 	in.mu.Lock()

@@ -192,6 +192,116 @@ func TestTransientFaultsAreRetriedAway(t *testing.T) {
 	}
 }
 
+// streamFixture records one compute task and one sampler-stream task per
+// label pair on device 0 — the minimal graph for pinning structured
+// matching.
+func streamFixture(in *Injector) (g *sim.Graph, ran *[]string) {
+	g = sim.NewGraph(sim.DGXV100(), 1)
+	g.Fault = in
+	ran = new([]string)
+	c := g.AddCompute(0, sim.KindGeMM, "s0/work", -1, 1, false)
+	g.Bind(c, func() { *ran = append(*ran, "compute") })
+	s := g.AddStage(0, sim.StreamSample, sim.KindSample, "s0/work", -1, 1, true)
+	g.Bind(s, func() { *ran = append(*ran, "sample") })
+	return g, ran
+}
+
+// TestStructuredMatchScopesToStream pins the structured task filter: a
+// crash scoped to StreamSample must ignore an identically-labeled compute
+// task — the exact confusion the old substring-only matching could not
+// avoid.
+func TestStructuredMatchScopesToStream(t *testing.T) {
+	in := New(Plan{Crash: &CrashSpec{Device: 0, OnLabel: "work", Stream: OnStream(sim.StreamSample)}})
+	g, ran := streamFixture(in)
+	err := g.Execute(1)
+	var lost *sim.DeviceLostError
+	if !errors.As(err, &lost) {
+		t.Fatalf("Execute = %v, want DeviceLostError via the sampler-stream task", err)
+	}
+	for _, r := range *ran {
+		if r == "sample" {
+			t.Fatal("the stream-scoped crash target still executed")
+		}
+	}
+
+	// Kind scoping composes the same way: a KindExtract selector matches
+	// neither task, so the run is fault-free.
+	in2 := New(Plan{Crash: &CrashSpec{Device: 0, OnLabel: "work", Kind: OnKind(sim.KindExtract)}})
+	g2, ran2 := streamFixture(in2)
+	if err := g2.Execute(1); err != nil {
+		t.Fatalf("kind-mismatched crash fired anyway: %v", err)
+	}
+	if len(*ran2) != 2 {
+		t.Fatalf("ran %v, want both tasks untouched", *ran2)
+	}
+}
+
+// TestStragglerStreamScope: a sampler-scoped straggler counts only
+// sampler-stream tasks toward its Every cadence.
+func TestStragglerStreamScope(t *testing.T) {
+	in := New(Plan{Straggler: &StragglerSpec{
+		Device: 0, Delay: time.Microsecond, Every: 1, Stream: OnStream(sim.StreamSample),
+	}})
+	g, _ := streamFixture(in)
+	if err := g.Execute(1); err != nil {
+		t.Fatalf("Execute: %v", err)
+	}
+	if got := in.Stats().Delays; got != 1 {
+		t.Fatalf("stats.Delays = %d, want 1 (only the sampler-stream task)", got)
+	}
+}
+
+// TestTransientTaskFailsThenReplays pins the flaky-task seam: the first
+// Failures executions of the matching task fail with a transient task
+// error, and a re-recorded graph (the elastic replay) runs clean — the
+// budget is global across graphs, never per task ID.
+func TestTransientTaskFailsThenReplays(t *testing.T) {
+	in := New(Plan{TransientTask: &TransientTaskSpec{
+		Device: 0, OnLabel: "s0/work", Failures: 1, Stream: OnStream(sim.StreamSample),
+	}})
+	g, ran := streamFixture(in)
+	err := g.Execute(1)
+	var tte *sim.TransientTaskError
+	if !errors.As(err, &tte) || tte.Device != 0 {
+		t.Fatalf("Execute = %v, want TransientTaskError{Device: 0}", err)
+	}
+	var te *sim.TaskError
+	if !errors.As(err, &te) {
+		t.Fatalf("Execute = %v, want the executor's *sim.TaskError wrapping", err)
+	}
+	for _, r := range *ran {
+		if r == "sample" {
+			t.Fatal("transiently failed task still ran its closure")
+		}
+	}
+	// The re-run: budget consumed, both tasks execute.
+	g2, ran2 := streamFixture(in)
+	if err := g2.Execute(1); err != nil {
+		t.Fatalf("replay after transient task failure: %v", err)
+	}
+	if len(*ran2) != 2 {
+		t.Fatalf("replay ran %v, want both tasks", *ran2)
+	}
+	if got := in.Stats().TaskFailures; got != 1 {
+		t.Fatalf("stats.TaskFailures = %d, want 1", got)
+	}
+}
+
+// TestObserveRemovalRetiresTransient pins the suspect-eviction rule: after
+// the elastic path evicts a device over exhausted collectives, the
+// acknowledged removal retires the collective-transient spec so the
+// survivors' re-run is fault-free.
+func TestObserveRemovalRetiresTransient(t *testing.T) {
+	in := New(Plan{Seed: 7, Transient: &TransientSpec{Every: 1, Failures: 100}})
+	if in.CollectiveAttempt(0, "c", 1) == nil {
+		t.Fatal("Every=1 transient spec passed an attempt")
+	}
+	in.ObserveRemoval(3)
+	if err := in.CollectiveAttempt(0, "c", 2); err != nil {
+		t.Fatalf("transient spec survived ObserveRemoval: %v", err)
+	}
+}
+
 func TestTransientSelectionIsSeedDeterministic(t *testing.T) {
 	pick := func(seed int64) []bool {
 		in := New(Plan{Seed: seed, Transient: &TransientSpec{Every: 3, Failures: 1}})

@@ -60,3 +60,19 @@ type DeviceLostError struct {
 func (e *DeviceLostError) Error() string {
 	return fmt.Sprintf("sim: device %d lost (permanent failure)", e.Device)
 }
+
+// TransientTaskError reports a transient failure of an individual task —
+// the task-level counterpart of comm's transient collective failures, used
+// for stages with no in-closure retry loop (e.g. a sampler stage whose host
+// thread hiccuped). The device survives and the work is recoverable: because
+// sampled batches are pure functions of (seed, epoch, batch), the elastic
+// trainer re-derives and replays the lost work bit-identically instead of
+// aborting. Execute wraps it in a *TaskError; errors.As sees through.
+type TransientTaskError struct {
+	Device int
+	Label  string
+}
+
+func (e *TransientTaskError) Error() string {
+	return fmt.Sprintf("sim: task %q (device %d) failed transiently", e.Label, e.Device)
+}

@@ -350,6 +350,14 @@ type SampledOptions struct {
 	Seed        int64
 	Workers     int
 	ExecWorkers int
+
+	// TrackVal computes per-epoch validation accuracy with a host-side
+	// sampled forward over the dataset's val mask — statistics only, never
+	// part of the task graph or its determinism.
+	TrackVal bool
+	// EarlyStopPatience > 0 stops Train after that many consecutive epochs
+	// without a validation-accuracy improvement (implies TrackVal).
+	EarlyStopPatience int
 }
 
 // DefaultSampledOptions returns the GNNLab-style sampled configuration:
@@ -387,6 +395,7 @@ func NewSampledTrainer(ds *Dataset, o SampledOptions) (*SampledTrainer, error) {
 		Batch: o.Batch, Fanouts: o.Fanouts,
 		CacheFrac: o.CacheFrac, Pipeline: o.Pipeline,
 		Seed: o.Seed, Workers: o.Workers, ExecWorkers: o.ExecWorkers,
+		TrackVal: o.TrackVal, EarlyStopPatience: o.EarlyStopPatience,
 	}
 	inner, err := core.NewSampledTrainer(ds.g, cfg)
 	if err != nil {
@@ -403,6 +412,24 @@ func (t *SampledTrainer) RunEpoch() (*SampledEpochStats, error) { return t.inner
 // the run, returning the completed epochs' stats alongside the error.
 func (t *SampledTrainer) Train(epochs int) ([]*SampledEpochStats, error) {
 	return t.inner.Train(epochs)
+}
+
+// SaveCheckpoint writes the sampler cursor (seed, epoch, next batch) plus
+// model and optimizer state to w; restoring it resumes mid-epoch
+// bit-identically.
+func (t *SampledTrainer) SaveCheckpoint(w io.Writer) error { return t.inner.SaveCheckpoint(w) }
+
+// LoadCheckpoint restores state saved by SampledTrainer.SaveCheckpoint. The
+// trainer's model shape and sampling seed must match the checkpoint's;
+// full-batch checkpoints are rejected with a version error.
+func (t *SampledTrainer) LoadCheckpoint(r io.Reader) error { return t.inner.LoadCheckpoint(r) }
+
+// SaveCheckpointAtomic writes a checkpoint through save to a temp file next
+// to path and renames it into place, so a crash mid-write leaves the
+// previous checkpoint intact. Pass a Trainer's or SampledTrainer's
+// SaveCheckpoint method as save.
+func SaveCheckpointAtomic(path string, save func(w io.Writer) error) error {
+	return core.SaveCheckpointAtomic(path, save)
 }
 
 // IsOOM reports whether err is a device out-of-memory failure.

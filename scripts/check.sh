@@ -74,15 +74,16 @@ echo "==> mggcn-sample (sampled pipeline parity + sanitizer)"
 go test -race -short -timeout 30m -run 'Sampled|Blocks|PlanEpoch|RNG|Cache' ./internal/sample/ ./internal/core/
 
 echo "==> mggcn-chaos (fault-injection smoke)"
-# Seeded fault matrix over every strategy: crash, transient (retried and
-# exhausted), straggler, poison. Exits non-zero if any scenario deviates
+# Seeded fault matrix over every strategy plus the sampled pipeline:
+# crash, transient (retried and exhausted), straggler, poison, and the
+# sampler-only flaky-sampler kind. Exits non-zero if any scenario deviates
 # from its expected survive/abort outcome.
 go run ./cmd/mggcn-chaos -seeds 1 > /dev/null
 
 echo "==> chaos suite under -race"
 # The fault paths exercise the executor's error/cancel machinery from
 # concurrent workers; run them where the race detector can watch.
-go test -race -short -timeout 30m -run 'Fault|Elastic|Retry|Chaos|Crash|Straggler|Transient' ./internal/sim/ ./internal/comm/ ./internal/fault/ ./internal/core/
+go test -race -short -timeout 30m -run 'Fault|Elastic|Retry|Chaos|Crash|Straggler|Transient|GiveUp|FlakySampler|Checkpoint' ./internal/sim/ ./internal/comm/ ./internal/fault/ ./internal/core/
 
 echo "==> go test -race"
 # -short skips the long phantom end-to-end sweeps (they re-run the timing
